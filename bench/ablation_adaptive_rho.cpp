@@ -1,0 +1,66 @@
+// Extension ablation — adaptive penalty ρ^t (paper future work 2).
+//
+// Residual-balancing adaptation vs fixed ρ for IIADMM, starting from
+// deliberately bad initial penalties. The adaptive scheme broadcasts the
+// ρ^t in force with every global model, so the server/client dual replicas
+// stay consistent (asserted by test_adaptive).
+#include <iostream>
+#include <limits>
+
+#include "bench_common.hpp"
+#include "core/runner.hpp"
+#include "data/synth.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using appfl::util::fmt;
+
+  appfl::data::SynthImageSpec spec;
+  spec.train_per_client = 96;
+  spec.test_size = 256;
+  spec.seed = 29;
+  spec.noise = 1.4;
+  const auto split = appfl::data::mnist_like(spec);
+
+  std::cout << "== Extension: adaptive penalty rho^t vs fixed rho (IIADMM) ==\n\n";
+
+  appfl::util::TextTable table({"rho_init", "schedule", "final_acc",
+                                "train_loss", "rho_final"});
+  appfl::util::CsvWriter csv({"rho_init", "schedule", "final_acc",
+                              "train_loss", "rho_final"});
+
+  for (float rho0 : {0.2F, 2.0F, 50.0F}) {
+    for (bool adaptive : {false, true}) {
+      appfl::core::RunConfig cfg;
+      cfg.algorithm = appfl::core::Algorithm::kIIAdmm;
+      cfg.model = appfl::core::ModelKind::kMlp;
+      cfg.mlp_hidden = 32;
+      cfg.rounds = appfl::bench::env_size_t("APPFL_ABL_ROUNDS", 10);
+      cfg.local_steps = 2;
+      cfg.rho = rho0;
+      cfg.zeta = 1.0F;
+      cfg.clip = 0.0F;
+      cfg.epsilon = std::numeric_limits<double>::infinity();
+      cfg.adaptive_rho = adaptive;
+      cfg.seed = 29;
+      cfg.validate_every_round = false;
+
+      const auto result = appfl::core::run_federated(cfg, split);
+      const double rho_final = result.rounds.back().rho;
+      table.add_row({fmt(rho0, 1), adaptive ? "adaptive" : "fixed",
+                     fmt(result.final_accuracy, 3),
+                     fmt(result.rounds.back().train_loss, 3),
+                     fmt(rho_final, 2)});
+      csv.add_row({fmt(rho0, 2), adaptive ? "adaptive" : "fixed",
+                   fmt(result.final_accuracy, 4),
+                   fmt(result.rounds.back().train_loss, 4),
+                   fmt(rho_final, 3)});
+    }
+  }
+
+  appfl::bench::emit(table, csv, "ablation_adaptive_rho.csv");
+  std::cout << "\nReading: with a badly chosen initial rho, residual\n"
+               "balancing walks rho toward a workable region, recovering\n"
+               "most of the accuracy a well-tuned fixed rho achieves.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Extension ablation — asynchronous vs synchronous aggregation on a
+// heterogeneous fleet (paper future work 1, motivated by §IV-E).
+//
+// A mixed A100/V100 federation runs the same total number of client updates
+// under (a) synchronous rounds (server waits for the slowest silo) and
+// (b) staleness-damped asynchronous mixing. Reported: simulated wall-clock,
+// final accuracy, fast-silo idle share, mean staleness.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/async_runner.hpp"
+#include "data/synth.hpp"
+#include "hw/device.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using appfl::util::fmt;
+
+  appfl::data::SynthImageSpec spec;
+  spec.num_clients = 6;
+  spec.train_per_client = 96;
+  spec.test_size = 256;
+  spec.seed = 23;
+  const auto split = appfl::data::mnist_like(spec);
+
+  std::cout << "== Extension: async vs sync aggregation, mixed A100/V100 fleet ==\n\n";
+
+  appfl::util::TextTable table({"fleet", "sync_s", "async_s", "speedup",
+                                "sync_acc", "async_acc", "idle_frac",
+                                "staleness"});
+  appfl::util::CsvWriter csv({"fleet", "sync_seconds", "async_seconds",
+                              "speedup", "sync_acc", "async_acc",
+                              "idle_fraction", "mean_staleness"});
+
+  struct Fleet {
+    std::string name;
+    std::vector<appfl::hw::DeviceProfile> devices;
+  };
+  const std::vector<Fleet> fleets{
+      {"homogeneous V100", {appfl::hw::v100()}},
+      {"A100+V100 mix", {appfl::hw::a100(), appfl::hw::v100()}},
+      {"extreme 8x spread",
+       {appfl::hw::DeviceProfile{"fast", 8.0 * appfl::hw::v100().effective_flops},
+        appfl::hw::v100()}},
+  };
+
+  for (const auto& fleet : fleets) {
+    appfl::core::AsyncConfig cfg;
+    cfg.run.algorithm = appfl::core::Algorithm::kFedAvg;
+    cfg.run.model = appfl::core::ModelKind::kMlp;
+    cfg.run.mlp_hidden = 32;
+    cfg.run.rounds = appfl::bench::env_size_t("APPFL_ABL_ROUNDS", 8);
+    cfg.run.local_steps = 2;
+    cfg.run.lr = 0.05F;
+    cfg.run.seed = 23;
+    cfg.devices = fleet.devices;
+    cfg.mixing_alpha = 0.6F;
+
+    const auto sync_result = appfl::core::run_sync_baseline(cfg, split);
+    const auto async_result = appfl::core::run_async(cfg, split);
+    const double speedup =
+        sync_result.sim_seconds / async_result.sim_seconds;
+
+    table.add_row({fleet.name, fmt(sync_result.sim_seconds, 2),
+                   fmt(async_result.sim_seconds, 2), fmt(speedup, 2),
+                   fmt(sync_result.final_accuracy, 3),
+                   fmt(async_result.final_accuracy, 3),
+                   fmt(sync_result.straggler_idle_fraction, 2),
+                   fmt(async_result.mean_staleness, 2)});
+    csv.add_row({fleet.name, fmt(sync_result.sim_seconds, 3),
+                 fmt(async_result.sim_seconds, 3), fmt(speedup, 3),
+                 fmt(sync_result.final_accuracy, 4),
+                 fmt(async_result.final_accuracy, 4),
+                 fmt(sync_result.straggler_idle_fraction, 4),
+                 fmt(async_result.mean_staleness, 3)});
+  }
+
+  appfl::bench::emit(table, csv, "ablation_async.csv");
+  std::cout << "\nReading: the more heterogeneous the fleet, the bigger the\n"
+               "async wall-clock win for the same update count; accuracy\n"
+               "stays comparable because staleness damping (alpha/(1+s))\n"
+               "limits the impact of outdated updates.\n";
+  return 0;
+}

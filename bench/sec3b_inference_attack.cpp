@@ -1,0 +1,98 @@
+// §III-B motivation — membership-inference attack vs privacy budget.
+//
+// The paper integrates DP "for learning while preserving data privacy
+// against an inference attack [25] that can take place in any communication
+// round". This bench quantifies that protection: train IIADMM models under
+// ε ∈ {0.5, 2, 5, ∞} on a small (overfit-prone) federation, then run the
+// loss-threshold membership-inference attack against the final global model.
+// Expected shape: attack advantage and AUC fall toward chance as ε falls,
+// while utility (test accuracy) falls too — the same trade-off as Fig 2,
+// seen from the attacker's side.
+#include <cmath>
+#include <iostream>
+#include <limits>
+
+#include "bench_common.hpp"
+#include "core/inference_attack.hpp"
+#include "core/runner.hpp"
+#include "data/synth.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using appfl::util::fmt;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Small shards + many local steps ⇒ members are memorized without DP.
+  appfl::data::SynthImageSpec spec;
+  spec.train_per_client = 24;
+  spec.test_size = 256;
+  spec.noise = 1.6;  // hard enough that memorization shows
+  spec.seed = 71;
+  const auto split = appfl::data::mnist_like(spec);
+
+  // Non-members: fresh draws from the same task.
+  const auto nonmembers = appfl::data::generate_samples(
+      1, 28, 28, 10, 96, spec.noise, spec.seed, /*writer_id=*/0,
+      /*class_pool=*/nullptr, /*sample_stream=*/777777);
+
+  std::cout << "== Sec III-B: membership-inference attack vs epsilon ==\n\n";
+
+  appfl::util::TextTable table({"epsilon", "test_acc", "attack_advantage",
+                                "attack_auc", "member_loss", "nonmember_loss"});
+  appfl::util::CsvWriter csv({"epsilon", "test_acc", "advantage", "auc",
+                              "member_loss", "nonmember_loss"});
+
+  for (double eps : {0.5, 2.0, 5.0, kInf}) {
+    appfl::core::RunConfig cfg;
+    cfg.algorithm = appfl::core::Algorithm::kIIAdmm;
+    cfg.model = appfl::core::ModelKind::kMlp;
+    cfg.mlp_hidden = 48;
+    cfg.rounds = appfl::bench::env_size_t("APPFL_ATTACK_ROUNDS", 12);
+    cfg.local_steps = 4;
+    cfg.batch_size = 24;
+    cfg.rho = 1.0F;
+    cfg.zeta = 1.0F;
+    cfg.clip = 1.0F;
+    cfg.epsilon = eps;
+    cfg.seed = 71;
+    cfg.validate_every_round = false;
+
+    auto model = appfl::core::build_model(cfg, split.test);
+    std::vector<std::unique_ptr<appfl::core::BaseClient>> clients;
+    for (std::size_t p = 0; p < split.clients.size(); ++p) {
+      clients.push_back(appfl::core::build_client(
+          static_cast<std::uint32_t>(p + 1), cfg, *model, split.clients[p]));
+    }
+    auto server = appfl::core::build_server(cfg, std::move(model), split.test,
+                                            clients.size());
+    const auto run = appfl::core::run_federated(cfg, *server, clients);
+    const std::vector<float> w = server->compute_global(9999);
+
+    // Member set: the union of all client shards (the attacker probes
+    // records it suspects were used).
+    std::vector<std::size_t> all0(split.clients[0].size());
+    for (std::size_t i = 0; i < all0.size(); ++i) all0[i] = i;
+    appfl::data::TensorDataset members = split.clients[0].subset(all0);
+
+    auto probe = appfl::core::build_model(cfg, split.test);
+    const auto attack = appfl::core::loss_threshold_attack(
+        *probe, w, members, nonmembers);
+
+    const std::string eps_str = std::isinf(eps) ? "inf" : fmt(eps, 1);
+    table.add_row({eps_str, fmt(run.final_accuracy, 3),
+                   fmt(attack.advantage, 3), fmt(attack.auc, 3),
+                   fmt(attack.mean_member_loss, 3),
+                   fmt(attack.mean_nonmember_loss, 3)});
+    csv.add_row({eps_str, fmt(run.final_accuracy, 4), fmt(attack.advantage, 4),
+                 fmt(attack.auc, 4), fmt(attack.mean_member_loss, 4),
+                 fmt(attack.mean_nonmember_loss, 4)});
+    std::cerr << "[attack] eps=" << eps_str << " done\n";
+  }
+
+  appfl::bench::emit(table, csv, "sec3b_inference_attack.csv");
+  std::cout << "\nExpected shape: without DP (eps=inf) the member/non-member\n"
+               "loss gap is large and the attack beats chance clearly; as eps\n"
+               "falls the advantage collapses toward 0 and AUC toward 0.5 —\n"
+               "the protection Sec III-B's output perturbation buys.\n";
+  return 0;
+}

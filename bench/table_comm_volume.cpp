@@ -1,0 +1,73 @@
+// §III-A traffic claim — per-round communication volume by algorithm.
+//
+// Runs each algorithm through the real Communicator on a small model and
+// reports measured uplink/downlink bytes per client per round, confirming:
+// IIADMM ships primal-only (m floats) like FedAvg, ICEADMM ships primal+dual
+// (2m floats). Also projects the measured per-round bytes to the paper's
+// FEMNIST scale (203 clients, 50 rounds).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/runner.hpp"
+#include "data/synth.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using appfl::core::Algorithm;
+  using appfl::util::fmt;
+
+  appfl::data::SynthImageSpec spec;
+  spec.train_per_client = 32;
+  spec.test_size = 32;
+  spec.seed = 7;
+  const auto split = appfl::data::mnist_like(spec);
+
+  const std::size_t rounds = 4;
+  std::cout << "== Comm volume per algorithm (measured through the comm layer) ==\n\n";
+
+  appfl::util::TextTable table({"algorithm", "model_params", "up_B/client/round",
+                                "down_B/client/round", "up/param_ratio",
+                                "projected_FEMNIST_up_GB"});
+  appfl::util::CsvWriter csv({"algorithm", "model_params", "bytes_up_per_client_round",
+                              "bytes_down_per_client_round", "floats_up_per_param",
+                              "projected_femnist_up_gb"});
+
+  for (Algorithm alg :
+       {Algorithm::kFedAvg, Algorithm::kIceAdmm, Algorithm::kIIAdmm}) {
+    appfl::core::RunConfig cfg;
+    cfg.algorithm = alg;
+    cfg.model = appfl::core::ModelKind::kMlp;
+    cfg.mlp_hidden = 16;
+    cfg.rounds = rounds;
+    cfg.local_steps = 1;
+    cfg.batch_size = 32;
+    cfg.validate_every_round = false;
+    cfg.seed = 7;
+    const auto result = appfl::core::run_federated(cfg, split);
+
+    const double per_client_round_up =
+        static_cast<double>(result.traffic.bytes_up) /
+        static_cast<double>(split.num_clients() * rounds);
+    const double per_client_round_down =
+        static_cast<double>(result.traffic.bytes_down) /
+        static_cast<double>(split.num_clients() * rounds);
+    const double floats_per_param =
+        per_client_round_up / (4.0 * static_cast<double>(result.model_parameters));
+    // Projection: 203 clients, 50 rounds, 6.5M-parameter FEMNIST CNN.
+    const double femnist_up_gb = floats_per_param * 4.0 * 6.5e6 * 203 * 50 / 1e9;
+
+    table.add_row({appfl::core::to_string(alg),
+                   std::to_string(result.model_parameters),
+                   fmt(per_client_round_up, 0), fmt(per_client_round_down, 0),
+                   fmt(floats_per_param, 3), fmt(femnist_up_gb, 1)});
+    csv.add_row({appfl::core::to_string(alg),
+                 std::to_string(result.model_parameters),
+                 fmt(per_client_round_up, 1), fmt(per_client_round_down, 1),
+                 fmt(floats_per_param, 4), fmt(femnist_up_gb, 2)});
+  }
+
+  appfl::bench::emit(table, csv, "table_comm_volume.csv");
+  std::cout << "\nExpected: ICEADMM's uplink ratio ~2.0 floats/param (primal+dual),\n"
+               "FedAvg and IIADMM ~1.0 (primal only) — the §III-A claim.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Communication efficiency head-to-head — the paper's headline framing.
+//
+// "Time/traffic to target accuracy": for each algorithm, how many rounds,
+// how many uplink megabytes, and how much simulated communication time does
+// it take to first reach the target test accuracy? IIADMM's claim is that it
+// matches FedAvg's traffic while carrying ADMM's dual-informed updates, and
+// halves ICEADMM's. Knobs: APPFL_TTA_TARGET (default 0.85),
+// APPFL_TTA_MAX_ROUNDS (default 20).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/runner.hpp"
+#include "data/synth.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using appfl::core::Algorithm;
+  using appfl::util::fmt;
+
+  const double target = appfl::bench::env_double("APPFL_TTA_TARGET", 0.85);
+  const std::size_t max_rounds =
+      appfl::bench::env_size_t("APPFL_TTA_MAX_ROUNDS", 20);
+
+  appfl::data::SynthImageSpec spec;
+  spec.train_per_client = 96;
+  spec.test_size = 256;
+  spec.noise = 1.2;
+  spec.seed = 17;
+  const auto split = appfl::data::mnist_like(spec);
+
+  std::cout << "== Time / traffic to " << fmt(target, 2)
+            << " test accuracy (max " << max_rounds << " rounds) ==\n\n";
+
+  appfl::util::TextTable table({"algorithm", "rounds_to_target", "uplink_MB",
+                                "sim_comm_s", "final_acc"});
+  appfl::util::CsvWriter csv({"algorithm", "rounds", "uplink_mb", "sim_comm_s",
+                              "final_acc"});
+
+  for (Algorithm alg :
+       {Algorithm::kFedAvg, Algorithm::kIceAdmm, Algorithm::kIIAdmm}) {
+    appfl::core::RunConfig cfg;
+    cfg.algorithm = alg;
+    cfg.model = appfl::core::ModelKind::kMlp;
+    cfg.mlp_hidden = 32;
+    cfg.rounds = max_rounds;
+    cfg.local_steps = 2;
+    cfg.batch_size = 32;
+    cfg.rho = 2.5F;
+    cfg.zeta = 2.5F;
+    cfg.seed = 17;
+    cfg.validate_every_round = true;
+    const auto result = appfl::core::run_federated(cfg, split);
+
+    std::size_t rounds_to_target = 0;  // 0 = never reached
+    double comm_s = 0.0;
+    double uplink_bytes = 0.0;
+    const double per_round_up = static_cast<double>(result.traffic.bytes_up) /
+                                static_cast<double>(max_rounds);
+    for (const auto& r : result.rounds) {
+      comm_s += r.broadcast_s + r.gather_s;
+      uplink_bytes += per_round_up;
+      if (r.test_accuracy >= target) {
+        rounds_to_target = r.round;
+        break;
+      }
+    }
+    table.add_row({appfl::core::to_string(alg),
+                   rounds_to_target == 0 ? ">" + std::to_string(max_rounds)
+                                         : std::to_string(rounds_to_target),
+                   fmt(uplink_bytes / 1e6, 2), fmt(comm_s, 2),
+                   fmt(result.final_accuracy, 3)});
+    csv.add_row({appfl::core::to_string(alg), std::to_string(rounds_to_target),
+                 fmt(uplink_bytes / 1e6, 3), fmt(comm_s, 3),
+                 fmt(result.final_accuracy, 4)});
+  }
+
+  appfl::bench::emit(table, csv, "time_to_accuracy.csv");
+  std::cout << "\nReading: at comparable rounds-to-target, ICEADMM pays ~2x\n"
+               "the uplink of IIADMM/FedAvg (primal+dual vs primal-only) —\n"
+               "the robust claim of Sec III-A. (Protocol time comparisons\n"
+               "live in fig4_comm at the payload scale the models were\n"
+               "calibrated for.)\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Cross-silo biomedical example — the paper's motivating domain.
+//
+// Four "hospitals" hold chest-X-ray-like data (the CoronaHack stand-in) that
+// policy forbids centralizing. They train a shared 3-class model with
+// IIADMM under Laplace output perturbation, sweeping the privacy budget and
+// tracking cumulative leakage with the PrivacyAccountant.
+#include <cmath>
+#include <iostream>
+#include <limits>
+
+#include "core/runner.hpp"
+#include "data/synth.hpp"
+#include "dp/accountant.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using appfl::util::fmt;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  appfl::data::SynthImageSpec spec;  // 1×64×64 grayscale, 3 classes
+  spec.train_per_client = 64;
+  spec.test_size = 256;
+  spec.seed = 13;
+  const auto split = appfl::data::coronahack_like(spec);
+  std::cout << "Cross-silo PPFL: " << split.num_clients()
+            << " hospitals, CoronaHack-like 1x64x64 X-rays, 3 classes\n\n";
+
+  appfl::util::TextTable table({"epsilon/round", "final_acc", "noise_scale_b",
+                                "total_eps_spent"});
+  for (double eps : {1.0, 3.0, 10.0, kInf}) {
+    appfl::core::RunConfig cfg;
+    cfg.algorithm = appfl::core::Algorithm::kIIAdmm;
+    cfg.model = appfl::core::ModelKind::kMlp;
+    cfg.mlp_hidden = 24;
+    cfg.rounds = 8;
+    cfg.local_steps = 2;
+    cfg.batch_size = 32;
+    cfg.rho = 2.5F;
+    cfg.zeta = 2.5F;
+    cfg.clip = 1.0F;
+    cfg.epsilon = eps;
+    cfg.seed = 13;
+    cfg.validate_every_round = false;
+
+    // Track cumulative leakage per hospital: basic composition over rounds.
+    appfl::dp::PrivacyAccountant accountant(split.num_clients());
+    const double per_round = std::isinf(eps) ? 0.0 : eps;
+    for (std::size_t round = 0; round < cfg.rounds; ++round) {
+      for (std::size_t h = 0; h < split.num_clients(); ++h) {
+        accountant.spend(h, per_round);
+      }
+    }
+
+    const auto result = appfl::core::run_federated(cfg, split);
+    const double scale =
+        std::isinf(eps) ? 0.0 : cfg.sensitivity() / eps;
+    table.add_row({std::isinf(eps) ? "inf (no DP)" : fmt(eps, 0),
+                   fmt(result.final_accuracy, 3), fmt(scale, 4),
+                   std::isinf(eps) ? "0 (no noise, full leakage risk)"
+                                   : fmt(accountant.max_spent(), 0)});
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nReading: stronger privacy (smaller epsilon) costs accuracy — the\n"
+         "trade-off of paper Fig 2 — while the accountant shows the total\n"
+         "budget consumed after T rounds of basic composition (T x epsilon).\n";
+  return 0;
+}

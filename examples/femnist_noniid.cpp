@@ -1,0 +1,70 @@
+// Cross-device example: FEMNIST-like non-IID federation of writers.
+//
+// Shows the scenario the paper scales on Summit (§IV-C): many small clients
+// with label- and feature-skewed data. Compares FedAvg and IIADMM on the
+// same split and reports the per-writer data statistics that make the
+// problem non-IID. Runs with 32 writers by default (the paper used 203;
+// set APPFL_WRITERS=203 to match).
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <set>
+
+#include "core/runner.hpp"
+#include "data/synth.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using appfl::util::fmt;
+  const char* env = std::getenv("APPFL_WRITERS");
+  appfl::data::FemnistSpec spec;
+  spec.num_writers = env != nullptr ? static_cast<std::size_t>(std::atol(env)) : 32;
+  spec.mean_samples_per_writer = 40;
+  spec.test_size = 512;
+  spec.seed = 7;
+  const auto split = appfl::data::femnist_like(spec);
+
+  // Non-IID diagnostics: sample counts and class coverage per writer.
+  std::size_t min_n = SIZE_MAX, max_n = 0, min_classes = SIZE_MAX,
+              max_classes = 0;
+  for (const auto& client : split.clients) {
+    min_n = std::min(min_n, client.size());
+    max_n = std::max(max_n, client.size());
+    const std::set<std::size_t> classes(client.labels().begin(),
+                                        client.labels().end());
+    min_classes = std::min(min_classes, classes.size());
+    max_classes = std::max(max_classes, classes.size());
+  }
+  std::cout << "FEMNIST-like split: " << split.num_clients() << " writers, "
+            << split.total_train() << " samples total\n"
+            << "  samples/writer: " << min_n << " .. " << max_n
+            << " (unbalanced)\n"
+            << "  classes/writer: " << min_classes << " .. " << max_classes
+            << " of " << split.test.num_classes() << " (label-skewed)\n\n";
+
+  appfl::util::TextTable table(
+      {"algorithm", "final_acc", "train_loss", "uplink_MB", "sim_comm_s"});
+  for (auto alg : {appfl::core::Algorithm::kFedAvg,
+                   appfl::core::Algorithm::kIIAdmm}) {
+    appfl::core::RunConfig cfg;
+    cfg.algorithm = alg;
+    cfg.model = appfl::core::ModelKind::kMlp;
+    cfg.mlp_hidden = 48;
+    cfg.rounds = 8;
+    cfg.local_steps = 2;
+    cfg.batch_size = 32;
+    cfg.rho = 2.5F;
+    cfg.zeta = 2.5F;
+    cfg.seed = 7;
+    cfg.validate_every_round = false;
+    const auto result = appfl::core::run_federated(cfg, split);
+    table.add_row({appfl::core::to_string(alg), fmt(result.final_accuracy, 3),
+                   fmt(result.rounds.back().train_loss, 3),
+                   fmt(result.traffic.bytes_up / 1e6, 2),
+                   fmt(result.sim_comm_seconds, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(62-class non-IID problem: accuracies well above the 0.016\n"
+               " chance level indicate federation is pooling the writers.)\n";
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Personalization example: global model vs locally fine-tuned models on a
+// non-IID federation.
+//
+// On writer-skewed FEMNIST-like data a single global model averages away
+// writer idiosyncrasies. Each writer therefore holds out part of its shard,
+// trains federatedly on the rest, then fine-tunes the received global model
+// for a few local steps — the simplest personalization scheme. The table
+// compares per-writer held-out accuracy before and after fine-tuning.
+#include <iostream>
+#include <numeric>
+
+#include "core/evaluation.hpp"
+#include "core/runner.hpp"
+#include "data/synth.hpp"
+#include "nn/loss.hpp"
+#include "nn/sgd.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct LocalSplit {
+  appfl::data::TensorDataset train;
+  appfl::data::TensorDataset held_out;
+};
+
+LocalSplit hold_out_quarter(const appfl::data::TensorDataset& shard) {
+  const std::size_t n = shard.size();
+  const std::size_t cut = n - n / 4;
+  std::vector<std::size_t> head(cut), tail(n - cut);
+  std::iota(head.begin(), head.end(), 0);
+  std::iota(tail.begin(), tail.end(), cut);
+  return {shard.subset(head), shard.subset(tail)};
+}
+
+/// A few SGD steps of local fine-tuning from `global` on `train`.
+std::vector<float> fine_tune(appfl::nn::Module& model,
+                             std::span<const float> global,
+                             const appfl::data::TensorDataset& train,
+                             std::size_t steps, float lr) {
+  model.set_flat_parameters(global);
+  appfl::nn::Sgd opt(lr, 0.9F);
+  appfl::nn::CrossEntropyLoss ce;
+  appfl::data::DataLoader loader(train, 16, /*shuffle=*/true, 99);
+  for (std::size_t s = 0; s < steps; ++s) {
+    const auto batch = loader.batch(s % loader.num_batches());
+    model.zero_grad();
+    const auto loss = ce.compute(model.forward(batch.inputs), batch.labels);
+    model.backward(loss.grad);
+    opt.step(model);
+    if ((s + 1) % loader.num_batches() == 0) loader.next_epoch();
+  }
+  return model.flat_parameters();
+}
+
+}  // namespace
+
+int main() {
+  using appfl::util::fmt;
+
+  appfl::data::FemnistSpec spec;
+  spec.num_writers = 12;
+  spec.mean_samples_per_writer = 80;
+  spec.min_classes_per_writer = 4;
+  spec.max_classes_per_writer = 8;  // strong label skew
+  spec.test_size = 128;
+  spec.seed = 57;
+  const auto raw = appfl::data::femnist_like(spec);
+
+  // Carve per-writer held-out sets; federate on the remainder.
+  appfl::data::FederatedSplit split;
+  split.name = raw.name;
+  split.test = raw.test;
+  std::vector<appfl::data::TensorDataset> held_out;
+  for (const auto& shard : raw.clients) {
+    auto parts = hold_out_quarter(shard);
+    split.clients.push_back(std::move(parts.train));
+    held_out.push_back(std::move(parts.held_out));
+  }
+
+  appfl::core::RunConfig cfg;
+  cfg.algorithm = appfl::core::Algorithm::kFedAvg;
+  cfg.model = appfl::core::ModelKind::kMlp;
+  cfg.mlp_hidden = 48;
+  cfg.rounds = 10;
+  cfg.local_steps = 2;
+  cfg.batch_size = 16;
+  cfg.lr = 0.1F;
+  cfg.seed = 57;
+  cfg.validate_every_round = false;
+
+  auto proto = appfl::core::build_model(cfg, split.test);
+  std::vector<std::unique_ptr<appfl::core::BaseClient>> clients;
+  for (std::size_t p = 0; p < split.clients.size(); ++p) {
+    clients.push_back(appfl::core::build_client(
+        static_cast<std::uint32_t>(p + 1), cfg, *proto, split.clients[p]));
+  }
+  auto server = appfl::core::build_server(cfg, std::move(proto), split.test,
+                                          clients.size());
+  appfl::core::run_federated(cfg, *server, clients);
+  const std::vector<float> w_global = server->compute_global(999);
+
+  std::cout << "Personalization on " << split.num_clients()
+            << " label-skewed writers (4-8 of 62 classes each)\n\n";
+
+  appfl::util::TextTable table({"writer", "held_out_n", "global_acc",
+                                "personalized_acc", "delta"});
+  double sum_global = 0.0, sum_personal = 0.0;
+  auto eval_model = appfl::core::build_model(cfg, split.test);
+  for (std::size_t p = 0; p < held_out.size(); ++p) {
+    const auto before =
+        appfl::core::evaluate(*eval_model, w_global, held_out[p]);
+    const auto w_personal = fine_tune(*eval_model, w_global, split.clients[p],
+                                      /*steps=*/20, /*lr=*/0.05F);
+    const auto after =
+        appfl::core::evaluate(*eval_model, w_personal, held_out[p]);
+    sum_global += before.accuracy;
+    sum_personal += after.accuracy;
+    table.add_row({std::to_string(p + 1), std::to_string(held_out[p].size()),
+                   fmt(before.accuracy, 3), fmt(after.accuracy, 3),
+                   fmt(after.accuracy - before.accuracy, 3)});
+  }
+  table.print(std::cout);
+  const double n = static_cast<double>(held_out.size());
+  std::cout << "\nmean held-out accuracy: global " << fmt(sum_global / n, 3)
+            << " -> personalized " << fmt(sum_personal / n, 3)
+            << "\n(each writer only sees a handful of classes, so a few local\n"
+               " steps on top of the federated model lift its own-distribution\n"
+               " accuracy substantially — the standard personalization win.)\n";
+  return sum_personal >= sum_global ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+// Quickstart: train a global model over 4 clients with IIADMM and
+// differential privacy, in ~30 lines of user code.
+//
+//   1. make (or load) a federated dataset       -> data::FederatedSplit
+//   2. pick algorithm / model / privacy budget  -> core::RunConfig
+//   3. run                                      -> core::run_federated
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+
+#include "core/runner.hpp"
+#include "data/synth.hpp"
+#include "util/table.hpp"
+
+int main() {
+  // 1. A 4-client MNIST-like federated dataset (each client keeps its shard;
+  //    the server holds only the test set).
+  appfl::data::SynthImageSpec data_spec;
+  data_spec.train_per_client = 128;
+  data_spec.test_size = 512;
+  data_spec.seed = 42;
+  const appfl::data::FederatedSplit split = appfl::data::mnist_like(data_spec);
+
+  // 2. IIADMM with Laplace output perturbation at epsilon = 10.
+  appfl::core::RunConfig cfg;
+  cfg.algorithm = appfl::core::Algorithm::kIIAdmm;
+  cfg.model = appfl::core::ModelKind::kMlp;
+  cfg.rounds = 10;
+  cfg.local_steps = 2;
+  cfg.rho = 2.5F;
+  cfg.zeta = 2.5F;
+  cfg.clip = 1.0F;     // gradient clipping bounds the DP sensitivity
+  cfg.epsilon = 10.0;  // privacy budget per round
+  cfg.seed = 42;
+
+  // 3. Run and inspect the learning curve.
+  const appfl::core::RunResult result = appfl::core::run_federated(cfg, split);
+
+  std::cout << "IIADMM on " << split.name << " (" << split.num_clients()
+            << " clients, " << result.model_parameters
+            << " parameters, eps=" << cfg.epsilon << ")\n\n";
+  appfl::util::TextTable table({"round", "train_loss", "test_accuracy"});
+  for (const auto& r : result.rounds) {
+    table.add_row({std::to_string(r.round), appfl::util::fmt(r.train_loss, 4),
+                   appfl::util::fmt(r.test_accuracy, 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nFinal accuracy: " << appfl::util::fmt(result.final_accuracy, 4)
+            << "\nUplink traffic: " << result.traffic.bytes_up / 1024 << " KiB"
+            << " (primal-only — IIADMM ships no duals)\n";
+  return result.final_accuracy > 0.5 ? 0 : 1;
+}

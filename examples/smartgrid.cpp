@@ -1,0 +1,85 @@
+// Smart-grid example — the paper's other motivating domain (abstract:
+// "domains such as biomedicine and smart grid, where data may not be shared
+// freely").
+//
+// Eight utilities hold daily load profiles (1×96 signals at 15-minute
+// resolution) labeled by consumer type. Regulations keep load data inside
+// each utility, so they federate with IIADMM + adaptive ρ, compare secure
+// aggregation (masked uploads) against plain uploads, and check that the
+// masked path reproduces the plain average exactly.
+#include <iostream>
+
+#include "core/runner.hpp"
+#include "data/synth.hpp"
+#include "dp/secure_agg.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using appfl::util::fmt;
+
+  appfl::data::SmartGridSpec spec;
+  spec.num_utilities = 8;
+  spec.train_per_utility = 64;
+  spec.seed = 31;
+  const auto split = appfl::data::smartgrid_like(spec);
+  std::cout << "Smart-grid PPFL: " << split.num_clients()
+            << " utilities, 1x96 load profiles, " << split.test.num_classes()
+            << " consumer types, " << split.total_train() << " samples\n\n";
+
+  // Federated training with adaptive rho (future work 2 in the paper).
+  appfl::core::RunConfig cfg;
+  cfg.algorithm = appfl::core::Algorithm::kIIAdmm;
+  cfg.model = appfl::core::ModelKind::kMlp;
+  cfg.mlp_hidden = 32;
+  cfg.rounds = 10;
+  cfg.local_steps = 2;
+  cfg.batch_size = 32;
+  cfg.rho = 4.0F;
+  cfg.zeta = 4.0F;
+  cfg.adaptive_rho = true;
+  cfg.clip = 5.0F;  // bound the (strong-signal) gradients for stability
+  cfg.seed = 31;
+  cfg.validate_every_round = true;
+  const auto result = appfl::core::run_federated(cfg, split);
+
+  appfl::util::TextTable table({"round", "test_acc", "rho"});
+  for (const auto& r : result.rounds) {
+    table.add_row({std::to_string(r.round), fmt(r.test_accuracy, 3),
+                   fmt(r.rho, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nfinal accuracy: " << fmt(result.final_accuracy, 3) << "\n\n";
+
+  // Secure-aggregation demo on one round of updates: the operator of the
+  // aggregation server sees only uniformly random words per utility.
+  auto proto = appfl::core::build_model(cfg, split.test);
+  const std::vector<float> w0 = proto->flat_parameters();
+  std::vector<std::vector<float>> updates;
+  std::vector<std::uint32_t> ids;
+  for (std::size_t u = 0; u < split.clients.size(); ++u) {
+    auto client = appfl::core::build_client(static_cast<std::uint32_t>(u + 1),
+                                            cfg, *proto, split.clients[u]);
+    updates.push_back(client->update(w0, 1).primal);
+    ids.push_back(static_cast<std::uint32_t>(u + 1));
+  }
+  appfl::dp::SecureAggregator agg(ids, /*round_seed=*/2026);
+  std::vector<std::vector<std::uint64_t>> masked;
+  for (std::size_t u = 0; u < updates.size(); ++u) {
+    masked.push_back(agg.mask(ids[u], updates[u],
+                              appfl::dp::SecureAggregator::kDefaultScale));
+  }
+  const auto secure_mean =
+      agg.aggregate_mean(masked, appfl::dp::SecureAggregator::kDefaultScale);
+
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < w0.size(); ++i) {
+    double plain = 0.0;
+    for (const auto& z : updates) plain += z[i];
+    plain /= static_cast<double>(updates.size());
+    max_err = std::max(max_err, std::abs(plain - secure_mean[i]));
+  }
+  std::cout << "secure aggregation: server saw only masked words, yet the\n"
+            << "recovered round average matches the plain average to "
+            << fmt(max_err, 7) << " (quantization only).\n";
+  return result.final_accuracy > 0.5 ? 0 : 1;
+}

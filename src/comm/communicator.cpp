@@ -1,0 +1,198 @@
+#include "comm/communicator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "comm/compression.hpp"
+#include "util/check.hpp"
+
+namespace appfl::comm {
+
+std::string to_string(Protocol p) {
+  return p == Protocol::kMpi ? "MPI" : "gRPC";
+}
+
+std::string to_string(UplinkCodec codec) {
+  switch (codec) {
+    case UplinkCodec::kNone: return "none";
+    case UplinkCodec::kQuant8: return "quant8";
+    case UplinkCodec::kTopK: return "topk";
+  }
+  return "?";
+}
+
+Communicator::Communicator(Protocol protocol, std::size_t num_clients,
+                           std::uint64_t seed, CodecConfig codec)
+    : protocol_(protocol),
+      num_clients_(num_clients),
+      seed_(seed),
+      codec_(codec) ,
+      network_(num_clients + 1) {
+  APPFL_CHECK_MSG(num_clients >= 1, "need at least one client");
+  APPFL_CHECK(codec_.topk_fraction > 0.0 && codec_.topk_fraction <= 1.0);
+}
+
+void Communicator::compress_update(Message& m) const {
+  if (codec_.codec == UplinkCodec::kNone ||
+      m.kind != MessageKind::kLocalUpdate || m.primal.empty()) {
+    return;
+  }
+  APPFL_CHECK_MSG(m.dual.empty(),
+                  "uplink codecs are lossy and cannot carry dual state");
+  if (codec_.codec == UplinkCodec::kQuant8) {
+    m.packed = encode_quantized8(quantize8(m.primal));
+  } else {
+    APPFL_CHECK_MSG(last_broadcast_primal_.size() == m.primal.size(),
+                    "kTopK needs a matching broadcast to delta against");
+    std::vector<float> delta = m.primal;
+    for (std::size_t i = 0; i < delta.size(); ++i) {
+      delta[i] -= last_broadcast_primal_[i];
+    }
+    const std::size_t k = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(codec_.topk_fraction *
+                         static_cast<double>(delta.size()))));
+    m.packed = encode_topk(sparsify_topk(delta, k));
+  }
+  m.codec = static_cast<std::uint8_t>(codec_.codec);
+  m.primal.clear();
+}
+
+void Communicator::decompress_update(Message& m) const {
+  if (m.codec == 0) return;
+  APPFL_CHECK_MSG(m.primal.empty(), "packed update also carries raw primal");
+  if (m.codec == static_cast<std::uint8_t>(UplinkCodec::kQuant8)) {
+    m.primal = dequantize8(decode_quantized8(m.packed));
+  } else if (m.codec == static_cast<std::uint8_t>(UplinkCodec::kTopK)) {
+    const TopK sparse = decode_topk(m.packed);
+    APPFL_CHECK_MSG(sparse.size == last_broadcast_primal_.size(),
+                    "top-k payload size does not match the broadcast model");
+    m.primal = densify(sparse);
+    for (std::size_t i = 0; i < m.primal.size(); ++i) {
+      m.primal[i] += last_broadcast_primal_[i];
+    }
+  } else {
+    APPFL_CHECK_MSG(false, "unknown uplink codec " << int{m.codec});
+  }
+  m.codec = 0;
+  m.packed.clear();
+}
+
+std::vector<std::uint8_t> Communicator::encode(const Message& m) const {
+  return protocol_ == Protocol::kMpi ? encode_raw(m) : encode_proto(m);
+}
+
+Message Communicator::decode(std::span<const std::uint8_t> bytes) const {
+  return protocol_ == Protocol::kMpi ? decode_raw(bytes) : decode_proto(bytes);
+}
+
+void Communicator::broadcast_global(
+    const Message& m, std::span<const std::uint32_t> participants) {
+  APPFL_CHECK_MSG(m.sender == 0, "broadcast must originate at the server");
+  std::vector<std::uint32_t> all;
+  if (participants.empty()) {
+    all.resize(num_clients_);
+    for (std::uint32_t c = 1; c <= num_clients_; ++c) all[c - 1] = c;
+    participants = all;
+  }
+  std::size_t bytes_each = 0;
+  for (std::uint32_t c : participants) {
+    APPFL_CHECK_MSG(c >= 1 && c <= num_clients_,
+                    "broadcast to bad client id " << c);
+    Message copy = m;
+    copy.receiver = c;
+    auto bytes = encode(copy);
+    bytes_each = bytes.size();
+    stats_.bytes_down += bytes.size();
+    ++stats_.messages_down;
+    network_.send(0, c, std::move(bytes));
+  }
+  last_broadcast_primal_ = m.primal;  // kTopK delta reference
+  const std::size_t count = participants.size();
+  if (protocol_ == Protocol::kMpi) {
+    pending_broadcast_s_ = mpi_model_.broadcast_seconds(count, bytes_each);
+  } else {
+    // Downlink: the server pushes `count` responses through its streams.
+    rng::Rng jitter(rng::derive_seed(seed_, {0xB0, m.round}));
+    std::vector<double> times(count);
+    for (auto& t : times) t = grpc_model_.transfer_seconds(bytes_each, jitter);
+    pending_broadcast_s_ = grpc_model_.round_seconds(times);
+  }
+  clock_.advance(pending_broadcast_s_);
+}
+
+void Communicator::send_update(std::uint32_t client, const Message& m) {
+  APPFL_CHECK_MSG(client >= 1 && client <= num_clients_,
+                  "bad client id " << client);
+  APPFL_CHECK_MSG(m.sender == client, "sender field must match client id");
+  Message outgoing = m;
+  compress_update(outgoing);
+  auto bytes = encode(outgoing);
+  stats_.bytes_up += bytes.size();
+  ++stats_.messages_up;
+  network_.send(client, 0, std::move(bytes));
+}
+
+Message Communicator::recv_global(std::uint32_t client) {
+  APPFL_CHECK(client >= 1 && client <= num_clients_);
+  Datagram d = network_.recv(client);
+  APPFL_CHECK_MSG(d.from == 0, "client received a non-server message");
+  return decode(d.bytes);
+}
+
+std::vector<Message> Communicator::gather_locals(std::uint32_t round,
+                                                 std::size_t expected) {
+  if (expected == 0) expected = num_clients_;
+  APPFL_CHECK_MSG(expected <= num_clients_,
+                  "cannot gather " << expected << " updates from "
+                                   << num_clients_ << " clients");
+  std::vector<Message> out;
+  out.reserve(expected);
+  std::vector<bool> seen(num_clients_ + 1, false);
+  std::vector<std::size_t> upload_bytes;
+  upload_bytes.reserve(expected);
+  for (std::size_t received = 0; received < expected; ++received) {
+    Datagram d = network_.recv(0);
+    Message m = decode(d.bytes);
+    decompress_update(m);
+    APPFL_CHECK_MSG(m.sender >= 1 && m.sender <= num_clients_,
+                    "gather got message from bad sender " << m.sender);
+    APPFL_CHECK_MSG(!seen[m.sender],
+                    "duplicate update from client " << m.sender);
+    APPFL_CHECK_MSG(m.round == round, "gather round mismatch: got "
+                                          << m.round << ", expected " << round);
+    seen[m.sender] = true;
+    upload_bytes.push_back(d.bytes.size());
+    out.push_back(std::move(m));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Message& a, const Message& b) { return a.sender < b.sender; });
+
+  RoundCommRecord rec;
+  rec.round = round;
+  rec.broadcast_s = pending_broadcast_s_;
+  pending_broadcast_s_ = 0.0;
+
+  if (protocol_ == Protocol::kMpi) {
+    // MPI.gather with one rank per participant; the per-rank payload is the
+    // (uniform) encoded update size.
+    std::size_t bytes_per_rank = 0;
+    for (std::size_t b : upload_bytes) {
+      bytes_per_rank = std::max(bytes_per_rank, b);
+    }
+    rec.gather_s = mpi_model_.gather_seconds(expected, bytes_per_rank);
+  } else {
+    rng::Rng jitter(rng::derive_seed(seed_, {0xA0, round}));
+    rec.client_transfer_s.resize(expected);
+    for (std::size_t i = 0; i < expected; ++i) {
+      rec.client_transfer_s[i] =
+          grpc_model_.transfer_seconds(upload_bytes[i], jitter);
+    }
+    rec.gather_s = grpc_model_.round_seconds(rec.client_transfer_s);
+  }
+  clock_.advance(rec.gather_s);
+  round_log_.push_back(std::move(rec));
+  return out;
+}
+
+}  // namespace appfl::comm

@@ -1,0 +1,128 @@
+// Communicator: the protocol layer the FL server and clients talk through.
+//
+// One object serves both roles of a star topology (endpoint 0 = server,
+// 1..P = clients), mirroring the paper's client-server architecture (§II).
+// Protocol selection changes three real things:
+//   • the wire encoding (raw/RDMA-style for MPI, protolite/protobuf for gRPC),
+//   • the bytes accounted on each link,
+//   • the cost model advancing simulated communication time.
+// Every payload is genuinely encoded by the sender and decoded by the
+// receiver through an in-process mailbox network.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "comm/cost_model.hpp"
+#include "comm/mailbox.hpp"
+#include "comm/message.hpp"
+#include "comm/sim_clock.hpp"
+
+namespace appfl::comm {
+
+enum class Protocol { kMpi, kGrpc };
+
+std::string to_string(Protocol p);
+
+/// Optional lossy compression of client→server updates, applied INSIDE the
+/// communicator (algorithms never see packed payloads). Only sound for
+/// primal-only algorithms without server-side state replicas
+/// (FedAvg/FedProx) — core::RunConfig::validate enforces that.
+enum class UplinkCodec : std::uint8_t {
+  kNone = 0,
+  kQuant8 = 1,  // 8-bit block quantization of the update (≈4× fewer bytes)
+  kTopK = 2,    // top-k of (z − w) vs the round's broadcast (k = f·m)
+};
+
+std::string to_string(UplinkCodec codec);
+
+struct CodecConfig {
+  UplinkCodec codec = UplinkCodec::kNone;
+  double topk_fraction = 0.1;  // fraction of coordinates kTopK keeps
+};
+
+/// Byte/message counters, split by direction.
+struct TrafficStats {
+  std::uint64_t messages_up = 0;
+  std::uint64_t messages_down = 0;
+  std::uint64_t bytes_up = 0;    // client → server
+  std::uint64_t bytes_down = 0;  // server → client
+
+  std::uint64_t total_bytes() const { return bytes_up + bytes_down; }
+};
+
+/// Per-round simulated communication times.
+struct RoundCommRecord {
+  std::uint32_t round = 0;
+  double broadcast_s = 0.0;
+  double gather_s = 0.0;
+  /// gRPC only: each client's upload transfer time this round (Fig 4b).
+  std::vector<double> client_transfer_s;
+
+  double total_s() const { return broadcast_s + gather_s; }
+};
+
+class Communicator {
+ public:
+  /// `seed` drives the gRPC jitter stream (deterministic per round/client).
+  Communicator(Protocol protocol, std::size_t num_clients, std::uint64_t seed,
+               CodecConfig codec = {});
+
+  Protocol protocol() const { return protocol_; }
+  std::size_t num_clients() const { return num_clients_; }
+
+  // -- Server role -------------------------------------------------------------
+
+  /// Encodes `m` once per recipient and delivers it. `participants` empty ⇒
+  /// all clients (full participation); otherwise only the listed client ids
+  /// receive the broadcast (partial participation / client sampling).
+  /// Advances simulated time by the protocol's broadcast cost.
+  void broadcast_global(const Message& m,
+                        std::span<const std::uint32_t> participants = {});
+
+  /// Receives exactly `expected` local updates (blocking; 0 ⇒ one from
+  /// every client), advances simulated time by the protocol's gather cost,
+  /// and appends a RoundCommRecord. Updates are returned ordered by client
+  /// id; each sender may contribute at most one update per gather.
+  std::vector<Message> gather_locals(std::uint32_t round,
+                                     std::size_t expected = 0);
+
+  // -- Client role -------------------------------------------------------------
+
+  /// Client `client` (1..P) sends its update to the server.
+  void send_update(std::uint32_t client, const Message& m);
+
+  /// Client `client` receives the current global model (blocking).
+  Message recv_global(std::uint32_t client);
+
+  // -- Accounting ----------------------------------------------------------------
+
+  const TrafficStats& stats() const { return stats_; }
+  const std::vector<RoundCommRecord>& round_log() const { return round_log_; }
+  const SimClock& clock() const { return clock_; }
+
+ private:
+  std::vector<std::uint8_t> encode(const Message& m) const;
+  Message decode(std::span<const std::uint8_t> bytes) const;
+
+  /// Packs m.primal into m.packed per the configured codec (send side).
+  void compress_update(Message& m) const;
+  /// Restores m.primal from m.packed (gather side).
+  void decompress_update(Message& m) const;
+
+  Protocol protocol_;
+  std::size_t num_clients_;
+  std::uint64_t seed_;
+  CodecConfig codec_;
+  InProcNetwork network_;
+  MpiCostModel mpi_model_;
+  GrpcCostModel grpc_model_;
+  TrafficStats stats_;
+  std::vector<RoundCommRecord> round_log_;
+  SimClock clock_;
+  double pending_broadcast_s_ = 0.0;
+  std::vector<float> last_broadcast_primal_;  // reference for kTopK deltas
+};
+
+}  // namespace appfl::comm

@@ -1,0 +1,193 @@
+#include "comm/compression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace appfl::comm {
+
+std::size_t Quantized8::wire_bytes() const {
+  // length(8) + block(8) + per-block (min, scale) floats + 1 byte per code.
+  return 16 + 8 * mins.size() + codes.size();
+}
+
+Quantized8 quantize8(std::span<const float> values, std::size_t block) {
+  APPFL_CHECK_MSG(block >= 2, "quantization block must hold several values");
+  Quantized8 q;
+  q.size = values.size();
+  q.block = block;
+  const std::size_t num_blocks = (values.size() + block - 1) / block;
+  q.mins.reserve(num_blocks);
+  q.scales.reserve(num_blocks);
+  q.codes.resize(values.size());
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const std::size_t start = b * block;
+    const std::size_t end = std::min(start + block, values.size());
+    float lo = values[start], hi = values[start];
+    for (std::size_t i = start; i < end; ++i) {
+      lo = std::min(lo, values[i]);
+      hi = std::max(hi, values[i]);
+    }
+    const float scale = (hi - lo) / 255.0F;
+    q.mins.push_back(lo);
+    q.scales.push_back(scale);
+    for (std::size_t i = start; i < end; ++i) {
+      const float code =
+          scale > 0.0F ? std::round((values[i] - lo) / scale) : 0.0F;
+      q.codes[i] = static_cast<std::uint8_t>(
+          std::clamp(code, 0.0F, 255.0F));
+    }
+  }
+  return q;
+}
+
+std::vector<float> dequantize8(const Quantized8& q) {
+  APPFL_CHECK(q.codes.size() == q.size);
+  std::vector<float> out(q.size);
+  for (std::size_t i = 0; i < q.size; ++i) {
+    const std::size_t b = i / q.block;
+    APPFL_CHECK(b < q.mins.size());
+    out[i] = q.mins[b] + q.scales[b] * static_cast<float>(q.codes[i]);
+  }
+  return out;
+}
+
+double quantize8_error_bound(const Quantized8& q) {
+  double worst = 0.0;
+  for (float s : q.scales) worst = std::max(worst, static_cast<double>(s));
+  return 0.5 * worst;
+}
+
+std::size_t TopK::wire_bytes() const {
+  // length(8) + count(8) + 4 bytes index + 4 bytes value per kept entry.
+  return 16 + 8 * indices.size();
+}
+
+TopK sparsify_topk(std::span<const float> values, std::size_t k) {
+  APPFL_CHECK_MSG(k >= 1, "top-k needs k >= 1");
+  k = std::min(k, values.size());
+  TopK sparse;
+  sparse.size = values.size();
+  std::vector<std::uint32_t> order(values.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<std::uint32_t>(i);
+  }
+  std::nth_element(order.begin(), order.begin() + static_cast<long>(k - 1),
+                   order.end(), [&](std::uint32_t a, std::uint32_t b) {
+                     const float ma = std::abs(values[a]);
+                     const float mb = std::abs(values[b]);
+                     if (ma != mb) return ma > mb;
+                     return a < b;  // deterministic tie-break
+                   });
+  order.resize(k);
+  std::sort(order.begin(), order.end());
+  sparse.indices = std::move(order);
+  sparse.values.reserve(k);
+  for (std::uint32_t i : sparse.indices) sparse.values.push_back(values[i]);
+  return sparse;
+}
+
+std::vector<float> densify(const TopK& sparse) {
+  APPFL_CHECK(sparse.indices.size() == sparse.values.size());
+  std::vector<float> out(sparse.size, 0.0F);
+  for (std::size_t i = 0; i < sparse.indices.size(); ++i) {
+    APPFL_CHECK_MSG(sparse.indices[i] < sparse.size,
+                    "top-k index out of range");
+    out[sparse.indices[i]] = sparse.values[i];
+  }
+  return out;
+}
+
+namespace {
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> b, std::size_t& off) {
+  APPFL_CHECK_MSG(off + 8 <= b.size(), "truncated compressed payload");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{b[off + i]} << (8 * i);
+  off += 8;
+  return v;
+}
+
+void put_floats(std::vector<std::uint8_t>& out, std::span<const float> v) {
+  const std::size_t start = out.size();
+  out.resize(start + 4 * v.size());
+  std::memcpy(out.data() + start, v.data(), 4 * v.size());
+}
+
+std::vector<float> get_floats(std::span<const std::uint8_t> b,
+                              std::size_t& off, std::size_t count) {
+  APPFL_CHECK_MSG(off <= b.size() && count <= (b.size() - off) / 4,
+                  "truncated compressed float block");
+  std::vector<float> out(count);
+  std::memcpy(out.data(), b.data() + off, 4 * count);
+  off += 4 * count;
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_quantized8(const Quantized8& q) {
+  std::vector<std::uint8_t> out;
+  out.reserve(q.wire_bytes() + 8);
+  put_u64(out, q.size);
+  put_u64(out, q.block);
+  put_u64(out, q.mins.size());
+  put_floats(out, q.mins);
+  put_floats(out, q.scales);
+  out.insert(out.end(), q.codes.begin(), q.codes.end());
+  return out;
+}
+
+Quantized8 decode_quantized8(std::span<const std::uint8_t> bytes) {
+  Quantized8 q;
+  std::size_t off = 0;
+  q.size = get_u64(bytes, off);
+  q.block = get_u64(bytes, off);
+  APPFL_CHECK_MSG(q.block >= 2, "invalid quantization block");
+  const std::uint64_t blocks = get_u64(bytes, off);
+  APPFL_CHECK_MSG(blocks == (q.size + q.block - 1) / q.block,
+                  "inconsistent quantized8 header");
+  q.mins = get_floats(bytes, off, blocks);
+  q.scales = get_floats(bytes, off, blocks);
+  APPFL_CHECK_MSG(bytes.size() - off == q.size,
+                  "quantized8 code payload size mismatch");
+  q.codes.assign(bytes.begin() + static_cast<long>(off), bytes.end());
+  return q;
+}
+
+std::vector<std::uint8_t> encode_topk(const TopK& sparse) {
+  std::vector<std::uint8_t> out;
+  out.reserve(sparse.wire_bytes() + 8);
+  put_u64(out, sparse.size);
+  put_u64(out, sparse.indices.size());
+  const std::size_t start = out.size();
+  out.resize(start + 4 * sparse.indices.size());
+  std::memcpy(out.data() + start, sparse.indices.data(),
+              4 * sparse.indices.size());
+  put_floats(out, sparse.values);
+  return out;
+}
+
+TopK decode_topk(std::span<const std::uint8_t> bytes) {
+  TopK sparse;
+  std::size_t off = 0;
+  sparse.size = get_u64(bytes, off);
+  const std::uint64_t k = get_u64(bytes, off);
+  APPFL_CHECK_MSG(k <= sparse.size, "top-k count exceeds vector size");
+  APPFL_CHECK_MSG(off <= bytes.size() && k <= (bytes.size() - off) / 8,
+                  "truncated top-k payload");
+  sparse.indices.resize(k);
+  std::memcpy(sparse.indices.data(), bytes.data() + off, 4 * k);
+  off += 4 * k;
+  sparse.values = get_floats(bytes, off, k);
+  APPFL_CHECK_MSG(off == bytes.size(), "trailing bytes in top-k payload");
+  return sparse;
+}
+
+}  // namespace appfl::comm

@@ -1,0 +1,66 @@
+// Lossy update compression: the orthogonal communication-efficiency lever to
+// IIADMM's algorithmic one (ship fewer vectors) — ship *smaller* vectors.
+//
+// Two standard codecs, composable with any FL algorithm that tolerates
+// approximate updates (FedAvg-family; the error is absorbed like DP noise):
+//   • 8-bit linear quantization in blocks: each block of values is mapped to
+//     [0, 255] over its own [min, max] range (4× smaller than float32);
+//   • top-k sparsification: keep the k largest-|·| coordinates as
+//     (index, value) pairs — the classic gradient-sparsification codec.
+// Both provide encode/decode plus exact wire sizes so benches can trade
+// accuracy against bytes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace appfl::comm {
+
+/// 8-bit block-quantized vector.
+struct Quantized8 {
+  std::size_t size = 0;           // original length
+  std::size_t block = 1024;       // values per range block
+  std::vector<float> mins;        // per-block minimum
+  std::vector<float> scales;      // per-block (max − min) / 255
+  std::vector<std::uint8_t> codes;
+
+  /// Bytes this encoding needs on the wire.
+  std::size_t wire_bytes() const;
+};
+
+/// Encodes with per-block ranges; block ≥ 2.
+Quantized8 quantize8(std::span<const float> values, std::size_t block = 1024);
+
+/// Reconstructs the (lossy) vector.
+std::vector<float> dequantize8(const Quantized8& q);
+
+/// Worst-case absolute error of a quantize8 round trip: half a step of the
+/// widest block.
+double quantize8_error_bound(const Quantized8& q);
+
+/// Top-k sparsified vector: the k largest-magnitude entries.
+struct TopK {
+  std::size_t size = 0;  // original length
+  std::vector<std::uint32_t> indices;
+  std::vector<float> values;
+
+  std::size_t wire_bytes() const;
+};
+
+/// Keeps the k largest-|·| coordinates (k clamped to the vector length).
+/// Deterministic tie-break by index.
+TopK sparsify_topk(std::span<const float> values, std::size_t k);
+
+/// Densifies back to length `size` with zeros elsewhere.
+std::vector<float> densify(const TopK& sparse);
+
+// -- Byte serialization (for carrying compressed payloads in Message.packed) --
+
+std::vector<std::uint8_t> encode_quantized8(const Quantized8& q);
+Quantized8 decode_quantized8(std::span<const std::uint8_t> bytes);
+
+std::vector<std::uint8_t> encode_topk(const TopK& sparse);
+TopK decode_topk(std::span<const std::uint8_t> bytes);
+
+}  // namespace appfl::comm

@@ -1,0 +1,75 @@
+// Analytic communication-time models, calibrated to the paper's measurements.
+//
+// ── MPI on Summit (InfiniBand + GPU-direct RDMA, MPI.gather) ────────────────
+// The paper's anchor facts (§IV-C): going from 5 to 203 MPI processes
+// shrinks the per-rank gather payload by ~40× but shrinks the gather time by
+// only ~8×, because per-rank synchronization/progress overhead grows with
+// the participant count while the payload term shrinks. We model one
+// round's gather as
+//     t = c_fixed + c_rank·P + payload_per_rank / bandwidth
+// and calibrate (c_fixed, c_rank, bandwidth) so that with the FEMNIST CNN
+// payload the 5→203 ratio is exactly the paper's 8× (see cost_model.cpp).
+// The per-rank term (≈8 ms/rank) also extrapolates sanely to small
+// experiments, where RDMA-backed MPI must beat TCP gRPC — the model is
+// U-shaped in P with its minimum near P ≈ 100 for the FEMNIST payload.
+//
+// ── gRPC across nodes (no RDMA, protocol buffers, TCP) ─────────────────────
+// Per §IV-D, gRPC pays (i) protobuf serialize/deserialize, (ii) GPU→CPU
+// copies, (iii) TCP transfer without RDMA, and (iv) traffic-dependent
+// variance — the paper observes a ~30× spread of per-round client times and
+// a ~10× cumulative disadvantage vs MPI. Each client transfer is
+//     t = (ser + copy + net_latency + bytes/net_bw) · jitter
+// with jitter ~ LogNormal(0, σ) mixed with an occasional congestion burst,
+// and a round aggregates client transfers over a bounded number of
+// concurrent server streams.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rng/rng.hpp"
+
+namespace appfl::comm {
+
+/// Calibration payload: bytes of one client's encoded FEMNIST model update
+/// (the paper's CNN state for 62 classes, ≈6.5M float32 parameters). The
+/// MpiCostModel defaults are fit against this payload; see cost_model.cpp.
+constexpr std::size_t kFemnistModelBytes = 26'000'000;
+
+struct MpiCostModel {
+  // Calibrated in cost_model.cpp to the paper's 40×-payload/8×-time anchor.
+  double fixed_overhead_s = 0.02;     // collective setup cost
+  double per_rank_s = 0.00782;        // per-participant progress/sync cost
+  double bandwidth_bytes_per_s = 66.2e6;  // effective per-rank gather injection
+
+  /// Time for one MPI.gather over `ranks` participants, each contributing
+  /// `bytes_per_rank` (root included; payloads move via RDMA, no serialize).
+  double gather_seconds(std::size_t ranks, std::size_t bytes_per_rank) const;
+
+  /// Broadcast of `bytes` from the root to `ranks` ranks (tree pipeline).
+  double broadcast_seconds(std::size_t ranks, std::size_t bytes) const;
+};
+
+struct GrpcCostModel {
+  double serialize_bytes_per_s = 1.0e9;   // protobuf encode+decode throughput
+  double copy_bytes_per_s = 4.0e9;        // GPU→CPU staging copy
+  double net_latency_s = 2.0e-3;          // TCP RTT-ish setup per message
+  double net_bandwidth_bytes_per_s = 0.15e9;  // TCP goodput, no RDMA
+  double jitter_sigma = 0.55;             // lognormal σ of traffic noise
+  double congestion_prob = 0.06;          // heavy-tail burst probability
+  double congestion_min = 5.0;            // burst multiplier range
+  double congestion_max = 18.0;
+  std::size_t server_streams = 8;         // concurrent uploads the server absorbs
+
+  /// One client→server (or server→client) transfer of `bytes`, jittered.
+  double transfer_seconds(std::size_t bytes, rng::Rng& rng) const;
+
+  /// Deterministic part of transfer_seconds (jitter factor = 1).
+  double base_transfer_seconds(std::size_t bytes) const;
+
+  /// Aggregates `client_times` (one per client) into the round's server-side
+  /// communication time: sum/streams + the slowest single transfer.
+  double round_seconds(const std::vector<double>& client_times) const;
+};
+
+}  // namespace appfl::comm

@@ -1,0 +1,64 @@
+#include "comm/mailbox.hpp"
+
+#include "util/check.hpp"
+
+namespace appfl::comm {
+
+void Mailbox::push(Datagram d) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(d));
+  }
+  cv_.notify_one();
+}
+
+Datagram Mailbox::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return !queue_.empty(); });
+  Datagram d = std::move(queue_.front());
+  queue_.pop_front();
+  return d;
+}
+
+std::optional<Datagram> Mailbox::try_pop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_.empty()) return std::nullopt;
+  Datagram d = std::move(queue_.front());
+  queue_.pop_front();
+  return d;
+}
+
+std::size_t Mailbox::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+InProcNetwork::InProcNetwork(std::size_t num_endpoints)
+    : boxes_(num_endpoints) {
+  APPFL_CHECK_MSG(num_endpoints >= 2,
+                  "a network needs at least a server and one client");
+}
+
+void InProcNetwork::send(std::uint32_t from, std::uint32_t to,
+                         std::vector<std::uint8_t> bytes) {
+  APPFL_CHECK_MSG(from < boxes_.size(), "bad sender endpoint " << from);
+  APPFL_CHECK_MSG(to < boxes_.size(), "bad receiver endpoint " << to);
+  boxes_[to].push({from, std::move(bytes)});
+}
+
+Datagram InProcNetwork::recv(std::uint32_t at) {
+  APPFL_CHECK(at < boxes_.size());
+  return boxes_[at].pop();
+}
+
+std::optional<Datagram> InProcNetwork::try_recv(std::uint32_t at) {
+  APPFL_CHECK(at < boxes_.size());
+  return boxes_[at].try_pop();
+}
+
+std::size_t InProcNetwork::pending(std::uint32_t at) const {
+  APPFL_CHECK(at < boxes_.size());
+  return boxes_[at].size();
+}
+
+}  // namespace appfl::comm

@@ -1,0 +1,65 @@
+// In-process message transport: one Mailbox per endpoint, an InProcNetwork
+// routing messages between them. This is the actual data plane under both
+// simulated protocols — bytes really are encoded by the sender and decoded
+// by the receiver, so a protocol bug cannot hide behind the cost model.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace appfl::comm {
+
+/// A delivered datagram: opaque bytes plus the sender's endpoint id.
+struct Datagram {
+  std::uint32_t from = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Unbounded MPSC queue with blocking and non-blocking receive.
+class Mailbox {
+ public:
+  void push(Datagram d);
+
+  /// Blocks until a datagram arrives.
+  Datagram pop();
+
+  /// Returns immediately; nullopt when the box is empty.
+  std::optional<Datagram> try_pop();
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Datagram> queue_;
+};
+
+/// A fixed set of endpoints (0 = server, 1..P = clients) with one mailbox
+/// each. send() copies nothing extra: the byte buffer is moved through.
+class InProcNetwork {
+ public:
+  explicit InProcNetwork(std::size_t num_endpoints);
+
+  std::size_t num_endpoints() const { return boxes_.size(); }
+
+  void send(std::uint32_t from, std::uint32_t to,
+            std::vector<std::uint8_t> bytes);
+
+  /// Blocking receive at endpoint `at`.
+  Datagram recv(std::uint32_t at);
+
+  /// Non-blocking receive at endpoint `at`.
+  std::optional<Datagram> try_recv(std::uint32_t at);
+
+  /// Pending datagram count at `at` (diagnostics).
+  std::size_t pending(std::uint32_t at) const;
+
+ private:
+  std::vector<Mailbox> boxes_;
+};
+
+}  // namespace appfl::comm

@@ -1,0 +1,222 @@
+#include "comm/message.hpp"
+
+#include <cstring>
+#include <span>
+
+#include "comm/protolite.hpp"
+#include "util/check.hpp"
+
+namespace appfl::comm {
+
+std::string to_string(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kInit: return "init";
+    case MessageKind::kGlobalModel: return "global_model";
+    case MessageKind::kLocalUpdate: return "local_update";
+    case MessageKind::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t read_u32(std::span<const std::uint8_t> b, std::size_t& off) {
+  APPFL_CHECK_MSG(off + 4 <= b.size(), "truncated raw message");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{b[off + i]} << (8 * i);
+  off += 4;
+  return v;
+}
+
+std::uint64_t read_u64(std::span<const std::uint8_t> b, std::size_t& off) {
+  APPFL_CHECK_MSG(off + 8 <= b.size(), "truncated raw message");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{b[off + i]} << (8 * i);
+  off += 8;
+  return v;
+}
+
+void append_float_vec(std::vector<std::uint8_t>& out,
+                      const std::vector<float>& v) {
+  append_u64(out, v.size());
+  const std::size_t start = out.size();
+  out.resize(start + 4 * v.size());
+  std::memcpy(out.data() + start, v.data(), 4 * v.size());
+}
+
+std::vector<float> read_float_vec(std::span<const std::uint8_t> b,
+                                  std::size_t& off) {
+  const std::uint64_t n = read_u64(b, off);
+  // Divide instead of multiplying: 4·n would wrap for hostile lengths and
+  // an unchecked vector(n) could throw bad_alloc/length_error (fuzzer find).
+  APPFL_CHECK_MSG(off <= b.size() && n <= (b.size() - off) / 4,
+                  "truncated raw float vector");
+  std::vector<float> v(n);
+  std::memcpy(v.data(), b.data() + off, 4 * n);
+  off += 4 * n;
+  return v;
+}
+
+}  // namespace
+
+std::size_t raw_encoded_size(const Message& m) {
+  // kind(1) + sender(4) + receiver(4) + round(4) + samples(8) + loss(8)
+  // + rho(8) + 2 × (len(8) + floats) + codec(1) + packed(len(8) + bytes).
+  return 1 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 4 * m.primal.size() + 8 +
+         4 * m.dual.size() + 1 + 8 + m.packed.size();
+}
+
+std::vector<std::uint8_t> encode_raw(const Message& m) {
+  std::vector<std::uint8_t> out;
+  out.reserve(raw_encoded_size(m));
+  out.push_back(static_cast<std::uint8_t>(m.kind));
+  append_u32(out, m.sender);
+  append_u32(out, m.receiver);
+  append_u32(out, m.round);
+  append_u64(out, m.sample_count);
+  std::uint64_t loss_bits;
+  std::memcpy(&loss_bits, &m.loss, 8);
+  append_u64(out, loss_bits);
+  std::uint64_t rho_bits;
+  std::memcpy(&rho_bits, &m.rho, 8);
+  append_u64(out, rho_bits);
+  append_float_vec(out, m.primal);
+  append_float_vec(out, m.dual);
+  out.push_back(m.codec);
+  append_u64(out, m.packed.size());
+  out.insert(out.end(), m.packed.begin(), m.packed.end());
+  return out;
+}
+
+Message decode_raw(std::span<const std::uint8_t> bytes) {
+  APPFL_CHECK_MSG(!bytes.empty(), "empty raw message");
+  Message m;
+  std::size_t off = 0;
+  const std::uint8_t kind = bytes[off++];
+  APPFL_CHECK_MSG(kind <= 3, "invalid message kind " << int{kind});
+  m.kind = static_cast<MessageKind>(kind);
+  m.sender = read_u32(bytes, off);
+  m.receiver = read_u32(bytes, off);
+  m.round = read_u32(bytes, off);
+  m.sample_count = read_u64(bytes, off);
+  const std::uint64_t loss_bits = read_u64(bytes, off);
+  std::memcpy(&m.loss, &loss_bits, 8);
+  const std::uint64_t rho_bits = read_u64(bytes, off);
+  std::memcpy(&m.rho, &rho_bits, 8);
+  m.primal = read_float_vec(bytes, off);
+  m.dual = read_float_vec(bytes, off);
+  APPFL_CHECK_MSG(off < bytes.size(), "truncated raw message (codec)");
+  m.codec = bytes[off++];
+  const std::uint64_t packed_len = read_u64(bytes, off);
+  APPFL_CHECK_MSG(packed_len <= bytes.size() - off,
+                  "truncated raw packed payload");
+  m.packed.assign(bytes.begin() + static_cast<long>(off),
+                  bytes.begin() + static_cast<long>(off + packed_len));
+  off += packed_len;
+  APPFL_CHECK_MSG(off == bytes.size(), "trailing bytes in raw message");
+  return m;
+}
+
+namespace {
+// protolite field numbers for Message.
+constexpr std::uint32_t kFKind = 1;
+constexpr std::uint32_t kFSender = 2;
+constexpr std::uint32_t kFReceiver = 3;
+constexpr std::uint32_t kFRound = 4;
+constexpr std::uint32_t kFSamples = 5;
+constexpr std::uint32_t kFLoss = 6;
+constexpr std::uint32_t kFPrimal = 7;
+constexpr std::uint32_t kFDual = 8;
+constexpr std::uint32_t kFRho = 9;
+constexpr std::uint32_t kFCodec = 10;
+constexpr std::uint32_t kFPacked = 11;
+}  // namespace
+
+std::vector<std::uint8_t> encode_proto(const Message& m) {
+  ProtoWriter w;
+  w.add_varint(kFKind, static_cast<std::uint64_t>(m.kind));
+  w.add_varint(kFSender, m.sender);
+  w.add_varint(kFReceiver, m.receiver);
+  w.add_varint(kFRound, m.round);
+  w.add_varint(kFSamples, m.sample_count);
+  w.add_double(kFLoss, m.loss);
+  w.add_packed_floats(kFPrimal, m.primal);
+  if (!m.dual.empty()) w.add_packed_floats(kFDual, m.dual);
+  if (m.rho != 0.0) w.add_double(kFRho, m.rho);
+  if (m.codec != 0) {
+    w.add_varint(kFCodec, m.codec);
+    w.add_bytes(kFPacked, m.packed);
+  }
+  return w.take();
+}
+
+Message decode_proto(std::span<const std::uint8_t> bytes) {
+  Message m;
+  ProtoReader r(bytes);
+  ProtoField f;
+  while (r.next(f)) {
+    switch (f.field) {
+      case kFKind:
+        APPFL_CHECK_MSG(f.varint <= 3, "invalid message kind " << f.varint);
+        m.kind = static_cast<MessageKind>(f.varint);
+        break;
+      case kFSender: m.sender = static_cast<std::uint32_t>(f.varint); break;
+      case kFReceiver: m.receiver = static_cast<std::uint32_t>(f.varint); break;
+      case kFRound: m.round = static_cast<std::uint32_t>(f.varint); break;
+      case kFSamples: m.sample_count = f.varint; break;
+      case kFLoss: m.loss = ProtoReader::as_double(f); break;
+      case kFPrimal: m.primal = ProtoReader::as_packed_floats(f); break;
+      case kFDual: m.dual = ProtoReader::as_packed_floats(f); break;
+      case kFRho: m.rho = ProtoReader::as_double(f); break;
+      case kFCodec:
+        APPFL_CHECK_MSG(f.varint <= 255, "invalid codec " << f.varint);
+        m.codec = static_cast<std::uint8_t>(f.varint);
+        break;
+      case kFPacked:
+        m.packed.assign(f.bytes.begin(), f.bytes.end());
+        break;
+      default:
+        break;  // unknown fields are skipped, like protobuf
+    }
+  }
+  return m;
+}
+
+namespace {
+std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+}  // namespace
+
+std::size_t proto_encoded_size(const Message& m) {
+  std::size_t n = 0;
+  n += 1 + varint_size(static_cast<std::uint64_t>(m.kind));
+  n += 1 + varint_size(m.sender);
+  n += 1 + varint_size(m.receiver);
+  n += 1 + varint_size(m.round);
+  n += 1 + varint_size(m.sample_count);
+  n += 1 + 8;  // double
+  n += 1 + varint_size(m.primal.size() * 4) + 4 * m.primal.size();
+  if (!m.dual.empty()) n += 1 + varint_size(m.dual.size() * 4) + 4 * m.dual.size();
+  if (m.rho != 0.0) n += 1 + 8;
+  if (m.codec != 0) {
+    n += 1 + varint_size(m.codec);
+    n += 1 + varint_size(m.packed.size()) + m.packed.size();
+  }
+  return n;
+}
+
+}  // namespace appfl::comm

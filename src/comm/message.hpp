@@ -1,0 +1,63 @@
+// FL wire messages and their two encodings.
+//
+// One message type covers the whole FL protocol: the server broadcasts the
+// global model (kGlobalModel), clients reply with their local update
+// (kLocalUpdate, primal only for FedAvg/IIADMM, primal+dual for ICEADMM —
+// the traffic difference §III-A is about). Two encodings exist:
+//   • raw   — header + memcpy'd floats, what MPI/RDMA moves (tensor/serialize
+//             style, no per-field overhead);
+//   • proto — protolite (protobuf wire format), what gRPC moves.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace appfl::comm {
+
+enum class MessageKind : std::uint8_t {
+  kInit = 0,         // one-time (z¹, λ¹) exchange at algorithm start
+  kGlobalModel = 1,  // server → client: w^{t+1}
+  kLocalUpdate = 2,  // client → server: z_p^{t+1} (+ λ_p^{t+1} if ICEADMM)
+  kShutdown = 3,
+};
+
+std::string to_string(MessageKind kind);
+
+struct Message {
+  MessageKind kind = MessageKind::kGlobalModel;
+  std::uint32_t sender = 0;    // 0 = server, clients are 1..P
+  std::uint32_t receiver = 0;
+  std::uint32_t round = 0;
+  std::vector<float> primal;   // model parameters
+  std::vector<float> dual;     // empty unless the algorithm ships duals
+  std::uint64_t sample_count = 0;  // I_p, for weighted aggregation
+  double loss = 0.0;               // training loss metadata
+  // Penalty ρ^t in force this round (adaptive-ρ extension, paper future
+  // work 2). 0 = unset: clients fall back to the configured constant ρ.
+  double rho = 0.0;
+  // Lossy-codec payload (uplink compression): when codec != 0, `primal` is
+  // empty on the wire and `packed` holds the encoded vector. The
+  // Communicator packs on send and unpacks on gather, so algorithms never
+  // see this field populated.
+  std::uint8_t codec = 0;
+  std::vector<std::uint8_t> packed;
+
+  bool operator==(const Message&) const = default;
+};
+
+/// Raw encoding (MPI path): fixed header + contiguous float payloads.
+std::vector<std::uint8_t> encode_raw(const Message& m);
+Message decode_raw(std::span<const std::uint8_t> bytes);
+
+/// Protobuf encoding (gRPC path) via protolite.
+std::vector<std::uint8_t> encode_proto(const Message& m);
+Message decode_proto(std::span<const std::uint8_t> bytes);
+
+/// Size in bytes each encoding would produce (raw is exact and cheap;
+/// proto is exact too — computed without building the buffer).
+std::size_t raw_encoded_size(const Message& m);
+std::size_t proto_encoded_size(const Message& m);
+
+}  // namespace appfl::comm

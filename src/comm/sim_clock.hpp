@@ -1,0 +1,28 @@
+// Simulated time. The experiments that report time (Fig 3, Fig 4, §IV-E)
+// advance these clocks from analytic cost models instead of reading the
+// wall clock, which is what lets a laptop reproduce cluster-scale results.
+#pragma once
+
+#include <algorithm>
+
+namespace appfl::comm {
+
+/// A monotone accumulator of simulated seconds.
+class SimClock {
+ public:
+  double now() const { return seconds_; }
+
+  void advance(double seconds) {
+    if (seconds > 0.0) seconds_ += seconds;
+  }
+
+  /// Jumps forward to `t` if `t` is later (barrier semantics).
+  void sync_to(double t) { seconds_ = std::max(seconds_, t); }
+
+  void reset() { seconds_ = 0.0; }
+
+ private:
+  double seconds_ = 0.0;
+};
+
+}  // namespace appfl::comm

@@ -1,0 +1,22 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace appfl::core {
+
+float adapt_rho(float rho, double primal_residual, double dual_residual,
+                const RunConfig& config) {
+  APPFL_CHECK(rho > 0.0F);
+  APPFL_CHECK(primal_residual >= 0.0 && dual_residual >= 0.0);
+  float next = rho;
+  if (primal_residual > config.adapt_mu * dual_residual) {
+    next = rho * config.adapt_tau;
+  } else if (dual_residual > config.adapt_mu * primal_residual) {
+    next = rho / config.adapt_tau;
+  }
+  return std::clamp(next, config.rho_min, config.rho_max);
+}
+
+}  // namespace appfl::core

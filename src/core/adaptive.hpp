@@ -1,0 +1,19 @@
+// Residual-balancing adaptive penalty (paper future work 2).
+//
+// Classic ADMM adaptation (Boyd et al. §3.4.1; Xu et al. "Adaptive Consensus
+// ADMM", the paper's [23]): grow ρ when the primal residual dominates the
+// dual residual, shrink it when the reverse holds, clamp to [ρ_min, ρ_max].
+// The server adapts AFTER absorbing a round and announces the new ρ^t with
+// the next broadcast, so both sides always apply identical arithmetic.
+#pragma once
+
+#include "core/config.hpp"
+
+namespace appfl::core {
+
+/// One adaptation step. `primal_residual` = Σ_p ‖w − z_p‖₂ over the round's
+/// updates; `dual_residual` = ρ·Σ_p ‖z_p − z_p_prev‖₂.
+float adapt_rho(float rho, double primal_residual, double dual_residual,
+                const RunConfig& config);
+
+}  // namespace appfl::core

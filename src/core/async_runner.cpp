@@ -1,0 +1,319 @@
+#include "core/async_runner.hpp"
+
+#include <bit>
+#include <queue>
+
+#include "comm/message.hpp"
+#include "core/iiadmm.hpp"
+#include "core/runner.hpp"
+#include "util/check.hpp"
+
+namespace appfl::core {
+
+namespace {
+
+struct PendingUpdate {
+  double finish_time = 0.0;
+  std::uint32_t client = 0;  // 1-based
+  std::size_t version = 0;   // server version the client trained on
+
+  bool operator>(const PendingUpdate& other) const {
+    // Tie-break on client id for determinism.
+    if (finish_time != other.finish_time) {
+      return finish_time > other.finish_time;
+    }
+    return client > other.client;
+  }
+};
+
+}  // namespace
+
+AsyncRunResult run_async(const AsyncConfig& config,
+                         const data::FederatedSplit& split) {
+  RunConfig cfg = config.run;
+  cfg.algorithm = Algorithm::kFedAvg;  // async mixing is server-side
+  cfg.validate();
+  APPFL_CHECK_MSG(config.mixing_alpha > 0.0F && config.mixing_alpha <= 1.0F,
+                  "mixing alpha must be in (0, 1]");
+  const std::size_t num_clients = split.clients.size();
+  APPFL_CHECK(num_clients >= 1);
+
+  std::vector<hw::DeviceProfile> devices = config.devices;
+  if (devices.empty()) devices.push_back(hw::v100());
+
+  auto prototype = build_model(cfg, split.test);
+  const double flops_one_pass = 3.0 * prototype->forward_flops(1);
+
+  std::vector<std::unique_ptr<BaseClient>> clients;
+  clients.reserve(num_clients);
+  for (std::size_t p = 0; p < num_clients; ++p) {
+    clients.push_back(build_client(static_cast<std::uint32_t>(p + 1), cfg,
+                                   *prototype, split.clients[p]));
+  }
+  auto server =
+      build_server(cfg, std::move(prototype), split.test, num_clients);
+  std::vector<float> w = server->initial_parameters();
+  const std::size_t payload_bytes = 4 * w.size() + 64;
+
+  const std::size_t total_updates = config.total_updates > 0
+                                        ? config.total_updates
+                                        : cfg.rounds * num_clients;
+
+  comm::GrpcCostModel net;
+  rng::Rng jitter(rng::derive_seed(cfg.seed, {0xA5, 1}));
+
+  // Simulated duration of one dispatch for client p (compute + 2× link).
+  auto duration_of = [&](std::size_t p) {
+    const auto& dev = devices[p % devices.size()];
+    const double compute = dev.seconds_for(
+        flops_one_pass * static_cast<double>(clients[p]->num_samples()) *
+        static_cast<double>(cfg.local_steps));
+    return compute + net.transfer_seconds(payload_bytes, jitter) +
+           net.transfer_seconds(payload_bytes, jitter);
+  };
+
+  // Train-at-dispatch: the local result is a pure function of the w the
+  // client received, so computing it eagerly and delivering it at
+  // finish_time is equivalent to computing it on arrival.
+  std::vector<std::vector<float>> in_flight(num_clients);
+  std::priority_queue<PendingUpdate, std::vector<PendingUpdate>,
+                      std::greater<PendingUpdate>>
+      queue;
+  std::size_t version = 0;
+  std::size_t dispatch_counter = 0;
+  auto dispatch = [&](std::size_t p, double now) {
+    const comm::Message update = clients[p]->update(
+        w, static_cast<std::uint32_t>(++dispatch_counter));
+    in_flight[p] = update.primal;
+    queue.push({now + duration_of(p), static_cast<std::uint32_t>(p + 1),
+                version});
+  };
+  for (std::size_t p = 0; p < num_clients; ++p) dispatch(p, 0.0);
+
+  AsyncRunResult result;
+  double staleness_sum = 0.0;
+  while (result.applied_updates < total_updates) {
+    APPFL_CHECK(!queue.empty());
+    const PendingUpdate next = queue.top();
+    queue.pop();
+    const std::size_t p = next.client - 1;
+    const std::size_t staleness = version - next.version;
+    const float alpha_s = config.mixing_alpha /
+                          (1.0F + static_cast<float>(staleness));
+    const auto& z = in_flight[p];
+    APPFL_CHECK(z.size() == w.size());
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      w[i] = (1.0F - alpha_s) * w[i] + alpha_s * z[i];
+    }
+    ++version;
+    ++result.applied_updates;
+    staleness_sum += static_cast<double>(staleness);
+
+    AsyncEvent event;
+    event.sim_time = next.finish_time;
+    event.client = next.client;
+    event.staleness = staleness;
+    event.mixing = alpha_s;
+    if (config.validate_every > 0 &&
+        result.applied_updates % config.validate_every == 0) {
+      event.test_accuracy = server->validate(w);
+    }
+    result.sim_seconds = next.finish_time;
+    result.events.push_back(event);
+
+    if (result.applied_updates + queue.size() < total_updates) {
+      dispatch(p, next.finish_time);
+    }
+  }
+
+  result.final_accuracy = server->validate(w);
+  result.mean_staleness =
+      staleness_sum / static_cast<double>(result.applied_updates);
+  return result;
+}
+
+AsyncIIAdmmResult run_async_iiadmm(const AsyncConfig& config,
+                                   const data::FederatedSplit& split) {
+  RunConfig cfg = config.run;
+  cfg.algorithm = Algorithm::kIIAdmm;
+  cfg.validate();
+  APPFL_CHECK(config.mixing_alpha > 0.0F && config.mixing_alpha <= 1.0F);
+  const std::size_t num_clients = split.clients.size();
+  APPFL_CHECK(num_clients >= 1);
+  std::vector<hw::DeviceProfile> devices = config.devices;
+  if (devices.empty()) devices.push_back(hw::v100());
+
+  auto prototype = build_model(cfg, split.test);
+  const double flops_one_pass = 3.0 * prototype->forward_flops(1);
+  const std::size_t m = prototype->num_parameters();
+
+  std::vector<std::unique_ptr<BaseClient>> clients;
+  std::vector<IIAdmmClient*> admm_clients;
+  for (std::size_t p = 0; p < num_clients; ++p) {
+    auto client = std::make_unique<IIAdmmClient>(
+        static_cast<std::uint32_t>(p + 1), cfg, *prototype, split.clients[p]);
+    admm_clients.push_back(client.get());
+    clients.push_back(std::move(client));
+  }
+  // Server-side state: z_p, λ_p replicas + a validator model.
+  std::vector<std::vector<float>> z(num_clients, prototype->flat_parameters());
+  std::vector<std::vector<float>> lambda(num_clients,
+                                         std::vector<float>(m, 0.0F));
+  auto validator =
+      build_server(cfg, std::move(prototype), split.test, num_clients);
+
+  // Line 3's closed form over ALL per-client state (stale included).
+  const float rho = cfg.rho;
+  auto recompute_w = [&] {
+    std::vector<float> w(m, 0.0F);
+    const float inv_p = 1.0F / static_cast<float>(num_clients);
+    const float inv_rho = 1.0F / rho;
+    for (std::size_t p = 0; p < num_clients; ++p) {
+      for (std::size_t i = 0; i < m; ++i) {
+        w[i] += inv_p * (z[p][i] - inv_rho * lambda[p][i]);
+      }
+    }
+    return w;
+  };
+  std::vector<float> w = recompute_w();
+
+  comm::GrpcCostModel net;
+  rng::Rng jitter(rng::derive_seed(cfg.seed, {0xA5, 3}));
+  const std::size_t payload_bytes = 4 * m + 64;
+  auto duration_of = [&](std::size_t p) {
+    const auto& dev = devices[p % devices.size()];
+    const double compute = dev.seconds_for(
+        flops_one_pass * static_cast<double>(clients[p]->num_samples()) *
+        static_cast<double>(cfg.local_steps));
+    return compute + net.transfer_seconds(payload_bytes, jitter) +
+           net.transfer_seconds(payload_bytes, jitter);
+  };
+
+  const std::size_t total_updates = config.total_updates > 0
+                                        ? config.total_updates
+                                        : cfg.rounds * num_clients;
+
+  // Train-at-dispatch, deliver-at-finish (see run_async). w_sent_p is the
+  // exact vector the client consumed — the server's dual step reuses it.
+  std::vector<std::vector<float>> in_flight_z(num_clients);
+  std::vector<std::vector<float>> w_sent(num_clients);
+  std::priority_queue<PendingUpdate, std::vector<PendingUpdate>,
+                      std::greater<PendingUpdate>>
+      queue;
+  std::size_t version = 0;
+  std::size_t dispatch_counter = 0;
+  auto dispatch = [&](std::size_t p, double now) {
+    w_sent[p] = w;
+    const comm::Message update = clients[p]->update(
+        w_sent[p], static_cast<std::uint32_t>(++dispatch_counter));
+    in_flight_z[p] = update.primal;
+    queue.push({now + duration_of(p), static_cast<std::uint32_t>(p + 1),
+                version});
+  };
+  for (std::size_t p = 0; p < num_clients; ++p) dispatch(p, 0.0);
+
+  AsyncIIAdmmResult result;
+  double staleness_sum = 0.0;
+  while (result.base.applied_updates < total_updates) {
+    APPFL_CHECK(!queue.empty());
+    const PendingUpdate next = queue.top();
+    queue.pop();
+    const std::size_t p = next.client - 1;
+    // Server-side replica of line 21, with the w this client trained on.
+    for (std::size_t i = 0; i < m; ++i) {
+      lambda[p][i] += rho * (w_sent[p][i] - in_flight_z[p][i]);
+    }
+    z[p] = in_flight_z[p];
+    w = recompute_w();
+    ++version;
+    ++result.base.applied_updates;
+    staleness_sum += static_cast<double>(version - 1 - next.version);
+
+    AsyncEvent event;
+    event.sim_time = next.finish_time;
+    event.client = next.client;
+    event.staleness = version - 1 - next.version;
+    event.mixing = 1.0;  // exact closed-form absorption, not damped mixing
+    if (config.validate_every > 0 &&
+        result.base.applied_updates % config.validate_every == 0) {
+      event.test_accuracy = validator->validate(w);
+    }
+    result.base.sim_seconds = next.finish_time;
+    result.base.events.push_back(event);
+
+    if (result.base.applied_updates + queue.size() < total_updates) {
+      dispatch(p, next.finish_time);
+    }
+  }
+
+  result.base.final_accuracy = validator->validate(w);
+  result.base.mean_staleness =
+      staleness_sum / static_cast<double>(result.base.applied_updates);
+
+  // The invariant: every client's dual must equal the server replica
+  // bit-for-bit, even though duals never crossed the wire and the schedule
+  // was asynchronous.
+  result.duals_consistent = true;
+  for (std::size_t p = 0; p < num_clients; ++p) {
+    const auto& cd = admm_clients[p]->dual();
+    for (std::size_t i = 0; i < m; ++i) {
+      if (std::bit_cast<std::uint32_t>(cd[i]) !=
+          std::bit_cast<std::uint32_t>(lambda[p][i])) {
+        result.duals_consistent = false;
+      }
+    }
+  }
+  return result;
+}
+
+SyncBaselineResult run_sync_baseline(const AsyncConfig& config,
+                                     const data::FederatedSplit& split) {
+  RunConfig cfg = config.run;
+  cfg.algorithm = Algorithm::kFedAvg;
+  cfg.validate();
+  const std::size_t num_clients = split.clients.size();
+  std::vector<hw::DeviceProfile> devices = config.devices;
+  if (devices.empty()) devices.push_back(hw::v100());
+
+  // Accuracy from the real synchronous runner.
+  RunConfig sync_cfg = cfg;
+  sync_cfg.validate_every_round = false;
+  const RunResult learning = run_federated(sync_cfg, split);
+
+  // Simulated time with the SAME per-client link model the async scheme
+  // uses (compute + 2× gRPC transfer) — a synchronous round just barriers
+  // on the slowest client instead of streaming updates in.
+  rng::Rng jitter(rng::derive_seed(cfg.seed, {0xA5, 2}));
+  auto prototype = build_model(cfg, split.test);
+  const double flops_one_pass = 3.0 * prototype->forward_flops(1);
+  comm::GrpcCostModel net;
+  const std::size_t payload = 4 * prototype->num_parameters() + 64;
+
+  double total = 0.0;
+  double idle_sum = 0.0;
+  for (std::size_t round = 0; round < cfg.rounds; ++round) {
+    double slowest = 0.0;
+    std::vector<double> times(num_clients);
+    for (std::size_t p = 0; p < num_clients; ++p) {
+      const auto& dev = devices[p % devices.size()];
+      times[p] = dev.seconds_for(
+                     flops_one_pass *
+                     static_cast<double>(split.clients[p].size()) *
+                     static_cast<double>(cfg.local_steps)) +
+                 net.transfer_seconds(payload, jitter) +
+                 net.transfer_seconds(payload, jitter);
+      slowest = std::max(slowest, times[p]);
+    }
+    for (double t : times) idle_sum += (slowest - t) / slowest;
+    total += slowest;
+  }
+
+  SyncBaselineResult result;
+  result.sim_seconds = total;
+  result.final_accuracy = learning.final_accuracy;
+  result.straggler_idle_fraction =
+      idle_sum / static_cast<double>(cfg.rounds * num_clients);
+  return result;
+}
+
+}  // namespace appfl::core

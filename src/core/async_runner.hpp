@@ -1,0 +1,92 @@
+// Asynchronous federated aggregation (paper future work 1).
+//
+// §IV-C/D/E all point at the same weakness of synchronous rounds: the server
+// waits for the slowest client (stragglers from heterogeneous GPUs or
+// congested gRPC links). This module implements the asynchronous scheme the
+// paper proposes to investigate, as a discrete-event simulation:
+//
+//   * every client runs on its own DeviceProfile (e.g. a mixed A100/V100
+//     fleet, §IV-E) and its own gRPC/MPI link;
+//   * the server applies each update the moment it arrives, with a
+//     staleness-damped mixing step (FedAsync-style):
+//         w ← (1 − α_s)·w + α_s·z,   α_s = α / (1 + staleness)
+//     where staleness = (server version now) − (version the client trained
+//     on);
+//   * the client is immediately re-dispatched with the fresh w.
+//
+// The simulation advances a virtual clock from the hardware and network
+// cost models, so sync-vs-async comparisons are apples-to-apples in
+// simulated seconds while all updates are computed for real.
+#pragma once
+
+#include <vector>
+
+#include "comm/cost_model.hpp"
+#include "core/base.hpp"
+#include "core/config.hpp"
+#include "data/synth.hpp"
+#include "hw/device.hpp"
+
+namespace appfl::core {
+
+struct AsyncConfig {
+  RunConfig run;                 // model/local-solver/DP settings
+  float mixing_alpha = 0.6F;     // base mixing rate α
+  std::size_t total_updates = 0; // 0 ⇒ run.rounds × num_clients
+  /// Device of client p: devices[p % devices.size()]. Default: all V100.
+  std::vector<hw::DeviceProfile> devices;
+  /// Validate the global model every k-th applied update (0 = only at end).
+  std::size_t validate_every = 0;
+};
+
+struct AsyncEvent {
+  double sim_time = 0.0;        // when the update was applied
+  std::uint32_t client = 0;     // 1-based
+  std::size_t staleness = 0;    // server versions elapsed while training
+  double mixing = 0.0;          // α_s actually applied
+  double test_accuracy = -1.0;  // −1 when not validated at this event
+};
+
+struct AsyncRunResult {
+  std::vector<AsyncEvent> events;
+  double final_accuracy = 0.0;
+  double sim_seconds = 0.0;       // virtual time to finish all updates
+  std::size_t applied_updates = 0;
+  double mean_staleness = 0.0;
+};
+
+/// Runs the asynchronous scheme on a federated split.
+AsyncRunResult run_async(const AsyncConfig& config,
+                         const data::FederatedSplit& split);
+
+/// Baseline for comparison: the *synchronous* schedule on the same
+/// heterogeneous fleet — every round costs the slowest client's compute +
+/// a gather — returning the simulated seconds for the same total number of
+/// client updates and the final accuracy (via the standard runner).
+struct SyncBaselineResult {
+  double sim_seconds = 0.0;
+  double final_accuracy = 0.0;
+  double straggler_idle_fraction = 0.0;  // mean idle share of fast clients
+};
+
+SyncBaselineResult run_sync_baseline(const AsyncConfig& config,
+                                     const data::FederatedSplit& split);
+
+/// Asynchronous IIADMM — the paper's algorithm under its future-work
+/// schedule. The server keeps per-client (z_p, λ_p) replicas; each arriving
+/// update triggers the dual step λ_p ← λ_p + ρ(w_sent_p − z_p^{new}) using
+/// the SAME w the client trained against, so the dual-replication invariant
+/// (no duals on the wire) survives asynchrony exactly. The global model is
+/// recomputed from line 3's closed form after every absorption, and the
+/// client is immediately re-dispatched with it. Result fields carry the
+/// extra invariant check: duals_consistent is true iff every client's dual
+/// matched the server replica bit-for-bit at the end.
+struct AsyncIIAdmmResult {
+  AsyncRunResult base;
+  bool duals_consistent = false;
+};
+
+AsyncIIAdmmResult run_async_iiadmm(const AsyncConfig& config,
+                                   const data::FederatedSplit& split);
+
+}  // namespace appfl::core

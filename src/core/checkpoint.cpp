@@ -1,0 +1,85 @@
+#include "core/checkpoint.hpp"
+
+#include <fstream>
+
+#include "comm/protolite.hpp"
+#include "util/check.hpp"
+
+namespace appfl::core {
+
+namespace {
+constexpr std::uint32_t kFVersion = 1;
+constexpr std::uint32_t kFAlgorithm = 2;
+constexpr std::uint32_t kFDataset = 3;
+constexpr std::uint32_t kFRounds = 4;
+constexpr std::uint32_t kFAccuracy = 5;
+constexpr std::uint32_t kFParameters = 6;
+constexpr std::uint32_t kFModel = 7;
+constexpr std::uint32_t kSupportedVersion = 1;
+}  // namespace
+
+std::vector<std::uint8_t> encode_checkpoint(const Checkpoint& ckpt) {
+  comm::ProtoWriter w;
+  w.add_varint(kFVersion, ckpt.format_version);
+  w.add_string(kFAlgorithm, ckpt.algorithm);
+  w.add_string(kFDataset, ckpt.dataset);
+  w.add_varint(kFRounds, ckpt.rounds_completed);
+  w.add_double(kFAccuracy, ckpt.final_accuracy);
+  w.add_packed_floats(kFParameters, ckpt.parameters);
+  if (!ckpt.model.empty()) w.add_string(kFModel, ckpt.model);
+  return w.take();
+}
+
+Checkpoint decode_checkpoint(std::span<const std::uint8_t> bytes) {
+  Checkpoint ckpt;
+  ckpt.format_version = 0;
+  comm::ProtoReader r(bytes);
+  comm::ProtoField f;
+  while (r.next(f)) {
+    switch (f.field) {
+      case kFVersion:
+        ckpt.format_version = static_cast<std::uint32_t>(f.varint);
+        break;
+      case kFAlgorithm: ckpt.algorithm = comm::ProtoReader::as_string(f); break;
+      case kFDataset: ckpt.dataset = comm::ProtoReader::as_string(f); break;
+      case kFRounds:
+        ckpt.rounds_completed = static_cast<std::uint32_t>(f.varint);
+        break;
+      case kFAccuracy:
+        ckpt.final_accuracy = comm::ProtoReader::as_double(f);
+        break;
+      case kFParameters:
+        ckpt.parameters = comm::ProtoReader::as_packed_floats(f);
+        break;
+      case kFModel: ckpt.model = comm::ProtoReader::as_string(f); break;
+      default:
+        break;  // forward compatibility: skip unknown fields
+    }
+  }
+  APPFL_CHECK_MSG(ckpt.format_version == kSupportedVersion,
+                  "unsupported checkpoint version " << ckpt.format_version);
+  APPFL_CHECK_MSG(!ckpt.parameters.empty(), "checkpoint carries no parameters");
+  return ckpt;
+}
+
+void save_checkpoint(const std::string& path, const Checkpoint& ckpt) {
+  const auto bytes = encode_checkpoint(ckpt);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  APPFL_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  APPFL_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+Checkpoint load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  APPFL_CHECK_MSG(in.good(), "cannot open " << path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  APPFL_CHECK_MSG(in.good(), "read from " << path << " failed");
+  return decode_checkpoint(bytes);
+}
+
+}  // namespace appfl::core

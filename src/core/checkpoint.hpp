@@ -1,0 +1,39 @@
+// Checkpointing: persist a trained global model (and where it came from) to
+// disk and restore it later — the deploy/resume path a framework user needs
+// after a long federated run. The file format reuses the protolite wire
+// encoding, so the same parser that guards the network guards the disk.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace appfl::core {
+
+struct Checkpoint {
+  std::uint32_t format_version = 1;
+  std::string algorithm;          // e.g. "IIADMM"
+  std::string dataset;            // e.g. "mnist-like"
+  std::string model;              // e.g. "mlp" — architecture provenance
+  std::uint32_t rounds_completed = 0;
+  double final_accuracy = 0.0;
+  std::vector<float> parameters;  // flat global model
+
+  bool operator==(const Checkpoint&) const = default;
+};
+
+/// Serializes to protolite bytes (exposed for tests).
+std::vector<std::uint8_t> encode_checkpoint(const Checkpoint& ckpt);
+
+/// Parses protolite bytes; throws appfl::Error on malformed input or an
+/// unsupported format version.
+Checkpoint decode_checkpoint(std::span<const std::uint8_t> bytes);
+
+/// Writes the checkpoint to `path` (overwrites). Throws on I/O failure.
+void save_checkpoint(const std::string& path, const Checkpoint& ckpt);
+
+/// Reads a checkpoint from `path`. Throws on I/O failure or bad content.
+Checkpoint load_checkpoint(const std::string& path);
+
+}  // namespace appfl::core

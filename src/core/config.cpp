@@ -1,0 +1,95 @@
+#include "core/config.hpp"
+
+#include <cmath>
+
+#include "dp/sensitivity.hpp"
+#include "util/check.hpp"
+
+namespace appfl::core {
+
+std::string to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::kFedAvg: return "FedAvg";
+    case Algorithm::kIceAdmm: return "ICEADMM";
+    case Algorithm::kIIAdmm: return "IIADMM";
+    case Algorithm::kFedProx: return "FedProx";
+  }
+  return "?";
+}
+
+std::string to_string(DpMode m) {
+  switch (m) {
+    case DpMode::kOutput: return "output-perturbation";
+    case DpMode::kGradient: return "gradient-perturbation";
+  }
+  return "?";
+}
+
+std::string to_string(ModelKind m) {
+  switch (m) {
+    case ModelKind::kPaperCnn: return "paper-cnn";
+    case ModelKind::kMlp: return "mlp";
+    case ModelKind::kLogistic: return "logistic";
+  }
+  return "?";
+}
+
+double RunConfig::sensitivity() const {
+  APPFL_CHECK_MSG(clip > 0.0F,
+                  "DP sensitivity requires gradient clipping (clip > 0)");
+  if (algorithm == Algorithm::kFedAvg || algorithm == Algorithm::kFedProx) {
+    // FedProx's proximal pull only shrinks the iterate displacement, so
+    // FedAvg's 2Cη bound remains valid (and conservative) for it.
+    return dp::fedavg_sensitivity(clip, lr);
+  }
+  return dp::iadmm_sensitivity(clip, rho, zeta);
+}
+
+namespace {
+bool is_admm_family(Algorithm a) {
+  return a == Algorithm::kIceAdmm || a == Algorithm::kIIAdmm;
+}
+}  // namespace
+
+void RunConfig::validate() const {
+  APPFL_CHECK(rounds >= 1);
+  APPFL_CHECK(local_steps >= 1);
+  APPFL_CHECK(batch_size >= 1);
+  APPFL_CHECK(lr > 0.0F);
+  APPFL_CHECK(momentum >= 0.0F && momentum < 1.0F);
+  if (is_admm_family(algorithm)) {
+    APPFL_CHECK_MSG(rho > 0.0F, "ADMM penalty rho must be positive");
+    APPFL_CHECK_MSG(zeta >= 0.0F, "ADMM proximity zeta must be non-negative");
+  }
+  if (algorithm == Algorithm::kFedProx) {
+    APPFL_CHECK_MSG(fedprox_mu >= 0.0F, "FedProx mu must be non-negative");
+  }
+  if (adaptive_rho) {
+    APPFL_CHECK_MSG(is_admm_family(algorithm),
+                    "adaptive rho applies to the IADMM family only");
+    APPFL_CHECK(adapt_tau > 1.0F);
+    APPFL_CHECK(adapt_mu > 1.0F);
+    APPFL_CHECK(rho_min > 0.0F && rho_max >= rho_min);
+    APPFL_CHECK(rho >= rho_min && rho <= rho_max);
+    APPFL_CHECK_MSG(!std::isfinite(epsilon),
+                    "adaptive rho with finite epsilon is unsupported: the DP "
+                    "sensitivity 2C/(rho+zeta) would drift with rho");
+  }
+  APPFL_CHECK(clip >= 0.0F);
+  APPFL_CHECK_MSG(epsilon > 0.0, "privacy budget must be positive");
+  if (std::isfinite(epsilon)) {
+    APPFL_CHECK_MSG(clip > 0.0F,
+                    "finite epsilon requires clipping to bound sensitivity");
+  }
+  APPFL_CHECK_MSG(client_fraction > 0.0 && client_fraction <= 1.0,
+                  "client_fraction must be in (0, 1]");
+  if (uplink_codec != comm::UplinkCodec::kNone) {
+    APPFL_CHECK_MSG(!is_admm_family(algorithm),
+                    "lossy uplink codecs would desynchronize the IADMM "
+                    "dual replicas — use FedAvg or FedProx");
+    APPFL_CHECK(topk_fraction > 0.0 && topk_fraction <= 1.0);
+  }
+  APPFL_CHECK(validate_batch >= 1);
+}
+
+}  // namespace appfl::core

@@ -1,0 +1,109 @@
+// Run configuration for a federated experiment — the knobs of §IV-A/B:
+// algorithm, model, rounds T, local steps L, batch size, optimizer and ADMM
+// hyper-parameters, privacy budget ε, and communication protocol.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "comm/communicator.hpp"
+#include "nn/sgd.hpp"
+
+namespace appfl::core {
+
+enum class Algorithm {
+  kFedAvg,   // McMahan et al. 2017; SGD+momentum local solver
+  kIceAdmm,  // Zhou & Li 2021; full-batch, ships primal + dual
+  kIIAdmm,   // this paper (Algorithm 1); batched, ships primal only
+  kFedProx,  // Li et al. 2020; FedAvg + proximal pull (extension)
+};
+
+std::string to_string(Algorithm a);
+
+enum class ModelKind {
+  kPaperCnn,  // the paper's 2-conv CNN (§IV-A)
+  kMlp,       // one-hidden-layer MLP (fast stand-in for scaled-down runs)
+  kLogistic,  // convex instance, used by convergence tests
+};
+
+std::string to_string(ModelKind m);
+
+enum class DpMode {
+  kOutput,    // the paper's §III-B scheme: perturb z_p before sending
+  kGradient,  // extension: perturb every clipped batch gradient (DP-SGD
+              // style); the per-round ε splits evenly over the local steps
+};
+
+std::string to_string(DpMode m);
+
+struct RunConfig {
+  Algorithm algorithm = Algorithm::kFedAvg;
+  ModelKind model = ModelKind::kMlp;
+  std::size_t mlp_hidden = 64;
+
+  std::size_t rounds = 10;       // T communication rounds
+  std::size_t local_steps = 2;   // L local epochs per round
+  std::size_t batch_size = 64;   // ≤64 per the paper; ICEADMM ignores this
+
+  // FedAvg local solver. The schedule decays the base lr over rounds
+  // (constant by default); weight decay is decoupled L2.
+  float lr = 0.05F;
+  float momentum = 0.9F;
+  float weight_decay = 0.0F;
+  nn::LrSchedule lr_schedule = nn::LrSchedule::kConstant;
+
+  // FedProx proximal coefficient μ ≥ 0 (0 recovers FedAvg).
+  float fedprox_mu = 0.1F;
+
+  // IADMM-family hyper-parameters (eq. (4)).
+  float rho = 5.0F;   // penalty ρ
+  float zeta = 5.0F;  // proximity ζ
+
+  // Adaptive penalty ρ^t (paper future work 2; residual balancing after
+  // Boyd §3.4.1 / Xu et al.). The server adapts ρ from the primal/dual
+  // residuals and broadcasts the value in force with each global model, so
+  // server- and client-side arithmetic stays consistent.
+  bool adaptive_rho = false;
+  float adapt_tau = 2.0F;    // multiplicative step when residuals unbalance
+  float adapt_mu = 10.0F;    // imbalance threshold ‖r‖ vs ‖s‖
+  float rho_min = 0.1F;      // adaptation clamp
+  float rho_max = 100.0F;
+
+  // Differential privacy (§III-B). clip == 0 disables gradient clipping;
+  // epsilon == ∞ disables perturbation.
+  float clip = 1.0F;
+  double epsilon = std::numeric_limits<double>::infinity();
+  DpMode dp_mode = DpMode::kOutput;
+
+  comm::Protocol protocol = comm::Protocol::kMpi;
+  std::uint64_t seed = 1;
+
+  /// Lossy uplink compression applied inside the communicator. Restricted
+  /// to FedAvg/FedProx: the IADMM family's server-side dual replicas would
+  /// silently diverge under lossy reconstruction.
+  comm::UplinkCodec uplink_codec = comm::UplinkCodec::kNone;
+  double topk_fraction = 0.1;
+
+  /// FedAvg aggregation weights: I_p/I when true (objective (1)), 1/P when
+  /// false (Algorithm 1's plain average). IADMM servers always use 1/P.
+  bool weighted_aggregation = true;
+
+  /// Fraction of clients sampled each round (McMahan et al.'s C parameter).
+  /// 1.0 = full participation (the paper's setting). With f < 1 the runner
+  /// draws ⌈f·P⌉ distinct clients per round from a seed-derived stream;
+  /// FedAvg averages that round's participants, the IADMM servers update
+  /// only the participants' (z_p, λ_p) and keep the rest.
+  double client_fraction = 1.0;
+
+  std::size_t validate_batch = 256;
+  bool validate_every_round = true;
+
+  /// Per-round DP sensitivity Δ̄ for this config (algorithm-dependent).
+  double sensitivity() const;
+
+  /// Throws appfl::Error on inconsistent settings.
+  void validate() const;
+};
+
+}  // namespace appfl::core

@@ -1,0 +1,71 @@
+// Decentralized PPFL — neighbor-only communication without a central server
+// (paper future work 1: "decentralized privacy-preserving algorithms that
+// allow the neighboring communication without the central server").
+//
+// Implements decentralized FedAvg / gossip SGD over an undirected topology:
+// every round each node (i) runs its local solver from its own iterate,
+// (ii) applies its DP mechanism to the result, and (iii) replaces its
+// iterate with the Metropolis-weighted average of its neighbors' perturbed
+// iterates (and its own). With a connected topology the mixing matrix is
+// doubly stochastic, so node iterates contract toward consensus while local
+// training pulls the consensus toward the joint optimum.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/base.hpp"
+#include "core/config.hpp"
+#include "data/synth.hpp"
+
+namespace appfl::core {
+
+/// Undirected communication graph over P nodes.
+struct Topology {
+  /// adjacency[p] = sorted neighbor list of node p (no self-loops).
+  std::vector<std::vector<std::size_t>> adjacency;
+
+  std::size_t num_nodes() const { return adjacency.size(); }
+
+  /// Total undirected edges.
+  std::size_t num_edges() const;
+
+  /// True if the graph is connected (gossip requires it to reach consensus).
+  bool connected() const;
+
+  /// Throws appfl::Error on asymmetric or self-looping adjacency.
+  void validate() const;
+};
+
+/// Ring: node p ↔ p±1 (mod P).
+Topology ring_topology(std::size_t num_nodes);
+
+/// Complete graph: everyone ↔ everyone.
+Topology complete_topology(std::size_t num_nodes);
+
+/// Random connected graph: a ring plus extra random edges until the mean
+/// degree reaches `target_degree`. Deterministic in `seed`.
+Topology random_topology(std::size_t num_nodes, double target_degree,
+                         std::uint64_t seed);
+
+/// Metropolis–Hastings mixing weights for a topology: symmetric, doubly
+/// stochastic, W[p][q] > 0 iff q ∈ N(p) ∪ {p}. Returned as a dense matrix.
+std::vector<std::vector<double>> metropolis_weights(const Topology& topology);
+
+struct DecentralizedResult {
+  /// Accuracy of the network-average model after each round.
+  std::vector<double> round_accuracy;
+  /// Mean pairwise disagreement Σ‖x_p − x̄‖/P after each round.
+  std::vector<double> round_disagreement;
+  double final_accuracy = 0.0;
+  /// Bytes exchanged over all edges, both directions, all rounds.
+  std::uint64_t total_bytes = 0;
+};
+
+/// Runs decentralized FedAvg on `split` over `topology` (one node per
+/// client shard; topology.num_nodes() must equal split.clients.size()).
+DecentralizedResult run_decentralized(const RunConfig& config,
+                                      const data::FederatedSplit& split,
+                                      const Topology& topology);
+
+}  // namespace appfl::core

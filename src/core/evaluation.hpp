@@ -1,0 +1,32 @@
+// Evaluation beyond plain accuracy: loss, per-class recall, and a confusion
+// matrix — what a user actually inspects before deploying a federated model
+// (and what surfaces class-skew pathologies in non-IID runs).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/module.hpp"
+
+namespace appfl::core {
+
+struct EvalReport {
+  double accuracy = 0.0;
+  double mean_loss = 0.0;                 // cross-entropy
+  std::vector<double> per_class_recall;   // −1 for classes with no samples
+  /// confusion[true][predicted] = count.
+  std::vector<std::vector<std::size_t>> confusion;
+  std::size_t samples = 0;
+
+  /// Balanced accuracy: mean recall over classes that have samples.
+  double balanced_accuracy() const;
+};
+
+/// Evaluates `parameters` (flat vector, set into `model`) on `dataset` in
+/// mini-batches of `batch_size`.
+EvalReport evaluate(nn::Module& model, std::span<const float> parameters,
+                    const data::Dataset& dataset, std::size_t batch_size = 256);
+
+}  // namespace appfl::core

@@ -1,0 +1,92 @@
+#include "core/fedavg.hpp"
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace appfl::core {
+
+comm::Message FedAvgClient::update(std::span<const float> global,
+                                   std::uint32_t round) {
+  begin_round(round);
+  model().set_flat_parameters(global);
+  // Fresh optimizer each round: momentum state does not persist across
+  // communication rounds (matching the APPFL reference implementation).
+  // The lr schedule decays over rounds; the DP sensitivity bound uses the
+  // base lr, which upper-bounds every decayed value.
+  nn::Sgd opt(nn::scheduled_lr(config().lr_schedule, config().lr, round,
+                               config().rounds),
+              config().momentum, config().weight_decay);
+
+  std::vector<float> z(global.begin(), global.end());
+  for (std::size_t epoch = 0; epoch < config().local_steps; ++epoch) {
+    for (std::size_t b = 0; b < loader().num_batches(); ++b) {
+      const data::Batch batch = loader().batch(b);
+      // batch_gradient sets model params to z and leaves clipped grads in
+      // the model; the optimizer then steps the model parameters in place.
+      (void)batch_gradient(z, batch);
+      opt.step(model());
+      z = model().flat_parameters();
+    }
+    loader().next_epoch();
+  }
+  apply_dp(z, round);
+
+  comm::Message m;
+  m.kind = comm::MessageKind::kLocalUpdate;
+  m.sender = id();
+  m.receiver = 0;
+  m.round = round;
+  m.primal = std::move(z);
+  m.sample_count = num_samples();
+  m.loss = last_loss();
+  return m;
+}
+
+FedAvgServer::FedAvgServer(const RunConfig& config,
+                           std::unique_ptr<nn::Module> model,
+                           data::TensorDataset test_set,
+                           std::size_t num_clients)
+    : BaseServer(config, std::move(model), std::move(test_set), num_clients) {
+  // Every client starts from the shared initial point (z¹ exchange).
+  primal_.assign(num_clients, BaseServer::initial_parameters());
+  sample_counts_.assign(num_clients, 1);
+  last_participants_.resize(num_clients);
+  for (std::size_t p = 0; p < num_clients; ++p) last_participants_[p] = p;
+}
+
+std::vector<float> FedAvgServer::compute_global(std::uint32_t) {
+  const std::size_t m = primal_.front().size();
+  APPFL_CHECK(!last_participants_.empty());
+  std::vector<float> w(m, 0.0F);
+  if (config().weighted_aggregation) {
+    std::uint64_t total = 0;
+    for (std::size_t p : last_participants_) total += sample_counts_[p];
+    APPFL_CHECK(total > 0);
+    for (std::size_t p : last_participants_) {
+      const float weight = static_cast<float>(
+          static_cast<double>(sample_counts_[p]) / static_cast<double>(total));
+      tensor::axpy(weight, primal_[p], w);
+    }
+  } else {
+    const float inv = 1.0F / static_cast<float>(last_participants_.size());
+    for (std::size_t p : last_participants_) tensor::axpy(inv, primal_[p], w);
+  }
+  return w;
+}
+
+void FedAvgServer::update(const std::vector<comm::Message>& locals,
+                          std::span<const float>, std::uint32_t round) {
+  APPFL_CHECK(!locals.empty() && locals.size() <= num_clients());
+  last_participants_.clear();
+  for (const auto& m : locals) {
+    APPFL_CHECK_MSG(m.round == round, "stale update from client " << m.sender);
+    APPFL_CHECK(m.sender >= 1 && m.sender <= num_clients());
+    APPFL_CHECK_MSG(m.dual.empty(),
+                    "FedAvg updates must not carry dual variables");
+    primal_[m.sender - 1] = m.primal;
+    sample_counts_[m.sender - 1] = m.sample_count;
+    last_participants_.push_back(m.sender - 1);
+  }
+}
+
+}  // namespace appfl::core

@@ -1,0 +1,40 @@
+#include "core/fedprox.hpp"
+
+#include "nn/sgd.hpp"
+#include "util/check.hpp"
+
+namespace appfl::core {
+
+comm::Message FedProxClient::update(std::span<const float> global,
+                                    std::uint32_t round) {
+  begin_round(round);
+  const float mu = config().fedprox_mu;
+  const float lr = nn::scheduled_lr(config().lr_schedule, config().lr, round,
+                                    config().rounds);
+
+  std::vector<float> z(global.begin(), global.end());
+  for (std::size_t epoch = 0; epoch < config().local_steps; ++epoch) {
+    for (std::size_t b = 0; b < loader().num_batches(); ++b) {
+      const data::Batch batch = loader().batch(b);
+      const std::vector<float> g = batch_gradient(z, batch);
+      for (std::size_t i = 0; i < z.size(); ++i) {
+        // SGD step on the proximal objective: g + μ(z − w).
+        z[i] -= lr * (g[i] + mu * (z[i] - global[i]));
+      }
+    }
+    loader().next_epoch();
+  }
+  apply_dp(z, round);
+
+  comm::Message m;
+  m.kind = comm::MessageKind::kLocalUpdate;
+  m.sender = id();
+  m.receiver = 0;
+  m.round = round;
+  m.primal = std::move(z);
+  m.sample_count = num_samples();
+  m.loss = last_loss();
+  return m;
+}
+
+}  // namespace appfl::core

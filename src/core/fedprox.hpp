@@ -1,0 +1,27 @@
+// FedProx (Li et al. 2020) — FedAvg with a proximal term.
+//
+// Local objective: f_p(z) + (μ/2)‖z − w‖², solved by SGD steps
+//     z ← z − η·(g + μ(z − w)).
+// The proximal pull stabilizes heterogeneous (non-IID / variable-effort)
+// clients, the systems problem §IV-E quantifies. Server side reuses
+// FedAvg's aggregation; μ = 0 recovers FedAvg exactly (property-tested).
+// Like FedAvg and IIADMM it ships primal-only updates.
+#pragma once
+
+#include "core/base.hpp"
+#include "core/fedavg.hpp"
+
+namespace appfl::core {
+
+class FedProxClient : public BaseClient {
+ public:
+  using BaseClient::BaseClient;
+
+  comm::Message update(std::span<const float> global,
+                       std::uint32_t round) override;
+};
+
+/// FedProx reuses the FedAvg server: aggregation is identical.
+using FedProxServer = FedAvgServer;
+
+}  // namespace appfl::core

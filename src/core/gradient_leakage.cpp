@@ -1,0 +1,67 @@
+#include "core/gradient_leakage.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace appfl::core {
+
+double cosine_similarity(std::span<const float> a, std::span<const float> b) {
+  APPFL_CHECK(a.size() == b.size());
+  const double na = tensor::norm2(a);
+  const double nb = tensor::norm2(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return tensor::dot(a, b) / (na * nb);
+}
+
+LeakageResult invert_logistic_gradient(std::span<const float> grad_flat,
+                                       std::size_t num_classes,
+                                       std::size_t input_dim,
+                                       std::span<const float> true_input) {
+  APPFL_CHECK_MSG(grad_flat.size() == num_classes * input_dim + num_classes,
+                  "gradient size " << grad_flat.size()
+                                   << " does not match a logistic model with "
+                                   << num_classes << " classes over "
+                                   << input_dim << " inputs");
+  const auto grad_w = grad_flat.first(num_classes * input_dim);
+  const auto grad_b = grad_flat.subspan(num_classes * input_dim, num_classes);
+
+  // The true class is the one whose bias gradient is most negative
+  // (p_y − 1 < 0 while every other entry is p_c > 0).
+  std::size_t label = 0;
+  float most_negative = grad_b[0];
+  for (std::size_t c = 1; c < num_classes; ++c) {
+    if (grad_b[c] < most_negative) {
+      most_negative = grad_b[c];
+      label = c;
+    }
+  }
+
+  LeakageResult result;
+  result.recovered_label = label;
+  result.reconstructed.resize(input_dim);
+  // x = ∂L/∂W[y,:] / ∂L/∂b[y]. Guard the division for the noised case.
+  const float denom = grad_b[label];
+  if (std::abs(denom) > 1e-12F) {
+    for (std::size_t i = 0; i < input_dim; ++i) {
+      result.reconstructed[i] = grad_w[label * input_dim + i] / denom;
+    }
+  }
+
+  if (!true_input.empty()) {
+    APPFL_CHECK(true_input.size() == input_dim);
+    result.cosine_similarity =
+        cosine_similarity(result.reconstructed, true_input);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < input_dim; ++i) {
+      const double d = static_cast<double>(result.reconstructed[i]) -
+                       true_input[i];
+      acc += d * d;
+    }
+    result.mse = acc / static_cast<double>(input_dim);
+  }
+  return result;
+}
+
+}  // namespace appfl::core

@@ -1,0 +1,39 @@
+// Gradient-leakage (gradient-inversion) attack.
+//
+// §II-A2's motivation for DP: "one can recover an original image with high
+// accuracy using only gradients sent to the server" (Geiping et al., the
+// paper's [13]). For a softmax-linear (logistic) model this recovery is
+// *closed form*: with one sample (x, y),
+//     ∂L/∂W[c,:] = (p_c − 1{c=y}) · x      ∂L/∂b[c] = p_c − 1{c=y}
+// so the label is the unique class with negative bias gradient and
+// x = ∂L/∂W[y,:] / ∂b[y] exactly. The attack demonstrates (a) why plain FL
+// leaks training data and (b) how the paper's output/gradient perturbation
+// destroys the reconstruction.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace appfl::core {
+
+struct LeakageResult {
+  std::vector<float> reconstructed;  // x̂, length = input dimension
+  std::size_t recovered_label = 0;
+  double cosine_similarity = 0.0;  // vs the true input, if provided
+  double mse = 0.0;                // vs the true input, if provided
+};
+
+/// Inverts a single-sample logistic-regression gradient.
+/// `grad_flat` is the flat gradient of a logistic model (layout: W [C, D]
+/// row-major followed by b [C]); `num_classes` = C, `input_dim` = D.
+/// If `true_input` is non-empty the similarity metrics are filled in.
+LeakageResult invert_logistic_gradient(std::span<const float> grad_flat,
+                                       std::size_t num_classes,
+                                       std::size_t input_dim,
+                                       std::span<const float> true_input = {});
+
+/// Cosine similarity between two equal-length vectors (0 when either is 0).
+double cosine_similarity(std::span<const float> a, std::span<const float> b);
+
+}  // namespace appfl::core

@@ -1,0 +1,112 @@
+#include "core/iceadmm.hpp"
+
+#include <cmath>
+
+#include "core/adaptive.hpp"
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace appfl::core {
+
+IceAdmmClient::IceAdmmClient(std::uint32_t id, const RunConfig& config,
+                             const nn::Module& prototype,
+                             data::TensorDataset dataset)
+    : BaseClient(id, config, prototype, std::move(dataset)) {
+  z_ = model().flat_parameters();      // z¹ = shared initial point
+  lambda_.assign(z_.size(), 0.0F);     // λ¹ = 0
+}
+
+comm::Message IceAdmmClient::update(std::span<const float> global,
+                                    std::uint32_t round) {
+  begin_round(round);
+  const std::size_t m = z_.size();
+  APPFL_CHECK(global.size() == m);
+  const float rho = round_rho();  // the ρ^t announced with this broadcast
+  const float zeta = config().zeta;
+  const float inv = 1.0F / (rho + zeta);
+
+  // All data points form one full batch ("all data points are used for
+  // calculating a gradient in ICEADMM as implemented in [8]").
+  const data::Batch full = dataset().all();
+
+  for (std::size_t step = 0; step < config().local_steps; ++step) {
+    const std::vector<float> g = batch_gradient(z_, full);
+    for (std::size_t i = 0; i < m; ++i) {
+      z_[i] = (rho * global[i] + zeta * z_[i] + lambda_[i] - g[i]) * inv;
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      lambda_[i] += rho * (global[i] - z_[i]);
+    }
+  }
+
+  // Output perturbation on the primal (the "true output" of §III-B).
+  apply_dp(z_, round);
+
+  comm::Message msg;
+  msg.kind = comm::MessageKind::kLocalUpdate;
+  msg.sender = id();
+  msg.receiver = 0;
+  msg.round = round;
+  msg.primal = z_;
+  msg.dual = lambda_;  // ICEADMM's extra traffic: duals ride along
+  msg.sample_count = num_samples();
+  msg.loss = last_loss();
+  return msg;
+}
+
+IceAdmmServer::IceAdmmServer(const RunConfig& config,
+                             std::unique_ptr<nn::Module> model,
+                             data::TensorDataset test_set,
+                             std::size_t num_clients)
+    : BaseServer(config, std::move(model), std::move(test_set), num_clients),
+      rho_(config.rho) {
+  primal_.assign(num_clients, BaseServer::initial_parameters());
+  dual_.assign(num_clients,
+               std::vector<float>(primal_.front().size(), 0.0F));
+}
+
+std::vector<float> IceAdmmServer::compute_global(std::uint32_t) {
+  const std::size_t m = primal_.front().size();
+  const float inv_p = 1.0F / static_cast<float>(primal_.size());
+  const float inv_rho = 1.0F / rho_;
+  std::vector<float> w(m, 0.0F);
+  for (std::size_t p = 0; p < primal_.size(); ++p) {
+    const auto& z = primal_[p];
+    const auto& l = dual_[p];
+    for (std::size_t i = 0; i < m; ++i) {
+      w[i] += inv_p * (z[i] - inv_rho * l[i]);
+    }
+  }
+  return w;
+}
+
+void IceAdmmServer::update(const std::vector<comm::Message>& locals,
+                           std::span<const float> global, std::uint32_t round) {
+  APPFL_CHECK(!locals.empty() && locals.size() <= num_clients());
+  double primal_residual = 0.0;
+  double dual_residual = 0.0;
+  for (const auto& m : locals) {
+    APPFL_CHECK_MSG(m.round == round, "stale update from client " << m.sender);
+    APPFL_CHECK(m.sender >= 1 && m.sender <= num_clients());
+    APPFL_CHECK_MSG(!m.dual.empty(),
+                    "ICEADMM requires clients to ship dual variables");
+    APPFL_CHECK(m.dual.size() == m.primal.size());
+    const std::size_t p = m.sender - 1;
+    double r2 = 0.0, s2 = 0.0;
+    for (std::size_t i = 0; i < m.primal.size(); ++i) {
+      const double r = static_cast<double>(global[i]) - m.primal[i];
+      const double s = static_cast<double>(m.primal[i]) - primal_[p][i];
+      r2 += r * r;
+      s2 += s * s;
+    }
+    primal_residual += std::sqrt(r2);
+    dual_residual += static_cast<double>(rho_) * std::sqrt(s2);
+    primal_[p] = m.primal;
+    dual_[p] = m.dual;
+  }
+  if (config().adaptive_rho) {
+    rho_ = adapt_rho(rho_, primal_residual, dual_residual, config());
+  }
+}
+
+}  // namespace appfl::core

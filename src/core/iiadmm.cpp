@@ -1,0 +1,127 @@
+#include "core/iiadmm.hpp"
+
+#include <cmath>
+
+#include "core/adaptive.hpp"
+#include "util/check.hpp"
+
+namespace appfl::core {
+
+IIAdmmClient::IIAdmmClient(std::uint32_t id, const RunConfig& config,
+                           const nn::Module& prototype,
+                           data::TensorDataset dataset)
+    : BaseClient(id, config, prototype, std::move(dataset)) {
+  lambda_.assign(model().num_parameters(), 0.0F);  // λ¹ = 0
+}
+
+comm::Message IIAdmmClient::update(std::span<const float> global,
+                                   std::uint32_t round) {
+  begin_round(round);
+  const std::size_t m = lambda_.size();
+  APPFL_CHECK(global.size() == m);
+  const float rho = round_rho();  // the ρ^t announced with this broadcast
+  const float zeta = config().zeta;
+  const float inv = 1.0F / (rho + zeta);
+
+  // Line 11: z^{1,1} ← w^{t+1}.
+  std::vector<float> z(global.begin(), global.end());
+
+  // Lines 13–19: L sweeps over the mini-batches (lines 12's split is the
+  // DataLoader's shuffled batching).
+  for (std::size_t step = 0; step < config().local_steps; ++step) {
+    for (std::size_t b = 0; b < loader().num_batches(); ++b) {
+      const data::Batch batch = loader().batch(b);
+      const std::vector<float> g = batch_gradient(z, batch);
+      // Line 16: z ← z − (g − λ − ρ(w − z)) / (ρ + ζ).
+      for (std::size_t i = 0; i < m; ++i) {
+        z[i] -= (g[i] - lambda_[i] - rho * (global[i] - z[i])) * inv;
+      }
+    }
+    loader().next_epoch();
+  }
+
+  // Line 20's output, perturbed (§III-B) BEFORE the dual update so server
+  // and client duals remain identical under DP.
+  apply_dp(z, round);
+
+  // Line 21: client-side dual update.
+  for (std::size_t i = 0; i < m; ++i) {
+    lambda_[i] += rho * (global[i] - z[i]);
+  }
+
+  comm::Message msg;
+  msg.kind = comm::MessageKind::kLocalUpdate;
+  msg.sender = id();
+  msg.receiver = 0;
+  msg.round = round;
+  msg.primal = std::move(z);  // primal only — no dual on the wire
+  msg.sample_count = num_samples();
+  msg.loss = last_loss();
+  return msg;
+}
+
+IIAdmmServer::IIAdmmServer(const RunConfig& config,
+                           std::unique_ptr<nn::Module> model,
+                           data::TensorDataset test_set,
+                           std::size_t num_clients)
+    : BaseServer(config, std::move(model), std::move(test_set), num_clients),
+      rho_(config.rho) {
+  primal_.assign(num_clients, BaseServer::initial_parameters());
+  dual_.assign(num_clients, std::vector<float>(primal_.front().size(), 0.0F));
+}
+
+std::vector<float> IIAdmmServer::compute_global(std::uint32_t) {
+  // Line 3: w^{t+1} = (1/P) Σ (z_p^t − λ_p^t / ρ).
+  const std::size_t m = primal_.front().size();
+  const float inv_p = 1.0F / static_cast<float>(primal_.size());
+  const float inv_rho = 1.0F / rho_;
+  std::vector<float> w(m, 0.0F);
+  for (std::size_t p = 0; p < primal_.size(); ++p) {
+    const auto& z = primal_[p];
+    const auto& l = dual_[p];
+    for (std::size_t i = 0; i < m; ++i) {
+      w[i] += inv_p * (z[i] - inv_rho * l[i]);
+    }
+  }
+  return w;
+}
+
+void IIAdmmServer::update(const std::vector<comm::Message>& locals,
+                          std::span<const float> global, std::uint32_t round) {
+  APPFL_CHECK(!locals.empty() && locals.size() <= num_clients());
+  const float rho = rho_;  // the ρ^t the clients just used
+  double primal_residual = 0.0;
+  double dual_residual = 0.0;
+  for (const auto& m : locals) {
+    APPFL_CHECK_MSG(m.round == round, "stale update from client " << m.sender);
+    APPFL_CHECK(m.sender >= 1 && m.sender <= num_clients());
+    APPFL_CHECK_MSG(m.dual.empty(),
+                    "IIADMM clients must not ship duals — that is the point");
+    const std::size_t p = m.sender - 1;
+    auto& l = dual_[p];
+    APPFL_CHECK(m.primal.size() == l.size());
+    // Line 6: the server's replica of the dual update, computed from the
+    // same (w^{t+1}, z_p^{t+1}) the client used — bit-identical by design.
+    double r2 = 0.0, s2 = 0.0;
+    for (std::size_t i = 0; i < l.size(); ++i) {
+      const double r = static_cast<double>(global[i]) - m.primal[i];
+      const double s = static_cast<double>(m.primal[i]) - primal_[p][i];
+      r2 += r * r;
+      s2 += s * s;
+      l[i] += rho * (global[i] - m.primal[i]);
+    }
+    primal_residual += std::sqrt(r2);
+    dual_residual += static_cast<double>(rho) * std::sqrt(s2);
+    primal_[p] = m.primal;
+  }
+  if (config().adaptive_rho) {
+    rho_ = adapt_rho(rho_, primal_residual, dual_residual, config());
+  }
+}
+
+const std::vector<float>& IIAdmmServer::dual(std::uint32_t client) const {
+  APPFL_CHECK(client >= 1 && client <= dual_.size());
+  return dual_[client - 1];
+}
+
+}  // namespace appfl::core

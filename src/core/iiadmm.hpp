@@ -1,0 +1,59 @@
+// IIADMM — the paper's contribution (Algorithm 1).
+//
+// Improvements over ICEADMM:
+//  (i)  local primal updates use mini-batches of data (lines 12–19), not the
+//       full batch, so local training matches SGD-style practice;
+//  (ii) the dual update λ_p ← λ_p + ρ(w^{t+1} − z_p^{t+1}) is executed
+//       *identically* at both the server (line 6) and the client (line 21).
+//       Since (z¹, λ¹) is shared once at start and both sides apply the same
+//       arithmetic to the same inputs every round, the two dual states stay
+//       bit-identical — so duals never cross the wire. Per-round client
+//       upload: m floats (like FedAvg) instead of ICEADMM's 2m.
+//
+// Server global update (line 3): w^{t+1} = (1/P) Σ_p (z_p^t − λ_p^t / ρ).
+//
+// DP note: the client perturbs z_p^{t+1} (line 20's "true output") *before*
+// its own dual update and sends the same perturbed vector, so server and
+// client dual updates still agree exactly under differential privacy.
+#pragma once
+
+#include "core/base.hpp"
+
+namespace appfl::core {
+
+class IIAdmmClient : public BaseClient {
+ public:
+  IIAdmmClient(std::uint32_t id, const RunConfig& config,
+               const nn::Module& prototype, data::TensorDataset dataset);
+
+  comm::Message update(std::span<const float> global,
+                       std::uint32_t round) override;
+
+  /// Client-side dual state (the dual-consistency test compares this with
+  /// the server's replica).
+  const std::vector<float>& dual() const { return lambda_; }
+
+ private:
+  std::vector<float> lambda_;  // persistent local dual λ_p
+};
+
+class IIAdmmServer : public BaseServer {
+ public:
+  IIAdmmServer(const RunConfig& config, std::unique_ptr<nn::Module> model,
+               data::TensorDataset test_set, std::size_t num_clients);
+
+  std::vector<float> compute_global(std::uint32_t round) override;
+  void update(const std::vector<comm::Message>& locals,
+              std::span<const float> global, std::uint32_t round) override;
+  float current_rho() const override { return rho_; }
+
+  /// Server-side replica of client p's dual (1-based id; tests inspect it).
+  const std::vector<float>& dual(std::uint32_t client) const;
+
+ private:
+  std::vector<std::vector<float>> primal_;  // z_p^t
+  std::vector<std::vector<float>> dual_;    // λ_p^t (server replica)
+  float rho_;                               // ρ^t (adapts when enabled)
+};
+
+}  // namespace appfl::core

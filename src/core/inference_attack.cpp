@@ -1,0 +1,87 @@
+#include "core/inference_attack.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace appfl::core {
+
+std::vector<double> per_sample_losses(nn::Module& model,
+                                      std::span<const float> parameters,
+                                      const data::Dataset& dataset,
+                                      std::size_t batch_size) {
+  APPFL_CHECK(batch_size >= 1);
+  model.set_flat_parameters(parameters);
+  const std::size_t n = dataset.size();
+  std::vector<double> losses;
+  losses.reserve(n);
+  std::vector<std::size_t> idx;
+  for (std::size_t start = 0; start < n; start += batch_size) {
+    const std::size_t count = std::min(batch_size, n - start);
+    idx.resize(count);
+    for (std::size_t i = 0; i < count; ++i) idx[i] = start + i;
+    const data::Batch batch = dataset.gather(idx);
+    const nn::Tensor probs =
+        tensor::softmax_rows(model.forward(batch.inputs));
+    const std::size_t classes = probs.dim(1);
+    for (std::size_t i = 0; i < count; ++i) {
+      const double p = std::max(
+          static_cast<double>(probs[i * classes + batch.labels[i]]), 1e-12);
+      losses.push_back(-std::log(p));
+    }
+  }
+  return losses;
+}
+
+AttackResult loss_threshold_attack(nn::Module& model,
+                                   std::span<const float> parameters,
+                                   const data::Dataset& members,
+                                   const data::Dataset& nonmembers) {
+  APPFL_CHECK_MSG(members.size() > 0 && nonmembers.size() > 0,
+                  "attack needs non-empty member and non-member sets");
+  const auto member_losses = per_sample_losses(model, parameters, members);
+  const auto nonmember_losses =
+      per_sample_losses(model, parameters, nonmembers);
+
+  AttackResult result;
+  for (double l : member_losses) result.mean_member_loss += l;
+  result.mean_member_loss /= static_cast<double>(member_losses.size());
+  for (double l : nonmember_losses) result.mean_nonmember_loss += l;
+  result.mean_nonmember_loss /= static_cast<double>(nonmember_losses.size());
+
+  // AUC by rank comparison (Mann–Whitney): P(member loss < non-member loss).
+  std::size_t wins = 0, ties = 0;
+  for (double lm : member_losses) {
+    for (double ln : nonmember_losses) {
+      if (lm < ln) ++wins;
+      else if (lm == ln) ++ties;
+    }
+  }
+  const double pairs = static_cast<double>(member_losses.size()) *
+                       static_cast<double>(nonmember_losses.size());
+  result.auc = (static_cast<double>(wins) + 0.5 * static_cast<double>(ties)) /
+               pairs;
+
+  // Advantage: sweep thresholds over the pooled loss values.
+  std::vector<double> thresholds = member_losses;
+  thresholds.insert(thresholds.end(), nonmember_losses.begin(),
+                    nonmember_losses.end());
+  std::sort(thresholds.begin(), thresholds.end());
+  double best = 0.0;
+  for (double tau : thresholds) {
+    const auto below = [tau](const std::vector<double>& v) {
+      std::size_t c = 0;
+      for (double l : v) {
+        if (l <= tau) ++c;
+      }
+      return static_cast<double>(c) / static_cast<double>(v.size());
+    };
+    best = std::max(best, below(member_losses) - below(nonmember_losses));
+  }
+  result.advantage = best;
+  return result;
+}
+
+}  // namespace appfl::core

@@ -1,0 +1,44 @@
+// Membership-inference attack (Shokri et al., the paper's [25]; Yeom et
+// al.'s loss-threshold instantiation).
+//
+// This is the threat §III-B defends against: an adversary who sees a model
+// (e.g. any intercepted global or local update) guesses whether a specific
+// record was in the training data. The loss-threshold attack predicts
+// "member" when the per-sample loss is below a threshold; its strength is
+// summarized by the membership advantage max_τ (TPR − FPR) and the AUC of
+// loss-ranking. Output perturbation should push both toward chance (0 / 0.5)
+// as ε decreases — quantified by bench/sec3b_inference_attack.
+#pragma once
+
+#include <span>
+
+#include "data/dataset.hpp"
+#include "nn/module.hpp"
+
+namespace appfl::core {
+
+struct AttackResult {
+  /// max over thresholds of (member TPR − non-member FPR) ∈ [0, 1].
+  double advantage = 0.0;
+  /// Probability a random member scores lower loss than a random
+  /// non-member (0.5 = chance).
+  double auc = 0.0;
+  double mean_member_loss = 0.0;
+  double mean_nonmember_loss = 0.0;
+};
+
+/// Per-sample cross-entropy losses of `model` (with `parameters` installed)
+/// on every sample of `dataset`.
+std::vector<double> per_sample_losses(nn::Module& model,
+                                      std::span<const float> parameters,
+                                      const data::Dataset& dataset,
+                                      std::size_t batch_size = 256);
+
+/// Runs the loss-threshold attack: `members` were in training,
+/// `nonmembers` were not (fresh draws from the same distribution).
+AttackResult loss_threshold_attack(nn::Module& model,
+                                   std::span<const float> parameters,
+                                   const data::Dataset& members,
+                                   const data::Dataset& nonmembers);
+
+}  // namespace appfl::core

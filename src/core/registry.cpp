@@ -1,0 +1,39 @@
+#include "core/registry.hpp"
+
+#include "comm/communicator.hpp"
+#include "core/config.hpp"
+#include "dp/mechanism.hpp"
+
+namespace appfl::core {
+
+std::vector<std::string> registered_algorithms() {
+  return {to_string(Algorithm::kFedAvg), to_string(Algorithm::kIceAdmm),
+          to_string(Algorithm::kIIAdmm), to_string(Algorithm::kFedProx)};
+}
+
+std::vector<std::string> registered_mechanisms() {
+  return {dp::NoOpMechanism{}.name(), dp::LaplaceMechanism{1.0}.name(),
+          dp::GaussianMechanism{1.0}.name()};
+}
+
+FrameworkCapabilities this_framework() {
+  FrameworkCapabilities caps;
+  caps.name = "APPFL";
+  caps.data_privacy = registered_mechanisms().size() > 1;  // beyond no-op
+  caps.mpi = to_string(comm::Protocol::kMpi) == "MPI";
+  caps.grpc = to_string(comm::Protocol::kGrpc) == "gRPC";
+  caps.mqtt = false;  // listed as future work in the paper, and here
+  return caps;
+}
+
+std::vector<FrameworkCapabilities> comparison_table() {
+  return {
+      {"OpenFL", false, false, true, false},
+      {"FedML", false, true, true, true},
+      {"TFF", true, false, false, false},
+      {"PySyft", true, false, false, false},
+      this_framework(),
+  };
+}
+
+}  // namespace appfl::core

@@ -1,0 +1,37 @@
+// Framework capability registry — the data behind Table I.
+//
+// The rows for OpenFL / FedML / TFF / PySyft are transcribed from the paper;
+// the APPFL row is *derived from this codebase* (which algorithms, privacy
+// mechanisms, and protocols are actually registered), so the printed table
+// stays honest as the implementation evolves.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace appfl::core {
+
+struct FrameworkCapabilities {
+  std::string name;
+  bool data_privacy = false;
+  bool mpi = false;
+  bool grpc = false;
+  bool mqtt = false;
+};
+
+/// Capabilities of THIS implementation, probed from the registered
+/// components (protocols in comm::Protocol, mechanisms in appfl::dp,
+/// algorithms in core::Algorithm).
+FrameworkCapabilities this_framework();
+
+/// The full Table I: OpenFL, FedML, TFF, PySyft (from the paper) + APPFL
+/// (derived).
+std::vector<FrameworkCapabilities> comparison_table();
+
+/// Names of the FL algorithms available through build_server/build_client.
+std::vector<std::string> registered_algorithms();
+
+/// Names of the DP mechanisms available.
+std::vector<std::string> registered_mechanisms();
+
+}  // namespace appfl::core

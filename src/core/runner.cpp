@@ -1,0 +1,209 @@
+#include "core/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/fedavg.hpp"
+#include "core/iceadmm.hpp"
+#include "core/fedprox.hpp"
+#include "core/iiadmm.hpp"
+#include "nn/model_zoo.hpp"
+#include "rng/distributions.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace appfl::core {
+
+std::vector<double> RunResult::cumulative_comm_seconds() const {
+  std::vector<double> out;
+  out.reserve(comm_rounds.size());
+  double acc = 0.0;
+  for (const auto& r : comm_rounds) {
+    acc += r.total_s();
+    out.push_back(acc);
+  }
+  return out;
+}
+
+std::unique_ptr<nn::Module> build_model(const RunConfig& config,
+                                        const data::TensorDataset& reference) {
+  rng::Rng rng(rng::derive_seed(config.seed, {42}));
+  const auto shape = reference.sample_shape();
+  const std::size_t classes = reference.num_classes();
+  std::size_t flat = 1;
+  for (std::size_t d : shape) flat *= d;
+  switch (config.model) {
+    case ModelKind::kPaperCnn: {
+      APPFL_CHECK_MSG(shape.size() == 3,
+                      "paper CNN expects CHW samples, got rank " << shape.size());
+      return nn::paper_cnn(shape[0], shape[1], shape[2], classes, rng);
+    }
+    case ModelKind::kMlp:
+      return nn::mlp(flat, config.mlp_hidden, classes, rng);
+    case ModelKind::kLogistic:
+      return nn::logistic_regression(flat, classes, rng);
+  }
+  APPFL_CHECK(false);
+  return nullptr;
+}
+
+std::unique_ptr<BaseServer> build_server(const RunConfig& config,
+                                         std::unique_ptr<nn::Module> model,
+                                         data::TensorDataset test_set,
+                                         std::size_t num_clients) {
+  switch (config.algorithm) {
+    case Algorithm::kFedAvg:
+      return std::make_unique<FedAvgServer>(config, std::move(model),
+                                            std::move(test_set), num_clients);
+    case Algorithm::kIceAdmm:
+      return std::make_unique<IceAdmmServer>(config, std::move(model),
+                                             std::move(test_set), num_clients);
+    case Algorithm::kIIAdmm:
+      return std::make_unique<IIAdmmServer>(config, std::move(model),
+                                            std::move(test_set), num_clients);
+    case Algorithm::kFedProx:
+      // FedProx aggregates exactly like FedAvg.
+      return std::make_unique<FedProxServer>(config, std::move(model),
+                                             std::move(test_set), num_clients);
+  }
+  APPFL_CHECK(false);
+  return nullptr;
+}
+
+std::unique_ptr<BaseClient> build_client(std::uint32_t id,
+                                         const RunConfig& config,
+                                         const nn::Module& prototype,
+                                         data::TensorDataset dataset) {
+  switch (config.algorithm) {
+    case Algorithm::kFedAvg:
+      return std::make_unique<FedAvgClient>(id, config, prototype,
+                                            std::move(dataset));
+    case Algorithm::kIceAdmm:
+      return std::make_unique<IceAdmmClient>(id, config, prototype,
+                                             std::move(dataset));
+    case Algorithm::kIIAdmm:
+      return std::make_unique<IIAdmmClient>(id, config, prototype,
+                                            std::move(dataset));
+    case Algorithm::kFedProx:
+      return std::make_unique<FedProxClient>(id, config, prototype,
+                                             std::move(dataset));
+  }
+  APPFL_CHECK(false);
+  return nullptr;
+}
+
+RunResult run_federated(const RunConfig& config,
+                        const data::FederatedSplit& split) {
+  config.validate();
+  APPFL_CHECK_MSG(!split.clients.empty(), "split has no clients");
+
+  std::unique_ptr<nn::Module> model = build_model(config, split.test);
+  // The prototype is cloned per client BEFORE the server takes ownership,
+  // so everyone starts from the same z¹ (the one-time init exchange).
+  std::vector<std::unique_ptr<BaseClient>> clients;
+  clients.reserve(split.clients.size());
+  for (std::size_t p = 0; p < split.clients.size(); ++p) {
+    clients.push_back(build_client(static_cast<std::uint32_t>(p + 1), config,
+                                   *model, split.clients[p]));
+  }
+  std::unique_ptr<BaseServer> server =
+      build_server(config, std::move(model), split.test, clients.size());
+  return run_federated(config, *server, clients);
+}
+
+RunResult run_federated(const RunConfig& config, BaseServer& server,
+                        std::vector<std::unique_ptr<BaseClient>>& clients) {
+  config.validate();
+  const std::size_t num_clients = clients.size();
+  APPFL_CHECK(num_clients >= 1);
+  APPFL_CHECK(server.num_clients() == num_clients);
+
+  comm::Communicator comm(config.protocol, num_clients,
+                          rng::derive_seed(config.seed, {77}),
+                          {config.uplink_codec, config.topk_fraction});
+  util::ThreadPool pool;
+  rng::Rng sampler(rng::derive_seed(config.seed, {78}));
+
+  RunResult result;
+  result.model_parameters = server.num_parameters();
+
+  for (std::uint32_t round = 1; round <= config.rounds; ++round) {
+    // (0) Client sampling: all clients at fraction 1, otherwise ⌈f·P⌉
+    // distinct ids drawn from the seed-derived stream.
+    std::vector<std::uint32_t> participants(num_clients);
+    for (std::size_t p = 0; p < num_clients; ++p) {
+      participants[p] = static_cast<std::uint32_t>(p + 1);
+    }
+    if (config.client_fraction < 1.0) {
+      rng::shuffle(sampler, std::span<std::uint32_t>(participants));
+      const std::size_t count = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::ceil(config.client_fraction *
+                           static_cast<double>(num_clients))));
+      participants.resize(count);
+      std::sort(participants.begin(), participants.end());
+    }
+
+    // (1) Global update + broadcast to the round's participants.
+    const std::vector<float> w = server.compute_global(round);
+    comm::Message global;
+    global.kind = comm::MessageKind::kGlobalModel;
+    global.sender = 0;
+    global.round = round;
+    global.primal = w;
+    global.rho = server.current_rho();  // ρ^t in force (adaptive-ρ support)
+    comm.broadcast_global(global, participants);
+
+    // (2) Parallel client updates. Each participant pulls w from its
+    // mailbox (already delivered, so no deadlock with a small pool),
+    // trains, sends.
+    pool.parallel_for(participants.size(), [&](std::size_t i) {
+      const std::uint32_t id = participants[i];
+      const comm::Message incoming = comm.recv_global(id);
+      APPFL_CHECK(incoming.round == round);
+      comm::Message update = clients[id - 1]->handle_global(incoming);
+      comm.send_update(id, update);
+    });
+
+    // (3) Gather + server-side absorption.
+    const std::vector<comm::Message> locals =
+        comm.gather_locals(round, participants.size());
+    server.update(locals, w, round);
+
+    // (4) Metrics.
+    RoundMetrics metrics;
+    metrics.round = round;
+    metrics.rho = global.rho;
+    metrics.participants = participants.size();
+    double loss_acc = 0.0;
+    std::uint64_t samples = 0;
+    for (const auto& m : locals) {
+      loss_acc += m.loss * static_cast<double>(m.sample_count);
+      samples += m.sample_count;
+    }
+    metrics.train_loss = samples > 0 ? loss_acc / static_cast<double>(samples) : 0.0;
+    const auto& rec = comm.round_log().back();
+    metrics.broadcast_s = rec.broadcast_s;
+    metrics.gather_s = rec.gather_s;
+    if (config.validate_every_round || round == config.rounds) {
+      metrics.test_accuracy = server.validate(w);
+    } else {
+      metrics.test_accuracy = -1.0;
+    }
+    APPFL_LOG_DEBUG(to_string(config.algorithm)
+                    << " round " << round << ": loss=" << metrics.train_loss
+                    << " acc=" << metrics.test_accuracy);
+    result.rounds.push_back(metrics);
+  }
+
+  // Final validation on the post-absorption global parameters.
+  const std::vector<float> w_final =
+      server.compute_global(static_cast<std::uint32_t>(config.rounds + 1));
+  result.final_accuracy = server.validate(w_final);
+  result.traffic = comm.stats();
+  result.comm_rounds = comm.round_log();
+  result.sim_comm_seconds = comm.clock().now();
+  return result;
+}
+
+}  // namespace appfl::core

@@ -1,0 +1,90 @@
+#include "core/server_opt.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace appfl::core {
+
+std::string to_string(ServerOpt opt) {
+  switch (opt) {
+    case ServerOpt::kNone: return "none";
+    case ServerOpt::kAdagrad: return "FedAdagrad";
+    case ServerOpt::kAdam: return "FedAdam";
+    case ServerOpt::kYogi: return "FedYogi";
+  }
+  return "?";
+}
+
+FedOptServer::FedOptServer(const RunConfig& config, ServerOptConfig opt,
+                           std::unique_ptr<nn::Module> model,
+                           data::TensorDataset test_set,
+                           std::size_t num_clients)
+    : BaseServer(config, std::move(model), std::move(test_set), num_clients),
+      opt_(opt) {
+  APPFL_CHECK_MSG(config.algorithm == Algorithm::kFedAvg ||
+                      config.algorithm == Algorithm::kFedProx,
+                  "FedOptServer expects FedAvg-style (primal-only) clients");
+  APPFL_CHECK(opt_.lr > 0.0F);
+  APPFL_CHECK(opt_.beta1 >= 0.0F && opt_.beta1 < 1.0F);
+  APPFL_CHECK(opt_.beta2 >= 0.0F && opt_.beta2 < 1.0F);
+  APPFL_CHECK(opt_.tau > 0.0F);
+  w_ = BaseServer::initial_parameters();
+  m_.assign(w_.size(), 0.0F);
+  v_.assign(w_.size(), 0.0F);
+}
+
+std::vector<float> FedOptServer::compute_global(std::uint32_t) { return w_; }
+
+void FedOptServer::update(const std::vector<comm::Message>& locals,
+                          std::span<const float> global, std::uint32_t round) {
+  APPFL_CHECK(!locals.empty() && locals.size() <= num_clients());
+  const std::size_t n = w_.size();
+
+  // Pseudo-gradient: sample-weighted mean of (z_p − w) over this round's
+  // participants (global == w_ at broadcast time).
+  std::vector<double> delta(n, 0.0);
+  std::uint64_t total_samples = 0;
+  for (const auto& msg : locals) {
+    APPFL_CHECK_MSG(msg.round == round, "stale update from " << msg.sender);
+    APPFL_CHECK_MSG(msg.dual.empty(), "FedOpt expects primal-only updates");
+    APPFL_CHECK(msg.primal.size() == n);
+    total_samples += msg.sample_count;
+  }
+  APPFL_CHECK(total_samples > 0);
+  for (const auto& msg : locals) {
+    const double weight = config().weighted_aggregation
+                              ? static_cast<double>(msg.sample_count) /
+                                    static_cast<double>(total_samples)
+                              : 1.0 / static_cast<double>(locals.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      delta[i] += weight * (static_cast<double>(msg.primal[i]) - global[i]);
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = static_cast<float>(delta[i]);
+    m_[i] = opt_.beta1 * m_[i] + (1.0F - opt_.beta1) * d;
+    const float d2 = d * d;
+    switch (opt_.kind) {
+      case ServerOpt::kNone:
+        // Plain (momentum-free when β₁ = 0) server step: w += η_s·Δ.
+        w_[i] += opt_.lr * (opt_.beta1 > 0.0F ? m_[i] : d);
+        continue;
+      case ServerOpt::kAdagrad:
+        v_[i] += d2;
+        break;
+      case ServerOpt::kAdam:
+        v_[i] = opt_.beta2 * v_[i] + (1.0F - opt_.beta2) * d2;
+        break;
+      case ServerOpt::kYogi: {
+        const float sign = v_[i] > d2 ? 1.0F : (v_[i] < d2 ? -1.0F : 0.0F);
+        v_[i] -= (1.0F - opt_.beta2) * d2 * sign;
+        break;
+      }
+    }
+    w_[i] += opt_.lr * m_[i] / (std::sqrt(v_[i]) + opt_.tau);
+  }
+}
+
+}  // namespace appfl::core

@@ -1,0 +1,44 @@
+#include "data/dataloader.hpp"
+
+#include <numeric>
+
+#include "rng/distributions.hpp"
+#include "util/check.hpp"
+
+namespace appfl::data {
+
+DataLoader::DataLoader(const Dataset& dataset, std::size_t batch_size,
+                       bool shuffle, std::uint64_t seed)
+    : dataset_(dataset),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      rng_(seed),
+      order_(dataset.size()) {
+  APPFL_CHECK_MSG(batch_size_ > 0, "batch_size must be positive");
+  std::iota(order_.begin(), order_.end(), 0);
+  if (shuffle_) reshuffle();
+}
+
+std::size_t DataLoader::num_batches() const {
+  return (dataset_.size() + batch_size_ - 1) / batch_size_;
+}
+
+Batch DataLoader::batch(std::size_t b) const {
+  APPFL_CHECK_MSG(b < num_batches(),
+                  "batch " << b << " >= num_batches " << num_batches());
+  const std::size_t start = b * batch_size_;
+  const std::size_t count = std::min(batch_size_, dataset_.size() - start);
+  return dataset_.gather(
+      std::span<const std::size_t>(order_).subspan(start, count));
+}
+
+void DataLoader::next_epoch() {
+  ++epoch_;
+  if (shuffle_) reshuffle();
+}
+
+void DataLoader::reshuffle() {
+  rng::shuffle(rng_, std::span<std::size_t>(order_));
+}
+
+}  // namespace appfl::data

@@ -1,0 +1,43 @@
+// DataLoader: shuffling mini-batch iteration over a Dataset, mirroring
+// torch.utils.data.DataLoader. One epoch = one pass over a permutation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "rng/rng.hpp"
+
+namespace appfl::data {
+
+class DataLoader {
+ public:
+  /// batch_size: max samples per batch (the final batch may be smaller).
+  /// shuffle: re-permute indices at the start of every epoch.
+  DataLoader(const Dataset& dataset, std::size_t batch_size, bool shuffle,
+             std::uint64_t seed);
+
+  /// Number of batches per epoch (⌈N / batch_size⌉).
+  std::size_t num_batches() const;
+
+  /// Fetches batch `b` of the current epoch.
+  Batch batch(std::size_t b) const;
+
+  /// Advances to the next epoch (re-shuffles when enabled).
+  void next_epoch();
+
+  std::size_t batch_size() const { return batch_size_; }
+  std::size_t epoch() const { return epoch_; }
+
+ private:
+  void reshuffle();
+
+  const Dataset& dataset_;
+  std::size_t batch_size_;
+  bool shuffle_;
+  rng::Rng rng_;
+  std::size_t epoch_ = 0;
+  std::vector<std::size_t> order_;
+};
+
+}  // namespace appfl::data

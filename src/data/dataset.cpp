@@ -1,0 +1,65 @@
+#include "data/dataset.hpp"
+
+#include <cstring>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace appfl::data {
+
+Batch Dataset::all() const {
+  std::vector<std::size_t> idx(size());
+  std::iota(idx.begin(), idx.end(), 0);
+  return gather(idx);
+}
+
+TensorDataset::TensorDataset()
+    : TensorDataset(Tensor({0, 1}), {}, 1) {}
+
+TensorDataset::TensorDataset(Tensor inputs, std::vector<std::size_t> labels,
+                             std::size_t num_classes)
+    : inputs_(std::move(inputs)),
+      labels_(std::move(labels)),
+      num_classes_(num_classes) {
+  APPFL_CHECK_MSG(inputs_.rank() >= 2,
+                  "TensorDataset inputs must have a batch axis, got "
+                      << tensor::to_string(inputs_.shape()));
+  APPFL_CHECK_MSG(inputs_.dim(0) == labels_.size(),
+                  "inputs batch " << inputs_.dim(0) << " != label count "
+                                  << labels_.size());
+  APPFL_CHECK(num_classes_ > 0);
+  sample_numel_ = labels_.empty() ? 0 : inputs_.size() / labels_.size();
+  for (std::size_t y : labels_) {
+    APPFL_CHECK_MSG(y < num_classes_,
+                    "label " << y << " >= num_classes " << num_classes_);
+  }
+}
+
+Shape TensorDataset::sample_shape() const {
+  Shape s(inputs_.shape().begin() + 1, inputs_.shape().end());
+  return s;
+}
+
+Batch TensorDataset::gather(std::span<const std::size_t> indices) const {
+  Shape batch_shape = inputs_.shape();
+  batch_shape[0] = indices.size();
+  Tensor out(batch_shape);
+  std::vector<std::size_t> labels(indices.size());
+  const float* src = inputs_.raw();
+  float* dst = out.raw();
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::size_t idx = indices[i];
+    APPFL_CHECK_MSG(idx < size(), "sample index " << idx << " >= " << size());
+    std::memcpy(dst + i * sample_numel_, src + idx * sample_numel_,
+                sizeof(float) * sample_numel_);
+    labels[i] = labels_[idx];
+  }
+  return {std::move(out), std::move(labels)};
+}
+
+TensorDataset TensorDataset::subset(std::span<const std::size_t> indices) const {
+  Batch b = gather(indices);
+  return TensorDataset(std::move(b.inputs), std::move(b.labels), num_classes_);
+}
+
+}  // namespace appfl::data

@@ -1,0 +1,73 @@
+// Dataset abstraction, mirroring torch.utils.data.Dataset: a client-local
+// collection of (input, label) pairs. The server never sees client data —
+// the FL layer only receives a Dataset reference per client.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace appfl::data {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/// A mini-batch: stacked inputs [B, ...sample shape] and B labels.
+struct Batch {
+  Tensor inputs;
+  std::vector<std::size_t> labels;
+
+  std::size_t size() const { return labels.size(); }
+};
+
+/// Abstract dataset of classified samples.
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+
+  virtual std::size_t size() const = 0;
+
+  /// Shape of a single sample (without the batch axis).
+  virtual Shape sample_shape() const = 0;
+
+  /// Number of distinct classes.
+  virtual std::size_t num_classes() const = 0;
+
+  /// Gathers the given sample indices into a stacked batch.
+  virtual Batch gather(std::span<const std::size_t> indices) const = 0;
+
+  /// The whole dataset as one batch (validation convenience).
+  Batch all() const;
+};
+
+/// In-memory dataset over a stacked tensor [N, ...] plus labels — the
+/// concrete type every synthetic generator produces.
+class TensorDataset : public Dataset {
+ public:
+  /// Empty dataset (0 samples, 1 dummy class) — a valid placeholder.
+  TensorDataset();
+
+  TensorDataset(Tensor inputs, std::vector<std::size_t> labels,
+                std::size_t num_classes);
+
+  std::size_t size() const override { return labels_.size(); }
+  Shape sample_shape() const override;
+  std::size_t num_classes() const override { return num_classes_; }
+  Batch gather(std::span<const std::size_t> indices) const override;
+
+  /// Builds a new TensorDataset containing only the given indices.
+  TensorDataset subset(std::span<const std::size_t> indices) const;
+
+  const Tensor& inputs() const { return inputs_; }
+  const std::vector<std::size_t>& labels() const { return labels_; }
+
+ private:
+  Tensor inputs_;  // [N, ...sample]
+  std::vector<std::size_t> labels_;
+  std::size_t num_classes_;
+  std::size_t sample_numel_;
+};
+
+}  // namespace appfl::data

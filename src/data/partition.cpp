@@ -1,0 +1,83 @@
+#include "data/partition.hpp"
+
+#include <numeric>
+
+#include "rng/distributions.hpp"
+#include "util/check.hpp"
+
+namespace appfl::data {
+
+Partition iid_partition(std::size_t n, std::size_t num_clients, rng::Rng& rng) {
+  APPFL_CHECK(num_clients > 0);
+  APPFL_CHECK_MSG(n >= num_clients, "fewer samples (" << n << ") than clients ("
+                                                      << num_clients << ")");
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng::shuffle(rng, std::span<std::size_t>(order));
+  const std::size_t per_client = n / num_clients;
+  Partition out(num_clients);
+  for (std::size_t p = 0; p < num_clients; ++p) {
+    out[p].assign(order.begin() + static_cast<long>(p * per_client),
+                  order.begin() + static_cast<long>((p + 1) * per_client));
+  }
+  return out;
+}
+
+Partition dirichlet_partition(const std::vector<std::size_t>& labels,
+                              std::size_t num_classes, std::size_t num_clients,
+                              double alpha, rng::Rng& rng) {
+  APPFL_CHECK(num_clients > 0 && num_classes > 0 && alpha > 0.0);
+  // Group sample indices by class.
+  std::vector<std::vector<std::size_t>> by_class(num_classes);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    APPFL_CHECK(labels[i] < num_classes);
+    by_class[labels[i]].push_back(i);
+  }
+  Partition out(num_clients);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    auto& idx = by_class[c];
+    rng::shuffle(rng, std::span<std::size_t>(idx));
+    const auto props = rng::dirichlet_symmetric(rng, num_clients, alpha);
+    // Convert proportions to cumulative cut points over this class's samples.
+    std::size_t start = 0;
+    double cum = 0.0;
+    for (std::size_t p = 0; p < num_clients; ++p) {
+      cum += props[p];
+      const std::size_t end =
+          (p + 1 == num_clients)
+              ? idx.size()
+              : static_cast<std::size_t>(cum * static_cast<double>(idx.size()));
+      for (std::size_t i = start; i < end && i < idx.size(); ++i) {
+        out[p].push_back(idx[i]);
+      }
+      start = end;
+    }
+  }
+  return out;
+}
+
+std::vector<TensorDataset> materialize(const TensorDataset& source,
+                                       const Partition& partition) {
+  std::vector<TensorDataset> out;
+  out.reserve(partition.size());
+  for (const auto& indices : partition) {
+    out.push_back(source.subset(indices));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> class_histograms(
+    const std::vector<std::size_t>& labels, std::size_t num_classes,
+    const Partition& partition) {
+  std::vector<std::vector<std::size_t>> hist(partition.size());
+  for (std::size_t p = 0; p < partition.size(); ++p) {
+    hist[p].assign(num_classes, 0);
+    for (std::size_t i : partition[p]) {
+      APPFL_CHECK(i < labels.size());
+      ++hist[p][labels[i]];
+    }
+  }
+  return hist;
+}
+
+}  // namespace appfl::data

@@ -1,0 +1,38 @@
+// Partitioners: split one dataset into P client shards.
+//
+// The paper splits MNIST/CIFAR10/CoronaHack into equal IID shards (§IV-A)
+// and uses LEAF's writer-based non-IID split for FEMNIST. We provide both,
+// plus the Dirichlet label-skew partitioner common in the FL literature.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "rng/rng.hpp"
+
+namespace appfl::data {
+
+/// Index sets for each of P clients (disjoint, covering [0, n) minus at most
+/// a remainder of n mod P samples for the equal-size variants).
+using Partition = std::vector<std::vector<std::size_t>>;
+
+/// Shuffles [0, n) and deals equal-size contiguous shards to P clients.
+Partition iid_partition(std::size_t n, std::size_t num_clients, rng::Rng& rng);
+
+/// Label-skew non-IID: for each class, splits its samples across clients in
+/// proportions drawn from Dirichlet(alpha). Small alpha ⇒ highly skewed.
+Partition dirichlet_partition(const std::vector<std::size_t>& labels,
+                              std::size_t num_classes, std::size_t num_clients,
+                              double alpha, rng::Rng& rng);
+
+/// Materializes TensorDataset shards from a partition of `source`.
+std::vector<TensorDataset> materialize(const TensorDataset& source,
+                                       const Partition& partition);
+
+/// Per-client class histogram — used by tests to assert skew.
+std::vector<std::vector<std::size_t>> class_histograms(
+    const std::vector<std::size_t>& labels, std::size_t num_classes,
+    const Partition& partition);
+
+}  // namespace appfl::data

@@ -1,0 +1,97 @@
+#include "dp/secure_agg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/rng.hpp"
+#include "util/check.hpp"
+
+namespace appfl::dp {
+
+std::vector<std::uint64_t> quantize(std::span<const float> values,
+                                    double scale) {
+  APPFL_CHECK(scale > 0.0);
+  std::vector<std::uint64_t> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double scaled = std::round(static_cast<double>(values[i]) * scale);
+    APPFL_CHECK_MSG(std::abs(scaled) < 9.0e18,
+                    "value " << values[i] << " overflows the fixed-point range");
+    out[i] = static_cast<std::uint64_t>(static_cast<std::int64_t>(scaled));
+  }
+  return out;
+}
+
+std::vector<float> dequantize_sum(std::span<const std::uint64_t> sum,
+                                  double scale) {
+  APPFL_CHECK(scale > 0.0);
+  std::vector<float> out(sum.size());
+  for (std::size_t i = 0; i < sum.size(); ++i) {
+    out[i] = static_cast<float>(static_cast<double>(
+                                    static_cast<std::int64_t>(sum[i])) /
+                                scale);
+  }
+  return out;
+}
+
+SecureAggregator::SecureAggregator(std::vector<std::uint32_t> participants,
+                                   std::uint64_t round_seed)
+    : participants_(std::move(participants)), round_seed_(round_seed) {
+  APPFL_CHECK_MSG(participants_.size() >= 2,
+                  "secure aggregation needs at least two participants");
+  std::sort(participants_.begin(), participants_.end());
+  for (std::size_t i = 1; i < participants_.size(); ++i) {
+    APPFL_CHECK_MSG(participants_[i] != participants_[i - 1],
+                    "duplicate participant " << participants_[i]);
+  }
+}
+
+std::vector<std::uint64_t> SecureAggregator::pair_mask(
+    std::uint32_t a, std::uint32_t b, std::size_t length) const {
+  // Canonical ordering so both endpoints derive the identical stream.
+  const std::uint32_t lo = std::min(a, b);
+  const std::uint32_t hi = std::max(a, b);
+  rng::Rng prg(rng::derive_seed(round_seed_, {0x5E, lo, hi}));
+  std::vector<std::uint64_t> mask(length);
+  for (auto& m : mask) m = prg.next();
+  return mask;
+}
+
+std::vector<std::uint64_t> SecureAggregator::mask(
+    std::uint32_t client, std::span<const float> values, double scale) const {
+  APPFL_CHECK_MSG(std::binary_search(participants_.begin(), participants_.end(),
+                                     client),
+                  "client " << client << " is not a registered participant");
+  std::vector<std::uint64_t> out = quantize(values, scale);
+  for (std::uint32_t other : participants_) {
+    if (other == client) continue;
+    const auto m = pair_mask(client, other, out.size());
+    if (client < other) {
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] += m[i];
+    } else {
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] -= m[i];
+    }
+  }
+  return out;
+}
+
+std::vector<float> SecureAggregator::aggregate_mean(
+    const std::vector<std::vector<std::uint64_t>>& masked_uploads,
+    double scale) const {
+  APPFL_CHECK_MSG(masked_uploads.size() == participants_.size(),
+                  "got " << masked_uploads.size() << " uploads for "
+                         << participants_.size()
+                         << " registered participants — pairwise masks "
+                            "cannot cancel");
+  const std::size_t length = masked_uploads.front().size();
+  std::vector<std::uint64_t> sum(length, 0);
+  for (const auto& upload : masked_uploads) {
+    APPFL_CHECK(upload.size() == length);
+    for (std::size_t i = 0; i < length; ++i) sum[i] += upload[i];
+  }
+  std::vector<float> mean = dequantize_sum(sum, scale);
+  const float inv = 1.0F / static_cast<float>(participants_.size());
+  for (auto& v : mean) v *= inv;
+  return mean;
+}
+
+}  // namespace appfl::dp

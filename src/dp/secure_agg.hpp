@@ -1,0 +1,65 @@
+// Secure aggregation by pairwise masking (Bonawitz et al. 2017, simulated).
+//
+// The complementary privacy technique to DP in PPFL frameworks: each pair of
+// clients (i, j) derives a shared mask from a common seed; i adds it, j
+// subtracts it, so every individual upload looks uniformly random to the
+// server while the SUM of all uploads is exact. Because floating-point
+// addition does not cancel masks exactly, values are first quantized to
+// fixed point and all arithmetic runs modulo 2⁶⁴ — precisely how production
+// secure-aggregation protocols operate.
+//
+// Scope of the simulation: honest-but-curious server, no dropout recovery
+// (the Shamir key-sharing half of the real protocol); every registered
+// participant must contribute or the masks do not cancel. This is the
+// code-path equivalent needed to study bandwidth/accuracy effects.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace appfl::dp {
+
+/// Fixed-point quantization: v → round(v · scale) as a two's-complement
+/// 64-bit word. `scale` trades range for precision (default 2²⁰ keeps
+/// |v| < 2⁴³ exact to ~1e-6).
+std::vector<std::uint64_t> quantize(std::span<const float> values,
+                                    double scale);
+
+/// Inverse of quantize for an aggregated (summed) vector.
+std::vector<float> dequantize_sum(std::span<const std::uint64_t> sum,
+                                  double scale);
+
+class SecureAggregator {
+ public:
+  /// `participants`: the exact client ids that will contribute this round
+  /// (all must deliver). `round_seed` derives every pairwise mask; in a
+  /// deployment it would come from a key exchange.
+  SecureAggregator(std::vector<std::uint32_t> participants,
+                   std::uint64_t round_seed);
+
+  /// Client side: quantizes `values` and applies all of `client`'s pairwise
+  /// masks. The result reveals nothing about `values` in isolation.
+  std::vector<std::uint64_t> mask(std::uint32_t client,
+                                  std::span<const float> values,
+                                  double scale) const;
+
+  /// Server side: sums the masked vectors (masks cancel mod 2⁶⁴) and
+  /// returns the de-quantized AVERAGE over participants.
+  std::vector<float> aggregate_mean(
+      const std::vector<std::vector<std::uint64_t>>& masked_uploads,
+      double scale) const;
+
+  std::size_t num_participants() const { return participants_.size(); }
+
+  static constexpr double kDefaultScale = 1048576.0;  // 2^20
+
+ private:
+  std::vector<std::uint64_t> pair_mask(std::uint32_t a, std::uint32_t b,
+                                       std::size_t length) const;
+
+  std::vector<std::uint32_t> participants_;
+  std::uint64_t round_seed_;
+};
+
+}  // namespace appfl::dp

@@ -1,0 +1,19 @@
+#include "dp/sensitivity.hpp"
+
+#include "util/check.hpp"
+
+namespace appfl::dp {
+
+double iadmm_sensitivity(double clip_c, double rho, double zeta) {
+  APPFL_CHECK(clip_c > 0.0);
+  APPFL_CHECK(rho + zeta > 0.0);
+  return 2.0 * clip_c / (rho + zeta);
+}
+
+double fedavg_sensitivity(double clip_c, double learning_rate) {
+  APPFL_CHECK(clip_c > 0.0);
+  APPFL_CHECK(learning_rate > 0.0);
+  return 2.0 * clip_c * learning_rate;
+}
+
+}  // namespace appfl::dp

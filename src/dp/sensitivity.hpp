@@ -1,0 +1,21 @@
+// Sensitivity Δ̄ of a local update w.r.t. a one-sample change (paper §III-B).
+//
+// With gradients clipped to ‖g‖ ≤ C, swapping one data point moves any batch
+// gradient by at most 2C (triangle inequality), so:
+//   • IADMM family (one inexact step, eq. (4)): the closed-form minimizer
+//     moves by at most 2C/(ρ + ζ) — the bound stated in the paper.
+//   • FedAvg (one SGD step): the iterate moves by at most 2Cη.
+// Both are *per local solve*; the paper perturbs the final local output once
+// per communication round with this bound.
+#pragma once
+
+namespace appfl::dp {
+
+/// Δ̄ = 2C / (ρ + ζ) for ICEADMM / IIADMM local solves (paper, §III-B).
+double iadmm_sensitivity(double clip_c, double rho, double zeta);
+
+/// Δ̄ = 2Cη for a FedAvg local SGD step (paper: "the sensitivity in FedAvg
+/// depends on the learning rate").
+double fedavg_sensitivity(double clip_c, double learning_rate);
+
+}  // namespace appfl::dp

@@ -1,0 +1,31 @@
+#include "hw/placement.hpp"
+
+#include "util/check.hpp"
+
+namespace appfl::hw {
+
+std::vector<std::size_t> Placement::clients_of_rank(std::size_t rank) const {
+  APPFL_CHECK(rank < num_ranks);
+  std::vector<std::size_t> out;
+  for (std::size_t c = rank; c < num_clients; c += num_ranks) out.push_back(c);
+  return out;
+}
+
+std::size_t Placement::max_clients_per_rank() const {
+  APPFL_CHECK(num_ranks > 0);
+  return (num_clients + num_ranks - 1) / num_ranks;
+}
+
+std::size_t Placement::num_nodes() const {
+  APPFL_CHECK(gpus_per_node > 0);
+  return (num_ranks + gpus_per_node - 1) / gpus_per_node;
+}
+
+double round_compute_seconds(const Placement& placement,
+                             const DeviceProfile& device,
+                             double flops_per_client) {
+  const double per_client = device.seconds_for(flops_per_client);
+  return per_client * static_cast<double>(placement.max_clients_per_rank());
+}
+
+}  // namespace appfl::hw

@@ -1,0 +1,39 @@
+// Cluster placement: how logical FL clients map onto MPI ranks and nodes.
+//
+// The Summit experiments (§IV-C/D) divide 203 clients equally over N MPI
+// processes, each pinned to one GPU, 6 GPUs per node. A rank executes its
+// clients *sequentially*; ranks run in parallel; a round's compute time is
+// therefore the busiest rank's total. This module reproduces that timing
+// arithmetic for the strong-scaling figure.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hw/device.hpp"
+
+namespace appfl::hw {
+
+struct Placement {
+  std::size_t num_clients = 0;
+  std::size_t num_ranks = 0;
+  std::size_t gpus_per_node = 6;  // Summit: 6 V100s per node
+
+  /// Clients assigned to rank r (round-robin residue classes, so counts
+  /// differ by at most one — "equally divided" as in the paper).
+  std::vector<std::size_t> clients_of_rank(std::size_t rank) const;
+
+  /// max_r |clients(r)|.
+  std::size_t max_clients_per_rank() const;
+
+  /// Number of nodes needed at gpus_per_node ranks per node.
+  std::size_t num_nodes() const;
+};
+
+/// Compute time of one round: the busiest rank runs its clients back to
+/// back on `device`, each client costing `flops_per_client`.
+double round_compute_seconds(const Placement& placement,
+                             const DeviceProfile& device,
+                             double flops_per_client);
+
+}  // namespace appfl::hw

@@ -1,0 +1,25 @@
+// Average pooling (NCHW): forward takes the window mean, backward spreads
+// the gradient uniformly over the window.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace appfl::nn {
+
+class AvgPool2d : public Module {
+ public:
+  explicit AvgPool2d(std::size_t kernel = 2, std::size_t stride = 2);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Module> clone() const override;
+  std::string name() const override;
+  double forward_flops(std::size_t batch) const override;
+
+ private:
+  std::size_t kernel_;
+  std::size_t stride_;
+  tensor::Shape cached_input_shape_;
+};
+
+}  // namespace appfl::nn

@@ -1,0 +1,161 @@
+#include "nn/batchnorm2d.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace appfl::nn {
+
+BatchNorm2d::BatchNorm2d(std::size_t channels, float momentum, float eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_("gamma", Tensor::full({channels}, 1.0F)),
+      beta_("beta", Tensor({channels})),
+      running_mean_(channels, 0.0F),
+      running_var_(channels, 1.0F) {
+  APPFL_CHECK(channels >= 1);
+  APPFL_CHECK(momentum > 0.0F && momentum <= 1.0F);
+  APPFL_CHECK(eps > 0.0F);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input) {
+  APPFL_CHECK_MSG(input.rank() == 4 && input.dim(1) == channels_,
+                  name() << " got " << tensor::to_string(input.shape()));
+  const std::size_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const std::size_t plane = h * w;
+  const std::size_t count = n * plane;  // samples per channel
+  APPFL_CHECK(count >= 1);
+  cached_shape_ = input.shape();
+
+  Tensor out(input.shape());
+  cached_xhat_ = Tensor(input.shape());
+  cached_mean_.assign(channels_, 0.0F);
+  cached_istd_.assign(channels_, 0.0F);
+
+  const float* X = input.raw();
+  float* Y = out.raw();
+  float* XH = cached_xhat_.raw();
+  const float* G = gamma_.value.raw();
+  const float* B = beta_.value.raw();
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    float mean, istd;
+    if (training_) {
+      double sum = 0.0, sum2 = 0.0;
+      for (std::size_t img = 0; img < n; ++img) {
+        const float* x = X + (img * channels_ + c) * plane;
+        for (std::size_t i = 0; i < plane; ++i) {
+          sum += x[i];
+          sum2 += static_cast<double>(x[i]) * x[i];
+        }
+      }
+      const double m = sum / static_cast<double>(count);
+      const double var = sum2 / static_cast<double>(count) - m * m;
+      mean = static_cast<float>(m);
+      istd = static_cast<float>(1.0 / std::sqrt(std::max(var, 0.0) + eps_));
+      running_mean_[c] = (1.0F - momentum_) * running_mean_[c] + momentum_ * mean;
+      running_var_[c] = (1.0F - momentum_) * running_var_[c] +
+                        momentum_ * static_cast<float>(var);
+    } else {
+      mean = running_mean_[c];
+      istd = 1.0F / std::sqrt(running_var_[c] + eps_);
+    }
+    cached_mean_[c] = mean;
+    cached_istd_[c] = istd;
+    for (std::size_t img = 0; img < n; ++img) {
+      const float* x = X + (img * channels_ + c) * plane;
+      float* y = Y + (img * channels_ + c) * plane;
+      float* xh = XH + (img * channels_ + c) * plane;
+      for (std::size_t i = 0; i < plane; ++i) {
+        xh[i] = (x[i] - mean) * istd;
+        y[i] = G[c] * xh[i] + B[c];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  APPFL_CHECK_MSG(grad_output.shape() == cached_shape_,
+                  name() << ".backward shape mismatch — forward not called?");
+  const std::size_t n = cached_shape_[0], h = cached_shape_[2],
+                    w = cached_shape_[3];
+  const std::size_t plane = h * w;
+  const std::size_t count = n * plane;
+
+  Tensor grad_input(cached_shape_);
+  const float* GY = grad_output.raw();
+  const float* XH = cached_xhat_.raw();
+  float* GX = grad_input.raw();
+  float* GG = gamma_.grad.raw();
+  float* GB = beta_.grad.raw();
+  const float* G = gamma_.value.raw();
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    // Reductions: Σ gy and Σ gy·x̂ over the channel.
+    double sum_gy = 0.0, sum_gy_xhat = 0.0;
+    for (std::size_t img = 0; img < n; ++img) {
+      const float* gy = GY + (img * channels_ + c) * plane;
+      const float* xh = XH + (img * channels_ + c) * plane;
+      for (std::size_t i = 0; i < plane; ++i) {
+        sum_gy += gy[i];
+        sum_gy_xhat += static_cast<double>(gy[i]) * xh[i];
+      }
+    }
+    GG[c] += static_cast<float>(sum_gy_xhat);
+    GB[c] += static_cast<float>(sum_gy);
+
+    if (training_) {
+      // dL/dx = γ·istd/count · (count·gy − Σgy − x̂·Σ(gy·x̂)).
+      const float scale = G[c] * cached_istd_[c] / static_cast<float>(count);
+      for (std::size_t img = 0; img < n; ++img) {
+        const float* gy = GY + (img * channels_ + c) * plane;
+        const float* xh = XH + (img * channels_ + c) * plane;
+        float* gx = GX + (img * channels_ + c) * plane;
+        for (std::size_t i = 0; i < plane; ++i) {
+          gx[i] = scale * (static_cast<float>(count) * gy[i] -
+                           static_cast<float>(sum_gy) -
+                           xh[i] * static_cast<float>(sum_gy_xhat));
+        }
+      }
+    } else {
+      // Eval: statistics are constants, so dL/dx = γ·istd·gy.
+      const float scale = G[c] * cached_istd_[c];
+      for (std::size_t img = 0; img < n; ++img) {
+        const float* gy = GY + (img * channels_ + c) * plane;
+        float* gx = GX + (img * channels_ + c) * plane;
+        for (std::size_t i = 0; i < plane; ++i) gx[i] = scale * gy[i];
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::unique_ptr<Module> BatchNorm2d::clone() const {
+  auto copy = std::make_unique<BatchNorm2d>(channels_, momentum_, eps_);
+  copy->gamma_.value = gamma_.value;
+  copy->beta_.value = beta_.value;
+  copy->running_mean_ = running_mean_;
+  copy->running_var_ = running_var_;
+  copy->training_ = training_;
+  return copy;
+}
+
+std::string BatchNorm2d::name() const {
+  std::ostringstream os;
+  os << "BatchNorm2d(" << channels_ << ")";
+  return os.str();
+}
+
+std::vector<Param*> BatchNorm2d::params() { return {&gamma_, &beta_}; }
+
+double BatchNorm2d::forward_flops(std::size_t batch) const {
+  const double elems = cached_shape_.empty()
+                           ? static_cast<double>(batch * channels_)
+                           : static_cast<double>(tensor::numel(cached_shape_));
+  return 5.0 * elems;  // mean/var reductions + normalize + affine
+}
+
+}  // namespace appfl::nn

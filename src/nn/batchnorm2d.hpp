@@ -1,0 +1,47 @@
+// Batch normalization over NCHW feature maps (Ioffe & Szegedy).
+//
+// Training: normalizes each channel by the batch statistics over (N, H, W),
+// applies learned scale γ and shift β, and updates running estimates with
+// momentum. Evaluation: uses the running estimates. The backward pass
+// implements the full batch-statistics gradient (the mean/variance terms,
+// not the frozen approximation) and is finite-difference checked.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace appfl::nn {
+
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(std::size_t channels, float momentum = 0.1F,
+                       float eps = 1e-5F);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Module> clone() const override;
+  std::string name() const override;
+  std::vector<Param*> params() override;
+  double forward_flops(std::size_t batch) const override;
+  void set_training(bool training) override { training_ = training; }
+
+  bool training() const { return training_; }
+  std::span<const float> running_mean() const { return running_mean_; }
+  std::span<const float> running_var() const { return running_var_; }
+
+ private:
+  std::size_t channels_;
+  float momentum_;
+  float eps_;
+  bool training_ = true;
+  Param gamma_;
+  Param beta_;
+  std::vector<float> running_mean_;
+  std::vector<float> running_var_;
+  // Forward cache for backward (training mode).
+  Tensor cached_xhat_;              // normalized activations
+  std::vector<float> cached_mean_;  // batch mean per channel
+  std::vector<float> cached_istd_;  // 1/√(var + ε) per channel
+  tensor::Shape cached_shape_;
+};
+
+}  // namespace appfl::nn

@@ -1,0 +1,60 @@
+#include "nn/dropout.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace appfl::nn {
+
+Dropout::Dropout(float p, std::uint64_t seed)
+    : p_(p), seed_(seed), rng_(seed) {
+  APPFL_CHECK_MSG(p >= 0.0F && p < 1.0F, "dropout p must be in [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& input) {
+  if (!training_ || p_ == 0.0F) {
+    mask_ = Tensor();  // identity: backward passes grads through unchanged
+    return input;
+  }
+  const float keep = 1.0F - p_;
+  const float scale = 1.0F / keep;
+  mask_ = Tensor(input.shape());
+  Tensor out = input;
+  auto md = mask_.data();
+  auto od = out.data();
+  for (std::size_t i = 0; i < od.size(); ++i) {
+    const bool kept = rng_.uniform01() >= p_;
+    md[i] = kept ? scale : 0.0F;
+    od[i] *= md[i];
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (mask_.size() == 0) return grad_output;  // eval mode / p = 0
+  APPFL_CHECK_MSG(grad_output.shape() == mask_.shape(),
+                  "Dropout.backward shape mismatch — forward not called?");
+  Tensor out = grad_output;
+  auto od = out.data();
+  const auto md = mask_.data();
+  for (std::size_t i = 0; i < od.size(); ++i) od[i] *= md[i];
+  return out;
+}
+
+std::unique_ptr<Module> Dropout::clone() const {
+  auto copy = std::make_unique<Dropout>(p_, seed_);
+  copy->training_ = training_;
+  return copy;
+}
+
+std::string Dropout::name() const {
+  std::ostringstream os;
+  os << "Dropout(p=" << p_ << ")";
+  return os.str();
+}
+
+double Dropout::forward_flops(std::size_t batch) const {
+  return static_cast<double>(mask_.size() == 0 ? batch : mask_.size());
+}
+
+}  // namespace appfl::nn

@@ -1,0 +1,35 @@
+// Inverted dropout: during training each activation is zeroed with
+// probability p and survivors are scaled by 1/(1−p), so evaluation needs no
+// rescaling. In eval mode it is the identity. Masks are drawn from a
+// deterministic per-layer stream, so runs remain reproducible.
+#pragma once
+
+#include "nn/module.hpp"
+#include "rng/rng.hpp"
+
+namespace appfl::nn {
+
+class Dropout : public Module {
+ public:
+  /// p: drop probability in [0, 1); seed fixes the mask stream.
+  explicit Dropout(float p, std::uint64_t seed = 0xD0D0);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Module> clone() const override;
+  std::string name() const override;
+  double forward_flops(std::size_t batch) const override;
+  void set_training(bool training) override { training_ = training; }
+
+  bool training() const { return training_; }
+  float p() const { return p_; }
+
+ private:
+  float p_;
+  std::uint64_t seed_;
+  bool training_ = true;
+  rng::Rng rng_;
+  Tensor mask_;  // survivor scaling per element of the last forward
+};
+
+}  // namespace appfl::nn

@@ -1,0 +1,20 @@
+// Flatten: [N, ...] → [N, prod(...)], the bridge from conv to linear layers.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace appfl::nn {
+
+class Flatten : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Module> clone() const override;
+  std::string name() const override { return "Flatten"; }
+  double forward_flops(std::size_t batch) const override;
+
+ private:
+  tensor::Shape cached_input_shape_;
+};
+
+}  // namespace appfl::nn

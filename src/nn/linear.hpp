@@ -1,0 +1,34 @@
+// Fully connected layer: y = x·Wᵀ + b, with W [out, in] and b [out].
+#pragma once
+
+#include "nn/module.hpp"
+#include "rng/rng.hpp"
+
+namespace appfl::nn {
+
+class Linear : public Module {
+ public:
+  /// Kaiming-uniform initialization: W, b ~ U(−1/√in, 1/√in).
+  Linear(std::size_t in_features, std::size_t out_features, rng::Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Module> clone() const override;
+  std::string name() const override;
+  std::vector<Param*> params() override;
+  double forward_flops(std::size_t batch) const override;
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+
+ private:
+  Linear(const Linear&) = default;
+
+  std::size_t in_;
+  std::size_t out_;
+  Param weight_;
+  Param bias_;
+  Tensor cached_input_;  // [N, in], saved by forward for backward
+};
+
+}  // namespace appfl::nn

@@ -1,0 +1,26 @@
+// Max-pooling layer wrapping the tensor maxpool kernels.
+#pragma once
+
+#include "nn/module.hpp"
+#include "tensor/pool.hpp"
+
+namespace appfl::nn {
+
+class MaxPool2d : public Module {
+ public:
+  explicit MaxPool2d(std::size_t kernel = 2, std::size_t stride = 2);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Module> clone() const override;
+  std::string name() const override;
+  double forward_flops(std::size_t batch) const override;
+
+ private:
+  tensor::MaxPool2dSpec spec_;
+  tensor::Shape cached_input_shape_;
+  std::vector<std::size_t> cached_argmax_;
+  mutable std::size_t last_elems_ = 0;
+};
+
+}  // namespace appfl::nn

@@ -1,0 +1,55 @@
+#include "nn/model_zoo.hpp"
+
+#include "nn/activation.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/flatten.hpp"
+#include "nn/linear.hpp"
+#include "nn/maxpool2d.hpp"
+#include "util/check.hpp"
+
+namespace appfl::nn {
+
+std::unique_ptr<Sequential> paper_cnn(std::size_t in_channels,
+                                      std::size_t height, std::size_t width,
+                                      std::size_t num_classes, rng::Rng& rng,
+                                      std::size_t conv1_channels,
+                                      std::size_t conv2_channels,
+                                      std::size_t hidden) {
+  APPFL_CHECK(height >= 8 && width >= 8);
+  auto model = std::make_unique<Sequential>();
+  // conv(3x3, pad 1) → ReLU → conv(3x3, pad 1) → ReLU → maxpool(2) → fc → fc.
+  model->add(std::make_unique<Conv2d>(in_channels, conv1_channels, 3, rng,
+                                      /*stride=*/1, /*padding=*/1));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<Conv2d>(conv1_channels, conv2_channels, 3, rng,
+                                      /*stride=*/1, /*padding=*/1));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<MaxPool2d>(2, 2));
+  model->add(std::make_unique<Flatten>());
+  const std::size_t flat = conv2_channels * (height / 2) * (width / 2);
+  model->add(std::make_unique<Linear>(flat, hidden, rng));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<Linear>(hidden, num_classes, rng));
+  return model;
+}
+
+std::unique_ptr<Sequential> mlp(std::size_t in_features, std::size_t hidden,
+                                std::size_t num_classes, rng::Rng& rng) {
+  auto model = std::make_unique<Sequential>();
+  model->add(std::make_unique<Flatten>());
+  model->add(std::make_unique<Linear>(in_features, hidden, rng));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<Linear>(hidden, num_classes, rng));
+  return model;
+}
+
+std::unique_ptr<Sequential> logistic_regression(std::size_t in_features,
+                                                std::size_t num_classes,
+                                                rng::Rng& rng) {
+  auto model = std::make_unique<Sequential>();
+  model->add(std::make_unique<Flatten>());
+  model->add(std::make_unique<Linear>(in_features, num_classes, rng));
+  return model;
+}
+
+}  // namespace appfl::nn

@@ -1,0 +1,34 @@
+// Model zoo: the paper's CNN plus smaller models used by tests and benches.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "nn/sequential.hpp"
+#include "rng/rng.hpp"
+
+namespace appfl::nn {
+
+/// The paper's demonstration model (§IV-A): two 2-D convolution layers, a
+/// 2-D max-pooling layer, elementwise ReLU, and two linear layers.
+/// Works for any (channels, height, width) input, e.g. MNIST-like 1×28×28 or
+/// CIFAR10-like 3×32×32.
+std::unique_ptr<Sequential> paper_cnn(std::size_t in_channels,
+                                      std::size_t height, std::size_t width,
+                                      std::size_t num_classes, rng::Rng& rng,
+                                      std::size_t conv1_channels = 8,
+                                      std::size_t conv2_channels = 16,
+                                      std::size_t hidden = 64);
+
+/// One-hidden-layer MLP over flattened inputs (the fast model for the
+/// scaled-down Fig 2 runs).
+std::unique_ptr<Sequential> mlp(std::size_t in_features, std::size_t hidden,
+                                std::size_t num_classes, rng::Rng& rng);
+
+/// Multinomial logistic regression — the convex instance of objective (1);
+/// used by the ADMM convergence tests where the optimum is well defined.
+std::unique_ptr<Sequential> logistic_regression(std::size_t in_features,
+                                                std::size_t num_classes,
+                                                rng::Rng& rng);
+
+}  // namespace appfl::nn

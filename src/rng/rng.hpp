@@ -1,0 +1,52 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// Every random draw in the framework — weight init, data synthesis, batch
+// shuffling, DP noise, network jitter — comes from an Rng seeded through
+// derive_seed(base, ids...), so a run is a pure function of its config seed.
+// The engine is xoshiro256** (Blackman & Vigna), seeded via SplitMix64.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+
+namespace appfl::rng {
+
+/// SplitMix64 step: maps any 64-bit value to a well-mixed 64-bit value.
+/// Used both for seeding and for deriving independent stream seeds.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Derives a seed for an independent stream from a base seed and a list of
+/// stream identifiers (e.g. {client_id, round, purpose}). Deterministic, and
+/// distinct id tuples give (statistically) independent streams.
+std::uint64_t derive_seed(std::uint64_t base,
+                          std::initializer_list<std::uint64_t> ids);
+
+/// xoshiro256** engine. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  std::uint64_t next();
+
+  // UniformRandomBitGenerator interface.
+  result_type operator()() { return next(); }
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  double uniform01();
+
+  /// Uniform double in (0, 1): never returns exactly 0 — safe for log().
+  double uniform01_open();
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses rejection sampling so
+  /// the distribution is exactly uniform.
+  std::uint64_t uniform_below(std::uint64_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace appfl::rng

@@ -1,0 +1,189 @@
+#include "tensor/conv.hpp"
+
+#include "util/check.hpp"
+
+namespace appfl::tensor {
+
+std::size_t Conv2dSpec::out_extent(std::size_t in_extent) const {
+  APPFL_CHECK(kernel > 0 && stride > 0);
+  const std::size_t padded = in_extent + 2 * padding;
+  APPFL_CHECK_MSG(padded >= kernel, "conv kernel " << kernel
+                                                   << " larger than padded input "
+                                                   << padded);
+  return (padded - kernel) / stride + 1;
+}
+
+namespace {
+
+void check_forward_shapes(const Tensor& input, const Tensor& weight,
+                          const Tensor& bias, const Conv2dSpec& spec) {
+  APPFL_CHECK_MSG(input.rank() == 4,
+                  "conv2d input must be NCHW, got " << to_string(input.shape()));
+  APPFL_CHECK(weight.rank() == 4);
+  APPFL_CHECK_MSG(input.dim(1) == spec.in_channels,
+                  "conv2d input channels " << input.dim(1) << " != spec "
+                                           << spec.in_channels);
+  APPFL_CHECK(weight.dim(0) == spec.out_channels);
+  APPFL_CHECK(weight.dim(1) == spec.in_channels);
+  APPFL_CHECK(weight.dim(2) == spec.kernel && weight.dim(3) == spec.kernel);
+  APPFL_CHECK(bias.rank() == 1 && bias.dim(0) == spec.out_channels);
+}
+
+}  // namespace
+
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias, const Conv2dSpec& spec) {
+  check_forward_shapes(input, weight, bias, spec);
+  const std::size_t n = input.dim(0), cin = input.dim(1);
+  const std::size_t h = input.dim(2), w = input.dim(3);
+  const std::size_t oh = spec.out_extent(h), ow = spec.out_extent(w);
+  const std::size_t cout = spec.out_channels, k = spec.kernel;
+  Tensor out({n, cout, oh, ow});
+
+  const float* X = input.raw();
+  const float* W = weight.raw();
+  const float* B = bias.raw();
+  float* Y = out.raw();
+
+  const long pad = static_cast<long>(spec.padding);
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t oc = 0; oc < cout; ++oc) {
+      float* y = Y + ((img * cout + oc) * oh) * ow;
+      const float b = B[oc];
+      for (std::size_t i = 0; i < oh * ow; ++i) y[i] = b;
+      for (std::size_t ic = 0; ic < cin; ++ic) {
+        const float* x = X + ((img * cin + ic) * h) * w;
+        const float* wk = W + ((oc * cin + ic) * k) * k;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const long iy0 = static_cast<long>(oy * spec.stride) - pad;
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const long ix0 = static_cast<long>(ox * spec.stride) - pad;
+            float acc = 0.0F;
+            for (std::size_t ky = 0; ky < k; ++ky) {
+              const long iy = iy0 + static_cast<long>(ky);
+              if (iy < 0 || iy >= static_cast<long>(h)) continue;
+              for (std::size_t kx = 0; kx < k; ++kx) {
+                const long ix = ix0 + static_cast<long>(kx);
+                if (ix < 0 || ix >= static_cast<long>(w)) continue;
+                acc += x[iy * static_cast<long>(w) + ix] * wk[ky * k + kx];
+              }
+            }
+            y[oy * ow + ox] += acc;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor conv2d_backward_input(const Tensor& grad_output, const Tensor& weight,
+                             const Shape& input_shape, const Conv2dSpec& spec) {
+  APPFL_CHECK(grad_output.rank() == 4 && weight.rank() == 4);
+  APPFL_CHECK(input_shape.size() == 4);
+  const std::size_t n = input_shape[0], cin = input_shape[1];
+  const std::size_t h = input_shape[2], w = input_shape[3];
+  const std::size_t cout = spec.out_channels, k = spec.kernel;
+  const std::size_t oh = spec.out_extent(h), ow = spec.out_extent(w);
+  APPFL_CHECK(grad_output.dim(0) == n && grad_output.dim(1) == cout);
+  APPFL_CHECK(grad_output.dim(2) == oh && grad_output.dim(3) == ow);
+
+  Tensor grad_input(input_shape);
+  const float* GY = grad_output.raw();
+  const float* W = weight.raw();
+  float* GX = grad_input.raw();
+  const long pad = static_cast<long>(spec.padding);
+
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t oc = 0; oc < cout; ++oc) {
+      const float* gy = GY + ((img * cout + oc) * oh) * ow;
+      for (std::size_t ic = 0; ic < cin; ++ic) {
+        float* gx = GX + ((img * cin + ic) * h) * w;
+        const float* wk = W + ((oc * cin + ic) * k) * k;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const long iy0 = static_cast<long>(oy * spec.stride) - pad;
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const long ix0 = static_cast<long>(ox * spec.stride) - pad;
+            const float g = gy[oy * ow + ox];
+            if (g == 0.0F) continue;
+            for (std::size_t ky = 0; ky < k; ++ky) {
+              const long iy = iy0 + static_cast<long>(ky);
+              if (iy < 0 || iy >= static_cast<long>(h)) continue;
+              for (std::size_t kx = 0; kx < k; ++kx) {
+                const long ix = ix0 + static_cast<long>(kx);
+                if (ix < 0 || ix >= static_cast<long>(w)) continue;
+                gx[iy * static_cast<long>(w) + ix] += g * wk[ky * k + kx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+Tensor conv2d_backward_weight(const Tensor& grad_output, const Tensor& input,
+                              const Conv2dSpec& spec) {
+  APPFL_CHECK(grad_output.rank() == 4 && input.rank() == 4);
+  const std::size_t n = input.dim(0), cin = input.dim(1);
+  const std::size_t h = input.dim(2), w = input.dim(3);
+  const std::size_t cout = spec.out_channels, k = spec.kernel;
+  const std::size_t oh = spec.out_extent(h), ow = spec.out_extent(w);
+  APPFL_CHECK(grad_output.dim(0) == n && grad_output.dim(1) == cout);
+  APPFL_CHECK(grad_output.dim(2) == oh && grad_output.dim(3) == ow);
+
+  Tensor grad_weight({cout, cin, k, k});
+  const float* GY = grad_output.raw();
+  const float* X = input.raw();
+  float* GW = grad_weight.raw();
+  const long pad = static_cast<long>(spec.padding);
+
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t oc = 0; oc < cout; ++oc) {
+      const float* gy = GY + ((img * cout + oc) * oh) * ow;
+      for (std::size_t ic = 0; ic < cin; ++ic) {
+        const float* x = X + ((img * cin + ic) * h) * w;
+        float* gw = GW + ((oc * cin + ic) * k) * k;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const long iy0 = static_cast<long>(oy * spec.stride) - pad;
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const long ix0 = static_cast<long>(ox * spec.stride) - pad;
+            const float g = gy[oy * ow + ox];
+            if (g == 0.0F) continue;
+            for (std::size_t ky = 0; ky < k; ++ky) {
+              const long iy = iy0 + static_cast<long>(ky);
+              if (iy < 0 || iy >= static_cast<long>(h)) continue;
+              for (std::size_t kx = 0; kx < k; ++kx) {
+                const long ix = ix0 + static_cast<long>(kx);
+                if (ix < 0 || ix >= static_cast<long>(w)) continue;
+                gw[ky * k + kx] += g * x[iy * static_cast<long>(w) + ix];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_weight;
+}
+
+Tensor conv2d_backward_bias(const Tensor& grad_output) {
+  APPFL_CHECK(grad_output.rank() == 4);
+  const std::size_t n = grad_output.dim(0), cout = grad_output.dim(1);
+  const std::size_t spatial = grad_output.dim(2) * grad_output.dim(3);
+  Tensor grad_bias({cout});
+  const float* GY = grad_output.raw();
+  float* GB = grad_bias.raw();
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t oc = 0; oc < cout; ++oc) {
+      const float* gy = GY + (img * cout + oc) * spatial;
+      float acc = 0.0F;
+      for (std::size_t i = 0; i < spatial; ++i) acc += gy[i];
+      GB[oc] += acc;
+    }
+  }
+  return grad_bias;
+}
+
+}  // namespace appfl::tensor

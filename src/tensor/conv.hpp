@@ -1,0 +1,42 @@
+// 2-D convolution kernels (NCHW layout), forward and backward.
+//
+// These are the compute core of the paper's CNN model (two conv layers).
+// Direct loops (no im2col) — at the model sizes used by the experiments the
+// working set fits in cache and the simple kernels are both fast enough and
+// easy to verify against finite differences.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace appfl::tensor {
+
+struct Conv2dSpec {
+  std::size_t in_channels = 0;
+  std::size_t out_channels = 0;
+  std::size_t kernel = 0;   // square kernels only (paper model uses k=5/3)
+  std::size_t stride = 1;
+  std::size_t padding = 0;
+
+  /// Output spatial extent for an input extent; throws if non-positive.
+  std::size_t out_extent(std::size_t in_extent) const;
+};
+
+/// Forward: input [N, Cin, H, W], weight [Cout, Cin, K, K], bias [Cout]
+/// → output [N, Cout, OH, OW].
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias, const Conv2dSpec& spec);
+
+/// Backward w.r.t. input: grad_output [N, Cout, OH, OW] → [N, Cin, H, W].
+Tensor conv2d_backward_input(const Tensor& grad_output, const Tensor& weight,
+                             const Shape& input_shape, const Conv2dSpec& spec);
+
+/// Backward w.r.t. weight: → [Cout, Cin, K, K].
+Tensor conv2d_backward_weight(const Tensor& grad_output, const Tensor& input,
+                              const Conv2dSpec& spec);
+
+/// Backward w.r.t. bias: → [Cout] (sum of grad_output over N, OH, OW).
+Tensor conv2d_backward_bias(const Tensor& grad_output);
+
+}  // namespace appfl::tensor

@@ -1,0 +1,166 @@
+#include "tensor/im2col.hpp"
+
+#include "tensor/matmul.hpp"
+#include "util/check.hpp"
+
+namespace appfl::tensor {
+
+Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
+  APPFL_CHECK_MSG(input.rank() == 4, "im2col input must be NCHW, got "
+                                         << to_string(input.shape()));
+  APPFL_CHECK(input.dim(1) == spec.in_channels);
+  const std::size_t n = input.dim(0), cin = input.dim(1);
+  const std::size_t h = input.dim(2), w = input.dim(3);
+  const std::size_t oh = spec.out_extent(h), ow = spec.out_extent(w);
+  const std::size_t k = spec.kernel;
+  const std::size_t patch = cin * k * k;
+
+  Tensor columns({n * oh * ow, patch});
+  const float* X = input.raw();
+  float* C = columns.raw();
+  const long pad = static_cast<long>(spec.padding);
+
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      const long iy0 = static_cast<long>(oy * spec.stride) - pad;
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        const long ix0 = static_cast<long>(ox * spec.stride) - pad;
+        float* row = C + ((img * oh + oy) * ow + ox) * patch;
+        for (std::size_t ic = 0; ic < cin; ++ic) {
+          const float* x = X + ((img * cin + ic) * h) * w;
+          for (std::size_t ky = 0; ky < k; ++ky) {
+            const long iy = iy0 + static_cast<long>(ky);
+            for (std::size_t kx = 0; kx < k; ++kx) {
+              const long ix = ix0 + static_cast<long>(kx);
+              const bool inside = iy >= 0 && iy < static_cast<long>(h) &&
+                                  ix >= 0 && ix < static_cast<long>(w);
+              row[(ic * k + ky) * k + kx] =
+                  inside ? x[iy * static_cast<long>(w) + ix] : 0.0F;
+            }
+          }
+        }
+      }
+    }
+  }
+  return columns;
+}
+
+Tensor col2im(const Tensor& columns, const Shape& input_shape,
+              const Conv2dSpec& spec) {
+  APPFL_CHECK(input_shape.size() == 4);
+  const std::size_t n = input_shape[0], cin = input_shape[1];
+  const std::size_t h = input_shape[2], w = input_shape[3];
+  const std::size_t oh = spec.out_extent(h), ow = spec.out_extent(w);
+  const std::size_t k = spec.kernel;
+  const std::size_t patch = cin * k * k;
+  APPFL_CHECK_MSG(columns.rank() == 2 && columns.dim(0) == n * oh * ow &&
+                      columns.dim(1) == patch,
+                  "col2im got " << to_string(columns.shape()));
+
+  Tensor out(input_shape);
+  const float* C = columns.raw();
+  float* X = out.raw();
+  const long pad = static_cast<long>(spec.padding);
+
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      const long iy0 = static_cast<long>(oy * spec.stride) - pad;
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        const long ix0 = static_cast<long>(ox * spec.stride) - pad;
+        const float* row = C + ((img * oh + oy) * ow + ox) * patch;
+        for (std::size_t ic = 0; ic < cin; ++ic) {
+          float* x = X + ((img * cin + ic) * h) * w;
+          for (std::size_t ky = 0; ky < k; ++ky) {
+            const long iy = iy0 + static_cast<long>(ky);
+            if (iy < 0 || iy >= static_cast<long>(h)) continue;
+            for (std::size_t kx = 0; kx < k; ++kx) {
+              const long ix = ix0 + static_cast<long>(kx);
+              if (ix < 0 || ix >= static_cast<long>(w)) continue;
+              x[iy * static_cast<long>(w) + ix] += row[(ic * k + ky) * k + kx];
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor conv2d_forward_gemm(const Tensor& input, const Tensor& weight,
+                           const Tensor& bias, const Conv2dSpec& spec) {
+  const std::size_t n = input.dim(0);
+  const std::size_t h = input.dim(2), w = input.dim(3);
+  const std::size_t oh = spec.out_extent(h), ow = spec.out_extent(w);
+  const std::size_t cout = spec.out_channels;
+  APPFL_CHECK(weight.dim(0) == cout);
+  APPFL_CHECK(bias.rank() == 1 && bias.dim(0) == cout);
+
+  const Tensor columns = im2col(input, spec);                 // [NOO, patch]
+  const Tensor w_mat =
+      weight.reshaped({cout, weight.size() / cout});          // [Cout, patch]
+  const Tensor out_mat = matmul_bt(columns, w_mat);           // [NOO, Cout]
+
+  // Reorder [N·OH·OW, Cout] → [N, Cout, OH, OW], adding the bias.
+  Tensor out({n, cout, oh, ow});
+  const float* OM = out_mat.raw();
+  const float* B = bias.raw();
+  float* Y = out.raw();
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t pos = 0; pos < oh * ow; ++pos) {
+      const float* src = OM + (img * oh * ow + pos) * cout;
+      for (std::size_t oc = 0; oc < cout; ++oc) {
+        Y[(img * cout + oc) * oh * ow + pos] = src[oc] + B[oc];
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Reorders grad_output [N, Cout, OH, OW] into the GEMM layout
+/// [N·OH·OW, Cout] used by the forward path.
+Tensor grad_output_as_matrix(const Tensor& grad_output) {
+  const std::size_t n = grad_output.dim(0), cout = grad_output.dim(1);
+  const std::size_t spatial = grad_output.dim(2) * grad_output.dim(3);
+  Tensor mat({n * spatial, cout});
+  const float* G = grad_output.raw();
+  float* M = mat.raw();
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t oc = 0; oc < cout; ++oc) {
+      const float* src = G + (img * cout + oc) * spatial;
+      for (std::size_t pos = 0; pos < spatial; ++pos) {
+        M[(img * spatial + pos) * cout + oc] = src[pos];
+      }
+    }
+  }
+  return mat;
+}
+
+}  // namespace
+
+Tensor conv2d_backward_weight_gemm(const Tensor& grad_output,
+                                   const Tensor& input,
+                                   const Conv2dSpec& spec) {
+  const std::size_t cout = spec.out_channels;
+  const Tensor columns = im2col(input, spec);          // [NOO, patch]
+  const Tensor g_mat = grad_output_as_matrix(grad_output);  // [NOO, Cout]
+  // dW[oc, patch] = Σ_rows g[row, oc]·col[row, patch] = gᵀ·col.
+  Tensor dw = matmul_at(g_mat, columns);               // [Cout, patch]
+  dw.reshape({cout, spec.in_channels, spec.kernel, spec.kernel});
+  return dw;
+}
+
+Tensor conv2d_backward_input_gemm(const Tensor& grad_output,
+                                  const Tensor& weight,
+                                  const Shape& input_shape,
+                                  const Conv2dSpec& spec) {
+  const std::size_t cout = spec.out_channels;
+  const Tensor g_mat = grad_output_as_matrix(grad_output);  // [NOO, Cout]
+  const Tensor w_mat = weight.reshaped({cout, weight.size() / cout});
+  // dCol[row, patch] = Σ_oc g[row, oc]·W[oc, patch] = g·W.
+  const Tensor d_columns = matmul(g_mat, w_mat);       // [NOO, patch]
+  return col2im(d_columns, input_shape, spec);
+}
+
+}  // namespace appfl::tensor

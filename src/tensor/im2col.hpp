@@ -1,0 +1,42 @@
+// im2col/col2im and the GEMM-based convolution path.
+//
+// The classic HPC formulation: lower the convolution to a matrix multiply
+// by unrolling input patches into rows ("im2col"), then run the cache-
+// blocked GEMM kernels. Produces bit-comparable results to the direct
+// kernels in conv.hpp (same accumulation order per output within float
+// tolerance); equivalence is pinned by tests, and micro_substrate compares
+// their throughput.
+#pragma once
+
+#include "tensor/conv.hpp"
+#include "tensor/tensor.hpp"
+
+namespace appfl::tensor {
+
+/// Unrolls input [N, Cin, H, W] into a patch matrix
+/// [N·OH·OW, Cin·K·K]; row (n, oy, ox) holds the receptive field of that
+/// output position (zero-padded out-of-bounds reads).
+Tensor im2col(const Tensor& input, const Conv2dSpec& spec);
+
+/// Inverse scatter-add of im2col: folds a patch-matrix gradient
+/// [N·OH·OW, Cin·K·K] back into an input gradient [N, Cin, H, W].
+Tensor col2im(const Tensor& columns, const Shape& input_shape,
+              const Conv2dSpec& spec);
+
+/// GEMM-path forward: identical contract to conv2d_forward.
+Tensor conv2d_forward_gemm(const Tensor& input, const Tensor& weight,
+                           const Tensor& bias, const Conv2dSpec& spec);
+
+/// GEMM-path backward w.r.t. weight: identical contract to
+/// conv2d_backward_weight.
+Tensor conv2d_backward_weight_gemm(const Tensor& grad_output,
+                                   const Tensor& input, const Conv2dSpec& spec);
+
+/// GEMM-path backward w.r.t. input: identical contract to
+/// conv2d_backward_input.
+Tensor conv2d_backward_input_gemm(const Tensor& grad_output,
+                                  const Tensor& weight,
+                                  const Shape& input_shape,
+                                  const Conv2dSpec& spec);
+
+}  // namespace appfl::tensor

@@ -1,0 +1,21 @@
+// Dense matrix multiplication kernels for rank-2 tensors.
+//
+// The Linear layer's forward and backward passes need all three transpose
+// variants; each is a cache-blocked triple loop with the k-loop innermost
+// hoisted where profitable. Shapes are checked; outputs are fresh tensors.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace appfl::tensor {
+
+/// C[M,N] = A[M,K] · B[K,N].
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C[M,N] = A[M,K] · B[N,K]ᵀ  (i.e. A · Bᵀ).
+Tensor matmul_bt(const Tensor& a, const Tensor& b);
+
+/// C[M,N] = A[K,M]ᵀ · B[K,N]  (i.e. Aᵀ · B).
+Tensor matmul_at(const Tensor& a, const Tensor& b);
+
+}  // namespace appfl::tensor

@@ -1,0 +1,74 @@
+#include "tensor/pool.hpp"
+
+#include "util/check.hpp"
+
+namespace appfl::tensor {
+
+std::size_t MaxPool2dSpec::out_extent(std::size_t in_extent) const {
+  APPFL_CHECK(kernel > 0 && stride > 0);
+  APPFL_CHECK_MSG(in_extent >= kernel,
+                  "maxpool kernel " << kernel << " larger than input "
+                                    << in_extent);
+  return (in_extent - kernel) / stride + 1;
+}
+
+MaxPoolResult maxpool2d_forward(const Tensor& input, const MaxPool2dSpec& spec) {
+  APPFL_CHECK_MSG(input.rank() == 4,
+                  "maxpool2d input must be NCHW, got "
+                      << to_string(input.shape()));
+  const std::size_t n = input.dim(0), c = input.dim(1);
+  const std::size_t h = input.dim(2), w = input.dim(3);
+  const std::size_t oh = spec.out_extent(h), ow = spec.out_extent(w);
+
+  MaxPoolResult result{Tensor({n, c, oh, ow}), {}};
+  result.argmax.resize(n * c * oh * ow);
+
+  const float* X = input.raw();
+  float* Y = result.output.raw();
+  std::size_t* AM = result.argmax.data();
+
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const std::size_t plane = (img * c + ch) * h * w;
+      const float* x = X + plane;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          const std::size_t iy0 = oy * spec.stride;
+          const std::size_t ix0 = ox * spec.stride;
+          float best = x[iy0 * w + ix0];
+          std::size_t best_idx = iy0 * w + ix0;
+          for (std::size_t ky = 0; ky < spec.kernel; ++ky) {
+            for (std::size_t kx = 0; kx < spec.kernel; ++kx) {
+              const std::size_t idx = (iy0 + ky) * w + (ix0 + kx);
+              if (x[idx] > best) {
+                best = x[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          const std::size_t out_idx = ((img * c + ch) * oh + oy) * ow + ox;
+          Y[out_idx] = best;
+          AM[out_idx] = plane + best_idx;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Tensor maxpool2d_backward(const Tensor& grad_output,
+                          const std::vector<std::size_t>& argmax,
+                          const Shape& input_shape) {
+  APPFL_CHECK(grad_output.size() == argmax.size());
+  Tensor grad_input(input_shape);
+  float* GX = grad_input.raw();
+  const float* GY = grad_output.raw();
+  for (std::size_t i = 0; i < argmax.size(); ++i) {
+    APPFL_CHECK_MSG(argmax[i] < grad_input.size(),
+                    "argmax index out of range: " << argmax[i]);
+    GX[argmax[i]] += GY[i];
+  }
+  return grad_input;
+}
+
+}  // namespace appfl::tensor

@@ -1,0 +1,32 @@
+// 2-D max pooling (NCHW), forward with argmax capture and exact backward
+// routing through the captured indices.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace appfl::tensor {
+
+struct MaxPool2dSpec {
+  std::size_t kernel = 2;
+  std::size_t stride = 2;
+
+  std::size_t out_extent(std::size_t in_extent) const;
+};
+
+struct MaxPoolResult {
+  Tensor output;                        // [N, C, OH, OW]
+  std::vector<std::size_t> argmax;      // flat input index per output element
+};
+
+/// Forward: input [N, C, H, W] → output + argmax indices for backward.
+MaxPoolResult maxpool2d_forward(const Tensor& input, const MaxPool2dSpec& spec);
+
+/// Backward: routes each grad_output element to its argmax input position.
+Tensor maxpool2d_backward(const Tensor& grad_output,
+                          const std::vector<std::size_t>& argmax,
+                          const Shape& input_shape);
+
+}  // namespace appfl::tensor

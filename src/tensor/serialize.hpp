@@ -1,0 +1,33 @@
+// Raw binary serialization of tensors and float spans.
+//
+// This is the zero-overhead encoding used by the MPI transport path (a
+// memcpy-style contiguous buffer, as RDMA would move). The gRPC path instead
+// goes through comm/protolite.hpp, which pays varint/field-tag overheads.
+// Little-endian layout: u64 rank, u64 extents..., float32 data.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace appfl::tensor {
+
+/// Serializes shape + contents.
+std::vector<std::uint8_t> to_bytes(const Tensor& t);
+
+/// Inverse of to_bytes; throws appfl::Error on malformed input.
+Tensor from_bytes(std::span<const std::uint8_t> bytes);
+
+/// Serialized size in bytes without building the buffer.
+std::size_t byte_size(const Tensor& t);
+
+/// Appends a raw float span (no header) to `out`.
+void append_floats(std::vector<std::uint8_t>& out, std::span<const float> v);
+
+/// Reads `count` floats from `bytes` starting at `offset`; advances offset.
+std::vector<float> read_floats(std::span<const std::uint8_t> bytes,
+                               std::size_t& offset, std::size_t count);
+
+}  // namespace appfl::tensor

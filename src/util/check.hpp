@@ -1,0 +1,51 @@
+// Error-handling primitives used across the library.
+//
+// APPFL_CHECK is an always-on precondition check (never compiled out): the
+// library is a research framework where silent shape/index corruption is far
+// more expensive than a branch. Failures throw appfl::Error with a formatted
+// message so callers (tests, benches, user code) can recover or report.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace appfl {
+
+/// Exception type thrown by all APPFL precondition and runtime checks.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "APPFL check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace appfl
+
+/// Always-on check; throws appfl::Error on failure.
+#define APPFL_CHECK(expr)                                                \
+  do {                                                                   \
+    if (!(expr)) ::appfl::detail::check_failed(#expr, __FILE__, __LINE__, \
+                                               std::string{});           \
+  } while (0)
+
+/// Always-on check with a streamed context message:
+///   APPFL_CHECK_MSG(a == b, "shape mismatch " << a << " vs " << b);
+#define APPFL_CHECK_MSG(expr, stream_expr)                            \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream appfl_check_os_;                              \
+      appfl_check_os_ << stream_expr;                                  \
+      ::appfl::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                    appfl_check_os_.str());            \
+    }                                                                  \
+  } while (0)

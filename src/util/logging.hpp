@@ -1,0 +1,37 @@
+// Minimal leveled logger. Thread-safe (single global mutex around emission);
+// level is process-global and adjustable at runtime or via APPFL_LOG_LEVEL.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace appfl::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Current global log level (default Info; override with env APPFL_LOG_LEVEL
+/// set to one of: debug, info, warn, error, off).
+Level level();
+
+/// Set the global log level programmatically.
+void set_level(Level lv);
+
+/// Emit one log line (no trailing newline needed). Prefer the macros below.
+void emit(Level lv, const std::string& msg);
+
+}  // namespace appfl::log
+
+#define APPFL_LOG_AT(lv, stream_expr)                          \
+  do {                                                         \
+    if (static_cast<int>(lv) >=                                \
+        static_cast<int>(::appfl::log::level())) {             \
+      std::ostringstream appfl_log_os_;                        \
+      appfl_log_os_ << stream_expr;                            \
+      ::appfl::log::emit(lv, appfl_log_os_.str());             \
+    }                                                          \
+  } while (0)
+
+#define APPFL_LOG_DEBUG(s) APPFL_LOG_AT(::appfl::log::Level::kDebug, s)
+#define APPFL_LOG_INFO(s) APPFL_LOG_AT(::appfl::log::Level::kInfo, s)
+#define APPFL_LOG_WARN(s) APPFL_LOG_AT(::appfl::log::Level::kWarn, s)
+#define APPFL_LOG_ERROR(s) APPFL_LOG_AT(::appfl::log::Level::kError, s)

@@ -1,0 +1,26 @@
+// Wall-clock stopwatch for the (few) places where real time matters
+// (microbenchmarks, runner diagnostics). Simulated experiment time lives in
+// comm/sim_clock.hpp instead.
+#pragma once
+
+#include <chrono>
+
+namespace appfl::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace appfl::util

@@ -1,0 +1,102 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace appfl::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  APPFL_CHECK(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  APPFL_CHECK_MSG(cells.size() == header_.size(),
+                  "row arity " << cells.size() << " != header arity "
+                               << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  APPFL_CHECK(!header_.empty());
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  APPFL_CHECK(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+std::string escape_csv(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void write_csv(std::ostream& os, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows) {
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    if (c > 0) os << ',';
+    os << escape_csv(header[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << escape_csv(row[c]);
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  APPFL_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  write_csv(out, header_, rows_);
+  APPFL_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+void CsvWriter::print(std::ostream& os) const { write_csv(os, header_, rows_); }
+
+std::string fmt(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+}  // namespace appfl::util

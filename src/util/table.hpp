@@ -1,0 +1,49 @@
+// Text-table and CSV emitters used by the benchmark harnesses to print the
+// same rows/series the paper's tables and figures report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace appfl::util {
+
+/// Column-aligned ASCII table. Collect rows, then print once.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with padded columns and a header rule.
+  void print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// CSV writer with the same interface; escapes commas/quotes per RFC 4180.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Writes header + rows to `path`; throws appfl::Error on I/O failure.
+  void write_file(const std::string& path) const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals (fixed notation).
+std::string fmt(double value, int digits = 4);
+
+}  // namespace appfl::util

@@ -1,0 +1,148 @@
+// Adaptive penalty ρ^t extension: the residual-balancing rule, its
+// propagation through the wire, and dual-replica consistency under changing ρ.
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+#include <bit>
+#include <limits>
+
+#include "core/adaptive.hpp"
+#include "core/iiadmm.hpp"
+#include "core/runner.hpp"
+#include "data/synth.hpp"
+
+namespace {
+
+using appfl::core::Algorithm;
+using appfl::core::RunConfig;
+
+RunConfig adaptive_config() {
+  RunConfig cfg;
+  cfg.algorithm = Algorithm::kIIAdmm;
+  cfg.model = appfl::core::ModelKind::kMlp;
+  cfg.mlp_hidden = 16;
+  cfg.rounds = 6;
+  cfg.local_steps = 2;
+  cfg.rho = 2.0F;
+  cfg.zeta = 1.0F;
+  cfg.clip = 0.0F;
+  cfg.epsilon = std::numeric_limits<double>::infinity();
+  cfg.adaptive_rho = true;
+  cfg.seed = 31;
+  cfg.validate_every_round = false;
+  return cfg;
+}
+
+appfl::data::FederatedSplit small_split() {
+  appfl::data::SynthImageSpec spec;
+  spec.train_per_client = 48;
+  spec.test_size = 64;
+  spec.seed = 31;
+  return appfl::data::mnist_like(spec);
+}
+
+TEST(AdaptRho, GrowsWhenPrimalResidualDominates) {
+  RunConfig cfg = adaptive_config();
+  EXPECT_FLOAT_EQ(appfl::core::adapt_rho(2.0F, 100.0, 1.0, cfg), 4.0F);
+}
+
+TEST(AdaptRho, ShrinksWhenDualResidualDominates) {
+  RunConfig cfg = adaptive_config();
+  EXPECT_FLOAT_EQ(appfl::core::adapt_rho(2.0F, 1.0, 100.0, cfg), 1.0F);
+}
+
+TEST(AdaptRho, HoldsWhenBalanced) {
+  RunConfig cfg = adaptive_config();
+  EXPECT_FLOAT_EQ(appfl::core::adapt_rho(2.0F, 5.0, 5.0, cfg), 2.0F);
+}
+
+TEST(AdaptRho, ClampsToConfiguredRange) {
+  RunConfig cfg = adaptive_config();
+  cfg.rho_min = 1.0F;
+  cfg.rho_max = 3.0F;
+  EXPECT_FLOAT_EQ(appfl::core::adapt_rho(2.0F, 100.0, 0.0, cfg), 3.0F);
+  EXPECT_FLOAT_EQ(appfl::core::adapt_rho(1.5F, 0.0, 100.0, cfg), 1.0F);
+}
+
+TEST(AdaptRho, ConfigValidationGuards) {
+  RunConfig cfg = adaptive_config();
+  cfg.algorithm = Algorithm::kFedAvg;
+  EXPECT_THROW(cfg.validate(), appfl::Error);  // IADMM family only
+
+  cfg = adaptive_config();
+  cfg.epsilon = 5.0;  // DP sensitivity would drift with rho
+  cfg.clip = 1.0F;
+  EXPECT_THROW(cfg.validate(), appfl::Error);
+
+  cfg = adaptive_config();
+  cfg.adapt_tau = 1.0F;
+  EXPECT_THROW(cfg.validate(), appfl::Error);
+
+  cfg = adaptive_config();
+  cfg.rho = 1000.0F;  // outside [rho_min, rho_max]
+  EXPECT_THROW(cfg.validate(), appfl::Error);
+}
+
+TEST(AdaptiveRun, RhoEvolvesAndIsRecordedPerRound) {
+  // An over-damped initial rho makes the dual residual dominate, so the
+  // balancing rule must shrink rho within a few rounds.
+  RunConfig cfg = adaptive_config();
+  cfg.rho = 30.0F;
+  const auto result = appfl::core::run_federated(cfg, small_split());
+  // Every round carries the rho in force; it starts at the configured value.
+  EXPECT_NEAR(result.rounds.front().rho, 30.0, 1e-6);
+  bool changed = false;
+  for (const auto& r : result.rounds) {
+    EXPECT_GT(r.rho, 0.0);
+    if (std::abs(r.rho - 30.0) > 1e-9) changed = true;
+  }
+  EXPECT_TRUE(changed) << "rho never adapted over the run";
+}
+
+TEST(AdaptiveRun, FixedRhoRunsReportConstantRho) {
+  RunConfig cfg = adaptive_config();
+  cfg.adaptive_rho = false;
+  const auto result = appfl::core::run_federated(cfg, small_split());
+  for (const auto& r : result.rounds) EXPECT_NEAR(r.rho, 2.0, 1e-6);
+}
+
+TEST(AdaptiveRun, DualReplicasStayBitIdenticalAcrossRhoChanges) {
+  // The critical invariant: adaptation must not desynchronize the
+  // server/client dual replicas (both sides must use the broadcast rho).
+  const RunConfig cfg = adaptive_config();
+  const auto split = small_split();
+  auto model = appfl::core::build_model(cfg, split.test);
+  std::vector<std::unique_ptr<appfl::core::BaseClient>> clients;
+  for (std::size_t p = 0; p < split.clients.size(); ++p) {
+    clients.push_back(std::make_unique<appfl::core::IIAdmmClient>(
+        static_cast<std::uint32_t>(p + 1), cfg, *model, split.clients[p]));
+  }
+  appfl::core::IIAdmmServer server(cfg, std::move(model), split.test,
+                                   clients.size());
+  appfl::core::run_federated(cfg, server, clients);
+
+  for (std::size_t p = 0; p < clients.size(); ++p) {
+    const auto& cd =
+        static_cast<appfl::core::IIAdmmClient&>(*clients[p]).dual();
+    const auto& sd = server.dual(static_cast<std::uint32_t>(p + 1));
+    ASSERT_EQ(cd.size(), sd.size());
+    for (std::size_t i = 0; i < cd.size(); ++i) {
+      ASSERT_EQ(std::bit_cast<std::uint32_t>(cd[i]),
+                std::bit_cast<std::uint32_t>(sd[i]))
+          << "client " << p + 1 << " coord " << i;
+    }
+  }
+}
+
+TEST(AdaptiveRun, RecoversFromBadInitialRho) {
+  // Start with an absurdly large rho (over-damped local steps). Adaptive
+  // should end with a materially smaller rho than it started with.
+  RunConfig cfg = adaptive_config();
+  cfg.rho = 50.0F;
+  cfg.rounds = 8;
+  const auto adaptive = appfl::core::run_federated(cfg, small_split());
+  EXPECT_LT(adaptive.rounds.back().rho, 50.0);
+}
+
+}  // namespace

@@ -1,0 +1,184 @@
+// Asynchronous aggregation (future-work extension): event ordering,
+// staleness damping, determinism, and the straggler advantage vs sync.
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+#include "core/async_runner.hpp"
+#include "core/runner.hpp"
+#include "data/synth.hpp"
+#include "hw/device.hpp"
+
+namespace {
+
+using appfl::core::AsyncConfig;
+using appfl::core::RunConfig;
+
+appfl::data::FederatedSplit split_of(std::size_t per_client = 48) {
+  appfl::data::SynthImageSpec spec;
+  spec.train_per_client = per_client;
+  spec.test_size = 128;
+  spec.seed = 17;
+  return appfl::data::mnist_like(spec);
+}
+
+AsyncConfig base_async() {
+  AsyncConfig cfg;
+  cfg.run.algorithm = appfl::core::Algorithm::kFedAvg;
+  cfg.run.model = appfl::core::ModelKind::kMlp;
+  cfg.run.mlp_hidden = 16;
+  cfg.run.rounds = 6;  // ⇒ 6 × P total updates by default
+  cfg.run.local_steps = 1;
+  cfg.run.batch_size = 32;
+  cfg.run.lr = 0.1F;
+  cfg.run.seed = 17;
+  cfg.mixing_alpha = 0.6F;
+  return cfg;
+}
+
+TEST(Async, AppliesExactlyTheRequestedUpdates) {
+  const auto split = split_of();
+  AsyncConfig cfg = base_async();
+  cfg.total_updates = 10;
+  const auto result = appfl::core::run_async(cfg, split);
+  EXPECT_EQ(result.applied_updates, 10U);
+  EXPECT_EQ(result.events.size(), 10U);
+}
+
+TEST(Async, EventTimesAreNonDecreasing) {
+  const auto result = appfl::core::run_async(base_async(), split_of());
+  double prev = 0.0;
+  for (const auto& e : result.events) {
+    EXPECT_GE(e.sim_time, prev);
+    prev = e.sim_time;
+  }
+  EXPECT_GT(result.sim_seconds, 0.0);
+  EXPECT_NEAR(result.sim_seconds, result.events.back().sim_time, 1e-12);
+}
+
+TEST(Async, MixingIsStalenessDamped) {
+  AsyncConfig cfg = base_async();
+  // Extreme heterogeneity forces staleness: one fast, three slow clients.
+  cfg.devices = {appfl::hw::DeviceProfile{"fast", 1e12},
+                 appfl::hw::DeviceProfile{"slow", 1e9},
+                 appfl::hw::DeviceProfile{"slow", 1e9},
+                 appfl::hw::DeviceProfile{"slow", 1e9}};
+  const auto result = appfl::core::run_async(cfg, split_of());
+  bool saw_stale = false;
+  for (const auto& e : result.events) {
+    EXPECT_NEAR(e.mixing,
+                cfg.mixing_alpha / (1.0F + static_cast<float>(e.staleness)),
+                1e-6);
+    if (e.staleness > 0) saw_stale = true;
+  }
+  EXPECT_TRUE(saw_stale);
+  EXPECT_GT(result.mean_staleness, 0.0);
+}
+
+TEST(Async, LearnsAboveChance) {
+  AsyncConfig cfg = base_async();
+  cfg.run.rounds = 10;
+  const auto result = appfl::core::run_async(cfg, split_of(96));
+  EXPECT_GT(result.final_accuracy, 0.5);  // 10-class chance = 0.1
+}
+
+TEST(Async, DeterministicGivenSeed) {
+  const auto split = split_of();
+  const auto a = appfl::core::run_async(base_async(), split);
+  const auto b = appfl::core::run_async(base_async(), split);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  EXPECT_EQ(a.final_accuracy, b.final_accuracy);
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].sim_time, b.events[i].sim_time);
+    EXPECT_EQ(a.events[i].client, b.events[i].client);
+  }
+}
+
+TEST(Async, ValidateEveryControlsValidationPoints) {
+  AsyncConfig cfg = base_async();
+  cfg.total_updates = 12;
+  cfg.validate_every = 4;
+  const auto result = appfl::core::run_async(cfg, split_of());
+  std::size_t validated = 0;
+  for (const auto& e : result.events) {
+    if (e.test_accuracy >= 0.0) ++validated;
+  }
+  EXPECT_EQ(validated, 3U);
+}
+
+TEST(Async, BeatsSyncWallClockOnHeterogeneousFleet) {
+  // The motivation from §IV-E: with mixed A100/V100 silos the synchronous
+  // server waits for the V100s every round; async keeps everyone busy. For
+  // the same number of total client updates, async must finish in less
+  // simulated time.
+  const auto split = split_of();
+  AsyncConfig cfg = base_async();
+  cfg.devices = {appfl::hw::a100(), appfl::hw::v100()};
+  const auto async_result = appfl::core::run_async(cfg, split);
+  const auto sync_result = appfl::core::run_sync_baseline(cfg, split);
+  EXPECT_LT(async_result.sim_seconds, sync_result.sim_seconds);
+  EXPECT_GT(sync_result.straggler_idle_fraction, 0.1);
+}
+
+TEST(Async, IdleFractionGrowsWithDeviceHeterogeneity) {
+  // On equal devices the only sync idling comes from network jitter
+  // (§IV-D's effect); adding device heterogeneity (§IV-E) must add idle
+  // time on top.
+  AsyncConfig cfg = base_async();
+  const auto split = split_of();
+  cfg.devices = {appfl::hw::v100()};
+  const auto homogeneous = appfl::core::run_sync_baseline(cfg, split);
+  cfg.devices = {appfl::hw::DeviceProfile{"fast", 8e9},
+                 appfl::hw::DeviceProfile{"slow", 1e9}};
+  const auto heterogeneous = appfl::core::run_sync_baseline(cfg, split);
+  EXPECT_GT(heterogeneous.straggler_idle_fraction,
+            homogeneous.straggler_idle_fraction);
+  EXPECT_GT(homogeneous.final_accuracy, 0.3);
+}
+
+TEST(AsyncIIAdmm, DualReplicasSurviveAsynchrony) {
+  // The paper's no-duals-on-the-wire invariant under the future-work
+  // schedule: asynchronous arrivals, heterogeneous devices, yet every
+  // client dual matches the server replica bit-for-bit.
+  AsyncConfig cfg = base_async();
+  cfg.run.algorithm = appfl::core::Algorithm::kIIAdmm;
+  cfg.run.rho = 2.0F;
+  cfg.run.zeta = 2.0F;
+  cfg.devices = {appfl::hw::a100(), appfl::hw::v100()};
+  const auto result = appfl::core::run_async_iiadmm(cfg, split_of());
+  EXPECT_TRUE(result.duals_consistent);
+  EXPECT_EQ(result.base.applied_updates, 6U * 4U);
+}
+
+TEST(AsyncIIAdmm, LearnsAboveChance) {
+  AsyncConfig cfg = base_async();
+  cfg.run.algorithm = appfl::core::Algorithm::kIIAdmm;
+  cfg.run.rounds = 10;
+  cfg.run.rho = 2.0F;
+  cfg.run.zeta = 2.0F;
+  const auto result = appfl::core::run_async_iiadmm(cfg, split_of(96));
+  EXPECT_GT(result.base.final_accuracy, 0.5);
+}
+
+TEST(AsyncIIAdmm, DeterministicGivenSeed) {
+  AsyncConfig cfg = base_async();
+  cfg.run.algorithm = appfl::core::Algorithm::kIIAdmm;
+  const auto split = split_of(24);
+  const auto a = appfl::core::run_async_iiadmm(cfg, split);
+  const auto b = appfl::core::run_async_iiadmm(cfg, split);
+  EXPECT_EQ(a.base.final_accuracy, b.base.final_accuracy);
+  ASSERT_EQ(a.base.events.size(), b.base.events.size());
+  for (std::size_t i = 0; i < a.base.events.size(); ++i) {
+    EXPECT_EQ(a.base.events[i].client, b.base.events[i].client);
+  }
+}
+
+TEST(Async, RejectsBadMixingAlpha) {
+  AsyncConfig cfg = base_async();
+  cfg.mixing_alpha = 0.0F;
+  EXPECT_THROW(appfl::core::run_async(cfg, split_of(16)), appfl::Error);
+  cfg.mixing_alpha = 1.5F;
+  EXPECT_THROW(appfl::core::run_async(cfg, split_of(16)), appfl::Error);
+}
+
+}  // namespace

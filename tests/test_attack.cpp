@@ -1,0 +1,147 @@
+// Membership-inference attack machinery.
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "core/inference_attack.hpp"
+#include "core/runner.hpp"
+#include "data/synth.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace {
+
+TEST(Attack, PerSampleLossesMatchManualComputation) {
+  // Logistic model with zero weights ⇒ uniform softmax ⇒ loss = log C.
+  const auto ds = appfl::data::generate_samples(1, 4, 4, 3, 10, 0.5, 81);
+  appfl::rng::Rng r(1);
+  auto model = appfl::nn::logistic_regression(16, 3, r);
+  const std::vector<float> zeros(model->num_parameters(), 0.0F);
+  const auto losses = appfl::core::per_sample_losses(*model, zeros, ds);
+  ASSERT_EQ(losses.size(), 10U);
+  for (double l : losses) EXPECT_NEAR(l, std::log(3.0), 1e-5);
+}
+
+TEST(Attack, PerfectSeparationGivesAdvantageOneAndAucOne) {
+  // Craft the attack inputs directly through a trivially separable pair:
+  // members drawn from the model's training set after heavy overfit is
+  // approximated by injecting losses via two synthetic datasets scored by
+  // the same model but with labels flipped for non-members.
+  const auto members = appfl::data::generate_samples(1, 4, 4, 2, 24, 0.1, 82);
+  // Non-members: same inputs but deliberately WRONG labels, so their loss
+  // under any decent model is higher.
+  appfl::data::TensorDataset nonmembers(
+      members.inputs(),
+      [&] {
+        std::vector<std::size_t> flipped = members.labels();
+        for (auto& y : flipped) y = 1 - y;
+        return flipped;
+      }(),
+      2);
+
+  // Train a centralized logistic model on the member labels.
+  appfl::rng::Rng r(2);
+  auto model = appfl::nn::logistic_regression(16, 2, r);
+  appfl::core::RunConfig cfg;
+  cfg.algorithm = appfl::core::Algorithm::kFedAvg;
+  cfg.model = appfl::core::ModelKind::kLogistic;
+  cfg.rounds = 10;
+  cfg.local_steps = 3;
+  cfg.lr = 0.5F;
+  cfg.clip = 0.0F;
+  cfg.seed = 82;
+  cfg.validate_every_round = false;
+  appfl::data::FederatedSplit split;
+  split.name = "attack-test";
+  split.clients.push_back(members);
+  split.test = members;
+  auto proto = appfl::core::build_model(cfg, split.test);
+  std::vector<std::unique_ptr<appfl::core::BaseClient>> clients;
+  clients.push_back(appfl::core::build_client(1, cfg, *proto, members));
+  auto server =
+      appfl::core::build_server(cfg, std::move(proto), split.test, 1);
+  appfl::core::run_federated(cfg, *server, clients);
+  const auto w = server->compute_global(99);
+
+  const auto result =
+      appfl::core::loss_threshold_attack(*appfl::core::build_model(cfg, split.test),
+                                         w, members, nonmembers);
+  EXPECT_GT(result.advantage, 0.9);
+  EXPECT_GT(result.auc, 0.95);
+  EXPECT_LT(result.mean_member_loss, result.mean_nonmember_loss);
+}
+
+TEST(Attack, IdenticalDistributionsGiveNearChance) {
+  // Same generator stream statistics for both sets, untrained model.
+  const auto a = appfl::data::generate_samples(1, 4, 4, 2, 64, 0.5, 83, 0,
+                                               nullptr, 1);
+  const auto b = appfl::data::generate_samples(1, 4, 4, 2, 64, 0.5, 83, 0,
+                                               nullptr, 2);
+  appfl::rng::Rng r(3);
+  auto model = appfl::nn::logistic_regression(16, 2, r);
+  const auto result = appfl::core::loss_threshold_attack(
+      *model, model->flat_parameters(), a, b);
+  EXPECT_LT(result.advantage, 0.35);
+  EXPECT_NEAR(result.auc, 0.5, 0.15);
+}
+
+TEST(Attack, RejectsEmptySets) {
+  appfl::data::TensorDataset empty;
+  const auto ds = appfl::data::generate_samples(1, 4, 4, 2, 4, 0.5, 84);
+  appfl::rng::Rng r(4);
+  auto model = appfl::nn::logistic_regression(16, 2, r);
+  EXPECT_THROW(appfl::core::loss_threshold_attack(
+                   *model, model->flat_parameters(), empty, ds),
+               appfl::Error);
+}
+
+TEST(Attack, DpReducesAdvantageOnOverfitModel) {
+  // The §III-B claim end-to-end: harsh output perturbation should cut the
+  // attack advantage relative to the non-private model.
+  appfl::data::SynthImageSpec spec;
+  spec.train_per_client = 16;
+  spec.test_size = 64;
+  spec.noise = 1.5;
+  spec.seed = 85;
+  const auto split = appfl::data::mnist_like(spec);
+  const auto nonmembers = appfl::data::generate_samples(
+      1, 28, 28, 10, 64, spec.noise, spec.seed, 0, nullptr, 555555);
+
+  auto run_and_attack = [&](double eps) {
+    appfl::core::RunConfig cfg;
+    cfg.algorithm = appfl::core::Algorithm::kIIAdmm;
+    cfg.model = appfl::core::ModelKind::kMlp;
+    cfg.mlp_hidden = 32;
+    cfg.rounds = 10;
+    cfg.local_steps = 4;
+    cfg.batch_size = 16;
+    cfg.rho = 1.0F;
+    cfg.zeta = 1.0F;
+    cfg.clip = 1.0F;
+    cfg.epsilon = eps;
+    cfg.seed = 85;
+    cfg.validate_every_round = false;
+    auto proto = appfl::core::build_model(cfg, split.test);
+    std::vector<std::unique_ptr<appfl::core::BaseClient>> clients;
+    for (std::size_t p = 0; p < split.clients.size(); ++p) {
+      clients.push_back(appfl::core::build_client(
+          static_cast<std::uint32_t>(p + 1), cfg, *proto, split.clients[p]));
+    }
+    auto server = appfl::core::build_server(cfg, std::move(proto), split.test,
+                                            clients.size());
+    appfl::core::run_federated(cfg, *server, clients);
+    const auto w = server->compute_global(99);
+    auto probe = appfl::core::build_model(cfg, split.test);
+    return appfl::core::loss_threshold_attack(*probe, w, split.clients[0],
+                                              nonmembers);
+  };
+
+  const auto clean = run_and_attack(std::numeric_limits<double>::infinity());
+  const auto noisy = run_and_attack(0.5);
+  EXPECT_GT(clean.auc, 0.55);  // the non-private model leaks membership
+  EXPECT_LT(noisy.auc, clean.auc);
+}
+
+}  // namespace

@@ -1,0 +1,181 @@
+// BatchNorm2d: normalization semantics, running statistics, train/eval
+// modes, and finite-difference gradient checks through the full
+// batch-statistics backward. Plus SGD weight decay and lr schedules.
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+#include <cmath>
+
+#include "nn/batchnorm2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/sgd.hpp"
+
+namespace {
+
+using appfl::nn::BatchNorm2d;
+using appfl::nn::Tensor;
+
+TEST(BatchNorm, TrainingOutputHasZeroMeanUnitVariancePerChannel) {
+  BatchNorm2d bn(2);
+  appfl::rng::Rng r(1);
+  const Tensor x = Tensor::randn({4, 2, 3, 3}, r, 3.0F);
+  const Tensor y = bn.forward(x);
+  for (std::size_t c = 0; c < 2; ++c) {
+    double sum = 0.0, sum2 = 0.0;
+    std::size_t count = 0;
+    for (std::size_t img = 0; img < 4; ++img) {
+      for (std::size_t i = 0; i < 9; ++i) {
+        const float v = y.at({img, c, i / 3, i % 3});
+        sum += v;
+        sum2 += static_cast<double>(v) * v;
+        ++count;
+      }
+    }
+    const double mean = sum / count;
+    EXPECT_NEAR(mean, 0.0, 1e-4) << "channel " << c;
+    EXPECT_NEAR(sum2 / count - mean * mean, 1.0, 1e-2) << "channel " << c;
+  }
+}
+
+TEST(BatchNorm, GammaBetaScaleAndShift) {
+  BatchNorm2d bn(1);
+  bn.params()[0]->value.fill(2.0F);   // γ
+  bn.params()[1]->value.fill(-1.0F);  // β
+  appfl::rng::Rng r(2);
+  const Tensor x = Tensor::randn({8, 1, 2, 2}, r);
+  const Tensor y = bn.forward(x);
+  double sum = 0.0;
+  for (float v : y.data()) sum += v;
+  EXPECT_NEAR(sum / static_cast<double>(y.size()), -1.0, 1e-4);  // mean = β
+}
+
+TEST(BatchNorm, RunningStatsConvergeToDataStats) {
+  BatchNorm2d bn(1, /*momentum=*/0.5F);
+  appfl::rng::Rng r(3);
+  for (int i = 0; i < 40; ++i) {
+    Tensor x = Tensor::randn({16, 1, 2, 2}, r, 2.0F);
+    for (auto& v : x.data()) v += 5.0F;  // mean 5, std 2
+    bn.forward(x);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 5.0F, 0.3F);
+  EXPECT_NEAR(bn.running_var()[0], 4.0F, 0.8F);
+}
+
+TEST(BatchNorm, EvalModeUsesRunningStatsAndIsDeterministic) {
+  BatchNorm2d bn(1, 1.0F);  // momentum 1 ⇒ running stats = last batch stats
+  appfl::rng::Rng r(4);
+  const Tensor calib = Tensor::randn({32, 1, 2, 2}, r, 2.0F);
+  bn.forward(calib);
+  bn.set_training(false);
+  const Tensor x = Tensor::randn({2, 1, 2, 2}, r);
+  const Tensor y1 = bn.forward(x);
+  const Tensor y2 = bn.forward(x);
+  EXPECT_TRUE(y1.equals(y2));
+  // A single extreme input is NOT renormalized to zero mean in eval mode.
+  Tensor spike({1, 1, 2, 2});
+  spike.fill(100.0F);
+  const Tensor ys = bn.forward(spike);
+  for (float v : ys.data()) EXPECT_GT(v, 10.0F);
+}
+
+TEST(BatchNorm, TrainingGradientMatchesFiniteDifferences) {
+  // Loss = ½‖BN(x)·γ+β‖² through a BN layer; checks input AND parameter
+  // grads, including the batch-statistics terms.
+  BatchNorm2d bn(2);
+  appfl::rng::Rng r(5);
+  Tensor x = Tensor::randn({3, 2, 2, 2}, r);
+  auto loss_of = [&](const Tensor& input) {
+    BatchNorm2d fresh(2);
+    fresh.params()[0]->value = bn.params()[0]->value;
+    fresh.params()[1]->value = bn.params()[1]->value;
+    const Tensor y = fresh.forward(input);
+    double acc = 0.0;
+    for (float v : y.data()) acc += 0.5 * static_cast<double>(v) * v;
+    return acc;
+  };
+  // Randomize γ/β so the test is not at the symmetric point.
+  bn.params()[0]->value = Tensor::randn({2}, r, 0.5F);
+  bn.params()[1]->value = Tensor::randn({2}, r, 0.5F);
+
+  const Tensor y = bn.forward(x);
+  bn.zero_grad();
+  const Tensor gx = bn.backward(y);  // dL/dy = y
+  const double eps = 1e-3;
+  for (std::size_t i = 0; i < x.size(); i += 3) {
+    const float orig = x[i];
+    x[i] = orig + static_cast<float>(eps);
+    const double lp = loss_of(x);
+    x[i] = orig - static_cast<float>(eps);
+    const double lm = loss_of(x);
+    x[i] = orig;
+    const double fd = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(gx[i], fd, 2e-2 * (1.0 + std::abs(fd))) << "input coord " << i;
+  }
+  // Parameter grads via finite differences on γ.
+  auto loss_with_gamma = [&](float g0) {
+    BatchNorm2d fresh(2);
+    fresh.params()[0]->value = bn.params()[0]->value;
+    fresh.params()[0]->value[0] = g0;
+    fresh.params()[1]->value = bn.params()[1]->value;
+    const Tensor yy = fresh.forward(x);
+    double acc = 0.0;
+    for (float v : yy.data()) acc += 0.5 * static_cast<double>(v) * v;
+    return acc;
+  };
+  const float g0 = bn.params()[0]->value[0];
+  const double fd_gamma = (loss_with_gamma(g0 + 1e-3F) -
+                           loss_with_gamma(g0 - 1e-3F)) /
+                          2e-3;
+  EXPECT_NEAR(bn.params()[0]->grad[0], fd_gamma,
+              2e-2 * (1.0 + std::abs(fd_gamma)));
+}
+
+TEST(BatchNorm, CloneCarriesStatsAndParams) {
+  BatchNorm2d bn(1, 1.0F);
+  appfl::rng::Rng r(6);
+  bn.forward(Tensor::randn({8, 1, 2, 2}, r, 2.0F));
+  auto copy = bn.clone();
+  auto* bn_copy = dynamic_cast<BatchNorm2d*>(copy.get());
+  ASSERT_NE(bn_copy, nullptr);
+  EXPECT_EQ(bn_copy->running_mean()[0], bn.running_mean()[0]);
+  EXPECT_EQ(bn_copy->running_var()[0], bn.running_var()[0]);
+}
+
+TEST(BatchNorm, RejectsWrongChannels) {
+  BatchNorm2d bn(3);
+  EXPECT_THROW(bn.forward(Tensor({1, 2, 4, 4})), appfl::Error);
+  EXPECT_THROW(BatchNorm2d(0), appfl::Error);
+}
+
+// -- SGD extras -------------------------------------------------------------------
+
+TEST(SgdWeightDecay, PullsWeightsTowardZero) {
+  appfl::rng::Rng r(7);
+  appfl::nn::Linear lin(1, 1, r);
+  lin.params()[0]->value = Tensor({1, 1}, {10.0F});
+  lin.params()[1]->value = Tensor({1});
+  lin.zero_grad();  // gradient 0: only decay acts
+  appfl::nn::Sgd opt(0.1F, 0.0F, /*weight_decay=*/0.5F);
+  opt.step(lin);
+  // w ← w − lr·λ·w = 10 − 0.1·0.5·10 = 9.5.
+  EXPECT_NEAR(lin.params()[0]->value[0], 9.5F, 1e-6F);
+}
+
+TEST(LrSchedule, ConstantStepAndCosine) {
+  using appfl::nn::LrSchedule;
+  using appfl::nn::scheduled_lr;
+  EXPECT_FLOAT_EQ(scheduled_lr(LrSchedule::kConstant, 0.1F, 7, 10), 0.1F);
+  // Step decay with total 9 ⇒ step = 3: rounds 1-3 full, 4-6 half, 7-9 1/4.
+  EXPECT_FLOAT_EQ(scheduled_lr(LrSchedule::kStepDecay, 0.4F, 2, 9), 0.4F);
+  EXPECT_FLOAT_EQ(scheduled_lr(LrSchedule::kStepDecay, 0.4F, 4, 9), 0.2F);
+  EXPECT_FLOAT_EQ(scheduled_lr(LrSchedule::kStepDecay, 0.4F, 9, 9), 0.1F);
+  // Cosine: full at round 1, ~half at the midpoint, → small at the end.
+  EXPECT_FLOAT_EQ(scheduled_lr(LrSchedule::kCosine, 0.2F, 1, 10), 0.2F);
+  EXPECT_NEAR(scheduled_lr(LrSchedule::kCosine, 0.2F, 6, 10), 0.1F, 0.02F);
+  EXPECT_LT(scheduled_lr(LrSchedule::kCosine, 0.2F, 10, 10), 0.02F);
+  EXPECT_THROW(scheduled_lr(LrSchedule::kCosine, 0.2F, 0, 10), appfl::Error);
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Checkpoint persistence and the evaluation module.
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+#include <filesystem>
+
+#include "core/checkpoint.hpp"
+#include "core/evaluation.hpp"
+#include "core/runner.hpp"
+#include "data/synth.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace {
+
+using appfl::core::Checkpoint;
+
+Checkpoint sample_checkpoint() {
+  Checkpoint ckpt;
+  ckpt.algorithm = "IIADMM";
+  ckpt.dataset = "mnist-like";
+  ckpt.model = "mlp";
+  ckpt.rounds_completed = 50;
+  ckpt.final_accuracy = 0.9175;
+  ckpt.parameters = {1.0F, -2.5F, 0.0F, 3.25F};
+  return ckpt;
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Checkpoint, EncodeDecodeRoundTrip) {
+  const Checkpoint ckpt = sample_checkpoint();
+  const auto bytes = appfl::core::encode_checkpoint(ckpt);
+  EXPECT_EQ(appfl::core::decode_checkpoint(bytes), ckpt);
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  const Checkpoint ckpt = sample_checkpoint();
+  const std::string path = temp_path("appfl_ckpt_test.bin");
+  appfl::core::save_checkpoint(path, ckpt);
+  EXPECT_EQ(appfl::core::load_checkpoint(path), ckpt);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, RejectsMissingFile) {
+  EXPECT_THROW(appfl::core::load_checkpoint("/nonexistent/dir/x.bin"),
+               appfl::Error);
+}
+
+TEST(Checkpoint, RejectsCorruptContent) {
+  auto bytes = appfl::core::encode_checkpoint(sample_checkpoint());
+  bytes.resize(bytes.size() / 2);  // truncate mid-field
+  EXPECT_THROW(appfl::core::decode_checkpoint(bytes), appfl::Error);
+}
+
+TEST(Checkpoint, RejectsWrongVersionAndEmptyParams) {
+  Checkpoint bad = sample_checkpoint();
+  bad.format_version = 99;
+  EXPECT_THROW(appfl::core::decode_checkpoint(appfl::core::encode_checkpoint(bad)),
+               appfl::Error);
+  bad = sample_checkpoint();
+  bad.parameters.clear();
+  EXPECT_THROW(appfl::core::decode_checkpoint(appfl::core::encode_checkpoint(bad)),
+               appfl::Error);
+}
+
+TEST(Checkpoint, TrainedModelSurvivesSaveLoadWithIdenticalAccuracy) {
+  // End-to-end: train, checkpoint, restore into a fresh model, re-evaluate.
+  appfl::data::SynthImageSpec spec;
+  spec.train_per_client = 48;
+  spec.test_size = 128;
+  spec.seed = 51;
+  const auto split = appfl::data::mnist_like(spec);
+  appfl::core::RunConfig cfg;
+  cfg.algorithm = appfl::core::Algorithm::kFedAvg;
+  cfg.model = appfl::core::ModelKind::kLogistic;
+  cfg.rounds = 4;
+  cfg.seed = 51;
+  cfg.validate_every_round = false;
+
+  auto model = appfl::core::build_model(cfg, split.test);
+  std::vector<std::unique_ptr<appfl::core::BaseClient>> clients;
+  for (std::size_t p = 0; p < split.clients.size(); ++p) {
+    clients.push_back(appfl::core::build_client(
+        static_cast<std::uint32_t>(p + 1), cfg, *model, split.clients[p]));
+  }
+  auto server = appfl::core::build_server(cfg, std::move(model), split.test,
+                                          clients.size());
+  const auto result = appfl::core::run_federated(cfg, *server, clients);
+  const std::vector<float> w = server->compute_global(99);
+
+  Checkpoint ckpt;
+  ckpt.algorithm = "FedAvg";
+  ckpt.dataset = split.name;
+  ckpt.rounds_completed = static_cast<std::uint32_t>(cfg.rounds);
+  ckpt.final_accuracy = result.final_accuracy;
+  ckpt.parameters = w;
+  const std::string path = temp_path("appfl_ckpt_e2e.bin");
+  appfl::core::save_checkpoint(path, ckpt);
+
+  const Checkpoint restored = appfl::core::load_checkpoint(path);
+  auto fresh = appfl::core::build_model(cfg, split.test);
+  const auto report =
+      appfl::core::evaluate(*fresh, restored.parameters, split.test);
+  EXPECT_NEAR(report.accuracy, result.final_accuracy, 1e-12);
+  std::filesystem::remove(path);
+}
+
+TEST(Evaluation, PerfectAndWorstCaseAccuracy) {
+  // Logistic model forced to produce a fixed argmax: weights 0, bias favors
+  // class 1 ⇒ predicts 1 for everything.
+  const auto ds = appfl::data::generate_samples(1, 4, 4, 2, 40, 0.5, 53);
+  appfl::rng::Rng r(1);
+  auto model = appfl::nn::logistic_regression(16, 2, r);
+  std::vector<float> params(model->num_parameters(), 0.0F);
+  params[params.size() - 1] = 1.0F;  // bias of class 1
+  const auto report = appfl::core::evaluate(*model, params, ds);
+  // Accuracy equals the fraction of class-1 samples; recall is 0/1 split.
+  EXPECT_NEAR(report.per_class_recall[1], 1.0, 1e-12);
+  EXPECT_NEAR(report.per_class_recall[0], 0.0, 1e-12);
+  std::size_t class1 = 0;
+  for (std::size_t y : ds.labels()) class1 += y;
+  EXPECT_NEAR(report.accuracy,
+              static_cast<double>(class1) / static_cast<double>(ds.size()),
+              1e-12);
+}
+
+TEST(Evaluation, ConfusionMatrixSumsToSampleCount) {
+  const auto ds = appfl::data::generate_samples(1, 8, 8, 3, 60, 0.8, 54);
+  appfl::rng::Rng r(2);
+  auto model = appfl::nn::logistic_regression(64, 3, r);
+  const auto report =
+      appfl::core::evaluate(*model, model->flat_parameters(), ds, 17);
+  std::size_t total = 0;
+  for (const auto& row : report.confusion) {
+    for (std::size_t c : row) total += c;
+  }
+  EXPECT_EQ(total, 60U);
+  EXPECT_EQ(report.samples, 60U);
+  EXPECT_GT(report.mean_loss, 0.0);
+}
+
+TEST(Evaluation, BalancedAccuracySkipsEmptyClasses) {
+  appfl::core::EvalReport report;
+  report.per_class_recall = {1.0, -1.0, 0.5};
+  EXPECT_NEAR(report.balanced_accuracy(), 0.75, 1e-12);
+  report.per_class_recall = {-1.0};
+  EXPECT_EQ(report.balanced_accuracy(), 0.0);
+}
+
+TEST(Evaluation, EmptyDatasetGivesZeroReport) {
+  appfl::data::TensorDataset empty;
+  appfl::rng::Rng r(3);
+  auto model = appfl::nn::logistic_regression(1, 1, r);
+  const auto report =
+      appfl::core::evaluate(*model, model->flat_parameters(), empty);
+  EXPECT_EQ(report.samples, 0U);
+  EXPECT_EQ(report.accuracy, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,152 @@
+// Lossy update compression: error bounds, ratios, edge cases, and the
+// accuracy impact when composed with a real FL round.
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+#include <cmath>
+
+#include "comm/compression.hpp"
+#include "core/runner.hpp"
+#include "data/synth.hpp"
+#include "rng/distributions.hpp"
+
+namespace {
+
+std::vector<float> gaussian_vec(std::uint64_t seed, std::size_t n,
+                                double stddev = 1.0) {
+  appfl::rng::Rng r(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    x = static_cast<float>(appfl::rng::normal(r, 0.0, stddev));
+  }
+  return v;
+}
+
+TEST(Quantize8, RoundTripWithinErrorBound) {
+  const auto v = gaussian_vec(1, 5000, 2.0);
+  const auto q = appfl::comm::quantize8(v, 512);
+  const auto back = appfl::comm::dequantize8(q);
+  const double bound = appfl::comm::quantize8_error_bound(q);
+  ASSERT_EQ(back.size(), v.size());
+  EXPECT_GT(bound, 0.0);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_LE(std::abs(back[i] - v[i]), bound + 1e-6) << i;
+  }
+}
+
+TEST(Quantize8, CompressionRatioNearFour) {
+  const auto v = gaussian_vec(2, 100000);
+  const auto q = appfl::comm::quantize8(v);
+  const double ratio = static_cast<double>(4 * v.size()) /
+                       static_cast<double>(q.wire_bytes());
+  EXPECT_GT(ratio, 3.5);
+  EXPECT_LT(ratio, 4.1);
+}
+
+TEST(Quantize8, ConstantBlockIsExact) {
+  std::vector<float> v(300, 2.5F);
+  const auto back = appfl::comm::dequantize8(appfl::comm::quantize8(v, 100));
+  for (float x : back) EXPECT_EQ(x, 2.5F);
+}
+
+TEST(Quantize8, ExtremesAreRepresentedExactly) {
+  // Block min and max map to codes 0 and 255 exactly.
+  std::vector<float> v{-5.0F, 0.0F, 5.0F};
+  const auto back = appfl::comm::dequantize8(appfl::comm::quantize8(v, 4));
+  EXPECT_NEAR(back[0], -5.0F, 1e-6F);
+  EXPECT_NEAR(back[2], 5.0F, 1e-6F);
+}
+
+TEST(Quantize8, PartialFinalBlockHandled) {
+  const auto v = gaussian_vec(3, 1000 + 17);  // not a multiple of the block
+  const auto q = appfl::comm::quantize8(v, 1000);
+  EXPECT_EQ(q.mins.size(), 2U);
+  EXPECT_EQ(appfl::comm::dequantize8(q).size(), v.size());
+}
+
+TEST(TopK, KeepsTheLargestMagnitudes) {
+  std::vector<float> v{0.1F, -9.0F, 0.2F, 5.0F, -0.3F, 7.0F};
+  const auto sparse = appfl::comm::sparsify_topk(v, 3);
+  const auto dense = appfl::comm::densify(sparse);
+  EXPECT_EQ(dense[1], -9.0F);
+  EXPECT_EQ(dense[3], 5.0F);
+  EXPECT_EQ(dense[5], 7.0F);
+  EXPECT_EQ(dense[0], 0.0F);
+  EXPECT_EQ(dense[2], 0.0F);
+  EXPECT_EQ(dense[4], 0.0F);
+}
+
+TEST(TopK, KClampedToLength) {
+  std::vector<float> v{1.0F, 2.0F};
+  const auto sparse = appfl::comm::sparsify_topk(v, 100);
+  EXPECT_EQ(sparse.indices.size(), 2U);
+  EXPECT_THROW(appfl::comm::sparsify_topk(v, 0), appfl::Error);
+}
+
+TEST(TopK, WireBytesScaleWithK) {
+  const auto v = gaussian_vec(4, 100000);
+  const auto s1 = appfl::comm::sparsify_topk(v, 1000);
+  const auto s10 = appfl::comm::sparsify_topk(v, 10000);
+  EXPECT_NEAR(static_cast<double>(s10.wire_bytes()) / s1.wire_bytes(), 10.0,
+              0.5);
+  // 1% sparsity ⇒ ~50× smaller than raw float32 (8 bytes per kept coord).
+  EXPECT_LT(s1.wire_bytes(), 4 * v.size() / 40);
+}
+
+TEST(TopK, DeterministicOnTies) {
+  std::vector<float> v{1.0F, 1.0F, 1.0F, 1.0F};
+  const auto a = appfl::comm::sparsify_topk(v, 2);
+  const auto b = appfl::comm::sparsify_topk(v, 2);
+  EXPECT_EQ(a.indices, b.indices);
+  EXPECT_EQ(a.indices, (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(TopK, PreservesL2MassBetterThanRandomK) {
+  const auto v = gaussian_vec(5, 10000);
+  const auto sparse = appfl::comm::sparsify_topk(v, 1000);
+  double kept = 0.0, total = 0.0;
+  for (float x : sparse.values) kept += static_cast<double>(x) * x;
+  for (float x : v) total += static_cast<double>(x) * x;
+  // Top 10% of Gaussian coordinates carries well over 10% of the energy
+  // (≈ 44%); assert comfortably above the random-k expectation.
+  EXPECT_GT(kept / total, 0.30);
+}
+
+TEST(Compression, ComposedWithAFedAvgRoundBarelyMovesTheAverage) {
+  // Compress each client's update with 8-bit quantization, decompress at
+  // the server: the aggregated average stays within the quantization bound.
+  appfl::data::SynthImageSpec spec;
+  spec.train_per_client = 24;
+  spec.test_size = 16;
+  spec.seed = 111;
+  const auto split = appfl::data::mnist_like(spec);
+  appfl::core::RunConfig cfg;
+  cfg.algorithm = appfl::core::Algorithm::kFedAvg;
+  cfg.model = appfl::core::ModelKind::kLogistic;
+  cfg.rounds = 1;
+  cfg.seed = 111;
+
+  auto proto = appfl::core::build_model(cfg, split.test);
+  const std::vector<float> w0 = proto->flat_parameters();
+  std::vector<float> plain_mean(w0.size(), 0.0F);
+  std::vector<float> lossy_mean(w0.size(), 0.0F);
+  double worst_bound = 0.0;
+  for (std::size_t p = 0; p < split.clients.size(); ++p) {
+    auto client = appfl::core::build_client(static_cast<std::uint32_t>(p + 1),
+                                            cfg, *proto, split.clients[p]);
+    const auto z = client->update(w0, 1).primal;
+    const auto q = appfl::comm::quantize8(z, 256);
+    worst_bound = std::max(worst_bound, appfl::comm::quantize8_error_bound(q));
+    const auto zq = appfl::comm::dequantize8(q);
+    for (std::size_t i = 0; i < z.size(); ++i) {
+      plain_mean[i] += z[i] / 4.0F;
+      lossy_mean[i] += zq[i] / 4.0F;
+    }
+  }
+  for (std::size_t i = 0; i < plain_mean.size(); i += 13) {
+    EXPECT_NEAR(lossy_mean[i], plain_mean[i], worst_bound + 1e-6) << i;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,184 @@
+// Convolution and pooling kernels: known cases + finite-difference checks of
+// every backward path.
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+#include <cmath>
+
+#include "rng/rng.hpp"
+#include "tensor/conv.hpp"
+#include "tensor/pool.hpp"
+
+namespace {
+
+using appfl::tensor::Conv2dSpec;
+using appfl::tensor::MaxPool2dSpec;
+using appfl::tensor::Shape;
+using appfl::tensor::Tensor;
+
+double loss_of(const Tensor& t) {
+  // Simple scalar functional: L = Σ 0.5·y², so dL/dy = y.
+  double acc = 0.0;
+  for (float v : t.data()) acc += 0.5 * static_cast<double>(v) * v;
+  return acc;
+}
+
+Tensor grad_of(const Tensor& t) { return t; }
+
+TEST(Conv2dSpec, OutputExtent) {
+  Conv2dSpec s{1, 1, 3, 1, 0};
+  EXPECT_EQ(s.out_extent(5), 3U);
+  s.padding = 1;
+  EXPECT_EQ(s.out_extent(5), 5U);
+  s.stride = 2;
+  EXPECT_EQ(s.out_extent(5), 3U);
+  Conv2dSpec bad{1, 1, 7, 1, 0};
+  EXPECT_THROW(bad.out_extent(5), appfl::Error);
+}
+
+TEST(Conv2d, KnownValuesIdentityKernel) {
+  // 3×3 kernel with a single 1 in the center reproduces the input (pad 1).
+  Conv2dSpec spec{1, 1, 3, 1, 1};
+  Tensor input({1, 1, 4, 4});
+  for (std::size_t i = 0; i < 16; ++i) input[i] = static_cast<float>(i);
+  Tensor weight({1, 1, 3, 3});
+  weight.at({0, 0, 1, 1}) = 1.0F;
+  Tensor bias({1});
+  const Tensor out = appfl::tensor::conv2d_forward(input, weight, bias, spec);
+  EXPECT_TRUE(out.allclose(input, 1e-6F));
+}
+
+TEST(Conv2d, BiasIsAddedToEveryOutput) {
+  Conv2dSpec spec{1, 2, 3, 1, 1};
+  const Tensor input({1, 1, 4, 4});
+  const Tensor weight({2, 1, 3, 3});
+  Tensor bias({2}, {1.5F, -2.0F});
+  const Tensor out = appfl::tensor::conv2d_forward(input, weight, bias, spec);
+  for (std::size_t y = 0; y < 4; ++y) {
+    for (std::size_t x = 0; x < 4; ++x) {
+      EXPECT_EQ(out.at({0, 0, y, x}), 1.5F);
+      EXPECT_EQ(out.at({0, 1, y, x}), -2.0F);
+    }
+  }
+}
+
+TEST(Conv2d, StridedShapes) {
+  Conv2dSpec spec{3, 5, 3, 2, 1};
+  appfl::rng::Rng r(1);
+  const Tensor input = Tensor::randn({2, 3, 9, 9}, r);
+  const Tensor weight = Tensor::randn({5, 3, 3, 3}, r);
+  const Tensor bias = Tensor::randn({5}, r);
+  const Tensor out = appfl::tensor::conv2d_forward(input, weight, bias, spec);
+  EXPECT_EQ(out.shape(), (Shape{2, 5, 5, 5}));
+}
+
+struct ConvCase {
+  std::size_t cin, cout, k, stride, pad, h, w, n;
+};
+
+class ConvGradTest : public testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvGradTest, BackwardMatchesFiniteDifferences) {
+  const auto& c = GetParam();
+  Conv2dSpec spec{c.cin, c.cout, c.k, c.stride, c.pad};
+  appfl::rng::Rng r(c.cin * 17 + c.k);
+  Tensor input = Tensor::randn({c.n, c.cin, c.h, c.w}, r, 0.5F);
+  Tensor weight = Tensor::randn({c.cout, c.cin, c.k, c.k}, r, 0.5F);
+  Tensor bias = Tensor::randn({c.cout}, r, 0.5F);
+
+  const Tensor out = appfl::tensor::conv2d_forward(input, weight, bias, spec);
+  const Tensor gy = grad_of(out);
+  const Tensor gx =
+      appfl::tensor::conv2d_backward_input(gy, weight, input.shape(), spec);
+  const Tensor gw = appfl::tensor::conv2d_backward_weight(gy, input, spec);
+  const Tensor gb = appfl::tensor::conv2d_backward_bias(gy);
+
+  const float eps = 1e-2F;
+  auto fd_check = [&](Tensor& param, const Tensor& analytic, const char* tag) {
+    // Check a deterministic subset of coordinates (dense check is O(n²)).
+    const std::size_t stride_idx = std::max<std::size_t>(1, param.size() / 24);
+    for (std::size_t i = 0; i < param.size(); i += stride_idx) {
+      const float orig = param[i];
+      param[i] = orig + eps;
+      const double lp = loss_of(
+          appfl::tensor::conv2d_forward(input, weight, bias, spec));
+      param[i] = orig - eps;
+      const double lm = loss_of(
+          appfl::tensor::conv2d_forward(input, weight, bias, spec));
+      param[i] = orig;
+      const double fd = (lp - lm) / (2.0 * eps);
+      EXPECT_NEAR(analytic[i], fd, 5e-2 * (1.0 + std::abs(fd)))
+          << tag << " coord " << i;
+    }
+  };
+  fd_check(input, gx, "input");
+  fd_check(weight, gw, "weight");
+  fd_check(bias, gb, "bias");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, ConvGradTest,
+    testing::Values(ConvCase{1, 1, 3, 1, 0, 5, 5, 1},
+                    ConvCase{1, 2, 3, 1, 1, 6, 6, 2},
+                    ConvCase{2, 3, 3, 2, 1, 7, 7, 1},
+                    ConvCase{3, 2, 5, 1, 2, 8, 6, 1},
+                    ConvCase{2, 2, 1, 1, 0, 4, 4, 2}),
+    [](const testing::TestParamInfo<ConvCase>& i) {
+      const auto& c = i.param;
+      return "c" + std::to_string(c.cin) + "o" + std::to_string(c.cout) + "k" +
+             std::to_string(c.k) + "s" + std::to_string(c.stride) + "p" +
+             std::to_string(c.pad);
+    });
+
+TEST(MaxPool, ForwardSelectsMaxAndRecordsArgmax) {
+  MaxPool2dSpec spec{2, 2};
+  Tensor input({1, 1, 4, 4});
+  for (std::size_t i = 0; i < 16; ++i) input[i] = static_cast<float>(i);
+  const auto result = appfl::tensor::maxpool2d_forward(input, spec);
+  EXPECT_EQ(result.output.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_EQ(result.output.at({0, 0, 0, 0}), 5.0F);
+  EXPECT_EQ(result.output.at({0, 0, 1, 1}), 15.0F);
+  EXPECT_EQ(result.argmax[0], 5U);
+  EXPECT_EQ(result.argmax[3], 15U);
+}
+
+TEST(MaxPool, BackwardRoutesToArgmaxOnly) {
+  MaxPool2dSpec spec{2, 2};
+  Tensor input({1, 1, 2, 2}, {1, 9, 3, 4});
+  const auto fwd = appfl::tensor::maxpool2d_forward(input, spec);
+  Tensor gy({1, 1, 1, 1}, {7.0F});
+  const Tensor gx =
+      appfl::tensor::maxpool2d_backward(gy, fwd.argmax, input.shape());
+  EXPECT_TRUE(gx.equals(Tensor({1, 1, 2, 2}, {0, 7, 0, 0})));
+}
+
+TEST(MaxPool, GradientMatchesFiniteDifferences) {
+  MaxPool2dSpec spec{2, 2};
+  appfl::rng::Rng r(9);
+  Tensor input = Tensor::randn({2, 3, 6, 6}, r);
+  const auto fwd = appfl::tensor::maxpool2d_forward(input, spec);
+  const Tensor gy = grad_of(fwd.output);
+  const Tensor gx =
+      appfl::tensor::maxpool2d_backward(gy, fwd.argmax, input.shape());
+  const float eps = 1e-3F;
+  for (std::size_t i = 0; i < input.size(); i += 13) {
+    const float orig = input[i];
+    input[i] = orig + eps;
+    const double lp = loss_of(appfl::tensor::maxpool2d_forward(input, spec).output);
+    input[i] = orig - eps;
+    const double lm = loss_of(appfl::tensor::maxpool2d_forward(input, spec).output);
+    input[i] = orig;
+    EXPECT_NEAR(gx[i], (lp - lm) / (2.0 * eps), 1e-2) << "coord " << i;
+  }
+}
+
+TEST(MaxPool, NonSquareAndStride1) {
+  MaxPool2dSpec spec{2, 1};
+  appfl::rng::Rng r(3);
+  const Tensor input = Tensor::randn({1, 1, 3, 5}, r);
+  const auto result = appfl::tensor::maxpool2d_forward(input, spec);
+  EXPECT_EQ(result.output.shape(), (Shape{1, 1, 2, 4}));
+}
+
+}  // namespace

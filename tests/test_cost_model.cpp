@@ -1,0 +1,178 @@
+// Communication cost models: pins the paper's calibration anchors.
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "comm/cost_model.hpp"
+#include "rng/rng.hpp"
+
+namespace {
+
+using appfl::comm::GrpcCostModel;
+using appfl::comm::kFemnistModelBytes;
+using appfl::comm::MpiCostModel;
+
+std::size_t payload_per_rank(std::size_t ranks) {
+  // 203 clients divided over `ranks` processes, each client's update being
+  // one FEMNIST model bundle (§IV-C).
+  return static_cast<std::size_t>(203.0 / static_cast<double>(ranks) *
+                                  static_cast<double>(kFemnistModelBytes));
+}
+
+TEST(MpiModel, PaperAnchor40xPayloadGivesOnly8xTime) {
+  // §IV-C: "the size of data to send has reduced by more than a factor of 40
+  // (5 vs 203 MPI processes), its communication time has decreased only by a
+  // factor of 8".
+  const MpiCostModel model;
+  const double t5 = model.gather_seconds(5, payload_per_rank(5));
+  const double t203 = model.gather_seconds(203, payload_per_rank(203));
+  const double payload_ratio = static_cast<double>(payload_per_rank(5)) /
+                               static_cast<double>(payload_per_rank(203));
+  EXPECT_GT(payload_ratio, 40.0);
+  EXPECT_NEAR(t5 / t203, 8.0, 0.5);
+}
+
+TEST(MpiModel, GatherTimeShrinksThenFlattens) {
+  // Payload-dominated regime: time falls steeply with more ranks; past the
+  // U-shape minimum (≈100 ranks for the FEMNIST payload) the per-rank
+  // overhead creeps back — but never close to the 5-rank time.
+  const MpiCostModel model;
+  double prev = 1e99;
+  for (std::size_t ranks : {5, 11, 21, 41, 102}) {
+    const double t = model.gather_seconds(ranks, payload_per_rank(ranks));
+    EXPECT_LT(t, prev) << ranks;
+    prev = t;
+  }
+  const double t5 = model.gather_seconds(5, payload_per_rank(5));
+  const double t203 = model.gather_seconds(203, payload_per_rank(203));
+  EXPECT_LT(t203, t5 / 6.0);
+}
+
+TEST(MpiModel, FewRankBundleGathersBeatGrpc) {
+  // The per-rank formulation extrapolates below cluster scale: an RDMA
+  // gather of the FEMNIST bundle over 4 ranks must beat 4 TCP transfers
+  // (with the old constant-overhead calibration it did not).
+  const MpiCostModel mpi;
+  const GrpcCostModel grpc;
+  const double mpi_t = mpi.gather_seconds(4, kFemnistModelBytes);
+  appfl::rng::Rng r(3);
+  std::vector<double> times(4);
+  for (auto& t : times) t = grpc.transfer_seconds(kFemnistModelBytes, r);
+  EXPECT_LT(mpi_t, grpc.round_seconds(times));
+}
+
+TEST(MpiModel, CommFractionRisesWithRanks) {
+  // Fig 3b's shape: compute scales perfectly (∝ 203/P) while gather does
+  // not, so the gather share of local-update time grows monotonically.
+  const MpiCostModel model;
+  const double per_client_compute = 6.96;  // V100 local update, §IV-E
+  auto frac_at = [&](std::size_t ranks) {
+    const double compute =
+        per_client_compute * std::ceil(203.0 / static_cast<double>(ranks));
+    const double gather = model.gather_seconds(ranks, payload_per_rank(ranks));
+    return gather / (gather + compute);
+  };
+  // Overall rise (small local dips near the U-shape minimum are allowed —
+  // the equal-division ceil() makes compute itself step-wise).
+  EXPECT_LT(frac_at(5), frac_at(41));
+  EXPECT_LT(frac_at(41), frac_at(203));
+  EXPECT_GT(frac_at(203), 0.10);  // visible share at 203 ranks
+  EXPECT_LT(frac_at(203), 0.50);
+}
+
+TEST(MpiModel, GatherMonotoneInPayload) {
+  const MpiCostModel model;
+  EXPECT_LT(model.gather_seconds(10, 1000), model.gather_seconds(10, 1000000));
+}
+
+TEST(MpiModel, BroadcastCheaperThanGatherAtSamePayload) {
+  const MpiCostModel model;
+  EXPECT_LT(model.broadcast_seconds(203, kFemnistModelBytes),
+            model.gather_seconds(203, kFemnistModelBytes));
+}
+
+TEST(GrpcModel, BaseTransferDecomposition) {
+  const GrpcCostModel model;
+  const std::size_t b = 1000000;
+  const double expected = b / model.serialize_bytes_per_s +
+                          b / model.copy_bytes_per_s + model.net_latency_s +
+                          b / model.net_bandwidth_bytes_per_s;
+  EXPECT_DOUBLE_EQ(model.base_transfer_seconds(b), expected);
+}
+
+TEST(GrpcModel, JitterIsCenteredAboveBaseAndSpreads) {
+  const GrpcCostModel model;
+  appfl::rng::Rng r(5);
+  const std::size_t bytes = kFemnistModelBytes;
+  const double base = model.base_transfer_seconds(bytes);
+  double mn = 1e99, mx = 0.0, sum = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const double t = model.transfer_seconds(bytes, r);
+    mn = std::min(mn, t);
+    mx = std::max(mx, t);
+    sum += t;
+  }
+  EXPECT_GT(sum / n, base);        // heavy tail pulls the mean above base
+  EXPECT_GT(mx / mn, 8.0);         // Fig 4b's inter-round spread (~30× peak)
+  EXPECT_LT(mx / mn, 500.0);       // but not absurd
+}
+
+TEST(GrpcModel, PerRoundSpreadMatchesFig4bScale) {
+  // One client, 49 rounds (paper Fig 4b): max/min per-round time should
+  // reach the order of the paper's "factor of 30 between rounds".
+  const GrpcCostModel model;
+  double global_max_ratio = 0.0;
+  for (std::uint64_t client = 0; client < 5; ++client) {
+    appfl::rng::Rng r(appfl::rng::derive_seed(7, {client}));
+    double mn = 1e99, mx = 0.0;
+    for (int round = 0; round < 49; ++round) {
+      const double t = model.transfer_seconds(kFemnistModelBytes, r);
+      mn = std::min(mn, t);
+      mx = std::max(mx, t);
+    }
+    global_max_ratio = std::max(global_max_ratio, mx / mn);
+  }
+  EXPECT_GT(global_max_ratio, 10.0);
+}
+
+TEST(GrpcModel, RoundAggregationUsesStreamsAndStraggler) {
+  const GrpcCostModel model;
+  const std::vector<double> times(16, 1.0);
+  // sum/streams + max = 16/8 + 1 = 3.
+  EXPECT_DOUBLE_EQ(model.round_seconds(times), 3.0);
+  EXPECT_THROW(model.round_seconds({}), appfl::Error);
+}
+
+TEST(GrpcVsMpi, GrpcIsAboutAnOrderOfMagnitudeSlowerPerRound) {
+  // Fig 4a: over 49 rounds with 203 clients, MPI is "up to 10 times faster".
+  const MpiCostModel mpi;
+  const GrpcCostModel grpc;
+  appfl::rng::Rng r(11);
+  double mpi_total = 0.0, grpc_total = 0.0;
+  for (int round = 0; round < 49; ++round) {
+    mpi_total += mpi.gather_seconds(203, kFemnistModelBytes);
+    std::vector<double> client_times(203);
+    for (auto& t : client_times) {
+      t = grpc.transfer_seconds(kFemnistModelBytes, r);
+    }
+    grpc_total += grpc.round_seconds(client_times);
+  }
+  const double ratio = grpc_total / mpi_total;
+  EXPECT_GT(ratio, 4.0);
+  EXPECT_LT(ratio, 20.0);
+}
+
+TEST(GrpcModel, DeterministicGivenSeed) {
+  const GrpcCostModel model;
+  appfl::rng::Rng r1(3), r2(3);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(model.transfer_seconds(1000, r1),
+              model.transfer_seconds(1000, r2));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// End-to-end finite-difference gradient checks of whole models through the
+// CrossEntropy loss — the strongest correctness evidence for the training
+// substrate, since the FL algorithms' dynamics ride entirely on these grads.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "nn/loss.hpp"
+#include "nn/model_zoo.hpp"
+#include "rng/rng.hpp"
+
+namespace {
+
+using appfl::nn::Module;
+using appfl::nn::Tensor;
+
+struct GradCase {
+  const char* name;
+  std::function<std::unique_ptr<Module>(appfl::rng::Rng&)> build;
+  appfl::tensor::Shape input_shape;  // with batch axis
+  std::size_t classes;
+};
+
+class ModelGradTest : public testing::TestWithParam<GradCase> {};
+
+TEST_P(ModelGradTest, ParameterGradientsMatchFiniteDifferences) {
+  const auto& c = GetParam();
+  appfl::rng::Rng r(101);
+  auto model = c.build(r);
+
+  const std::size_t n = c.input_shape[0];
+  const Tensor x = Tensor::randn(c.input_shape, r, 0.7F);
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) labels[i] = r.uniform_below(c.classes);
+
+  appfl::nn::CrossEntropyLoss ce;
+  auto loss_at = [&](const std::vector<float>& flat) {
+    model->set_flat_parameters(flat);
+    return ce.compute(model->forward(x), labels).loss;
+  };
+
+  std::vector<float> theta = model->flat_parameters();
+  model->zero_grad();
+  const auto res = ce.compute(model->forward(x), labels);
+  model->backward(res.grad);
+  const std::vector<float> analytic = model->flat_gradients();
+
+  // Probe a spread of coordinates (~40) including first and last.
+  const double eps = 1e-2;
+  const std::size_t step = std::max<std::size_t>(1, theta.size() / 40);
+  for (std::size_t i = 0; i < theta.size(); i += step) {
+    const float orig = theta[i];
+    theta[i] = orig + static_cast<float>(eps);
+    const double lp = loss_at(theta);
+    theta[i] = orig - static_cast<float>(eps);
+    const double lm = loss_at(theta);
+    theta[i] = orig;
+    const double fd = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(analytic[i], fd, 2e-2 * (1.0 + std::abs(fd)))
+        << c.name << " param coord " << i;
+  }
+}
+
+TEST_P(ModelGradTest, InputGradientMatchesFiniteDifferences) {
+  const auto& c = GetParam();
+  appfl::rng::Rng r(202);
+  auto model = c.build(r);
+  Tensor x = Tensor::randn(c.input_shape, r, 0.7F);
+  std::vector<std::size_t> labels(c.input_shape[0]);
+  for (auto& y : labels) y = r.uniform_below(c.classes);
+
+  appfl::nn::CrossEntropyLoss ce;
+  model->zero_grad();
+  const auto res = ce.compute(model->forward(x), labels);
+  const Tensor gx = model->backward(res.grad);
+  ASSERT_EQ(gx.shape(), x.shape());
+
+  const double eps = 1e-2;
+  const std::size_t step = std::max<std::size_t>(1, x.size() / 25);
+  for (std::size_t i = 0; i < x.size(); i += step) {
+    const float orig = x[i];
+    x[i] = orig + static_cast<float>(eps);
+    const double lp = ce.compute(model->forward(x), labels).loss;
+    x[i] = orig - static_cast<float>(eps);
+    const double lm = ce.compute(model->forward(x), labels).loss;
+    x[i] = orig;
+    const double fd = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(gx[i], fd, 2e-2 * (1.0 + std::abs(fd)))
+        << c.name << " input coord " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, ModelGradTest,
+    testing::Values(
+        GradCase{"logistic",
+                 [](appfl::rng::Rng& r) {
+                   return appfl::nn::logistic_regression(12, 3, r);
+                 },
+                 {4, 12},
+                 3},
+        GradCase{"mlp",
+                 [](appfl::rng::Rng& r) { return appfl::nn::mlp(10, 6, 4, r); },
+                 {3, 10},
+                 4},
+        GradCase{"paper_cnn_tiny",
+                 [](appfl::rng::Rng& r) {
+                   // Smallest legal paper CNN: 8×8 inputs, 2 classes.
+                   return appfl::nn::paper_cnn(1, 8, 8, 2, r, 2, 3, 5);
+                 },
+                 {2, 1, 8, 8},
+                 2},
+        GradCase{"paper_cnn_rgb",
+                 [](appfl::rng::Rng& r) {
+                   return appfl::nn::paper_cnn(2, 8, 8, 3, r, 2, 2, 4);
+                 },
+                 {2, 2, 8, 8},
+                 3}),
+    [](const testing::TestParamInfo<GradCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace

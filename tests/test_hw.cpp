@@ -1,0 +1,89 @@
+// Hardware model: §IV-E anchors and placement arithmetic.
+#include <gtest/gtest.h>
+
+#include "hw/device.hpp"
+#include "hw/placement.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace {
+
+using appfl::hw::DeviceProfile;
+using appfl::hw::Placement;
+
+TEST(Device, ReferenceLocalUpdateMatchesPaperTimes) {
+  // §IV-E: one FEMNIST local update costs 4.24 s on A100 and 6.96 s on V100.
+  const double ref = appfl::hw::reference_femnist_local_update_flops();
+  EXPECT_NEAR(appfl::hw::a100().seconds_for(ref), 4.24, 1e-9);
+  EXPECT_NEAR(appfl::hw::v100().seconds_for(ref), 6.96, 1e-9);
+}
+
+TEST(Device, A100IsFasterByFactor164) {
+  const double ref = appfl::hw::reference_femnist_local_update_flops();
+  const double ratio = appfl::hw::v100().seconds_for(ref) /
+                       appfl::hw::a100().seconds_for(ref);
+  EXPECT_NEAR(ratio, 1.64, 0.01);
+}
+
+TEST(Device, SecondsScaleLinearlyWithWork) {
+  const DeviceProfile d{"x", 1e9};
+  EXPECT_DOUBLE_EQ(d.seconds_for(2e9), 2.0);
+  EXPECT_DOUBLE_EQ(d.seconds_for(0.0), 0.0);
+}
+
+TEST(Device, LocalUpdateFlopsComposition) {
+  appfl::rng::Rng r(1);
+  const auto model = appfl::nn::mlp(10, 5, 2, r);
+  const double one = appfl::hw::local_update_flops(*model, 1, 1);
+  EXPECT_NEAR(appfl::hw::local_update_flops(*model, 10, 3), 30.0 * one, 1e-6);
+  EXPECT_NEAR(one, 3.0 * model->forward_flops(1), 1e-9);
+}
+
+TEST(Placement, RoundRobinCoversAllClientsOnce) {
+  Placement p{203, 5, 6};
+  std::vector<int> seen(203, 0);
+  for (std::size_t rank = 0; rank < 5; ++rank) {
+    for (std::size_t c : p.clients_of_rank(rank)) ++seen[c];
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(Placement, EquallyDividedUpToOne) {
+  // "A total of 203 clients are equally divided into a number of MPI
+  // processes" — counts differ by at most 1.
+  for (std::size_t ranks : {5U, 29U, 102U, 203U}) {
+    Placement p{203, ranks, 6};
+    std::size_t mn = 1000, mx = 0;
+    for (std::size_t r = 0; r < ranks; ++r) {
+      const auto c = p.clients_of_rank(r).size();
+      mn = std::min(mn, c);
+      mx = std::max(mx, c);
+    }
+    EXPECT_LE(mx - mn, 1U) << ranks;
+    EXPECT_EQ(p.max_clients_per_rank(), mx) << ranks;
+  }
+}
+
+TEST(Placement, NodeCountAtSixGpusPerNode) {
+  // §IV-D: 203 clients on 34 nodes, 6 per node (the last node partial).
+  Placement p{203, 203, 6};
+  EXPECT_EQ(p.num_nodes(), 34U);
+}
+
+TEST(Placement, RoundComputeUsesBusiestRank) {
+  const DeviceProfile dev{"unit", 1.0};  // 1 FLOP/s ⇒ seconds == flops
+  Placement p{10, 3, 6};                 // ranks get 4, 3, 3 clients
+  EXPECT_DOUBLE_EQ(appfl::hw::round_compute_seconds(p, dev, 2.0), 8.0);
+}
+
+TEST(Placement, StrongScalingIsPerfectForCompute) {
+  // Compute time ∝ max clients per rank: 5 → 41 clients, 203 → 1 client.
+  const DeviceProfile dev = appfl::hw::v100();
+  const double flops = appfl::hw::reference_femnist_local_update_flops();
+  const double t5 =
+      appfl::hw::round_compute_seconds({203, 5, 6}, dev, flops);
+  const double t203 =
+      appfl::hw::round_compute_seconds({203, 203, 6}, dev, flops);
+  EXPECT_NEAR(t5 / t203, 41.0, 1e-6);
+}
+
+}  // namespace

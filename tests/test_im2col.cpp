@@ -1,0 +1,156 @@
+// im2col/col2im and the GEMM convolution path: structural checks plus
+// equivalence with the direct kernels over a shape sweep.
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+#include "rng/rng.hpp"
+#include "tensor/conv.hpp"
+#include "tensor/ops.hpp"
+#include "nn/conv2d.hpp"
+#include "tensor/im2col.hpp"
+
+namespace {
+
+using appfl::tensor::Conv2dSpec;
+using appfl::tensor::Shape;
+using appfl::tensor::Tensor;
+
+TEST(Im2col, PatchLayoutForKnownInput) {
+  // 1×1×3×3 input 0..8, k=2, stride 1, no padding ⇒ 4 patches of 4.
+  Conv2dSpec spec{1, 1, 2, 1, 0};
+  Tensor x({1, 1, 3, 3});
+  for (std::size_t i = 0; i < 9; ++i) x[i] = static_cast<float>(i);
+  const Tensor cols = appfl::tensor::im2col(x, spec);
+  ASSERT_EQ(cols.shape(), (Shape{4, 4}));
+  // Patch at (0,0): 0 1 3 4; at (0,1): 1 2 4 5; at (1,0): 3 4 6 7.
+  EXPECT_TRUE(cols.reshaped({16}).equals(
+      Tensor({16}, {0, 1, 3, 4, 1, 2, 4, 5, 3, 4, 6, 7, 4, 5, 7, 8})));
+}
+
+TEST(Im2col, PaddingYieldsZeros) {
+  Conv2dSpec spec{1, 1, 3, 1, 1};
+  Tensor x({1, 1, 2, 2}, {1, 2, 3, 4});
+  const Tensor cols = appfl::tensor::im2col(x, spec);
+  ASSERT_EQ(cols.shape(), (Shape{4, 9}));
+  // The top-left patch has its first row and column padded with zeros.
+  EXPECT_EQ(cols.at({0, 0}), 0.0F);
+  EXPECT_EQ(cols.at({0, 4}), 1.0F);  // center = input(0,0)
+}
+
+TEST(Col2im, IsAdjointOfIm2col) {
+  // ⟨im2col(x), y⟩ == ⟨x, col2im(y)⟩ — the defining adjoint property that
+  // makes the GEMM backward correct.
+  Conv2dSpec spec{2, 1, 3, 2, 1};
+  appfl::rng::Rng r(5);
+  const Tensor x = Tensor::randn({2, 2, 5, 6}, r);
+  const Tensor cols = appfl::tensor::im2col(x, spec);
+  const Tensor y = Tensor::randn(cols.shape(), r);
+  const Tensor folded = appfl::tensor::col2im(y, x.shape(), spec);
+  EXPECT_NEAR(appfl::tensor::dot(cols.data(), y.data()),
+              appfl::tensor::dot(x.data(), folded.data()), 1e-2);
+}
+
+struct GemmCase {
+  std::size_t cin, cout, k, stride, pad, h, w, n;
+};
+
+class GemmEquivalenceTest : public testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmEquivalenceTest, ForwardMatchesDirectKernel) {
+  const auto& c = GetParam();
+  Conv2dSpec spec{c.cin, c.cout, c.k, c.stride, c.pad};
+  appfl::rng::Rng r(c.k * 31 + c.cin);
+  const Tensor x = Tensor::randn({c.n, c.cin, c.h, c.w}, r);
+  const Tensor w = Tensor::randn({c.cout, c.cin, c.k, c.k}, r);
+  const Tensor b = Tensor::randn({c.cout}, r);
+  const Tensor direct = appfl::tensor::conv2d_forward(x, w, b, spec);
+  const Tensor gemm = appfl::tensor::conv2d_forward_gemm(x, w, b, spec);
+  EXPECT_TRUE(gemm.allclose(direct, 1e-4F));
+}
+
+TEST_P(GemmEquivalenceTest, BackwardWeightMatchesDirectKernel) {
+  const auto& c = GetParam();
+  Conv2dSpec spec{c.cin, c.cout, c.k, c.stride, c.pad};
+  appfl::rng::Rng r(c.k * 37 + c.cout);
+  const Tensor x = Tensor::randn({c.n, c.cin, c.h, c.w}, r);
+  const Tensor w = Tensor::randn({c.cout, c.cin, c.k, c.k}, r);
+  const Tensor b = Tensor::randn({c.cout}, r);
+  const Tensor y = appfl::tensor::conv2d_forward(x, w, b, spec);
+  const Tensor gy = Tensor::randn(y.shape(), r);
+  const Tensor direct = appfl::tensor::conv2d_backward_weight(gy, x, spec);
+  const Tensor gemm = appfl::tensor::conv2d_backward_weight_gemm(gy, x, spec);
+  EXPECT_EQ(gemm.shape(), direct.shape());
+  EXPECT_TRUE(gemm.allclose(direct, 1e-3F));
+}
+
+TEST_P(GemmEquivalenceTest, BackwardInputMatchesDirectKernel) {
+  const auto& c = GetParam();
+  Conv2dSpec spec{c.cin, c.cout, c.k, c.stride, c.pad};
+  appfl::rng::Rng r(c.k * 41 + c.h);
+  const Tensor x = Tensor::randn({c.n, c.cin, c.h, c.w}, r);
+  const Tensor w = Tensor::randn({c.cout, c.cin, c.k, c.k}, r);
+  const Tensor b = Tensor::randn({c.cout}, r);
+  const Tensor y = appfl::tensor::conv2d_forward(x, w, b, spec);
+  const Tensor gy = Tensor::randn(y.shape(), r);
+  const Tensor direct =
+      appfl::tensor::conv2d_backward_input(gy, w, x.shape(), spec);
+  const Tensor gemm =
+      appfl::tensor::conv2d_backward_input_gemm(gy, w, x.shape(), spec);
+  EXPECT_TRUE(gemm.allclose(direct, 1e-4F));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmEquivalenceTest,
+    testing::Values(GemmCase{1, 1, 3, 1, 0, 5, 5, 1},
+                    GemmCase{1, 8, 3, 1, 1, 12, 12, 2},
+                    GemmCase{3, 4, 3, 2, 1, 9, 11, 2},
+                    GemmCase{2, 5, 5, 1, 2, 8, 8, 1},
+                    GemmCase{4, 2, 1, 1, 0, 6, 6, 3},
+                    GemmCase{2, 3, 3, 3, 0, 10, 10, 1}),
+    [](const testing::TestParamInfo<GemmCase>& i) {
+      const auto& c = i.param;
+      return "c" + std::to_string(c.cin) + "o" + std::to_string(c.cout) + "k" +
+             std::to_string(c.k) + "s" + std::to_string(c.stride) + "p" +
+             std::to_string(c.pad) + "h" + std::to_string(c.h);
+    });
+
+TEST(Conv2dLayer, GemmBackendMatchesDirectBackend) {
+  // The layer-level toggle: identical weights, identical outputs and grads.
+  appfl::rng::Rng r1(77), r2(77);
+  appfl::nn::Conv2d direct(2, 3, 3, r1, 1, 1, appfl::nn::Conv2d::Backend::kDirect);
+  appfl::nn::Conv2d gemm(2, 3, 3, r2, 1, 1, appfl::nn::Conv2d::Backend::kGemm);
+  ASSERT_EQ(direct.flat_parameters(), gemm.flat_parameters());
+
+  appfl::rng::Rng rx(78);
+  const Tensor x = Tensor::randn({2, 2, 7, 7}, rx);
+  const Tensor yd = direct.forward(x);
+  const Tensor yg = gemm.forward(x);
+  EXPECT_TRUE(yg.allclose(yd, 1e-4F));
+
+  const Tensor gy = Tensor::randn(yd.shape(), rx);
+  const Tensor gxd = direct.backward(gy);
+  const Tensor gxg = gemm.backward(gy);
+  EXPECT_TRUE(gxg.allclose(gxd, 1e-4F));
+  const auto gd = direct.flat_gradients();
+  const auto gg = gemm.flat_gradients();
+  for (std::size_t i = 0; i < gd.size(); ++i) {
+    EXPECT_NEAR(gd[i], gg[i], 1e-3F) << i;
+  }
+  // clone() preserves the backend.
+  auto copy = gemm.clone();
+  auto* conv_copy = dynamic_cast<appfl::nn::Conv2d*>(copy.get());
+  ASSERT_NE(conv_copy, nullptr);
+  EXPECT_EQ(conv_copy->backend(), appfl::nn::Conv2d::Backend::kGemm);
+}
+
+TEST(Im2col, RejectsBadShapes) {
+  Conv2dSpec spec{2, 1, 3, 1, 0};
+  EXPECT_THROW(appfl::tensor::im2col(Tensor({1, 1, 5, 5}), spec), appfl::Error);
+  EXPECT_THROW(appfl::tensor::im2col(Tensor({5, 5}), spec), appfl::Error);
+  EXPECT_THROW(
+      appfl::tensor::col2im(Tensor({3, 3}), {1, 2, 5, 5}, spec),
+      appfl::Error);
+}
+
+}  // namespace

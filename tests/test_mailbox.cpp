@@ -1,0 +1,106 @@
+// In-process transport: ordering, blocking semantics, concurrent use.
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+#include <thread>
+
+#include "comm/mailbox.hpp"
+
+namespace {
+
+using appfl::comm::Datagram;
+using appfl::comm::InProcNetwork;
+using appfl::comm::Mailbox;
+
+TEST(Mailbox, FifoOrder) {
+  Mailbox box;
+  box.push({1, {10}});
+  box.push({2, {20}});
+  EXPECT_EQ(box.size(), 2U);
+  EXPECT_EQ(box.pop().from, 1U);
+  EXPECT_EQ(box.pop().from, 2U);
+  EXPECT_EQ(box.size(), 0U);
+}
+
+TEST(Mailbox, TryPopOnEmptyReturnsNullopt) {
+  Mailbox box;
+  EXPECT_FALSE(box.try_pop().has_value());
+  box.push({3, {}});
+  const auto d = box.try_pop();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->from, 3U);
+}
+
+TEST(Mailbox, BlockingPopWakesOnPush) {
+  Mailbox box;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    box.push({9, {1, 2, 3}});
+  });
+  const Datagram d = box.pop();  // must not deadlock
+  EXPECT_EQ(d.from, 9U);
+  EXPECT_EQ(d.bytes.size(), 3U);
+  producer.join();
+}
+
+TEST(Mailbox, ManyProducersOneConsumer) {
+  Mailbox box;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&box, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        box.push({static_cast<std::uint32_t>(p), {}});
+      }
+    });
+  }
+  std::vector<int> counts(kProducers, 0);
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    ++counts[box.pop().from];
+  }
+  for (int p : counts) EXPECT_EQ(p, kPerProducer);
+  for (auto& t : producers) t.join();
+}
+
+TEST(Network, RoutesToTheRightEndpoint) {
+  InProcNetwork net(3);  // server + 2 clients
+  net.send(0, 1, {11});
+  net.send(0, 2, {22});
+  net.send(2, 0, {33});
+  EXPECT_EQ(net.recv(1).bytes[0], 11);
+  EXPECT_EQ(net.recv(2).bytes[0], 22);
+  const auto d = net.recv(0);
+  EXPECT_EQ(d.from, 2U);
+  EXPECT_EQ(d.bytes[0], 33);
+}
+
+TEST(Network, PendingCounts) {
+  InProcNetwork net(2);
+  EXPECT_EQ(net.pending(0), 0U);
+  net.send(1, 0, {});
+  net.send(1, 0, {});
+  EXPECT_EQ(net.pending(0), 2U);
+}
+
+TEST(Network, RejectsBadEndpoints) {
+  InProcNetwork net(2);
+  EXPECT_THROW(net.send(0, 5, {}), appfl::Error);
+  EXPECT_THROW(net.send(5, 0, {}), appfl::Error);
+  EXPECT_THROW(net.recv(7), appfl::Error);
+  EXPECT_THROW(InProcNetwork(1), appfl::Error);
+}
+
+TEST(Network, MovesBytesWithoutCorruption) {
+  InProcNetwork net(2);
+  std::vector<std::uint8_t> payload(4096);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  net.send(1, 0, payload);
+  const auto d = net.recv(0);
+  EXPECT_EQ(d.bytes, payload);
+}
+
+}  // namespace

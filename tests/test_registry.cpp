@@ -1,0 +1,53 @@
+// Table I registry: the derived APPFL row and the transcribed comparison.
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+
+namespace {
+
+TEST(Registry, ThisFrameworkMatchesTheImplementedComponents) {
+  const auto caps = appfl::core::this_framework();
+  EXPECT_EQ(caps.name, "APPFL");
+  EXPECT_TRUE(caps.data_privacy);
+  EXPECT_TRUE(caps.mpi);
+  EXPECT_TRUE(caps.grpc);
+  EXPECT_FALSE(caps.mqtt);  // future work in the paper, not implemented here
+}
+
+TEST(Registry, TableHasFiveFrameworksEndingWithAppfl) {
+  const auto table = appfl::core::comparison_table();
+  ASSERT_EQ(table.size(), 5U);
+  EXPECT_EQ(table[0].name, "OpenFL");
+  EXPECT_EQ(table[1].name, "FedML");
+  EXPECT_EQ(table[2].name, "TFF");
+  EXPECT_EQ(table[3].name, "PySyft");
+  EXPECT_EQ(table[4].name, "APPFL");
+}
+
+TEST(Registry, PaperRowsTranscribedFaithfully) {
+  const auto t = appfl::core::comparison_table();
+  // Table I of the paper: privacy ✓ for TFF, PySyft, APPFL; MPI ✓ for FedML,
+  // APPFL; gRPC ✓ for OpenFL, FedML, APPFL; MQTT ✓ for FedML only.
+  EXPECT_FALSE(t[0].data_privacy);
+  EXPECT_TRUE(t[0].grpc);
+  EXPECT_TRUE(t[1].mpi);
+  EXPECT_TRUE(t[1].mqtt);
+  EXPECT_TRUE(t[2].data_privacy);
+  EXPECT_FALSE(t[2].mpi);
+  EXPECT_TRUE(t[3].data_privacy);
+  EXPECT_FALSE(t[3].grpc);
+}
+
+TEST(Registry, AlgorithmAndMechanismLists) {
+  const auto algs = appfl::core::registered_algorithms();
+  ASSERT_EQ(algs.size(), 4U);
+  EXPECT_EQ(algs[0], "FedAvg");
+  EXPECT_EQ(algs[1], "ICEADMM");
+  EXPECT_EQ(algs[2], "IIADMM");
+  EXPECT_EQ(algs[3], "FedProx");
+  const auto mechs = appfl::core::registered_mechanisms();
+  ASSERT_EQ(mechs.size(), 3U);
+  EXPECT_EQ(mechs[1], "laplace");
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+// Partial client participation (client sampling) across the runner,
+// communicator, and the three server implementations.
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+#include <bit>
+#include <set>
+
+#include "core/iiadmm.hpp"
+#include "core/runner.hpp"
+#include "data/synth.hpp"
+
+namespace {
+
+using appfl::core::Algorithm;
+using appfl::core::RunConfig;
+
+appfl::data::FederatedSplit split_of(std::size_t clients) {
+  appfl::data::SynthImageSpec spec;
+  spec.num_clients = clients;
+  spec.train_per_client = 32;
+  spec.test_size = 64;
+  spec.seed = 43;
+  return appfl::data::mnist_like(spec);
+}
+
+RunConfig sampled_config(Algorithm alg, double fraction) {
+  RunConfig cfg;
+  cfg.algorithm = alg;
+  cfg.model = appfl::core::ModelKind::kLogistic;
+  cfg.rounds = 5;
+  cfg.local_steps = 1;
+  cfg.batch_size = 16;
+  cfg.client_fraction = fraction;
+  cfg.seed = 43;
+  cfg.validate_every_round = false;
+  return cfg;
+}
+
+class SamplingAlgorithmTest : public testing::TestWithParam<Algorithm> {};
+
+TEST_P(SamplingAlgorithmTest, RunsWithHalfParticipation) {
+  const auto split = split_of(8);
+  const auto result =
+      appfl::core::run_federated(sampled_config(GetParam(), 0.5), split);
+  for (const auto& r : result.rounds) {
+    EXPECT_EQ(r.participants, 4U);
+  }
+  // Uplink: 4 messages per round instead of 8.
+  EXPECT_EQ(result.traffic.messages_up, 5U * 4U);
+  EXPECT_GE(result.final_accuracy, 0.0);
+}
+
+TEST_P(SamplingAlgorithmTest, FullParticipationIsTheDefault) {
+  const auto split = split_of(4);
+  const auto result =
+      appfl::core::run_federated(sampled_config(GetParam(), 1.0), split);
+  for (const auto& r : result.rounds) EXPECT_EQ(r.participants, 4U);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, SamplingAlgorithmTest,
+                         testing::Values(Algorithm::kFedAvg,
+                                         Algorithm::kIceAdmm,
+                                         Algorithm::kIIAdmm),
+                         [](const testing::TestParamInfo<Algorithm>& i) {
+                           return appfl::core::to_string(i.param);
+                         });
+
+TEST(Sampling, CeilingAndFloorOfFraction) {
+  const auto split = split_of(5);
+  // 0.3 × 5 = 1.5 ⇒ ⌈·⌉ = 2 participants.
+  const auto result = appfl::core::run_federated(
+      sampled_config(Algorithm::kFedAvg, 0.3), split);
+  for (const auto& r : result.rounds) EXPECT_EQ(r.participants, 2U);
+  // A tiny fraction still samples at least one client.
+  const auto single = appfl::core::run_federated(
+      sampled_config(Algorithm::kFedAvg, 0.01), split);
+  for (const auto& r : single.rounds) EXPECT_EQ(r.participants, 1U);
+}
+
+TEST(Sampling, SamplesVaryAcrossRounds) {
+  // With fraction 0.25 of 8 clients over several rounds, the sampled-bytes
+  // pattern should involve more than 2 distinct clients overall — assert
+  // via traffic: run many rounds and check uplink count only (smoke), plus
+  // determinism of the whole trajectory.
+  const auto split = split_of(8);
+  RunConfig cfg = sampled_config(Algorithm::kFedAvg, 0.25);
+  cfg.rounds = 8;
+  const auto a = appfl::core::run_federated(cfg, split);
+  const auto b = appfl::core::run_federated(cfg, split);
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].train_loss, b.rounds[i].train_loss);
+  }
+  // Different seed ⇒ different sampling ⇒ different losses somewhere.
+  cfg.seed = 99;
+  const auto c = appfl::core::run_federated(cfg, split);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    if (a.rounds[i].train_loss != c.rounds[i].train_loss) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Sampling, IIAdmmDualConsistencySurvivesPartialParticipation) {
+  // Clients that skip a round keep their dual frozen on both sides, so the
+  // replicas must still match bit-for-bit at the end.
+  const auto split = split_of(6);
+  RunConfig cfg = sampled_config(Algorithm::kIIAdmm, 0.5);
+  cfg.rounds = 6;
+
+  auto model = appfl::core::build_model(cfg, split.test);
+  std::vector<std::unique_ptr<appfl::core::BaseClient>> clients;
+  for (std::size_t p = 0; p < split.clients.size(); ++p) {
+    clients.push_back(std::make_unique<appfl::core::IIAdmmClient>(
+        static_cast<std::uint32_t>(p + 1), cfg, *model, split.clients[p]));
+  }
+  appfl::core::IIAdmmServer server(cfg, std::move(model), split.test,
+                                   clients.size());
+  appfl::core::run_federated(cfg, server, clients);
+
+  for (std::size_t p = 0; p < clients.size(); ++p) {
+    const auto& cd =
+        static_cast<appfl::core::IIAdmmClient&>(*clients[p]).dual();
+    const auto& sd = server.dual(static_cast<std::uint32_t>(p + 1));
+    for (std::size_t i = 0; i < cd.size(); ++i) {
+      ASSERT_EQ(std::bit_cast<std::uint32_t>(cd[i]),
+                std::bit_cast<std::uint32_t>(sd[i]))
+          << "client " << p + 1;
+    }
+  }
+}
+
+TEST(Sampling, InvalidFractionRejected) {
+  RunConfig cfg = sampled_config(Algorithm::kFedAvg, 0.0);
+  EXPECT_THROW(cfg.validate(), appfl::Error);
+  cfg.client_fraction = 1.5;
+  EXPECT_THROW(cfg.validate(), appfl::Error);
+}
+
+TEST(Sampling, TrafficShrinksProportionally) {
+  const auto split = split_of(8);
+  const auto full = appfl::core::run_federated(
+      sampled_config(Algorithm::kFedAvg, 1.0), split);
+  const auto half = appfl::core::run_federated(
+      sampled_config(Algorithm::kFedAvg, 0.5), split);
+  EXPECT_NEAR(
+      static_cast<double>(half.traffic.bytes_up) / full.traffic.bytes_up, 0.5,
+      0.01);
+}
+
+}  // namespace

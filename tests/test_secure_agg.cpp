@@ -1,0 +1,169 @@
+// Secure aggregation: exact mask cancellation, privacy of individual
+// uploads, quantization accuracy, and an end-to-end FedAvg round.
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+#include <cmath>
+
+#include "core/runner.hpp"
+#include "data/synth.hpp"
+#include "dp/secure_agg.hpp"
+#include "rng/distributions.hpp"
+
+namespace {
+
+using appfl::dp::SecureAggregator;
+
+constexpr double kScale = SecureAggregator::kDefaultScale;
+
+std::vector<float> random_update(std::uint64_t seed, std::size_t n) {
+  appfl::rng::Rng r(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(appfl::rng::normal(r, 0.0, 1.0));
+  return v;
+}
+
+TEST(Quantize, RoundTripsThroughSum) {
+  const std::vector<float> v{0.0F, 1.5F, -2.25F, 1000.125F, -0.000123F};
+  const auto q = appfl::dp::quantize(v, kScale);
+  const auto back = appfl::dp::dequantize_sum(q, kScale);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(back[i], v[i], 1.0 / kScale);
+  }
+}
+
+TEST(Quantize, NegativeValuesUseTwosComplement) {
+  const std::vector<float> v{-1.0F};
+  const auto q = appfl::dp::quantize(v, kScale);
+  EXPECT_EQ(static_cast<std::int64_t>(q[0]),
+            -static_cast<std::int64_t>(kScale));
+}
+
+TEST(Quantize, OverflowRejected) {
+  const std::vector<float> v{1e19F};
+  EXPECT_THROW(appfl::dp::quantize(v, kScale), appfl::Error);
+}
+
+TEST(SecureAgg, MasksCancelExactlyInTheAggregate) {
+  const std::vector<std::uint32_t> ids{1, 2, 3, 4, 5};
+  SecureAggregator agg(ids, /*round_seed=*/99);
+  const std::size_t n = 257;
+
+  std::vector<std::vector<float>> plain;
+  std::vector<std::vector<std::uint64_t>> masked;
+  std::vector<float> expected_mean(n, 0.0F);
+  for (std::uint32_t id : ids) {
+    plain.push_back(random_update(id, n));
+    masked.push_back(agg.mask(id, plain.back(), kScale));
+    for (std::size_t i = 0; i < n; ++i) {
+      expected_mean[i] += plain.back()[i] / static_cast<float>(ids.size());
+    }
+  }
+  const auto mean = agg.aggregate_mean(masked, kScale);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Exact up to quantization (masks cancel mod 2^64 with no float error).
+    EXPECT_NEAR(mean[i], expected_mean[i], 2.0 / kScale) << i;
+  }
+}
+
+TEST(SecureAgg, IndividualUploadRevealsNothingRecognizable) {
+  const std::vector<std::uint32_t> ids{1, 2, 3};
+  SecureAggregator agg(ids, 7);
+  const std::size_t n = 4096;
+  const std::vector<float> zeros(n, 0.0F);  // worst case: all-zero update
+  const auto masked = agg.mask(1, zeros, kScale);
+  // The masked words should look uniform over 2^64: mean byte ≈ 127.5 and
+  // roughly half the top bits set.
+  double byte_sum = 0.0;
+  std::size_t top_bits = 0;
+  for (std::uint64_t w : masked) {
+    for (int b = 0; b < 8; ++b) byte_sum += (w >> (8 * b)) & 0xFF;
+    top_bits += w >> 63;
+  }
+  EXPECT_NEAR(byte_sum / (8.0 * n), 127.5, 4.0);
+  EXPECT_NEAR(static_cast<double>(top_bits) / n, 0.5, 0.05);
+}
+
+TEST(SecureAgg, TwoUploadsOfTheSameValueLookUnrelated) {
+  const std::vector<std::uint32_t> ids{1, 2, 3};
+  SecureAggregator agg(ids, 7);
+  const std::vector<float> v = random_update(42, 512);
+  const auto m1 = agg.mask(1, v, kScale);
+  const auto m2 = agg.mask(2, v, kScale);
+  std::size_t equal = 0;
+  for (std::size_t i = 0; i < m1.size(); ++i) {
+    if (m1[i] == m2[i]) ++equal;
+  }
+  EXPECT_EQ(equal, 0U);  // identical inputs, entirely different ciphertexts
+}
+
+TEST(SecureAgg, MissingUploadIsRefused) {
+  // Without dropout recovery, an incomplete round must be rejected loudly —
+  // silently aggregating would produce garbage (masks don't cancel).
+  const std::vector<std::uint32_t> ids{1, 2, 3};
+  SecureAggregator agg(ids, 7);
+  std::vector<std::vector<std::uint64_t>> two_uploads{
+      agg.mask(1, random_update(1, 8), kScale),
+      agg.mask(2, random_update(2, 8), kScale)};
+  EXPECT_THROW(agg.aggregate_mean(two_uploads, kScale), appfl::Error);
+}
+
+TEST(SecureAgg, UnregisteredClientRejected) {
+  SecureAggregator agg({1, 2}, 7);
+  EXPECT_THROW(agg.mask(9, random_update(1, 4), kScale), appfl::Error);
+  EXPECT_THROW(SecureAggregator({1}, 7), appfl::Error);
+  EXPECT_THROW(SecureAggregator({1, 1}, 7), appfl::Error);
+}
+
+TEST(SecureAgg, DeterministicPerRoundSeed) {
+  SecureAggregator a({1, 2, 3}, 11);
+  SecureAggregator b({1, 2, 3}, 11);
+  SecureAggregator c({1, 2, 3}, 12);
+  const auto v = random_update(5, 64);
+  EXPECT_EQ(a.mask(1, v, kScale), b.mask(1, v, kScale));
+  EXPECT_NE(a.mask(1, v, kScale), c.mask(1, v, kScale));
+}
+
+TEST(SecureAgg, EndToEndFedAvgRoundMatchesPlainAverage) {
+  // Run one real FL round, then compare the secure-aggregated mean of the
+  // client updates with the plain mean.
+  appfl::data::SynthImageSpec spec;
+  spec.train_per_client = 24;
+  spec.test_size = 16;
+  spec.seed = 77;
+  const auto split = appfl::data::mnist_like(spec);
+  appfl::core::RunConfig cfg;
+  cfg.algorithm = appfl::core::Algorithm::kFedAvg;
+  cfg.model = appfl::core::ModelKind::kLogistic;
+  cfg.rounds = 1;
+  cfg.seed = 77;
+  cfg.weighted_aggregation = false;
+
+  auto proto = appfl::core::build_model(cfg, split.test);
+  const std::vector<float> w0 = proto->flat_parameters();
+  std::vector<std::vector<float>> updates;
+  std::vector<std::uint32_t> ids;
+  for (std::size_t p = 0; p < split.clients.size(); ++p) {
+    auto client = appfl::core::build_client(static_cast<std::uint32_t>(p + 1),
+                                            cfg, *proto, split.clients[p]);
+    updates.push_back(client->update(w0, 1).primal);
+    ids.push_back(static_cast<std::uint32_t>(p + 1));
+  }
+
+  SecureAggregator agg(ids, 1234);
+  std::vector<std::vector<std::uint64_t>> masked;
+  for (std::size_t p = 0; p < updates.size(); ++p) {
+    masked.push_back(agg.mask(ids[p], updates[p], kScale));
+  }
+  const auto secure_mean = agg.aggregate_mean(masked, kScale);
+
+  for (std::size_t i = 0; i < w0.size(); i += 37) {
+    double plain = 0.0;
+    for (const auto& u : updates) plain += u[i];
+    plain /= static_cast<double>(updates.size());
+    EXPECT_NEAR(secure_mean[i], plain, 4.0 / kScale) << i;
+  }
+}
+
+}  // namespace

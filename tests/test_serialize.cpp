@@ -1,0 +1,77 @@
+// Raw tensor serialization: roundtrips, sizes, malformed-input handling.
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+#include "rng/rng.hpp"
+#include "tensor/serialize.hpp"
+
+namespace {
+
+using appfl::tensor::Tensor;
+
+TEST(Serialize, RoundTripPreservesShapeAndData) {
+  appfl::rng::Rng r(1);
+  for (const auto& shape : std::vector<appfl::tensor::Shape>{
+           {0}, {1}, {7}, {2, 3}, {4, 1, 28, 28}}) {
+    const Tensor t = Tensor::randn(shape, r);
+    const auto bytes = appfl::tensor::to_bytes(t);
+    EXPECT_EQ(bytes.size(), appfl::tensor::byte_size(t));
+    const Tensor back = appfl::tensor::from_bytes(bytes);
+    EXPECT_TRUE(t.equals(back)) << appfl::tensor::to_string(shape);
+  }
+}
+
+TEST(Serialize, ScalarRankZero) {
+  Tensor t(appfl::tensor::Shape{});
+  t[0] = 3.5F;
+  const Tensor back = appfl::tensor::from_bytes(appfl::tensor::to_bytes(t));
+  EXPECT_EQ(back.rank(), 0U);
+  EXPECT_EQ(back[0], 3.5F);
+}
+
+TEST(Serialize, TruncatedHeaderThrows) {
+  const std::vector<std::uint8_t> bytes(4, 0);
+  EXPECT_THROW(appfl::tensor::from_bytes(bytes), appfl::Error);
+}
+
+TEST(Serialize, TruncatedPayloadThrows) {
+  const Tensor t = Tensor::from({1, 2, 3});
+  auto bytes = appfl::tensor::to_bytes(t);
+  bytes.pop_back();
+  EXPECT_THROW(appfl::tensor::from_bytes(bytes), appfl::Error);
+}
+
+TEST(Serialize, TrailingGarbageThrows) {
+  const Tensor t = Tensor::from({1, 2});
+  auto bytes = appfl::tensor::to_bytes(t);
+  bytes.push_back(0);
+  EXPECT_THROW(appfl::tensor::from_bytes(bytes), appfl::Error);
+}
+
+TEST(Serialize, ImplausibleRankRejected) {
+  std::vector<std::uint8_t> bytes(8, 0);
+  bytes[0] = 200;  // rank 200
+  EXPECT_THROW(appfl::tensor::from_bytes(bytes), appfl::Error);
+}
+
+TEST(Serialize, FloatSpanHelpers) {
+  std::vector<std::uint8_t> buf;
+  const std::vector<float> v{1.5F, -2.0F, 3.25F};
+  appfl::tensor::append_floats(buf, v);
+  EXPECT_EQ(buf.size(), 12U);
+  std::size_t off = 0;
+  const auto back = appfl::tensor::read_floats(buf, off, 3);
+  EXPECT_EQ(back, v);
+  EXPECT_EQ(off, 12U);
+  off = 0;
+  EXPECT_THROW(appfl::tensor::read_floats(buf, off, 4), appfl::Error);
+}
+
+TEST(Serialize, ByteSizeFormula) {
+  const Tensor t({2, 3});
+  // 8 (rank) + 16 (2 dims) + 24 (6 floats).
+  EXPECT_EQ(appfl::tensor::byte_size(t), 48U);
+}
+
+}  // namespace

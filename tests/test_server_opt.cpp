@@ -1,0 +1,184 @@
+// FedOpt server-side adaptive optimizers.
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+#include <cmath>
+
+#include "core/runner.hpp"
+#include "core/server_opt.hpp"
+#include "data/synth.hpp"
+
+namespace {
+
+using appfl::core::Algorithm;
+using appfl::core::FedOptServer;
+using appfl::core::RunConfig;
+using appfl::core::ServerOpt;
+using appfl::core::ServerOptConfig;
+
+appfl::data::FederatedSplit split_of(std::size_t per_client = 48) {
+  appfl::data::SynthImageSpec spec;
+  spec.train_per_client = per_client;
+  spec.test_size = 128;
+  spec.seed = 91;
+  return appfl::data::mnist_like(spec);
+}
+
+RunConfig fed_cfg() {
+  RunConfig cfg;
+  cfg.algorithm = Algorithm::kFedAvg;
+  cfg.model = appfl::core::ModelKind::kMlp;
+  cfg.mlp_hidden = 16;
+  cfg.rounds = 6;
+  cfg.local_steps = 1;
+  cfg.batch_size = 32;
+  cfg.lr = 0.1F;
+  cfg.seed = 91;
+  cfg.validate_every_round = false;
+  return cfg;
+}
+
+appfl::core::RunResult run_with(ServerOptConfig opt,
+                                const appfl::data::FederatedSplit& split,
+                                const RunConfig& cfg) {
+  auto model = appfl::core::build_model(cfg, split.test);
+  std::vector<std::unique_ptr<appfl::core::BaseClient>> clients;
+  for (std::size_t p = 0; p < split.clients.size(); ++p) {
+    clients.push_back(appfl::core::build_client(
+        static_cast<std::uint32_t>(p + 1), cfg, *model, split.clients[p]));
+  }
+  FedOptServer server(cfg, opt, std::move(model), split.test, clients.size());
+  return appfl::core::run_federated(cfg, server, clients);
+}
+
+TEST(FedOpt, NoneWithUnitLrAndNoMomentumEqualsFedAvg) {
+  // w + 1.0·(avg z − w) = avg z: the FedAvg update, so the whole trajectory
+  // must match the plain FedAvg server's (up to float summation order).
+  const auto split = split_of();
+  const RunConfig cfg = fed_cfg();
+  ServerOptConfig opt;
+  opt.kind = ServerOpt::kNone;
+  opt.lr = 1.0F;
+  opt.beta1 = 0.0F;
+  const auto fedopt = run_with(opt, split, cfg);
+  const auto plain = appfl::core::run_federated(cfg, split);
+  ASSERT_EQ(fedopt.rounds.size(), plain.rounds.size());
+  for (std::size_t i = 0; i < plain.rounds.size(); ++i) {
+    EXPECT_NEAR(fedopt.rounds[i].train_loss, plain.rounds[i].train_loss, 1e-4)
+        << "round " << i + 1;
+  }
+  EXPECT_NEAR(fedopt.final_accuracy, plain.final_accuracy, 0.02);
+}
+
+class ServerOptKindTest : public testing::TestWithParam<ServerOpt> {};
+
+TEST_P(ServerOptKindTest, LearnsAboveChance) {
+  ServerOptConfig opt;
+  opt.kind = GetParam();
+  opt.lr = GetParam() == ServerOpt::kNone ? 1.0F : 0.05F;
+  RunConfig cfg = fed_cfg();
+  cfg.rounds = 10;
+  const auto result = run_with(opt, split_of(96), cfg);
+  EXPECT_GT(result.final_accuracy, 0.45) << appfl::core::to_string(GetParam());
+}
+
+TEST_P(ServerOptKindTest, DeterministicGivenSeed) {
+  ServerOptConfig opt;
+  opt.kind = GetParam();
+  const auto split = split_of(24);
+  const RunConfig cfg = fed_cfg();
+  const auto a = run_with(opt, split, cfg);
+  const auto b = run_with(opt, split, cfg);
+  EXPECT_EQ(a.final_accuracy, b.final_accuracy);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ServerOptKindTest,
+                         testing::Values(ServerOpt::kNone, ServerOpt::kAdagrad,
+                                         ServerOpt::kAdam, ServerOpt::kYogi),
+                         [](const testing::TestParamInfo<ServerOpt>& i) {
+                           return appfl::core::to_string(i.param);
+                         });
+
+TEST(FedOpt, AdamSingleStepMathIsCorrect) {
+  // One round, one client, hand-checkable: Δ = z − w.
+  appfl::data::FederatedSplit split;
+  split.name = "unit";
+  split.clients.push_back(
+      appfl::data::generate_samples(1, 4, 4, 2, 8, 0.5, 92));
+  split.test = appfl::data::generate_samples(1, 4, 4, 2, 8, 0.5, 92);
+  RunConfig cfg = fed_cfg();
+  cfg.rounds = 1;
+
+  ServerOptConfig opt;
+  opt.kind = ServerOpt::kAdam;
+  opt.lr = 0.5F;
+  opt.beta1 = 0.9F;
+  opt.beta2 = 0.99F;
+  opt.tau = 1e-3F;
+
+  auto model = appfl::core::build_model(cfg, split.test);
+  const std::vector<float> w0 = model->flat_parameters();
+  FedOptServer server(cfg, opt, std::move(model), split.test, 1);
+
+  appfl::comm::Message msg;
+  msg.kind = appfl::comm::MessageKind::kLocalUpdate;
+  msg.sender = 1;
+  msg.round = 1;
+  msg.sample_count = 8;
+  msg.primal = w0;
+  for (auto& v : msg.primal) v += 0.2F;  // Δ = 0.2 everywhere
+
+  server.update({msg}, w0, 1);
+  const auto w1 = server.compute_global(2);
+  // m = 0.1·0.2 = 0.02; v = 0.01·0.04 = 4e-4; step = 0.5·0.02/(0.02+1e-3).
+  const float expected_step = 0.5F * 0.02F / (std::sqrt(4e-4F) + 1e-3F);
+  for (std::size_t i = 0; i < w0.size(); i += 5) {
+    EXPECT_NEAR(w1[i] - w0[i], expected_step, 1e-5F) << i;
+  }
+}
+
+TEST(FedOpt, RejectsDualCarryingUpdatesAndBadConfig) {
+  const auto split = split_of(16);
+  RunConfig cfg = fed_cfg();
+  ServerOptConfig opt;
+  auto model = appfl::core::build_model(cfg, split.test);
+  const auto w0 = model->flat_parameters();
+  FedOptServer server(cfg, opt, std::move(model), split.test, 1);
+  appfl::comm::Message bad;
+  bad.kind = appfl::comm::MessageKind::kLocalUpdate;
+  bad.sender = 1;
+  bad.round = 1;
+  bad.sample_count = 1;
+  bad.primal = w0;
+  bad.dual = w0;
+  EXPECT_THROW(server.update({bad}, w0, 1), appfl::Error);
+
+  cfg.algorithm = Algorithm::kIIAdmm;
+  auto model2 = appfl::core::build_model(cfg, split.test);
+  EXPECT_THROW(FedOptServer(cfg, opt, std::move(model2), split.test, 1),
+               appfl::Error);
+}
+
+TEST(FedOpt, AdaptiveServersHelpWhenClientStepsAreTiny) {
+  // With a very small client lr, plain averaging barely moves; FedAdam's
+  // adaptivity rescales the tiny pseudo-gradients and learns faster.
+  const auto split = split_of(96);
+  RunConfig cfg = fed_cfg();
+  cfg.lr = 0.002F;
+  cfg.rounds = 8;
+
+  ServerOptConfig none;
+  none.kind = ServerOpt::kNone;
+  none.lr = 1.0F;
+  none.beta1 = 0.0F;
+  const auto plain = run_with(none, split, cfg);
+
+  ServerOptConfig adam;
+  adam.kind = ServerOpt::kAdam;
+  adam.lr = 0.05F;
+  const auto boosted = run_with(adam, split, cfg);
+  EXPECT_GT(boosted.final_accuracy, plain.final_accuracy + 0.1);
+}
+
+}  // namespace
