@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adaptive_rho.dir/ablation_adaptive_rho.cpp.o"
+  "CMakeFiles/ablation_adaptive_rho.dir/ablation_adaptive_rho.cpp.o.d"
+  "ablation_adaptive_rho"
+  "ablation_adaptive_rho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_rho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_async.dir/ablation_async.cpp.o"
+  "CMakeFiles/ablation_async.dir/ablation_async.cpp.o.d"
+  "ablation_async"
+  "ablation_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

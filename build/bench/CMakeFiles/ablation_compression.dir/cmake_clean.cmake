@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_compression.dir/ablation_compression.cpp.o"
+  "CMakeFiles/ablation_compression.dir/ablation_compression.cpp.o.d"
+  "ablation_compression"
+  "ablation_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_local_steps.dir/ablation_local_steps.cpp.o"
+  "CMakeFiles/ablation_local_steps.dir/ablation_local_steps.cpp.o.d"
+  "ablation_local_steps"
+  "ablation_local_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_local_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

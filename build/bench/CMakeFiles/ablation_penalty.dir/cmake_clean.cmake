@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_penalty.dir/ablation_penalty.cpp.o"
+  "CMakeFiles/ablation_penalty.dir/ablation_penalty.cpp.o.d"
+  "ablation_penalty"
+  "ablation_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_server_opt.dir/ablation_server_opt.cpp.o"
+  "CMakeFiles/ablation_server_opt.dir/ablation_server_opt.cpp.o.d"
+  "ablation_server_opt"
+  "ablation_server_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_server_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

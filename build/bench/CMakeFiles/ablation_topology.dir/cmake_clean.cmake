@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_topology.dir/ablation_topology.cpp.o"
+  "CMakeFiles/ablation_topology.dir/ablation_topology.cpp.o.d"
+  "ablation_topology"
+  "ablation_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

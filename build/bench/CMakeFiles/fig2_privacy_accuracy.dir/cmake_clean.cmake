@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_privacy_accuracy.dir/fig2_privacy_accuracy.cpp.o"
+  "CMakeFiles/fig2_privacy_accuracy.dir/fig2_privacy_accuracy.cpp.o.d"
+  "fig2_privacy_accuracy"
+  "fig2_privacy_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_privacy_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

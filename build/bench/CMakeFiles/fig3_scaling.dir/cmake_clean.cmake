@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_scaling.dir/fig3_scaling.cpp.o"
+  "CMakeFiles/fig3_scaling.dir/fig3_scaling.cpp.o.d"
+  "fig3_scaling"
+  "fig3_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

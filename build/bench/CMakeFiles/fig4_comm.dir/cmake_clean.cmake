@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_comm.dir/fig4_comm.cpp.o"
+  "CMakeFiles/fig4_comm.dir/fig4_comm.cpp.o.d"
+  "fig4_comm"
+  "fig4_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec2a_gradient_leakage.dir/sec2a_gradient_leakage.cpp.o"
+  "CMakeFiles/sec2a_gradient_leakage.dir/sec2a_gradient_leakage.cpp.o.d"
+  "sec2a_gradient_leakage"
+  "sec2a_gradient_leakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec2a_gradient_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec2a_gradient_leakage.
+# This may be replaced when dependencies are built.

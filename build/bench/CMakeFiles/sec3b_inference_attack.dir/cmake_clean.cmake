@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec3b_inference_attack.dir/sec3b_inference_attack.cpp.o"
+  "CMakeFiles/sec3b_inference_attack.dir/sec3b_inference_attack.cpp.o.d"
+  "sec3b_inference_attack"
+  "sec3b_inference_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec3b_inference_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec3b_inference_attack.
+# This may be replaced when dependencies are built.

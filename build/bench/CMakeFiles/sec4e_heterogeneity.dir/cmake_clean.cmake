@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4e_heterogeneity.dir/sec4e_heterogeneity.cpp.o"
+  "CMakeFiles/sec4e_heterogeneity.dir/sec4e_heterogeneity.cpp.o.d"
+  "sec4e_heterogeneity"
+  "sec4e_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4e_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

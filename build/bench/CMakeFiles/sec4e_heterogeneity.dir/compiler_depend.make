@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec4e_heterogeneity.
+# This may be replaced when dependencies are built.

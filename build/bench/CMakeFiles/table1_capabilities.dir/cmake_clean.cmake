@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_capabilities.dir/table1_capabilities.cpp.o"
+  "CMakeFiles/table1_capabilities.dir/table1_capabilities.cpp.o.d"
+  "table1_capabilities"
+  "table1_capabilities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_capabilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

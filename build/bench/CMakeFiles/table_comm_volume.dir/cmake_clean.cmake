@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_comm_volume.dir/table_comm_volume.cpp.o"
+  "CMakeFiles/table_comm_volume.dir/table_comm_volume.cpp.o.d"
+  "table_comm_volume"
+  "table_comm_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_comm_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

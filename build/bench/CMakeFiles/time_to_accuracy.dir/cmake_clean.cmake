@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_to_accuracy.dir/time_to_accuracy.cpp.o"
+  "CMakeFiles/time_to_accuracy.dir/time_to_accuracy.cpp.o.d"
+  "time_to_accuracy"
+  "time_to_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_to_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appfl_cli.dir/appfl_cli.cpp.o"
+  "CMakeFiles/appfl_cli.dir/appfl_cli.cpp.o.d"
+  "appfl_cli"
+  "appfl_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appfl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appfl_sim.dir/appfl_sim.cpp.o"
+  "CMakeFiles/appfl_sim.dir/appfl_sim.cpp.o.d"
+  "appfl_sim"
+  "appfl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appfl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_hospitals.dir/dp_hospitals.cpp.o"
+  "CMakeFiles/dp_hospitals.dir/dp_hospitals.cpp.o.d"
+  "dp_hospitals"
+  "dp_hospitals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_hospitals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

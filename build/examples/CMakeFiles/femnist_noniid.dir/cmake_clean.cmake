@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/femnist_noniid.dir/femnist_noniid.cpp.o"
+  "CMakeFiles/femnist_noniid.dir/femnist_noniid.cpp.o.d"
+  "femnist_noniid"
+  "femnist_noniid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/femnist_noniid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

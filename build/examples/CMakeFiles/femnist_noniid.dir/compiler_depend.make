@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for femnist_noniid.
+# This may be replaced when dependencies are built.

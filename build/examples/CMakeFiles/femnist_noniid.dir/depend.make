@@ -1,0 +1,2 @@
+# Empty dependencies file for femnist_noniid.
+# This may be replaced when dependencies are built.

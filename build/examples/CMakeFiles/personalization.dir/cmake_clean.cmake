@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/personalization.dir/personalization.cpp.o"
+  "CMakeFiles/personalization.dir/personalization.cpp.o.d"
+  "personalization"
+  "personalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/personalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartgrid.dir/smartgrid.cpp.o"
+  "CMakeFiles/smartgrid.dir/smartgrid.cpp.o.d"
+  "smartgrid"
+  "smartgrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartgrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

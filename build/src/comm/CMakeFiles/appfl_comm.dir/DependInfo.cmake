@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/communicator.cpp" "src/comm/CMakeFiles/appfl_comm.dir/communicator.cpp.o" "gcc" "src/comm/CMakeFiles/appfl_comm.dir/communicator.cpp.o.d"
+  "/root/repo/src/comm/compression.cpp" "src/comm/CMakeFiles/appfl_comm.dir/compression.cpp.o" "gcc" "src/comm/CMakeFiles/appfl_comm.dir/compression.cpp.o.d"
+  "/root/repo/src/comm/cost_model.cpp" "src/comm/CMakeFiles/appfl_comm.dir/cost_model.cpp.o" "gcc" "src/comm/CMakeFiles/appfl_comm.dir/cost_model.cpp.o.d"
+  "/root/repo/src/comm/mailbox.cpp" "src/comm/CMakeFiles/appfl_comm.dir/mailbox.cpp.o" "gcc" "src/comm/CMakeFiles/appfl_comm.dir/mailbox.cpp.o.d"
+  "/root/repo/src/comm/message.cpp" "src/comm/CMakeFiles/appfl_comm.dir/message.cpp.o" "gcc" "src/comm/CMakeFiles/appfl_comm.dir/message.cpp.o.d"
+  "/root/repo/src/comm/protolite.cpp" "src/comm/CMakeFiles/appfl_comm.dir/protolite.cpp.o" "gcc" "src/comm/CMakeFiles/appfl_comm.dir/protolite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/appfl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/appfl_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/appfl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appfl_comm.dir/communicator.cpp.o"
+  "CMakeFiles/appfl_comm.dir/communicator.cpp.o.d"
+  "CMakeFiles/appfl_comm.dir/compression.cpp.o"
+  "CMakeFiles/appfl_comm.dir/compression.cpp.o.d"
+  "CMakeFiles/appfl_comm.dir/cost_model.cpp.o"
+  "CMakeFiles/appfl_comm.dir/cost_model.cpp.o.d"
+  "CMakeFiles/appfl_comm.dir/mailbox.cpp.o"
+  "CMakeFiles/appfl_comm.dir/mailbox.cpp.o.d"
+  "CMakeFiles/appfl_comm.dir/message.cpp.o"
+  "CMakeFiles/appfl_comm.dir/message.cpp.o.d"
+  "CMakeFiles/appfl_comm.dir/protolite.cpp.o"
+  "CMakeFiles/appfl_comm.dir/protolite.cpp.o.d"
+  "libappfl_comm.a"
+  "libappfl_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appfl_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/appfl_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/appfl_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/async_runner.cpp" "src/core/CMakeFiles/appfl_core.dir/async_runner.cpp.o" "gcc" "src/core/CMakeFiles/appfl_core.dir/async_runner.cpp.o.d"
+  "/root/repo/src/core/base.cpp" "src/core/CMakeFiles/appfl_core.dir/base.cpp.o" "gcc" "src/core/CMakeFiles/appfl_core.dir/base.cpp.o.d"
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/appfl_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/appfl_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/appfl_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/appfl_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/decentralized.cpp" "src/core/CMakeFiles/appfl_core.dir/decentralized.cpp.o" "gcc" "src/core/CMakeFiles/appfl_core.dir/decentralized.cpp.o.d"
+  "/root/repo/src/core/evaluation.cpp" "src/core/CMakeFiles/appfl_core.dir/evaluation.cpp.o" "gcc" "src/core/CMakeFiles/appfl_core.dir/evaluation.cpp.o.d"
+  "/root/repo/src/core/fedavg.cpp" "src/core/CMakeFiles/appfl_core.dir/fedavg.cpp.o" "gcc" "src/core/CMakeFiles/appfl_core.dir/fedavg.cpp.o.d"
+  "/root/repo/src/core/fedprox.cpp" "src/core/CMakeFiles/appfl_core.dir/fedprox.cpp.o" "gcc" "src/core/CMakeFiles/appfl_core.dir/fedprox.cpp.o.d"
+  "/root/repo/src/core/gradient_leakage.cpp" "src/core/CMakeFiles/appfl_core.dir/gradient_leakage.cpp.o" "gcc" "src/core/CMakeFiles/appfl_core.dir/gradient_leakage.cpp.o.d"
+  "/root/repo/src/core/iceadmm.cpp" "src/core/CMakeFiles/appfl_core.dir/iceadmm.cpp.o" "gcc" "src/core/CMakeFiles/appfl_core.dir/iceadmm.cpp.o.d"
+  "/root/repo/src/core/iiadmm.cpp" "src/core/CMakeFiles/appfl_core.dir/iiadmm.cpp.o" "gcc" "src/core/CMakeFiles/appfl_core.dir/iiadmm.cpp.o.d"
+  "/root/repo/src/core/inference_attack.cpp" "src/core/CMakeFiles/appfl_core.dir/inference_attack.cpp.o" "gcc" "src/core/CMakeFiles/appfl_core.dir/inference_attack.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/appfl_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/appfl_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/core/CMakeFiles/appfl_core.dir/runner.cpp.o" "gcc" "src/core/CMakeFiles/appfl_core.dir/runner.cpp.o.d"
+  "/root/repo/src/core/server_opt.cpp" "src/core/CMakeFiles/appfl_core.dir/server_opt.cpp.o" "gcc" "src/core/CMakeFiles/appfl_core.dir/server_opt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/appfl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/appfl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/appfl_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/appfl_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/appfl_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/appfl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/appfl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/appfl_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

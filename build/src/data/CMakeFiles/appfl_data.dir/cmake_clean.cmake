@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appfl_data.dir/dataloader.cpp.o"
+  "CMakeFiles/appfl_data.dir/dataloader.cpp.o.d"
+  "CMakeFiles/appfl_data.dir/dataset.cpp.o"
+  "CMakeFiles/appfl_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/appfl_data.dir/partition.cpp.o"
+  "CMakeFiles/appfl_data.dir/partition.cpp.o.d"
+  "CMakeFiles/appfl_data.dir/synth.cpp.o"
+  "CMakeFiles/appfl_data.dir/synth.cpp.o.d"
+  "libappfl_data.a"
+  "libappfl_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appfl_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

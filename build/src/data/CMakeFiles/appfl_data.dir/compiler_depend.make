@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for appfl_data.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appfl_dp.dir/accountant.cpp.o"
+  "CMakeFiles/appfl_dp.dir/accountant.cpp.o.d"
+  "CMakeFiles/appfl_dp.dir/mechanism.cpp.o"
+  "CMakeFiles/appfl_dp.dir/mechanism.cpp.o.d"
+  "CMakeFiles/appfl_dp.dir/secure_agg.cpp.o"
+  "CMakeFiles/appfl_dp.dir/secure_agg.cpp.o.d"
+  "CMakeFiles/appfl_dp.dir/sensitivity.cpp.o"
+  "CMakeFiles/appfl_dp.dir/sensitivity.cpp.o.d"
+  "libappfl_dp.a"
+  "libappfl_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appfl_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libappfl_dp.a"
+)

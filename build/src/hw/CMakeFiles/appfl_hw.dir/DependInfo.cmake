@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/device.cpp" "src/hw/CMakeFiles/appfl_hw.dir/device.cpp.o" "gcc" "src/hw/CMakeFiles/appfl_hw.dir/device.cpp.o.d"
+  "/root/repo/src/hw/placement.cpp" "src/hw/CMakeFiles/appfl_hw.dir/placement.cpp.o" "gcc" "src/hw/CMakeFiles/appfl_hw.dir/placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/appfl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/appfl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/appfl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/appfl_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appfl_hw.dir/device.cpp.o"
+  "CMakeFiles/appfl_hw.dir/device.cpp.o.d"
+  "CMakeFiles/appfl_hw.dir/placement.cpp.o"
+  "CMakeFiles/appfl_hw.dir/placement.cpp.o.d"
+  "libappfl_hw.a"
+  "libappfl_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appfl_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/nn/CMakeFiles/appfl_nn.dir/activation.cpp.o" "gcc" "src/nn/CMakeFiles/appfl_nn.dir/activation.cpp.o.d"
+  "/root/repo/src/nn/avgpool2d.cpp" "src/nn/CMakeFiles/appfl_nn.dir/avgpool2d.cpp.o" "gcc" "src/nn/CMakeFiles/appfl_nn.dir/avgpool2d.cpp.o.d"
+  "/root/repo/src/nn/batchnorm2d.cpp" "src/nn/CMakeFiles/appfl_nn.dir/batchnorm2d.cpp.o" "gcc" "src/nn/CMakeFiles/appfl_nn.dir/batchnorm2d.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/appfl_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/appfl_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/appfl_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/appfl_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/flatten.cpp" "src/nn/CMakeFiles/appfl_nn.dir/flatten.cpp.o" "gcc" "src/nn/CMakeFiles/appfl_nn.dir/flatten.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/appfl_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/appfl_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/appfl_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/appfl_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/maxpool2d.cpp" "src/nn/CMakeFiles/appfl_nn.dir/maxpool2d.cpp.o" "gcc" "src/nn/CMakeFiles/appfl_nn.dir/maxpool2d.cpp.o.d"
+  "/root/repo/src/nn/model_zoo.cpp" "src/nn/CMakeFiles/appfl_nn.dir/model_zoo.cpp.o" "gcc" "src/nn/CMakeFiles/appfl_nn.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/appfl_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/appfl_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/appfl_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/appfl_nn.dir/sequential.cpp.o.d"
+  "/root/repo/src/nn/sgd.cpp" "src/nn/CMakeFiles/appfl_nn.dir/sgd.cpp.o" "gcc" "src/nn/CMakeFiles/appfl_nn.dir/sgd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/appfl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/appfl_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/appfl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

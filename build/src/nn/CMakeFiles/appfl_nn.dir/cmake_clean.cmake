@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appfl_nn.dir/activation.cpp.o"
+  "CMakeFiles/appfl_nn.dir/activation.cpp.o.d"
+  "CMakeFiles/appfl_nn.dir/avgpool2d.cpp.o"
+  "CMakeFiles/appfl_nn.dir/avgpool2d.cpp.o.d"
+  "CMakeFiles/appfl_nn.dir/batchnorm2d.cpp.o"
+  "CMakeFiles/appfl_nn.dir/batchnorm2d.cpp.o.d"
+  "CMakeFiles/appfl_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/appfl_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/appfl_nn.dir/dropout.cpp.o"
+  "CMakeFiles/appfl_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/appfl_nn.dir/flatten.cpp.o"
+  "CMakeFiles/appfl_nn.dir/flatten.cpp.o.d"
+  "CMakeFiles/appfl_nn.dir/linear.cpp.o"
+  "CMakeFiles/appfl_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/appfl_nn.dir/loss.cpp.o"
+  "CMakeFiles/appfl_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/appfl_nn.dir/maxpool2d.cpp.o"
+  "CMakeFiles/appfl_nn.dir/maxpool2d.cpp.o.d"
+  "CMakeFiles/appfl_nn.dir/model_zoo.cpp.o"
+  "CMakeFiles/appfl_nn.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/appfl_nn.dir/module.cpp.o"
+  "CMakeFiles/appfl_nn.dir/module.cpp.o.d"
+  "CMakeFiles/appfl_nn.dir/sequential.cpp.o"
+  "CMakeFiles/appfl_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/appfl_nn.dir/sgd.cpp.o"
+  "CMakeFiles/appfl_nn.dir/sgd.cpp.o.d"
+  "libappfl_nn.a"
+  "libappfl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appfl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

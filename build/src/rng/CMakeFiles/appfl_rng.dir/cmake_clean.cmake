@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appfl_rng.dir/distributions.cpp.o"
+  "CMakeFiles/appfl_rng.dir/distributions.cpp.o.d"
+  "CMakeFiles/appfl_rng.dir/rng.cpp.o"
+  "CMakeFiles/appfl_rng.dir/rng.cpp.o.d"
+  "libappfl_rng.a"
+  "libappfl_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appfl_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/conv.cpp" "src/tensor/CMakeFiles/appfl_tensor.dir/conv.cpp.o" "gcc" "src/tensor/CMakeFiles/appfl_tensor.dir/conv.cpp.o.d"
+  "/root/repo/src/tensor/im2col.cpp" "src/tensor/CMakeFiles/appfl_tensor.dir/im2col.cpp.o" "gcc" "src/tensor/CMakeFiles/appfl_tensor.dir/im2col.cpp.o.d"
+  "/root/repo/src/tensor/matmul.cpp" "src/tensor/CMakeFiles/appfl_tensor.dir/matmul.cpp.o" "gcc" "src/tensor/CMakeFiles/appfl_tensor.dir/matmul.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "src/tensor/CMakeFiles/appfl_tensor.dir/ops.cpp.o" "gcc" "src/tensor/CMakeFiles/appfl_tensor.dir/ops.cpp.o.d"
+  "/root/repo/src/tensor/pool.cpp" "src/tensor/CMakeFiles/appfl_tensor.dir/pool.cpp.o" "gcc" "src/tensor/CMakeFiles/appfl_tensor.dir/pool.cpp.o.d"
+  "/root/repo/src/tensor/serialize.cpp" "src/tensor/CMakeFiles/appfl_tensor.dir/serialize.cpp.o" "gcc" "src/tensor/CMakeFiles/appfl_tensor.dir/serialize.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/tensor/CMakeFiles/appfl_tensor.dir/tensor.cpp.o" "gcc" "src/tensor/CMakeFiles/appfl_tensor.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/appfl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/appfl_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appfl_tensor.dir/conv.cpp.o"
+  "CMakeFiles/appfl_tensor.dir/conv.cpp.o.d"
+  "CMakeFiles/appfl_tensor.dir/im2col.cpp.o"
+  "CMakeFiles/appfl_tensor.dir/im2col.cpp.o.d"
+  "CMakeFiles/appfl_tensor.dir/matmul.cpp.o"
+  "CMakeFiles/appfl_tensor.dir/matmul.cpp.o.d"
+  "CMakeFiles/appfl_tensor.dir/ops.cpp.o"
+  "CMakeFiles/appfl_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/appfl_tensor.dir/pool.cpp.o"
+  "CMakeFiles/appfl_tensor.dir/pool.cpp.o.d"
+  "CMakeFiles/appfl_tensor.dir/serialize.cpp.o"
+  "CMakeFiles/appfl_tensor.dir/serialize.cpp.o.d"
+  "CMakeFiles/appfl_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/appfl_tensor.dir/tensor.cpp.o.d"
+  "libappfl_tensor.a"
+  "libappfl_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appfl_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

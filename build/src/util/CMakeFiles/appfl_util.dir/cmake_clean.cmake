@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appfl_util.dir/args.cpp.o"
+  "CMakeFiles/appfl_util.dir/args.cpp.o.d"
+  "CMakeFiles/appfl_util.dir/logging.cpp.o"
+  "CMakeFiles/appfl_util.dir/logging.cpp.o.d"
+  "CMakeFiles/appfl_util.dir/table.cpp.o"
+  "CMakeFiles/appfl_util.dir/table.cpp.o.d"
+  "CMakeFiles/appfl_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/appfl_util.dir/thread_pool.cpp.o.d"
+  "libappfl_util.a"
+  "libappfl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appfl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adaptive.dir/test_adaptive.cpp.o"
+  "CMakeFiles/test_adaptive.dir/test_adaptive.cpp.o.d"
+  "test_adaptive"
+  "test_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_async.dir/test_async.cpp.o"
+  "CMakeFiles/test_async.dir/test_async.cpp.o.d"
+  "test_async"
+  "test_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

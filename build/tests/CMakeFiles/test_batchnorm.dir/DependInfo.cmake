@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_batchnorm.cpp" "tests/CMakeFiles/test_batchnorm.dir/test_batchnorm.cpp.o" "gcc" "tests/CMakeFiles/test_batchnorm.dir/test_batchnorm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/appfl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/appfl_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/appfl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/appfl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/appfl_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/appfl_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/appfl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/appfl_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/appfl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checkpoint_eval.dir/test_checkpoint_eval.cpp.o"
+  "CMakeFiles/test_checkpoint_eval.dir/test_checkpoint_eval.cpp.o.d"
+  "test_checkpoint_eval"
+  "test_checkpoint_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checkpoint_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

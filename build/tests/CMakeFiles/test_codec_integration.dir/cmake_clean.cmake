@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codec_integration.dir/test_codec_integration.cpp.o"
+  "CMakeFiles/test_codec_integration.dir/test_codec_integration.cpp.o.d"
+  "test_codec_integration"
+  "test_codec_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codec_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

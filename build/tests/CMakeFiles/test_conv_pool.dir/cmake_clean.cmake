@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conv_pool.dir/test_conv_pool.cpp.o"
+  "CMakeFiles/test_conv_pool.dir/test_conv_pool.cpp.o.d"
+  "test_conv_pool"
+  "test_conv_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conv_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

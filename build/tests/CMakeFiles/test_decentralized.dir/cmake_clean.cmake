@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decentralized.dir/test_decentralized.cpp.o"
+  "CMakeFiles/test_decentralized.dir/test_decentralized.cpp.o.d"
+  "test_decentralized"
+  "test_decentralized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decentralized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

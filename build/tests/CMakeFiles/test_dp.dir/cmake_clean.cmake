@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dp.dir/test_dp.cpp.o"
+  "CMakeFiles/test_dp.dir/test_dp.cpp.o.d"
+  "test_dp"
+  "test_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dp_modes.dir/test_dp_modes.cpp.o"
+  "CMakeFiles/test_dp_modes.dir/test_dp_modes.cpp.o.d"
+  "test_dp_modes"
+  "test_dp_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dp_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fedprox.dir/test_fedprox.cpp.o"
+  "CMakeFiles/test_fedprox.dir/test_fedprox.cpp.o.d"
+  "test_fedprox"
+  "test_fedprox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fedprox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_im2col.dir/test_im2col.cpp.o"
+  "CMakeFiles/test_im2col.dir/test_im2col.cpp.o.d"
+  "test_im2col"
+  "test_im2col.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_im2col.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

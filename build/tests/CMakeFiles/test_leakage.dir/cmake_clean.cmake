@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_leakage.dir/test_leakage.cpp.o"
+  "CMakeFiles/test_leakage.dir/test_leakage.cpp.o.d"
+  "test_leakage"
+  "test_leakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

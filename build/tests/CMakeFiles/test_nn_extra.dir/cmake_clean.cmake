@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_extra.dir/test_nn_extra.cpp.o"
+  "CMakeFiles/test_nn_extra.dir/test_nn_extra.cpp.o.d"
+  "test_nn_extra"
+  "test_nn_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protolite.dir/test_protolite.cpp.o"
+  "CMakeFiles/test_protolite.dir/test_protolite.cpp.o.d"
+  "test_protolite"
+  "test_protolite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protolite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_secure_agg.dir/test_secure_agg.cpp.o"
+  "CMakeFiles/test_secure_agg.dir/test_secure_agg.cpp.o.d"
+  "test_secure_agg"
+  "test_secure_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_secure_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

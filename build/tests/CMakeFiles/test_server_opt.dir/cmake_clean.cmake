@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_server_opt.dir/test_server_opt.cpp.o"
+  "CMakeFiles/test_server_opt.dir/test_server_opt.cpp.o.d"
+  "test_server_opt"
+  "test_server_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_server_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
