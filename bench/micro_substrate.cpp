@@ -1,7 +1,21 @@
 // Microbenchmarks of the substrates (google-benchmark): serialization costs
 // (the raw-vs-protobuf gap behind Fig 4's gRPC overhead), matmul/conv
-// kernels, Laplace noise generation, and a full local-update step.
+// kernels through the kernel execution engine, Laplace noise generation,
+// and a full local-update step. After the google-benchmark pass, main()
+// times the engine against the seed kernels at model-zoo shapes and writes
+// BENCH_kernels.json (machine-readable before/after numbers) so the perf
+// trajectory of the local-update hot path is tracked per PR.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "comm/message.hpp"
 #include "core/fedavg.hpp"
@@ -10,10 +24,26 @@
 #include "nn/model_zoo.hpp"
 #include "rng/distributions.hpp"
 #include "tensor/conv.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/im2col.hpp"
 #include "tensor/matmul.hpp"
+#include "util/stopwatch.hpp"
 
 namespace {
+
+/// Forces an engine config for one scope (benchmarks must not leak their
+/// backend selection into each other).
+class ScopedEngine {
+ public:
+  ScopedEngine(appfl::tensor::KernelBackend backend, std::size_t threads)
+      : previous_(appfl::tensor::kernel_config()) {
+    appfl::tensor::set_kernel_config({backend, threads});
+  }
+  ~ScopedEngine() { appfl::tensor::set_kernel_config(previous_); }
+
+ private:
+  appfl::tensor::KernelConfig previous_;
+};
 
 appfl::comm::Message message_of(std::size_t floats) {
   appfl::comm::Message m;
@@ -67,6 +97,30 @@ void BM_Matmul(benchmark::State& state) {
 }
 BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
 
+void BM_GemmEngine(benchmark::State& state) {
+  // Square GEMM through an explicit engine backend: Arg(0) = size,
+  // Arg(1) = 0 for the reference loops (the seed kernels), 1 for the
+  // packed/tiled engine.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const ScopedEngine engine(state.range(1) != 0
+                                ? appfl::tensor::KernelBackend::kTiled
+                                : appfl::tensor::KernelBackend::kReference,
+                            0);
+  appfl::rng::Rng r(5);
+  const auto a = appfl::tensor::Tensor::randn({n, n}, r);
+  const auto b = appfl::tensor::Tensor::randn({n, n}, r);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(appfl::tensor::matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmEngine)
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({512, 0})
+    ->Args({512, 1});
+
 void BM_Conv2dForward(benchmark::State& state) {
   appfl::rng::Rng r(2);
   const appfl::tensor::Conv2dSpec spec{1, 8, 3, 1, 1};
@@ -110,6 +164,40 @@ void BM_Conv2dForwardWide(benchmark::State& state) {
 }
 BENCHMARK(BM_Conv2dForwardWide)->Arg(0)->Arg(1);
 
+void BM_ConvLayerFwdBwd(benchmark::State& state) {
+  // The paper CNN's second conv layer (8→16 channels, 3×3, pad 1) at
+  // MNIST (28×28) or CIFAR10 (32×32) spatial extent — the hot layer of a
+  // local update. Arg(0) = spatial extent, Arg(1) = 0 direct / 1 GEMM.
+  const std::size_t hw = static_cast<std::size_t>(state.range(0));
+  const bool gemm = state.range(1) != 0;
+  const appfl::tensor::Conv2dSpec spec{8, 16, 3, 1, 1};
+  appfl::rng::Rng r(6);
+  const auto input = appfl::tensor::Tensor::randn({16, 8, hw, hw}, r);
+  const auto weight = appfl::tensor::Tensor::randn({16, 8, 3, 3}, r);
+  const auto bias = appfl::tensor::Tensor::randn({16}, r);
+  for (auto _ : state) {
+    if (gemm) {
+      const auto out =
+          appfl::tensor::conv2d_forward_gemm(input, weight, bias, spec);
+      benchmark::DoNotOptimize(
+          appfl::tensor::conv2d_backward_weight_gemm(out, input, spec));
+      benchmark::DoNotOptimize(appfl::tensor::conv2d_backward_input_gemm(
+          out, weight, input.shape(), spec));
+    } else {
+      const auto out = appfl::tensor::conv2d_forward(input, weight, bias, spec);
+      benchmark::DoNotOptimize(
+          appfl::tensor::conv2d_backward_weight(out, input, spec));
+      benchmark::DoNotOptimize(appfl::tensor::conv2d_backward_input(
+          out, weight, input.shape(), spec));
+    }
+  }
+}
+BENCHMARK(BM_ConvLayerFwdBwd)
+    ->Args({28, 0})
+    ->Args({28, 1})
+    ->Args({32, 0})
+    ->Args({32, 1});
+
 void BM_LaplaceNoise(benchmark::State& state) {
   appfl::dp::LaplaceMechanism mech(0.1);
   appfl::rng::Rng r(3);
@@ -140,6 +228,136 @@ void BM_FedAvgLocalUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_FedAvgLocalUpdate);
 
+// -- BENCH_kernels.json ------------------------------------------------------
+//
+// Hand-timed before/after comparison at the acceptance shapes: "before" is
+// the seed kernels (reference GEMM loops / direct conv), "after" is the
+// tiled engine. Written after the google-benchmark pass so the perf claims
+// in the PR are reproducible from one binary.
+
+double time_best_of(int reps, const std::function<void()>& fn) {
+  fn();  // warm-up: populates workspaces, faults pages, dispatches AVX2
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < reps; ++i) {
+    appfl::util::Stopwatch sw;
+    fn();
+    best = std::min(best, sw.elapsed_seconds());
+  }
+  return best * 1e3;  // ms
+}
+
+struct KernelCase {
+  std::string name;
+  double flops = 0.0;   // per single evaluation
+  double before_ms = 0.0;
+  double after_ms = 0.0;
+};
+
+KernelCase gemm_case(std::size_t n, int reps) {
+  appfl::rng::Rng r(7);
+  const auto a = appfl::tensor::Tensor::randn({n, n}, r);
+  const auto b = appfl::tensor::Tensor::randn({n, n}, r);
+  KernelCase c;
+  c.name = "gemm_" + std::to_string(n) + "x" + std::to_string(n) + "x" +
+           std::to_string(n);
+  c.flops = 2.0 * static_cast<double>(n) * n * n;
+  {
+    const ScopedEngine engine(appfl::tensor::KernelBackend::kReference, 0);
+    c.before_ms = time_best_of(reps, [&] {
+      benchmark::DoNotOptimize(appfl::tensor::matmul(a, b));
+    });
+  }
+  {
+    const ScopedEngine engine(appfl::tensor::KernelBackend::kTiled, 0);
+    c.after_ms = time_best_of(reps, [&] {
+      benchmark::DoNotOptimize(appfl::tensor::matmul(a, b));
+    });
+  }
+  return c;
+}
+
+KernelCase conv_case(const std::string& dataset, std::size_t hw, int reps) {
+  // Paper CNN conv2 (8→16 ch, 3×3, pad 1), forward + both heavy backward
+  // passes, batch 16 — the per-step hot path of a local update.
+  const appfl::tensor::Conv2dSpec spec{8, 16, 3, 1, 1};
+  appfl::rng::Rng r(8);
+  const auto input = appfl::tensor::Tensor::randn({16, 8, hw, hw}, r);
+  const auto weight = appfl::tensor::Tensor::randn({16, 8, 3, 3}, r);
+  const auto bias = appfl::tensor::Tensor::randn({16}, r);
+  KernelCase c;
+  c.name = "conv_" + dataset + "_conv2_fwdbwd_b16";
+  // fwd + dweight + dinput each do ~2·N·Cout·OH·OW·Cin·K² flops.
+  c.flops = 3.0 * 2.0 * 16 * 16 * static_cast<double>(hw * hw) * 8 * 9;
+  c.before_ms = time_best_of(reps, [&] {
+    const auto out = appfl::tensor::conv2d_forward(input, weight, bias, spec);
+    benchmark::DoNotOptimize(
+        appfl::tensor::conv2d_backward_weight(out, input, spec));
+    benchmark::DoNotOptimize(appfl::tensor::conv2d_backward_input(
+        out, weight, input.shape(), spec));
+  });
+  const ScopedEngine engine(appfl::tensor::KernelBackend::kTiled, 0);
+  c.after_ms = time_best_of(reps, [&] {
+    const auto out =
+        appfl::tensor::conv2d_forward_gemm(input, weight, bias, spec);
+    benchmark::DoNotOptimize(
+        appfl::tensor::conv2d_backward_weight_gemm(out, input, spec));
+    benchmark::DoNotOptimize(appfl::tensor::conv2d_backward_input_gemm(
+        out, weight, input.shape(), spec));
+  });
+  return c;
+}
+
+void write_kernel_report(const std::string& path) {
+  std::vector<KernelCase> cases;
+  cases.push_back(gemm_case(256, 3));
+  cases.push_back(gemm_case(512, 3));
+  cases.push_back(conv_case("mnist28", 28, 3));
+  cases.push_back(conv_case("cifar10_32", 32, 3));
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n";
+  out << "  \"schema\": \"appfl-bench-kernels-v1\",\n";
+  out << "  \"note\": \"before = seed kernels (reference GEMM / direct conv);"
+         " after = tiled engine\",\n";
+  out << "  \"avx2\": " << (appfl::tensor::gemm_uses_avx2() ? "true" : "false")
+      << ",\n";
+  out << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n";
+  out << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& c = cases[i];
+    const double speedup = c.after_ms > 0.0 ? c.before_ms / c.after_ms : 0.0;
+    out << "    {\"name\": \"" << c.name << "\", "
+        << "\"flops\": " << static_cast<long long>(c.flops) << ", "
+        << "\"before_ms\": " << c.before_ms << ", "
+        << "\"after_ms\": " << c.after_ms << ", "
+        << "\"after_gflops\": " << (c.flops / (c.after_ms * 1e6)) << ", "
+        << "\"speedup\": " << speedup << "}" << (i + 1 < cases.size() ? "," : "")
+        << "\n";
+    std::cout << "BENCH " << c.name << ": before=" << c.before_ms
+              << "ms after=" << c.after_ms << "ms speedup=" << speedup << "x\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // Skippable for quick filtered runs: APPFL_SKIP_KERNEL_REPORT=1.
+  if (const char* skip = std::getenv("APPFL_SKIP_KERNEL_REPORT");
+      skip != nullptr && skip[0] == '1') {
+    return 0;
+  }
+  const char* path = std::getenv("APPFL_BENCH_KERNELS_PATH");
+  write_kernel_report(path != nullptr ? path : "BENCH_kernels.json");
+  return 0;
+}

@@ -41,6 +41,8 @@ void print_help() {
       "  --fraction F         client sampling fraction (default 1.0)\n"
       "  --protocol NAME      mpi | grpc (default mpi)\n"
       "  --codec NAME         none | quant8 | topk — lossy uplink codec\n"
+      "  --kernel-backend B   auto | reference | tiled — tensor kernel engine\n"
+      "  --kernel-threads N   intra-op kernel threads (0 = hardware)\n"
       "  --seed S             experiment seed (default 1)\n"
       "  --csv PATH           write the learning curve as CSV\n"
       "  --save PATH          checkpoint the final global model\n"
@@ -139,6 +141,14 @@ int main(int argc, char** argv) {
       std::cerr << "unknown --codec '" << codec << "'\n";
       return 2;
     }
+    cfg.kernel_backend = args.get_string("kernel-backend", "auto");
+    if (cfg.kernel_backend != "auto" && cfg.kernel_backend != "reference" &&
+        cfg.kernel_backend != "tiled") {
+      std::cerr << "unknown --kernel-backend '" << cfg.kernel_backend << "'\n";
+      return 2;
+    }
+    cfg.kernel_threads =
+        static_cast<std::size_t>(args.get_int("kernel-threads", 0));
     cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
     const bool quiet = args.get_bool("quiet", false);
     const bool report = args.get_bool("report", false);

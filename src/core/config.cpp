@@ -90,6 +90,10 @@ void RunConfig::validate() const {
     APPFL_CHECK(topk_fraction > 0.0 && topk_fraction <= 1.0);
   }
   APPFL_CHECK(validate_batch >= 1);
+  APPFL_CHECK_MSG(kernel_backend == "auto" || kernel_backend == "reference" ||
+                      kernel_backend == "tiled",
+                  "kernel_backend must be auto|reference|tiled, got '"
+                      << kernel_backend << "'");
 }
 
 }  // namespace appfl::core

@@ -99,6 +99,16 @@ struct RunConfig {
   std::size_t validate_batch = 256;
   bool validate_every_round = true;
 
+  /// Kernel execution engine (tensor substrate). "auto" leaves the
+  /// process-wide setting untouched (env APPFL_KERNEL_BACKEND, default
+  /// tiled); "reference" forces the scalar baseline loops, "tiled" the
+  /// packed parallel GEMM. kernel_threads 0 = keep current (default:
+  /// hardware concurrency). The runner applies these once per run; the
+  /// kernel pool is shared process-wide and nested inside the runner's
+  /// per-client parallelism (clients outer, kernels inner).
+  std::string kernel_backend = "auto";
+  std::size_t kernel_threads = 0;
+
   /// Per-round DP sensitivity Δ̄ for this config (algorithm-dependent).
   double sensitivity() const;
 

@@ -9,6 +9,7 @@
 #include "core/iiadmm.hpp"
 #include "nn/model_zoo.hpp"
 #include "rng/distributions.hpp"
+#include "tensor/gemm.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
 
@@ -114,6 +115,7 @@ RunResult run_federated(const RunConfig& config,
 RunResult run_federated(const RunConfig& config, BaseServer& server,
                         std::vector<std::unique_ptr<BaseClient>>& clients) {
   config.validate();
+  tensor::apply_kernel_config(config.kernel_backend, config.kernel_threads);
   const std::size_t num_clients = clients.size();
   APPFL_CHECK(num_clients >= 1);
   APPFL_CHECK(server.num_clients() == num_clients);

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "tensor/gemm.hpp"
 #include "tensor/im2col.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
@@ -25,11 +26,18 @@ Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
   bias_ = Param("bias", Tensor::rand_uniform({out_channels}, rng, -bound, bound));
 }
 
+Conv2d::Backend Conv2d::resolved_backend() const {
+  if (backend_ != Backend::kAuto) return backend_;
+  return tensor::kernel_config().backend == tensor::KernelBackend::kTiled
+             ? Backend::kGemm
+             : Backend::kDirect;
+}
+
 Tensor Conv2d::forward(const Tensor& input) {
   last_h_ = input.dim(2);
   last_w_ = input.dim(3);
   cached_input_ = input;
-  if (backend_ == Backend::kGemm) {
+  if (resolved_backend() == Backend::kGemm) {
     return tensor::conv2d_forward_gemm(input, weight_.value, bias_.value,
                                        spec_);
   }
@@ -39,7 +47,7 @@ Tensor Conv2d::forward(const Tensor& input) {
 Tensor Conv2d::backward(const Tensor& grad_output) {
   APPFL_CHECK_MSG(cached_input_.rank() == 4,
                   name() << ".backward called before forward");
-  const bool gemm = backend_ == Backend::kGemm;
+  const bool gemm = resolved_backend() == Backend::kGemm;
   Tensor dw = gemm ? tensor::conv2d_backward_weight_gemm(grad_output,
                                                          cached_input_, spec_)
                    : tensor::conv2d_backward_weight(grad_output,

@@ -9,12 +9,16 @@ namespace appfl::nn {
 
 class Conv2d : public Module {
  public:
-  /// Kernel selection for this layer's compute.
-  enum class Backend { kDirect, kGemm };
+  /// Kernel selection for this layer's compute. kAuto defers to the
+  /// process-wide kernel engine config (tensor::kernel_config): the tiled
+  /// backend runs the im2col+GEMM lowering, the reference backend the
+  /// direct loops — so conv compute follows the engine selection without
+  /// every model-construction site knowing about it.
+  enum class Backend { kDirect, kGemm, kAuto };
 
   Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
          rng::Rng& rng, std::size_t stride = 1, std::size_t padding = 0,
-         Backend backend = Backend::kDirect);
+         Backend backend = Backend::kAuto);
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
@@ -26,11 +30,15 @@ class Conv2d : public Module {
   const tensor::Conv2dSpec& spec() const { return spec_; }
   Backend backend() const { return backend_; }
 
+  /// The backend this layer's next forward/backward will actually run
+  /// (kAuto resolved against the current engine config).
+  Backend resolved_backend() const;
+
  private:
   Conv2d(const Conv2d&) = default;
 
   tensor::Conv2dSpec spec_;
-  Backend backend_ = Backend::kDirect;
+  Backend backend_ = Backend::kAuto;
   Param weight_;
   Param bias_;
   Tensor cached_input_;

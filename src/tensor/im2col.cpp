@@ -1,11 +1,12 @@
 #include "tensor/im2col.hpp"
 
-#include "tensor/matmul.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/workspace.hpp"
 #include "util/check.hpp"
 
 namespace appfl::tensor {
 
-Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
+void im2col_into(const Tensor& input, const Conv2dSpec& spec, float* out) {
   APPFL_CHECK_MSG(input.rank() == 4, "im2col input must be NCHW, got "
                                          << to_string(input.shape()));
   APPFL_CHECK(input.dim(1) == spec.in_channels);
@@ -15,9 +16,7 @@ Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
   const std::size_t k = spec.kernel;
   const std::size_t patch = cin * k * k;
 
-  Tensor columns({n * oh * ow, patch});
   const float* X = input.raw();
-  float* C = columns.raw();
   const long pad = static_cast<long>(spec.padding);
 
   for (std::size_t img = 0; img < n; ++img) {
@@ -25,7 +24,7 @@ Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
       const long iy0 = static_cast<long>(oy * spec.stride) - pad;
       for (std::size_t ox = 0; ox < ow; ++ox) {
         const long ix0 = static_cast<long>(ox * spec.stride) - pad;
-        float* row = C + ((img * oh + oy) * ow + ox) * patch;
+        float* row = out + ((img * oh + oy) * ow + ox) * patch;
         for (std::size_t ic = 0; ic < cin; ++ic) {
           const float* x = X + ((img * cin + ic) * h) * w;
           for (std::size_t ky = 0; ky < k; ++ky) {
@@ -42,23 +41,31 @@ Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
       }
     }
   }
+}
+
+Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
+  APPFL_CHECK_MSG(input.rank() == 4, "im2col input must be NCHW, got "
+                                         << to_string(input.shape()));
+  APPFL_CHECK(input.dim(1) == spec.in_channels);
+  const std::size_t n = input.dim(0);
+  const std::size_t oh = spec.out_extent(input.dim(2));
+  const std::size_t ow = spec.out_extent(input.dim(3));
+  const std::size_t patch = spec.in_channels * spec.kernel * spec.kernel;
+  Tensor columns({n * oh * ow, patch});
+  im2col_into(input, spec, columns.raw());
   return columns;
 }
 
-Tensor col2im(const Tensor& columns, const Shape& input_shape,
-              const Conv2dSpec& spec) {
+Tensor col2im_from(const float* columns, const Shape& input_shape,
+                   const Conv2dSpec& spec) {
   APPFL_CHECK(input_shape.size() == 4);
   const std::size_t n = input_shape[0], cin = input_shape[1];
   const std::size_t h = input_shape[2], w = input_shape[3];
   const std::size_t oh = spec.out_extent(h), ow = spec.out_extent(w);
   const std::size_t k = spec.kernel;
   const std::size_t patch = cin * k * k;
-  APPFL_CHECK_MSG(columns.rank() == 2 && columns.dim(0) == n * oh * ow &&
-                      columns.dim(1) == patch,
-                  "col2im got " << to_string(columns.shape()));
 
   Tensor out(input_shape);
-  const float* C = columns.raw();
   float* X = out.raw();
   const long pad = static_cast<long>(spec.padding);
 
@@ -67,7 +74,7 @@ Tensor col2im(const Tensor& columns, const Shape& input_shape,
       const long iy0 = static_cast<long>(oy * spec.stride) - pad;
       for (std::size_t ox = 0; ox < ow; ++ox) {
         const long ix0 = static_cast<long>(ox * spec.stride) - pad;
-        const float* row = C + ((img * oh + oy) * ow + ox) * patch;
+        const float* row = columns + ((img * oh + oy) * ow + ox) * patch;
         for (std::size_t ic = 0; ic < cin; ++ic) {
           float* x = X + ((img * cin + ic) * h) * w;
           for (std::size_t ky = 0; ky < k; ++ky) {
@@ -86,28 +93,46 @@ Tensor col2im(const Tensor& columns, const Shape& input_shape,
   return out;
 }
 
+Tensor col2im(const Tensor& columns, const Shape& input_shape,
+              const Conv2dSpec& spec) {
+  APPFL_CHECK(input_shape.size() == 4);
+  const std::size_t n = input_shape[0];
+  const std::size_t oh = spec.out_extent(input_shape[2]);
+  const std::size_t ow = spec.out_extent(input_shape[3]);
+  const std::size_t patch = spec.in_channels * spec.kernel * spec.kernel;
+  APPFL_CHECK_MSG(columns.rank() == 2 && columns.dim(0) == n * oh * ow &&
+                      columns.dim(1) == patch,
+                  "col2im got " << to_string(columns.shape()));
+  return col2im_from(columns.raw(), input_shape, spec);
+}
+
 Tensor conv2d_forward_gemm(const Tensor& input, const Tensor& weight,
                            const Tensor& bias, const Conv2dSpec& spec) {
   const std::size_t n = input.dim(0);
   const std::size_t h = input.dim(2), w = input.dim(3);
   const std::size_t oh = spec.out_extent(h), ow = spec.out_extent(w);
   const std::size_t cout = spec.out_channels;
+  const std::size_t patch = spec.in_channels * spec.kernel * spec.kernel;
+  const std::size_t rows = n * oh * ow;
   APPFL_CHECK(weight.dim(0) == cout);
   APPFL_CHECK(bias.rank() == 1 && bias.dim(0) == cout);
 
-  const Tensor columns = im2col(input, spec);                 // [NOO, patch]
-  const Tensor w_mat =
-      weight.reshaped({cout, weight.size() / cout});          // [Cout, patch]
-  const Tensor out_mat = matmul_bt(columns, w_mat);           // [NOO, Cout]
+  Workspace& ws = Workspace::tls();
+  float* columns = ws.floats(kWsIm2col, rows * patch);
+  im2col_into(input, spec, columns);
+
+  // out_mat[row, oc] = Σ_patch col[row, patch]·W[oc, patch]  (= col · Wᵀ).
+  float* out_mat = ws.floats(kWsGemmAux, rows * cout);
+  gemm(Trans::kNo, Trans::kYes, rows, cout, patch, columns, patch,
+       weight.raw(), patch, out_mat);
 
   // Reorder [N·OH·OW, Cout] → [N, Cout, OH, OW], adding the bias.
   Tensor out({n, cout, oh, ow});
-  const float* OM = out_mat.raw();
   const float* B = bias.raw();
   float* Y = out.raw();
   for (std::size_t img = 0; img < n; ++img) {
     for (std::size_t pos = 0; pos < oh * ow; ++pos) {
-      const float* src = OM + (img * oh * ow + pos) * cout;
+      const float* src = out_mat + (img * oh * ow + pos) * cout;
       for (std::size_t oc = 0; oc < cout; ++oc) {
         Y[(img * cout + oc) * oh * ow + pos] = src[oc] + B[oc];
       }
@@ -119,18 +144,17 @@ Tensor conv2d_forward_gemm(const Tensor& input, const Tensor& weight,
 namespace {
 
 /// Reorders grad_output [N, Cout, OH, OW] into the GEMM layout
-/// [N·OH·OW, Cout] used by the forward path.
-Tensor grad_output_as_matrix(const Tensor& grad_output) {
+/// [N·OH·OW, Cout] used by the forward path, into a workspace buffer.
+float* grad_output_as_matrix(const Tensor& grad_output, Workspace& ws) {
   const std::size_t n = grad_output.dim(0), cout = grad_output.dim(1);
   const std::size_t spatial = grad_output.dim(2) * grad_output.dim(3);
-  Tensor mat({n * spatial, cout});
+  float* mat = ws.floats(kWsGemmAux, n * spatial * cout);
   const float* G = grad_output.raw();
-  float* M = mat.raw();
   for (std::size_t img = 0; img < n; ++img) {
     for (std::size_t oc = 0; oc < cout; ++oc) {
       const float* src = G + (img * cout + oc) * spatial;
       for (std::size_t pos = 0; pos < spatial; ++pos) {
-        M[(img * spatial + pos) * cout + oc] = src[pos];
+        mat[(img * spatial + pos) * cout + oc] = src[pos];
       }
     }
   }
@@ -143,11 +167,19 @@ Tensor conv2d_backward_weight_gemm(const Tensor& grad_output,
                                    const Tensor& input,
                                    const Conv2dSpec& spec) {
   const std::size_t cout = spec.out_channels;
-  const Tensor columns = im2col(input, spec);          // [NOO, patch]
-  const Tensor g_mat = grad_output_as_matrix(grad_output);  // [NOO, Cout]
+  const std::size_t patch = spec.in_channels * spec.kernel * spec.kernel;
+  const std::size_t rows =
+      grad_output.dim(0) * grad_output.dim(2) * grad_output.dim(3);
+
+  Workspace& ws = Workspace::tls();
+  float* columns = ws.floats(kWsIm2col, rows * patch);
+  im2col_into(input, spec, columns);
+  const float* g_mat = grad_output_as_matrix(grad_output, ws);
+
   // dW[oc, patch] = Σ_rows g[row, oc]·col[row, patch] = gᵀ·col.
-  Tensor dw = matmul_at(g_mat, columns);               // [Cout, patch]
-  dw.reshape({cout, spec.in_channels, spec.kernel, spec.kernel});
+  Tensor dw({cout, spec.in_channels, spec.kernel, spec.kernel});
+  gemm(Trans::kYes, Trans::kNo, cout, patch, rows, g_mat, cout, columns,
+       patch, dw.raw());
   return dw;
 }
 
@@ -156,11 +188,18 @@ Tensor conv2d_backward_input_gemm(const Tensor& grad_output,
                                   const Shape& input_shape,
                                   const Conv2dSpec& spec) {
   const std::size_t cout = spec.out_channels;
-  const Tensor g_mat = grad_output_as_matrix(grad_output);  // [NOO, Cout]
-  const Tensor w_mat = weight.reshaped({cout, weight.size() / cout});
+  const std::size_t patch = spec.in_channels * spec.kernel * spec.kernel;
+  const std::size_t rows =
+      grad_output.dim(0) * grad_output.dim(2) * grad_output.dim(3);
+
+  Workspace& ws = Workspace::tls();
+  const float* g_mat = grad_output_as_matrix(grad_output, ws);
+
   // dCol[row, patch] = Σ_oc g[row, oc]·W[oc, patch] = g·W.
-  const Tensor d_columns = matmul(g_mat, w_mat);       // [NOO, patch]
-  return col2im(d_columns, input_shape, spec);
+  float* d_columns = ws.floats(kWsIm2col, rows * patch);
+  gemm(Trans::kNo, Trans::kNo, rows, patch, cout, g_mat, cout, weight.raw(),
+       patch, d_columns);
+  return col2im_from(d_columns, input_shape, spec);
 }
 
 }  // namespace appfl::tensor

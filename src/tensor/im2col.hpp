@@ -1,11 +1,14 @@
 // im2col/col2im and the GEMM-based convolution path.
 //
 // The classic HPC formulation: lower the convolution to a matrix multiply
-// by unrolling input patches into rows ("im2col"), then run the cache-
-// blocked GEMM kernels. Produces bit-comparable results to the direct
-// kernels in conv.hpp (same accumulation order per output within float
-// tolerance); equivalence is pinned by tests, and micro_substrate compares
-// their throughput.
+// by unrolling input patches into rows ("im2col"), then run the kernel
+// engine's GEMM (gemm.hpp). The patch matrix, the reordered gradient
+// matrix, and the GEMM output all live in the calling thread's workspace
+// arena (workspace.hpp), so repeated conv calls — every layer of every
+// local step — reuse one allocation per thread instead of heap-allocating
+// a fresh [N·OH·OW, Cin·K·K] matrix each time. Produces results equal to
+// the direct kernels in conv.hpp within float tolerance; equivalence is
+// pinned by tests, and micro_substrate compares their throughput.
 #pragma once
 
 #include "tensor/conv.hpp"
@@ -18,10 +21,18 @@ namespace appfl::tensor {
 /// output position (zero-padded out-of-bounds reads).
 Tensor im2col(const Tensor& input, const Conv2dSpec& spec);
 
+/// Allocation-free flavor: writes the patch matrix into `out`, which must
+/// hold N·OH·OW·Cin·K·K floats (typically a workspace buffer).
+void im2col_into(const Tensor& input, const Conv2dSpec& spec, float* out);
+
 /// Inverse scatter-add of im2col: folds a patch-matrix gradient
 /// [N·OH·OW, Cin·K·K] back into an input gradient [N, Cin, H, W].
 Tensor col2im(const Tensor& columns, const Shape& input_shape,
               const Conv2dSpec& spec);
+
+/// col2im from a raw patch-matrix buffer of the same layout.
+Tensor col2im_from(const float* columns, const Shape& input_shape,
+                   const Conv2dSpec& spec);
 
 /// GEMM-path forward: identical contract to conv2d_forward.
 Tensor conv2d_forward_gemm(const Tensor& input, const Tensor& weight,

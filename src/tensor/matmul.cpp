@@ -1,90 +1,90 @@
 #include "tensor/matmul.hpp"
 
+#include "tensor/gemm.hpp"
 #include "util/check.hpp"
 
 namespace appfl::tensor {
 
 namespace {
-constexpr std::size_t kBlock = 64;  // fits three float blocks in L1/L2
-}
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
+/// Shape-checks one of the three variants and returns {m, k, n}.
+struct Dims {
+  std::size_t m, k, n;
+};
+
+Dims check_matmul(const Tensor& a, const Tensor& b) {
   APPFL_CHECK_MSG(a.rank() == 2 && b.rank() == 2,
                   "matmul expects rank-2 operands, got "
                       << to_string(a.shape()) << " x " << to_string(b.shape()));
-  const std::size_t m = a.dim(0), k = a.dim(1);
-  APPFL_CHECK_MSG(b.dim(0) == k, "matmul inner-dim mismatch "
-                                     << to_string(a.shape()) << " x "
-                                     << to_string(b.shape()));
-  const std::size_t n = b.dim(1);
-  Tensor c({m, n});
-  const float* A = a.raw();
-  const float* B = b.raw();
-  float* C = c.raw();
-  // i-k-j ordering: unit-stride access on B and C rows; blocked over k to
-  // keep the active B panel cache-resident.
-  for (std::size_t k0 = 0; k0 < k; k0 += kBlock) {
-    const std::size_t k1 = std::min(k0 + kBlock, k);
-    for (std::size_t i = 0; i < m; ++i) {
-      float* Ci = C + i * n;
-      for (std::size_t kk = k0; kk < k1; ++kk) {
-        const float aik = A[i * k + kk];
-        if (aik == 0.0F) continue;
-        const float* Bk = B + kk * n;
-        for (std::size_t j = 0; j < n; ++j) Ci[j] += aik * Bk[j];
-      }
-    }
-  }
+  APPFL_CHECK_MSG(b.dim(0) == a.dim(1), "matmul inner-dim mismatch "
+                                            << to_string(a.shape()) << " x "
+                                            << to_string(b.shape()));
+  return {a.dim(0), a.dim(1), b.dim(1)};
+}
+
+Dims check_matmul_bt(const Tensor& a, const Tensor& b) {
+  APPFL_CHECK(a.rank() == 2 && b.rank() == 2);
+  APPFL_CHECK_MSG(b.dim(1) == a.dim(1), "matmul_bt inner-dim mismatch "
+                                            << to_string(a.shape()) << " x "
+                                            << to_string(b.shape()) << "^T");
+  return {a.dim(0), a.dim(1), b.dim(0)};
+}
+
+Dims check_matmul_at(const Tensor& a, const Tensor& b) {
+  APPFL_CHECK(a.rank() == 2 && b.rank() == 2);
+  APPFL_CHECK_MSG(b.dim(0) == a.dim(0), "matmul_at inner-dim mismatch "
+                                            << to_string(a.shape()) << "^T x "
+                                            << to_string(b.shape()));
+  return {a.dim(1), a.dim(0), b.dim(1)};
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  const Dims d = check_matmul(a, b);
+  Tensor c({d.m, d.n});
+  gemm(Trans::kNo, Trans::kNo, d.m, d.n, d.k, a.raw(), d.k, b.raw(), d.n,
+       c.raw());
   return c;
 }
 
 Tensor matmul_bt(const Tensor& a, const Tensor& b) {
-  APPFL_CHECK(a.rank() == 2 && b.rank() == 2);
-  const std::size_t m = a.dim(0), k = a.dim(1);
-  APPFL_CHECK_MSG(b.dim(1) == k, "matmul_bt inner-dim mismatch "
-                                     << to_string(a.shape()) << " x "
-                                     << to_string(b.shape()) << "^T");
-  const std::size_t n = b.dim(0);
-  Tensor c({m, n});
-  const float* A = a.raw();
-  const float* B = b.raw();
-  float* C = c.raw();
-  // Both A and B rows are unit-stride: a plain dot product per (i, j).
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* Ai = A + i * k;
-    float* Ci = C + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* Bj = B + j * k;
-      float acc = 0.0F;
-      for (std::size_t kk = 0; kk < k; ++kk) acc += Ai[kk] * Bj[kk];
-      Ci[j] = acc;
-    }
-  }
+  const Dims d = check_matmul_bt(a, b);
+  Tensor c({d.m, d.n});
+  gemm(Trans::kNo, Trans::kYes, d.m, d.n, d.k, a.raw(), d.k, b.raw(), d.k,
+       c.raw());
   return c;
 }
 
 Tensor matmul_at(const Tensor& a, const Tensor& b) {
-  APPFL_CHECK(a.rank() == 2 && b.rank() == 2);
-  const std::size_t k = a.dim(0), m = a.dim(1);
-  APPFL_CHECK_MSG(b.dim(0) == k, "matmul_at inner-dim mismatch "
-                                     << to_string(a.shape()) << "^T x "
-                                     << to_string(b.shape()));
-  const std::size_t n = b.dim(1);
-  Tensor c({m, n});
-  const float* A = a.raw();
-  const float* B = b.raw();
-  float* C = c.raw();
-  // k outermost: each step is a rank-1 update with unit-stride rows.
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* Ak = A + kk * m;
-    const float* Bk = B + kk * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float aki = Ak[i];
-      if (aki == 0.0F) continue;
-      float* Ci = C + i * n;
-      for (std::size_t j = 0; j < n; ++j) Ci[j] += aki * Bk[j];
-    }
-  }
+  const Dims d = check_matmul_at(a, b);
+  Tensor c({d.m, d.n});
+  gemm(Trans::kYes, Trans::kNo, d.m, d.n, d.k, a.raw(), d.m, b.raw(), d.n,
+       c.raw());
+  return c;
+}
+
+Tensor matmul_reference(const Tensor& a, const Tensor& b) {
+  const Dims d = check_matmul(a, b);
+  Tensor c({d.m, d.n});
+  gemm_reference(Trans::kNo, Trans::kNo, d.m, d.n, d.k, a.raw(), d.k, b.raw(),
+                 d.n, c.raw());
+  return c;
+}
+
+Tensor matmul_bt_reference(const Tensor& a, const Tensor& b) {
+  const Dims d = check_matmul_bt(a, b);
+  Tensor c({d.m, d.n});
+  gemm_reference(Trans::kNo, Trans::kYes, d.m, d.n, d.k, a.raw(), d.k,
+                 b.raw(), d.k, c.raw());
+  return c;
+}
+
+Tensor matmul_at_reference(const Tensor& a, const Tensor& b) {
+  const Dims d = check_matmul_at(a, b);
+  Tensor c({d.m, d.n});
+  gemm_reference(Trans::kYes, Trans::kNo, d.m, d.n, d.k, a.raw(), d.m,
+                 b.raw(), d.n, c.raw());
   return c;
 }
 

@@ -8,6 +8,15 @@
 
 namespace appfl::util {
 
+namespace {
+// Set (and never cleared) on every pool worker thread; plain stack threads
+// and the main thread read false. This is what makes nested parallelism
+// detectable without passing context through every call layer.
+thread_local bool t_on_worker_thread = false;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() { return t_on_worker_thread; }
+
 std::size_t ThreadPool::default_threads() {
   const std::size_t hc = std::thread::hardware_concurrency();
   return std::max<std::size_t>(2, hc);
@@ -44,11 +53,30 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  parallel_for_range(n, [&fn](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::parallel_for_range(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
+  // ~4 chunks per worker: enough slack that an unlucky long chunk does not
+  // serialize the tail, without reintroducing per-index queue traffic.
+  const std::size_t chunks = std::min(n, 4 * workers_.size());
+  if (chunks <= 1) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t base = n / chunks;
+  const std::size_t rem = n % chunks;
   std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(submit([&fn, i] { fn(i); }));
+  futures.reserve(chunks);
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t end = begin + base + (c < rem ? 1 : 0);
+    futures.push_back(submit([&fn, begin, end] { fn(begin, end); }));
+    begin = end;
   }
   std::exception_ptr first_error;
   for (auto& f : futures) {
@@ -62,6 +90,7 @@ void ThreadPool::parallel_for(std::size_t n,
 }
 
 void ThreadPool::worker_loop() {
+  t_on_worker_thread = true;
   for (;;) {
     std::packaged_task<void()> task;
     {

@@ -2,7 +2,10 @@
 //
 // The federated runner uses this to execute per-client local updates
 // concurrently (one logical client per task, many clients per thread), the
-// same multiplexing Summit runs used: 203 clients over N MPI ranks.
+// same multiplexing Summit runs used: 203 clients over N MPI ranks. The
+// tensor kernel engine reuses the same class for intra-op parallelism and
+// consults on_worker_thread() so nested parallel regions (a kernel inside a
+// client task) degrade to serial execution instead of oversubscribing.
 #pragma once
 
 #include <condition_variable>
@@ -31,10 +34,25 @@ class ThreadPool {
   std::future<void> submit(std::function<void()> task);
 
   /// Run fn(i) for i in [0, n) across the pool and wait for all of them.
-  /// Exceptions from tasks are rethrown (first one wins).
+  /// [0, n) is split into ~4×size() contiguous ranges (one task per range)
+  /// so large n pays per-chunk, not per-index, queue overhead. Exceptions
+  /// from tasks are rethrown (first one wins; indices after a throwing one
+  /// in the same chunk are skipped).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Range flavor: fn(begin, end) over a partition of [0, n) into at most
+  /// ~4×size() contiguous chunks. Useful when per-range setup (workspace
+  /// acquisition, packing) should be amortized across indices.
+  void parallel_for_range(
+      std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
+
   std::size_t size() const { return workers_.size(); }
+
+  /// True iff the calling thread is a worker of *any* ThreadPool. The
+  /// kernel engine uses this as its oversubscription guard: a parallel
+  /// kernel invoked from inside a pool task runs serially instead of
+  /// fanning out again (client-level outer, kernel-level inner policy).
+  static bool on_worker_thread();
 
   static std::size_t default_threads();
 

@@ -1,0 +1,27 @@
+// Test helper: set the process-wide kernel engine config for one scope and
+// restore the previous setting on exit, so tests can force backends/thread
+// counts without leaking state into later tests in the same binary.
+#pragma once
+
+#include "tensor/gemm.hpp"
+
+namespace appfl::testutil {
+
+class ScopedKernelConfig {
+ public:
+  explicit ScopedKernelConfig(tensor::KernelConfig config)
+      : previous_(tensor::kernel_config()) {
+    tensor::set_kernel_config(config);
+  }
+  ScopedKernelConfig(tensor::KernelBackend backend, std::size_t threads)
+      : ScopedKernelConfig(tensor::KernelConfig{backend, threads}) {}
+  ~ScopedKernelConfig() { tensor::set_kernel_config(previous_); }
+
+  ScopedKernelConfig(const ScopedKernelConfig&) = delete;
+  ScopedKernelConfig& operator=(const ScopedKernelConfig&) = delete;
+
+ private:
+  tensor::KernelConfig previous_;
+};
+
+}  // namespace appfl::testutil

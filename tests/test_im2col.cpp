@@ -2,11 +2,14 @@
 // equivalence with the direct kernels over a shape sweep.
 #include <gtest/gtest.h>
 
+#include "scoped_kernel_config.hpp"
 #include "util/check.hpp"
 
 #include "rng/rng.hpp"
 #include "tensor/conv.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/workspace.hpp"
 #include "nn/conv2d.hpp"
 #include "tensor/im2col.hpp"
 
@@ -142,6 +145,131 @@ TEST(Conv2dLayer, GemmBackendMatchesDirectBackend) {
   auto* conv_copy = dynamic_cast<appfl::nn::Conv2d*>(copy.get());
   ASSERT_NE(conv_copy, nullptr);
   EXPECT_EQ(conv_copy->backend(), appfl::nn::Conv2d::Backend::kGemm);
+}
+
+// The full GEMM-vs-direct sweep above runs under every engine backend: the
+// padding/stride edge cases must hold whether the products go through the
+// reference loops, the serial tiled kernel, or the parallel tiled kernel.
+TEST_P(GemmEquivalenceTest, HoldsUnderEveryEngineBackend) {
+  const auto& c = GetParam();
+  Conv2dSpec spec{c.cin, c.cout, c.k, c.stride, c.pad};
+  appfl::rng::Rng r(c.k * 53 + c.cin * 7 + c.h);
+  const Tensor x = Tensor::randn({c.n, c.cin, c.h, c.w}, r);
+  const Tensor w = Tensor::randn({c.cout, c.cin, c.k, c.k}, r);
+  const Tensor b = Tensor::randn({c.cout}, r);
+  const Tensor y = appfl::tensor::conv2d_forward(x, w, b, spec);
+  const Tensor gy = Tensor::randn(y.shape(), r);
+  const Tensor dw_direct = appfl::tensor::conv2d_backward_weight(gy, x, spec);
+  const Tensor dx_direct =
+      appfl::tensor::conv2d_backward_input(gy, w, x.shape(), spec);
+
+  const appfl::tensor::KernelConfig configs[] = {
+      {appfl::tensor::KernelBackend::kReference, 1},
+      {appfl::tensor::KernelBackend::kTiled, 1},
+      {appfl::tensor::KernelBackend::kTiled, 8},
+  };
+  for (const auto& config : configs) {
+    appfl::testutil::ScopedKernelConfig guard(config);
+    EXPECT_TRUE(appfl::tensor::conv2d_forward_gemm(x, w, b, spec)
+                    .allclose(y, 1e-4F));
+    EXPECT_TRUE(appfl::tensor::conv2d_backward_weight_gemm(gy, x, spec)
+                    .allclose(dw_direct, 1e-3F));
+    EXPECT_TRUE(
+        appfl::tensor::conv2d_backward_input_gemm(gy, w, x.shape(), spec)
+            .allclose(dx_direct, 1e-4F));
+  }
+}
+
+TEST(ConvEngine, DeterministicAcrossKernelThreadCounts) {
+  // A CIFAR10-ish layer big enough to engage the parallel row-panel split:
+  // forward and both backward products must be bit-identical for 1/2/8
+  // kernel threads.
+  Conv2dSpec spec{16, 32, 3, 1, 1};
+  appfl::rng::Rng r(91);
+  const Tensor x = Tensor::randn({4, 16, 16, 16}, r);
+  const Tensor w = Tensor::randn({32, 16, 3, 3}, r);
+  const Tensor b = Tensor::randn({32}, r);
+  appfl::rng::Rng rg(92);
+
+  Tensor y1, dw1, dx1, gy;
+  for (const std::size_t threads : {1UL, 2UL, 8UL}) {
+    appfl::testutil::ScopedKernelConfig guard(
+        appfl::tensor::KernelBackend::kTiled, threads);
+    const Tensor y = appfl::tensor::conv2d_forward_gemm(x, w, b, spec);
+    if (threads == 1) gy = Tensor::randn(y.shape(), rg);
+    const Tensor dw = appfl::tensor::conv2d_backward_weight_gemm(gy, x, spec);
+    const Tensor dx =
+        appfl::tensor::conv2d_backward_input_gemm(gy, w, x.shape(), spec);
+    if (threads == 1) {
+      y1 = y;
+      dw1 = dw;
+      dx1 = dx;
+    } else {
+      EXPECT_TRUE(y.equals(y1)) << "threads=" << threads;
+      EXPECT_TRUE(dw.equals(dw1)) << "threads=" << threads;
+      EXPECT_TRUE(dx.equals(dx1)) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ConvEngine, WorkspaceIsReusedAcrossSteps) {
+  // The arena amortization claim at the conv level: after one full
+  // forward+backward warm-up, further steps at the same shapes allocate
+  // nothing new on this thread.
+  appfl::testutil::ScopedKernelConfig guard(
+      appfl::tensor::KernelBackend::kTiled, 1);
+  Conv2dSpec spec{8, 16, 3, 1, 1};
+  appfl::rng::Rng r(17);
+  const Tensor x = Tensor::randn({2, 8, 12, 12}, r);
+  const Tensor w = Tensor::randn({16, 8, 3, 3}, r);
+  const Tensor b = Tensor::randn({16}, r);
+  const Tensor y = appfl::tensor::conv2d_forward_gemm(x, w, b, spec);
+  const Tensor gy = Tensor::randn(y.shape(), r);
+  appfl::tensor::conv2d_backward_weight_gemm(gy, x, spec);
+  appfl::tensor::conv2d_backward_input_gemm(gy, w, x.shape(), spec);
+
+  const std::size_t warm = appfl::tensor::Workspace::tls().allocations();
+  for (int step = 0; step < 3; ++step) {
+    appfl::tensor::conv2d_forward_gemm(x, w, b, spec);
+    appfl::tensor::conv2d_backward_weight_gemm(gy, x, spec);
+    appfl::tensor::conv2d_backward_input_gemm(gy, w, x.shape(), spec);
+  }
+  EXPECT_EQ(appfl::tensor::Workspace::tls().allocations(), warm);
+}
+
+TEST(Conv2dLayer, AutoBackendFollowsEngineConfig) {
+  appfl::rng::Rng r(5);
+  appfl::nn::Conv2d layer(1, 2, 3, r);  // default backend: kAuto
+  EXPECT_EQ(layer.backend(), appfl::nn::Conv2d::Backend::kAuto);
+  {
+    appfl::testutil::ScopedKernelConfig guard(
+        appfl::tensor::KernelBackend::kTiled, 1);
+    EXPECT_EQ(layer.resolved_backend(), appfl::nn::Conv2d::Backend::kGemm);
+  }
+  {
+    appfl::testutil::ScopedKernelConfig guard(
+        appfl::tensor::KernelBackend::kReference, 1);
+    EXPECT_EQ(layer.resolved_backend(), appfl::nn::Conv2d::Backend::kDirect);
+  }
+  // Explicit backends are not second-guessed.
+  appfl::rng::Rng r2(5);
+  appfl::nn::Conv2d direct(1, 2, 3, r2, 1, 0,
+                           appfl::nn::Conv2d::Backend::kDirect);
+  appfl::testutil::ScopedKernelConfig guard(
+      appfl::tensor::KernelBackend::kTiled, 1);
+  EXPECT_EQ(direct.resolved_backend(), appfl::nn::Conv2d::Backend::kDirect);
+}
+
+TEST(Im2col, IntoMatchesAllocatingFlavor) {
+  Conv2dSpec spec{2, 1, 3, 2, 1};
+  appfl::rng::Rng r(6);
+  const Tensor x = Tensor::randn({2, 2, 7, 9}, r);
+  const Tensor cols = appfl::tensor::im2col(x, spec);
+  std::vector<float> buf(cols.size(), -1.0F);
+  appfl::tensor::im2col_into(x, spec, buf.data());
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    EXPECT_EQ(buf[i], cols[i]) << i;
+  }
 }
 
 TEST(Im2col, RejectsBadShapes) {

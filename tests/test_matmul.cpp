@@ -1,9 +1,12 @@
-// Matmul kernels vs a naive reference, across transpose variants and sizes.
+// Matmul kernels vs a naive reference, across transpose variants, sizes,
+// and engine backends (reference vs tiled vs parallel tiled).
 #include <gtest/gtest.h>
 
+#include "scoped_kernel_config.hpp"
 #include "util/check.hpp"
 
 #include "rng/rng.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/matmul.hpp"
 
 namespace {
@@ -99,6 +102,86 @@ INSTANTIATE_TEST_SUITE_P(
                     MatmulSize{64, 64, 64},  // exactly one block
                     MatmulSize{65, 70, 66},  // straddles the 64-block
                     MatmulSize{2, 128, 2}),
+    [](const testing::TestParamInfo<MatmulSize>& info) {
+      return std::to_string(info.param.m) + "x" + std::to_string(info.param.k) +
+             "x" + std::to_string(info.param.n);
+    });
+
+// -- Engine backend parity ---------------------------------------------------
+//
+// The shapes the model zoo actually runs: the paper CNN's post-pool linear
+// layers on MNIST/CIFAR10 (batch × flattened-features × hidden/classes) and
+// the im2col products of its 3×3 convs. Each must agree across reference,
+// tiled-serial, and tiled-parallel within float tolerance, and the tiled
+// results must be bitwise identical across 1/2/8 kernel threads.
+
+class BackendParityTest : public testing::TestWithParam<MatmulSize> {};
+
+TEST_P(BackendParityTest, BackendsAgreeOnAllVariants) {
+  const auto [m, k, n] = GetParam();
+  appfl::rng::Rng r(m * 131 + k * 17 + n);
+  const Tensor a = Tensor::randn({m, k}, r);
+  const Tensor b = Tensor::randn({k, n}, r);
+  const Tensor bt = transpose(b);
+  const Tensor at = transpose(a);
+
+  // Entries are N(0,1), so C entries are ~N(0, √k); float rounding error
+  // across backends grows with the same √k — scale the tolerance with it.
+  const float tol = std::max(1e-3F, 1e-5F * static_cast<float>(k));
+
+  const Tensor ref = appfl::tensor::matmul_reference(a, b);
+  const Tensor ref_bt = appfl::tensor::matmul_bt_reference(a, bt);
+  const Tensor ref_at = appfl::tensor::matmul_at_reference(at, b);
+  EXPECT_TRUE(ref_bt.allclose(ref, tol));
+  EXPECT_TRUE(ref_at.allclose(ref, tol));
+
+  for (const std::size_t threads : {1UL, 8UL}) {
+    appfl::testutil::ScopedKernelConfig guard(
+        appfl::tensor::KernelBackend::kTiled, threads);
+    EXPECT_TRUE(appfl::tensor::matmul(a, b).allclose(ref, tol))
+        << "threads=" << threads;
+    EXPECT_TRUE(appfl::tensor::matmul_bt(a, bt).allclose(ref, tol))
+        << "threads=" << threads;
+    EXPECT_TRUE(appfl::tensor::matmul_at(at, b).allclose(ref, tol))
+        << "threads=" << threads;
+  }
+}
+
+TEST_P(BackendParityTest, TiledIsBitwiseDeterministicAcrossThreads) {
+  const auto [m, k, n] = GetParam();
+  appfl::rng::Rng r(m * 313 + k * 7 + n);
+  const Tensor a = Tensor::randn({m, k}, r);
+  const Tensor b = Tensor::randn({k, n}, r);
+  const Tensor bt = transpose(b);
+  const Tensor at = transpose(a);
+
+  Tensor base, base_bt, base_at;
+  for (const std::size_t threads : {1UL, 2UL, 8UL}) {
+    appfl::testutil::ScopedKernelConfig guard(
+        appfl::tensor::KernelBackend::kTiled, threads);
+    const Tensor c = appfl::tensor::matmul(a, b);
+    const Tensor c_bt = appfl::tensor::matmul_bt(a, bt);
+    const Tensor c_at = appfl::tensor::matmul_at(at, b);
+    if (threads == 1) {
+      base = c;
+      base_bt = c_bt;
+      base_at = c_at;
+    } else {
+      EXPECT_TRUE(c.equals(base)) << "threads=" << threads;
+      EXPECT_TRUE(c_bt.equals(base_bt)) << "threads=" << threads;
+      EXPECT_TRUE(c_at.equals(base_at)) << "threads=" << threads;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelZooShapes, BackendParityTest,
+    testing::Values(MatmulSize{64, 6272, 128},  // MNIST flatten → hidden
+                    MatmulSize{64, 128, 10},    // hidden → classes
+                    MatmulSize{32, 16384, 128}, // CIFAR10 flatten → hidden
+                    MatmulSize{6272, 288, 32},  // conv2 im2col product
+                    MatmulSize{97, 101, 103},   // primes: every edge ragged
+                    MatmulSize{300, 160, 130}), // spans multiple MC blocks
     [](const testing::TestParamInfo<MatmulSize>& info) {
       return std::to_string(info.param.m) + "x" + std::to_string(info.param.k) +
              "x" + std::to_string(info.param.n);

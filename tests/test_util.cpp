@@ -81,6 +81,32 @@ TEST(ThreadPool, DefaultThreadsAtLeastTwo) {
   EXPECT_GE(ThreadPool::default_threads(), 2U);
 }
 
+TEST(ThreadPool, ParallelForRangeCoversPartition) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(97);
+  std::atomic<int> chunks{0};
+  pool.parallel_for_range(97, [&](std::size_t begin, std::size_t end) {
+    ASSERT_LT(begin, end);
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+    ++chunks;
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // At most ~4 chunks per worker.
+  EXPECT_LE(chunks.load(), 12);
+  EXPECT_GE(chunks.load(), 1);
+}
+
+TEST(ThreadPool, OnWorkerThreadDetectsPoolContext) {
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+  ThreadPool pool(2);
+  std::atomic<int> seen_on_worker{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    if (ThreadPool::on_worker_thread()) ++seen_on_worker;
+  });
+  EXPECT_EQ(seen_on_worker.load(), 8);
+  EXPECT_FALSE(ThreadPool::on_worker_thread());  // caller is unaffected
+}
+
 TEST(Stopwatch, MeasuresNonNegativeTime) {
   Stopwatch sw;
   EXPECT_GE(sw.elapsed_seconds(), 0.0);
