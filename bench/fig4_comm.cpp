@@ -24,9 +24,11 @@ using appfl::comm::Protocol;
 using appfl::util::fmt;
 
 /// Drives `rounds` communication-only FL rounds (the model payload is the
-/// FEMNIST-scale bundle; no training — Fig 4 isolates communication).
-Communicator drive(Protocol protocol, std::size_t clients, std::size_t rounds,
-                   std::size_t model_floats) {
+/// FEMNIST-scale bundle; no training — Fig 4 isolates communication) and
+/// returns the uplink byte count. (Communicator is not movable: it owns the
+/// mutex guarding its traffic counters.)
+std::uint64_t drive(Protocol protocol, std::size_t clients, std::size_t rounds,
+                    std::size_t model_floats) {
   Communicator comm(protocol, clients, /*seed=*/404);
   std::vector<float> params(model_floats, 0.25F);
   for (std::uint32_t round = 1; round <= rounds; ++round) {
@@ -47,7 +49,7 @@ Communicator drive(Protocol protocol, std::size_t clients, std::size_t rounds,
     }
     (void)comm.gather_locals(round);
   }
-  return comm;
+  return comm.stats().bytes_up;
 }
 
 struct Quantiles {
@@ -142,10 +144,10 @@ int main() {
 
   // Sanity: push real (small) messages through both protocol stacks so the
   // encode/decode path is exercised end to end in this binary too.
-  const auto mpi_comm = drive(Protocol::kMpi, 8, 3, wire_floats);
-  const auto grpc_comm = drive(Protocol::kGrpc, 8, 3, wire_floats);
-  std::cout << "[wire check] MPI bytes up: " << mpi_comm.stats().bytes_up
-            << ", gRPC bytes up: " << grpc_comm.stats().bytes_up
+  const auto mpi_bytes_up = drive(Protocol::kMpi, 8, 3, wire_floats);
+  const auto grpc_bytes_up = drive(Protocol::kGrpc, 8, 3, wire_floats);
+  std::cout << "[wire check] MPI bytes up: " << mpi_bytes_up
+            << ", gRPC bytes up: " << grpc_bytes_up
             << " (8 clients x 3 rounds x " << wire_floats << " floats)\n";
   return 0;
 }

@@ -41,6 +41,14 @@ void print_help() {
       "  --fraction F         client sampling fraction (default 1.0)\n"
       "  --protocol NAME      mpi | grpc (default mpi)\n"
       "  --codec NAME         none | quant8 | topk — lossy uplink codec\n"
+      "  --fault-drop P       per-message drop probability (default 0)\n"
+      "  --fault-dup P        duplicate-delivery probability (default 0)\n"
+      "  --fault-reorder P    queue-jumping probability (default 0)\n"
+      "  --fault-corrupt P    payload bit-flip probability (default 0)\n"
+      "  --fault-delay P      extra-latency probability (default 0)\n"
+      "  --fault-delay-max S  max injected delay, sim-seconds (default 0.5)\n"
+      "  --fault-dead LIST    comma-separated client ids that never answer\n"
+      "  --gather-timeout S   server gather deadline, sim-seconds (default 30)\n"
       "  --kernel-backend B   auto | reference | tiled — tensor kernel engine\n"
       "  --kernel-threads N   intra-op kernel threads (0 = hardware)\n"
       "  --seed S             experiment seed (default 1)\n"
@@ -141,6 +149,25 @@ int main(int argc, char** argv) {
       std::cerr << "unknown --codec '" << codec << "'\n";
       return 2;
     }
+    cfg.faults.drop = args.get_double("fault-drop", 0.0);
+    cfg.faults.duplicate = args.get_double("fault-dup", 0.0);
+    cfg.faults.reorder = args.get_double("fault-reorder", 0.0);
+    cfg.faults.corrupt = args.get_double("fault-corrupt", 0.0);
+    cfg.faults.delay = args.get_double("fault-delay", 0.0);
+    cfg.faults.delay_max_s = args.get_double("fault-delay-max", 0.5);
+    {
+      std::string dead = args.get_string("fault-dead", "");
+      while (!dead.empty()) {
+        const std::size_t comma = dead.find(',');
+        const std::string tok = dead.substr(0, comma);
+        if (!tok.empty()) {
+          cfg.faults.dead.push_back(
+              static_cast<std::uint32_t>(std::stoul(tok)));
+        }
+        dead = comma == std::string::npos ? "" : dead.substr(comma + 1);
+      }
+    }
+    cfg.gather_timeout_s = args.get_double("gather-timeout", 30.0);
     cfg.kernel_backend = args.get_string("kernel-backend", "auto");
     if (cfg.kernel_backend != "auto" && cfg.kernel_backend != "reference" &&
         cfg.kernel_backend != "tiled") {
@@ -216,6 +243,15 @@ int main(int argc, char** argv) {
               << " KiB, downlink: " << result.traffic.bytes_down / 1024
               << " KiB, simulated comm: " << fmt(result.sim_comm_seconds, 2)
               << " s\n";
+    if (appfl::comm::fault_config_from_env(cfg.faults).enabled()) {
+      const auto& t = result.traffic;
+      std::cout << "faults: drops=" << t.drops << " dups=" << t.duplicates
+                << " reorders=" << t.reorders << " corruptions="
+                << t.corruptions << " delays=" << t.delays << " retries="
+                << t.retries << " crc_failures=" << t.crc_failures
+                << " discards=" << t.discards << " gather_timeouts="
+                << t.gather_timeouts << "\n";
+    }
 
     if (report) {
       auto eval_model = appfl::core::build_model(cfg, split.test);

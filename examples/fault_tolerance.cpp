@@ -1,0 +1,55 @@
+// fault_tolerance — FedAvg accuracy degradation under an unreliable network.
+//
+// Sweeps the per-message drop probability over {0, 5, 10, 20}% with two
+// permanently dead clients, and prints the accuracy each run reaches next to
+// the fault-plane counters. Demonstrates the deadline gather: every run
+// completes all rounds even though some rounds see only a subset of clients.
+//
+//   ./build/examples/fault_tolerance
+#include <iostream>
+
+#include "core/runner.hpp"
+#include "data/synth.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using appfl::util::fmt;
+
+  appfl::data::SynthImageSpec spec;
+  spec.num_clients = 6;
+  spec.train_per_client = 64;
+  spec.test_size = 256;
+  spec.seed = 7;
+  const appfl::data::FederatedSplit split = appfl::data::mnist_like(spec);
+
+  appfl::core::RunConfig cfg;
+  cfg.algorithm = appfl::core::Algorithm::kFedAvg;
+  cfg.model = appfl::core::ModelKind::kLogistic;
+  cfg.rounds = 12;
+  cfg.local_steps = 2;
+  cfg.lr = 0.1F;
+  cfg.seed = 7;
+  cfg.validate_every_round = false;
+  cfg.gather_timeout_s = 5.0;
+
+  std::cout << "FedAvg on " << split.name << ", " << spec.num_clients
+            << " clients, clients 5 and 6 permanently dead\n\n";
+  appfl::util::TextTable table({"drop", "accuracy", "drops", "retries",
+                                "timeouts", "responders(last)"});
+  for (const double drop : {0.0, 0.05, 0.10, 0.20}) {
+    cfg.faults = {};
+    cfg.faults.drop = drop;
+    cfg.faults.dead = {5, 6};
+    const auto result = appfl::core::run_federated(cfg, split);
+    table.add_row({fmt(drop, 2), fmt(result.final_accuracy, 4),
+                   std::to_string(result.traffic.drops),
+                   std::to_string(result.traffic.retries),
+                   std::to_string(result.traffic.gather_timeouts),
+                   std::to_string(result.rounds.back().responders)});
+  }
+  table.print(std::cout);
+  std::cout << "\nEvery sweep point ran all " << cfg.rounds
+            << " rounds to completion; missing clients are stragglers, not "
+               "errors.\n";
+  return 0;
+}

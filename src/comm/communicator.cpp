@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "comm/compression.hpp"
+#include "comm/envelope.hpp"
 #include "util/check.hpp"
 
 namespace appfl::comm {
@@ -21,15 +22,28 @@ std::string to_string(UplinkCodec codec) {
   return "?";
 }
 
+namespace {
+constexpr std::uint64_t kFaultNetStream = 0xFE;
+}  // namespace
+
 Communicator::Communicator(Protocol protocol, std::size_t num_clients,
-                           std::uint64_t seed, CodecConfig codec)
+                           std::uint64_t seed, CodecConfig codec,
+                           ReliabilityConfig reliability)
     : protocol_(protocol),
       num_clients_(num_clients),
       seed_(seed),
-      codec_(codec) ,
-      network_(num_clients + 1) {
+      codec_(codec),
+      reliability_(std::move(reliability)),
+      network_(num_clients + 1, reliability_.faults,
+               rng::derive_seed(seed, {kFaultNetStream})) {
   APPFL_CHECK_MSG(num_clients >= 1, "need at least one client");
   APPFL_CHECK(codec_.topk_fraction > 0.0 && codec_.topk_fraction <= 1.0);
+  APPFL_CHECK_MSG(reliability_.gather_timeout_s > 0.0,
+                  "gather deadline must be positive");
+  APPFL_CHECK_MSG(reliability_.ack_timeout_s > 0.0 &&
+                      reliability_.backoff_cap_s >= reliability_.ack_timeout_s,
+                  "retransmit backoff must be positive and capped above the "
+                  "base timeout");
 }
 
 void Communicator::compress_update(Message& m) const {
@@ -79,11 +93,35 @@ void Communicator::decompress_update(Message& m) const {
 }
 
 std::vector<std::uint8_t> Communicator::encode(const Message& m) const {
-  return protocol_ == Protocol::kMpi ? encode_raw(m) : encode_proto(m);
+  auto bytes = protocol_ == Protocol::kMpi ? encode_raw(m) : encode_proto(m);
+  // The CRC frame exists to catch injected corruption; without the injector
+  // it is skipped so the wire bytes match the fault-free format exactly.
+  if (network_.faults_enabled()) bytes = seal_envelope(std::move(bytes));
+  return bytes;
 }
 
 Message Communicator::decode(std::span<const std::uint8_t> bytes) const {
   return protocol_ == Protocol::kMpi ? decode_raw(bytes) : decode_proto(bytes);
+}
+
+std::optional<Message> Communicator::decode_frame(
+    std::span<const std::uint8_t> bytes) {
+  if (!network_.faults_enabled()) return decode(bytes);
+  const auto payload = open_envelope(bytes);
+  if (!payload) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.crc_failures;
+    return std::nullopt;
+  }
+  try {
+    return decode(*payload);
+  } catch (const appfl::Error&) {
+    // A CRC collision let damaged bytes through, or the payload was built
+    // malformed; either way decoding must not take the process down.
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.crc_failures;
+    return std::nullopt;
+  }
 }
 
 void Communicator::broadcast_global(
@@ -95,6 +133,7 @@ void Communicator::broadcast_global(
     for (std::uint32_t c = 1; c <= num_clients_; ++c) all[c - 1] = c;
     participants = all;
   }
+  const double now = clock_.now();
   std::size_t bytes_each = 0;
   for (std::uint32_t c : participants) {
     APPFL_CHECK_MSG(c >= 1 && c <= num_clients_,
@@ -105,7 +144,9 @@ void Communicator::broadcast_global(
     bytes_each = bytes.size();
     stats_.bytes_down += bytes.size();
     ++stats_.messages_down;
-    network_.send(0, c, std::move(bytes));
+    // Lost downlinks are not retried: the client misses the round and the
+    // deadline gather treats it as a straggler.
+    (void)network_.send(0, c, std::move(bytes), now);
   }
   last_broadcast_primal_ = m.primal;  // kTopK delta reference
   const std::size_t count = participants.size();
@@ -121,16 +162,43 @@ void Communicator::broadcast_global(
   clock_.advance(pending_broadcast_s_);
 }
 
-void Communicator::send_update(std::uint32_t client, const Message& m) {
+bool Communicator::send_update(std::uint32_t client, const Message& m) {
   APPFL_CHECK_MSG(client >= 1 && client <= num_clients_,
                   "bad client id " << client);
   APPFL_CHECK_MSG(m.sender == client, "sender field must match client id");
   Message outgoing = m;
   compress_update(outgoing);
   auto bytes = encode(outgoing);
-  stats_.bytes_up += bytes.size();
-  ++stats_.messages_up;
-  network_.send(client, 0, std::move(bytes));
+  const double now = clock_.now();
+  if (!network_.faults_enabled()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.bytes_up += bytes.size();
+      ++stats_.messages_up;
+    }
+    (void)network_.send(client, 0, std::move(bytes), now);
+    return true;
+  }
+  // Stop-and-wait retransmit: the client re-sends until the (free, assumed
+  // reliable) ack arrives, backing off exponentially up to the cap. The ack
+  // horizon is the gather deadline — a delivery past it will be discarded
+  // server-side as stale, which the client observes as a missing ack.
+  const double deadline = now + reliability_.gather_timeout_s;
+  double backoff = 0.0;
+  for (std::size_t attempt = 0;; ++attempt) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.bytes_up += bytes.size();
+      ++stats_.messages_up;
+      if (attempt > 0) ++stats_.retries;
+    }
+    const auto outcome = network_.send(client, 0, bytes, now + backoff);
+    if (outcome.delivered) return outcome.deliver_at <= deadline;
+    if (attempt >= reliability_.max_retries) return false;
+    backoff += std::min(reliability_.backoff_cap_s,
+                        reliability_.ack_timeout_s *
+                            static_cast<double>(std::uint64_t{1} << attempt));
+  }
 }
 
 Message Communicator::recv_global(std::uint32_t client) {
@@ -138,6 +206,29 @@ Message Communicator::recv_global(std::uint32_t client) {
   Datagram d = network_.recv(client);
   APPFL_CHECK_MSG(d.from == 0, "client received a non-server message");
   return decode(d.bytes);
+}
+
+std::optional<Message> Communicator::try_recv_global(std::uint32_t client,
+                                                     std::uint32_t round) {
+  APPFL_CHECK(client >= 1 && client <= num_clients_);
+  const double now = clock_.now();
+  while (auto d = network_.try_recv_ready(client, now)) {
+    if (d->from != 0) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.discards;
+      continue;
+    }
+    std::optional<Message> m = decode_frame(d->bytes);
+    if (!m) continue;  // counted by decode_frame
+    if (m->kind != MessageKind::kGlobalModel || m->round != round) {
+      // A broadcast from an earlier round that was delayed past its window.
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.discards;
+      continue;
+    }
+    return m;
+  }
+  return std::nullopt;
 }
 
 std::vector<Message> Communicator::gather_locals(std::uint32_t round,
@@ -151,19 +242,54 @@ std::vector<Message> Communicator::gather_locals(std::uint32_t round,
   std::vector<bool> seen(num_clients_ + 1, false);
   std::vector<std::size_t> upload_bytes;
   upload_bytes.reserve(expected);
-  for (std::size_t received = 0; received < expected; ++received) {
-    Datagram d = network_.recv(0);
-    Message m = decode(d.bytes);
-    decompress_update(m);
-    APPFL_CHECK_MSG(m.sender >= 1 && m.sender <= num_clients_,
-                    "gather got message from bad sender " << m.sender);
-    APPFL_CHECK_MSG(!seen[m.sender],
-                    "duplicate update from client " << m.sender);
-    APPFL_CHECK_MSG(m.round == round, "gather round mismatch: got "
-                                          << m.round << ", expected " << round);
-    seen[m.sender] = true;
+
+  // Validates one datagram: duplicates, stale rounds, unknown senders, and
+  // damaged payloads are discarded and counted — never fatal.
+  const auto consider = [&](const Datagram& d) {
+    std::optional<Message> m = decode_frame(d.bytes);
+    if (!m) return;
+    if (m->kind != MessageKind::kLocalUpdate || m->sender < 1 ||
+        m->sender > num_clients_ || m->round != round || seen[m->sender]) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.discards;
+      return;
+    }
+    decompress_update(*m);
+    seen[m->sender] = true;
     upload_bytes.push_back(d.bytes.size());
-    out.push_back(std::move(m));
+    out.push_back(std::move(*m));
+  };
+
+  const double start = clock_.now();
+  double waited_s = 0.0;  // extra sim-time spent waiting on late deliveries
+  if (!network_.faults_enabled()) {
+    // Fault-free path: block until every expected update has arrived —
+    // identical timing and byte accounting to the pre-fault communicator.
+    while (out.size() < expected) consider(network_.recv(0));
+  } else {
+    // Deadline drain: consume everything deliverable "now", fast-forward to
+    // the next scheduled delivery while it is within the deadline, and give
+    // up on whoever is left once nothing more can arrive in time.
+    const double deadline = start + reliability_.gather_timeout_s;
+    double vt = start;
+    while (out.size() < expected) {
+      if (auto d = network_.try_recv_ready(0, vt)) {
+        consider(*d);
+        continue;
+      }
+      const double next = network_.next_deliver_at(0);
+      if (next >= 0.0 && next <= deadline) {
+        vt = std::max(vt, next);
+        continue;
+      }
+      break;  // nothing else can make the deadline
+    }
+    if (out.size() < expected) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.gather_timeouts;
+      vt = deadline;  // the server waited the round out
+    }
+    waited_s = vt - start;
   }
   std::sort(out.begin(), out.end(),
             [](const Message& a, const Message& b) { return a.sender < b.sender; });
@@ -173,6 +299,8 @@ std::vector<Message> Communicator::gather_locals(std::uint32_t round,
   rec.broadcast_s = pending_broadcast_s_;
   pending_broadcast_s_ = 0.0;
 
+  const std::size_t received = upload_bytes.size();
+  double model_s = 0.0;
   if (protocol_ == Protocol::kMpi) {
     // MPI.gather with one rank per participant; the per-rank payload is the
     // (uniform) encoded update size.
@@ -180,19 +308,35 @@ std::vector<Message> Communicator::gather_locals(std::uint32_t round,
     for (std::size_t b : upload_bytes) {
       bytes_per_rank = std::max(bytes_per_rank, b);
     }
-    rec.gather_s = mpi_model_.gather_seconds(expected, bytes_per_rank);
-  } else {
+    if (received > 0) model_s = mpi_model_.gather_seconds(received, bytes_per_rank);
+  } else if (received > 0) {
     rng::Rng jitter(rng::derive_seed(seed_, {0xA0, round}));
-    rec.client_transfer_s.resize(expected);
-    for (std::size_t i = 0; i < expected; ++i) {
+    rec.client_transfer_s.resize(received);
+    for (std::size_t i = 0; i < received; ++i) {
       rec.client_transfer_s[i] =
           grpc_model_.transfer_seconds(upload_bytes[i], jitter);
     }
-    rec.gather_s = grpc_model_.round_seconds(rec.client_transfer_s);
+    model_s = grpc_model_.round_seconds(rec.client_transfer_s);
   }
+  rec.gather_s = std::max(model_s, waited_s);
   clock_.advance(rec.gather_s);
   round_log_.push_back(std::move(rec));
   return out;
+}
+
+TrafficStats Communicator::stats() const {
+  TrafficStats s;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    s = stats_;
+  }
+  const FaultStats f = network_.fault_stats();
+  s.drops = f.drops;
+  s.duplicates = f.duplicates;
+  s.reorders = f.reorders;
+  s.corruptions = f.corruptions;
+  s.delays = f.delays;
+  return s;
 }
 
 }  // namespace appfl::comm

@@ -8,10 +8,19 @@
 //   • the cost model advancing simulated communication time.
 // Every payload is genuinely encoded by the sender and decoded by the
 // receiver through an in-process mailbox network.
+//
+// Fault tolerance: when the ReliabilityConfig's fault injector is enabled,
+// payloads are CRC-framed (comm/envelope.hpp), uplinks retransmit with
+// capped exponential backoff, and gather_locals drains against a sim-clock
+// deadline, returning whatever arrived. With the injector off every one of
+// those paths is bypassed — wire bytes and timing stay bit-identical to the
+// fault-free communicator.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <vector>
 
 #include "comm/cost_model.hpp"
@@ -42,12 +51,37 @@ struct CodecConfig {
   double topk_fraction = 0.1;  // fraction of coordinates kTopK keeps
 };
 
-/// Byte/message counters, split by direction.
+/// Fault-tolerance knobs. The fault plane is active iff faults.enabled().
+struct ReliabilityConfig {
+  FaultConfig faults;
+  /// Sim-seconds the server waits in gather_locals before proceeding with
+  /// whatever arrived. Also the client's effective ack horizon: an uplink
+  /// landing later than this is reported as undelivered to the sender.
+  double gather_timeout_s = 30.0;
+  /// Base retransmit backoff (sim-seconds); doubles per retry up to the cap.
+  double ack_timeout_s = 0.25;
+  double backoff_cap_s = 4.0;
+  /// Retransmissions attempted after the first send of an update.
+  std::size_t max_retries = 4;
+};
+
+/// Byte/message counters, split by direction, plus fault-plane counters
+/// (all zero in a fault-free run).
 struct TrafficStats {
   std::uint64_t messages_up = 0;
   std::uint64_t messages_down = 0;
-  std::uint64_t bytes_up = 0;    // client → server
+  std::uint64_t bytes_up = 0;    // client → server (retransmissions included)
   std::uint64_t bytes_down = 0;  // server → client
+
+  std::uint64_t drops = 0;        // messages lost in flight (either direction)
+  std::uint64_t duplicates = 0;   // duplicate deliveries injected
+  std::uint64_t reorders = 0;     // deliveries that jumped the queue
+  std::uint64_t corruptions = 0;  // payloads damaged in flight
+  std::uint64_t delays = 0;       // deliveries given extra latency
+  std::uint64_t retries = 0;        // client retransmission attempts
+  std::uint64_t crc_failures = 0;   // corrupted envelopes caught at decode
+  std::uint64_t discards = 0;       // duplicate/stale/malformed discards
+  std::uint64_t gather_timeouts = 0;  // gathers that hit the deadline short
 
   std::uint64_t total_bytes() const { return bytes_up + bytes_down; }
 };
@@ -65,46 +99,70 @@ struct RoundCommRecord {
 
 class Communicator {
  public:
-  /// `seed` drives the gRPC jitter stream (deterministic per round/client).
+  /// `seed` drives the gRPC jitter stream (deterministic per round/client)
+  /// and, when enabled, the fault-injection schedule.
   Communicator(Protocol protocol, std::size_t num_clients, std::uint64_t seed,
-               CodecConfig codec = {});
+               CodecConfig codec = {}, ReliabilityConfig reliability = {});
 
   Protocol protocol() const { return protocol_; }
   std::size_t num_clients() const { return num_clients_; }
+  bool fault_plane_active() const { return network_.faults_enabled(); }
 
   // -- Server role -------------------------------------------------------------
 
   /// Encodes `m` once per recipient and delivers it. `participants` empty ⇒
   /// all clients (full participation); otherwise only the listed client ids
   /// receive the broadcast (partial participation / client sampling).
-  /// Advances simulated time by the protocol's broadcast cost.
+  /// Advances simulated time by the protocol's broadcast cost. Under fault
+  /// injection individual downlinks may be lost (counted, not retried —
+  /// the affected client simply sits the round out).
   void broadcast_global(const Message& m,
                         std::span<const std::uint32_t> participants = {});
 
-  /// Receives exactly `expected` local updates (blocking; 0 ⇒ one from
-  /// every client), advances simulated time by the protocol's gather cost,
-  /// and appends a RoundCommRecord. Updates are returned ordered by client
-  /// id; each sender may contribute at most one update per gather.
+  /// Gathers local updates for `round` (0 ⇒ one from every client),
+  /// advances simulated time, and appends a RoundCommRecord. Duplicate,
+  /// stale-round, and malformed messages are discarded and counted, never
+  /// fatal. Fault plane off: blocks until `expected` valid updates arrive
+  /// (pre-fault behavior). Fault plane on: drains against a sim-clock
+  /// deadline of reliability.gather_timeout_s and returns whatever made it
+  /// (possibly fewer than `expected`; a short return bumps gather_timeouts).
+  /// Updates are returned ordered by client id.
   std::vector<Message> gather_locals(std::uint32_t round,
                                      std::size_t expected = 0);
 
   // -- Client role -------------------------------------------------------------
 
-  /// Client `client` (1..P) sends its update to the server.
-  void send_update(std::uint32_t client, const Message& m);
+  /// Client `client` (1..P) sends its update to the server. Returns true
+  /// when the update will be seen by this round's gather. Under fault
+  /// injection a dropped uplink is retransmitted with capped exponential
+  /// backoff (each attempt's bytes are accounted); false means the update
+  /// was lost after all retries or landed past the gather deadline.
+  bool send_update(std::uint32_t client, const Message& m);
 
-  /// Client `client` receives the current global model (blocking).
+  /// Client `client` receives the current global model (blocking; fault-free
+  /// path only — under fault injection use try_recv_global).
   Message recv_global(std::uint32_t client);
+
+  /// Non-blocking receive of the round-`round` broadcast. Stale or
+  /// corrupted downlink traffic is discarded and counted; nullopt means the
+  /// broadcast was lost or is still in flight — the client sits out.
+  std::optional<Message> try_recv_global(std::uint32_t client,
+                                         std::uint32_t round);
 
   // -- Accounting ----------------------------------------------------------------
 
-  const TrafficStats& stats() const { return stats_; }
+  /// Aggregated traffic + fault counters (injector counters folded in).
+  TrafficStats stats() const;
   const std::vector<RoundCommRecord>& round_log() const { return round_log_; }
   const SimClock& clock() const { return clock_; }
 
  private:
   std::vector<std::uint8_t> encode(const Message& m) const;
   Message decode(std::span<const std::uint8_t> bytes) const;
+  /// Envelope-aware decode: verifies the CRC frame (fault plane only) and
+  /// never throws on damaged bytes — counts a crc_failure and returns
+  /// nullopt instead.
+  std::optional<Message> decode_frame(std::span<const std::uint8_t> bytes);
 
   /// Packs m.primal into m.packed per the configured codec (send side).
   void compress_update(Message& m) const;
@@ -115,9 +173,11 @@ class Communicator {
   std::size_t num_clients_;
   std::uint64_t seed_;
   CodecConfig codec_;
+  ReliabilityConfig reliability_;
   InProcNetwork network_;
   MpiCostModel mpi_model_;
   GrpcCostModel grpc_model_;
+  mutable std::mutex stats_mutex_;  // clients send concurrently
   TrafficStats stats_;
   std::vector<RoundCommRecord> round_log_;
   SimClock clock_;

@@ -66,10 +66,13 @@ std::size_t TopK::wire_bytes() const {
 }
 
 TopK sparsify_topk(std::span<const float> values, std::size_t k) {
-  APPFL_CHECK_MSG(k >= 1, "top-k needs k >= 1");
-  k = std::min(k, values.size());
   TopK sparse;
   sparse.size = values.size();
+  // Clamp AFTER the empty check: clamping k to an empty input would yield
+  // k = 0 and an order.begin() + (0 - 1) iterator underflow below.
+  if (values.empty()) return sparse;
+  APPFL_CHECK_MSG(k >= 1, "top-k needs k >= 1");
+  k = std::min(k, values.size());
   std::vector<std::uint32_t> order(values.size());
   for (std::size_t i = 0; i < order.size(); ++i) {
     order[i] = static_cast<std::uint32_t>(i);

@@ -1,0 +1,63 @@
+#include "comm/envelope.hpp"
+
+#include <array>
+
+namespace appfl::comm {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x41504643;  // "APFC" (APpfl Frame + Crc)
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1U) ? (0xEDB88320U ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u32(std::uint8_t* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t get_u32(const std::uint8_t* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{in[i]} << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFU;
+  for (std::uint8_t b : bytes) {
+    crc = table[(crc ^ b) & 0xFFU] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFU;
+}
+
+std::vector<std::uint8_t> seal_envelope(std::vector<std::uint8_t> payload) {
+  const std::uint32_t checksum = crc32(payload);
+  // Grow in place and shift the payload up so callers keep move semantics.
+  payload.insert(payload.begin(), kEnvelopeOverhead, 0);
+  put_u32(payload.data(), kMagic);
+  put_u32(payload.data() + 4, checksum);
+  return payload;
+}
+
+std::optional<std::span<const std::uint8_t>> open_envelope(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kEnvelopeOverhead) return std::nullopt;
+  if (get_u32(bytes.data()) != kMagic) return std::nullopt;
+  const std::uint32_t stated = get_u32(bytes.data() + 4);
+  const auto payload = bytes.subspan(kEnvelopeOverhead);
+  if (crc32(payload) != stated) return std::nullopt;
+  return payload;
+}
+
+}  // namespace appfl::comm

@@ -1,0 +1,36 @@
+// Checksum-framed wire envelope for the fault plane.
+//
+// When fault injection is active, every datagram crossing the in-process
+// network is framed as
+//
+//     [magic u32 | crc32(payload) u32 | payload...]
+//
+// so in-flight byte corruption is *detected* at the receiver (counted as a
+// CRC failure and discarded) instead of being fed into decode_raw /
+// decode_proto, where a flipped length byte could abort the process. With
+// fault injection off the envelope is skipped entirely, keeping the wire
+// bytes bit-identical to a fault-free build.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace appfl::comm {
+
+/// IEEE CRC-32 (polynomial 0xEDB88320, reflected), as used by Ethernet/zip.
+std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+/// Bytes the envelope adds in front of the payload (magic + checksum).
+constexpr std::size_t kEnvelopeOverhead = 8;
+
+/// Wraps `payload` in a checksum frame (moves the buffer; no payload copy).
+std::vector<std::uint8_t> seal_envelope(std::vector<std::uint8_t> payload);
+
+/// Verifies the frame and returns a view of the payload, or nullopt when
+/// the buffer is too short, the magic is wrong, or the checksum mismatches.
+std::optional<std::span<const std::uint8_t>> open_envelope(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace appfl::comm

@@ -1,13 +1,134 @@
 #include "comm/mailbox.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "rng/rng.hpp"
 #include "util/check.hpp"
 
 namespace appfl::comm {
+
+bool FaultConfig::enabled() const {
+  return drop > 0.0 || duplicate > 0.0 || reorder > 0.0 || corrupt > 0.0 ||
+         delay > 0.0 || !dead.empty();
+}
+
+void FaultConfig::validate() const {
+  const auto check_prob = [](double p, const char* name) {
+    APPFL_CHECK_MSG(p >= 0.0 && p <= 1.0,
+                    "fault probability " << name << " must be in [0, 1], got "
+                                         << p);
+  };
+  check_prob(drop, "drop");
+  check_prob(duplicate, "duplicate");
+  check_prob(reorder, "reorder");
+  check_prob(corrupt, "corrupt");
+  check_prob(delay, "delay");
+  if (delay > 0.0) {
+    APPFL_CHECK_MSG(delay_max_s > 0.0,
+                    "delay faults need a positive delay_max_s");
+  }
+}
+
+FaultInjector::FaultInjector(FaultConfig config, std::uint64_t seed)
+    : config_(std::move(config)), seed_(seed) {
+  config_.validate();
+}
+
+FaultInjector::Verdict FaultInjector::judge(std::uint32_t from,
+                                            std::uint32_t to,
+                                            std::size_t num_bytes) {
+  Verdict v;
+  const bool link_dead =
+      std::find(config_.dead.begin(), config_.dead.end(), from) !=
+          config_.dead.end() ||
+      std::find(config_.dead.begin(), config_.dead.end(), to) !=
+          config_.dead.end();
+  std::uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t key = (std::uint64_t{from} << 32) | to;
+    seq = link_seq_[key]++;
+    if (link_dead) {
+      v.drop = true;
+      ++stats_.drops;
+      return v;
+    }
+  }
+  rng::Rng r(rng::derive_seed(seed_, {rng::stream::kCommFault, from, to, seq}));
+  // Fixed draw order so enabling one fault knob never shifts the schedule
+  // of another: drop, duplicate, reorder, delay(+amount), corrupt(+where).
+  v.drop = r.uniform01() < config_.drop;
+  v.duplicate = r.uniform01() < config_.duplicate;
+  v.reorder = r.uniform01() < config_.reorder;
+  const bool delayed = r.uniform01() < config_.delay;
+  v.delay_s = delayed ? config_.delay_max_s * r.uniform01_open() : 0.0;
+  v.corrupt = r.uniform01() < config_.corrupt && num_bytes > 0;
+  if (v.corrupt) {
+    v.corrupt_offset = static_cast<std::size_t>(r.uniform_below(num_bytes));
+    v.corrupt_mask = static_cast<std::uint8_t>(1U << r.uniform_below(8));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (v.drop) {
+      ++stats_.drops;
+    } else {
+      if (v.duplicate) ++stats_.duplicates;
+      if (v.reorder) ++stats_.reorders;
+      if (delayed) ++stats_.delays;
+      if (v.corrupt) ++stats_.corruptions;
+    }
+  }
+  return v;
+}
+
+FaultStats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+FaultConfig fault_config_from_env(FaultConfig base) {
+  const auto env_double = [](const char* name, double& field) {
+    if (const char* value = std::getenv(name)) field = std::atof(value);
+  };
+  env_double("APPFL_FAULT_DROP", base.drop);
+  env_double("APPFL_FAULT_DUPLICATE", base.duplicate);
+  env_double("APPFL_FAULT_REORDER", base.reorder);
+  env_double("APPFL_FAULT_CORRUPT", base.corrupt);
+  env_double("APPFL_FAULT_DELAY", base.delay);
+  env_double("APPFL_FAULT_DELAY_MAX_S", base.delay_max_s);
+  if (const char* value = std::getenv("APPFL_FAULT_DEAD")) {
+    base.dead.clear();
+    std::string list(value);
+    std::size_t pos = 0;
+    while (pos < list.size()) {
+      const std::size_t comma = list.find(',', pos);
+      const std::string token =
+          list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+      if (!token.empty()) {
+        base.dead.push_back(
+            static_cast<std::uint32_t>(std::strtoul(token.c_str(), nullptr, 10)));
+      }
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  return base;
+}
 
 void Mailbox::push(Datagram d) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(d));
+  }
+  cv_.notify_one();
+}
+
+void Mailbox::push_front(Datagram d) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_front(std::move(d));
   }
   cv_.notify_one();
 }
@@ -28,22 +149,65 @@ std::optional<Datagram> Mailbox::try_pop() {
   return d;
 }
 
+std::optional<Datagram> Mailbox::try_pop_ready(double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->deliver_at <= now) {
+      Datagram d = std::move(*it);
+      queue_.erase(it);
+      return d;
+    }
+  }
+  return std::nullopt;
+}
+
+double Mailbox::next_deliver_at() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_.empty()) return -1.0;
+  double earliest = queue_.front().deliver_at;
+  for (const Datagram& d : queue_) earliest = std::min(earliest, d.deliver_at);
+  return earliest;
+}
+
 std::size_t Mailbox::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();
 }
 
-InProcNetwork::InProcNetwork(std::size_t num_endpoints)
+InProcNetwork::InProcNetwork(std::size_t num_endpoints, FaultConfig faults,
+                             std::uint64_t seed)
     : boxes_(num_endpoints) {
   APPFL_CHECK_MSG(num_endpoints >= 2,
                   "a network needs at least a server and one client");
+  if (faults.enabled()) {
+    injector_ = std::make_unique<FaultInjector>(std::move(faults), seed);
+  }
 }
 
-void InProcNetwork::send(std::uint32_t from, std::uint32_t to,
-                         std::vector<std::uint8_t> bytes) {
+InProcNetwork::SendOutcome InProcNetwork::send(std::uint32_t from,
+                                               std::uint32_t to,
+                                               std::vector<std::uint8_t> bytes,
+                                               double now) {
   APPFL_CHECK_MSG(from < boxes_.size(), "bad sender endpoint " << from);
   APPFL_CHECK_MSG(to < boxes_.size(), "bad receiver endpoint " << to);
-  boxes_[to].push({from, std::move(bytes)});
+  if (!injector_) {
+    boxes_[to].push({from, std::move(bytes), now});
+    return {true, now};
+  }
+  const FaultInjector::Verdict v = injector_->judge(from, to, bytes.size());
+  if (v.drop) return {false, now};
+  if (v.corrupt) bytes[v.corrupt_offset] ^= v.corrupt_mask;
+  const double at = now + v.delay_s;
+  Datagram d{from, std::move(bytes), at};
+  std::optional<Datagram> dup;
+  if (v.duplicate) dup = d;  // identical second delivery
+  if (v.reorder) {
+    boxes_[to].push_front(std::move(d));
+  } else {
+    boxes_[to].push(std::move(d));
+  }
+  if (dup) boxes_[to].push(std::move(*dup));
+  return {true, at};
 }
 
 Datagram InProcNetwork::recv(std::uint32_t at) {
@@ -56,9 +220,24 @@ std::optional<Datagram> InProcNetwork::try_recv(std::uint32_t at) {
   return boxes_[at].try_pop();
 }
 
+std::optional<Datagram> InProcNetwork::try_recv_ready(std::uint32_t at,
+                                                      double now) {
+  APPFL_CHECK(at < boxes_.size());
+  return boxes_[at].try_pop_ready(now);
+}
+
+double InProcNetwork::next_deliver_at(std::uint32_t at) const {
+  APPFL_CHECK(at < boxes_.size());
+  return boxes_[at].next_deliver_at();
+}
+
 std::size_t InProcNetwork::pending(std::uint32_t at) const {
   APPFL_CHECK(at < boxes_.size());
   return boxes_[at].size();
+}
+
+FaultStats InProcNetwork::fault_stats() const {
+  return injector_ ? injector_->stats() : FaultStats{};
 }
 
 }  // namespace appfl::comm

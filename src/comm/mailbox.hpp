@@ -2,33 +2,119 @@
 // routing messages between them. This is the actual data plane under both
 // simulated protocols — bytes really are encoded by the sender and decoded
 // by the receiver, so a protocol bug cannot hide behind the cost model.
+//
+// The network optionally carries a deterministic FaultInjector that drops,
+// duplicates, reorders, delays (in sim-clock seconds), or corrupts messages
+// per link. With the injector off (the default) every path below reduces to
+// the fault-free transport, bit for bit.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 namespace appfl::comm {
 
 /// A delivered datagram: opaque bytes plus the sender's endpoint id.
+/// `deliver_at` is the simulated time the bytes become visible to the
+/// receiver (0 unless the fault injector added latency).
 struct Datagram {
   std::uint32_t from = 0;
   std::vector<std::uint8_t> bytes;
+  double deliver_at = 0.0;
 };
+
+/// Per-link fault probabilities for the in-process network. All-zero with
+/// no dead endpoints (the default) disables the injector entirely.
+struct FaultConfig {
+  double drop = 0.0;        // P(message silently lost in flight)
+  double duplicate = 0.0;   // P(message delivered twice)
+  double reorder = 0.0;     // P(message jumps ahead of queued traffic)
+  double corrupt = 0.0;     // P(one payload bit flipped in flight)
+  double delay = 0.0;       // P(extra delivery latency added)
+  double delay_max_s = 0.5; // delay drawn uniformly from (0, delay_max_s]
+  std::vector<std::uint32_t> dead;  // endpoints whose links are fully down
+
+  bool enabled() const;
+  /// Throws appfl::Error on out-of-range probabilities or delay bounds.
+  void validate() const;
+};
+
+/// Counters of faults the injector actually applied.
+struct FaultStats {
+  std::uint64_t drops = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t reorders = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t delays = 0;
+};
+
+/// Deterministic, seeded fault scheduler. Each (from, to) link keeps its own
+/// message sequence counter, and every decision draws from a fresh Rng
+/// seeded by (seed, stream::kCommFault, from, to, seq) — so the fault
+/// schedule is a pure function of the seed and each link's send order,
+/// independent of how threads on different links interleave.
+class FaultInjector {
+ public:
+  struct Verdict {
+    bool drop = false;
+    bool duplicate = false;
+    bool reorder = false;
+    bool corrupt = false;
+    std::size_t corrupt_offset = 0;  // byte to damage
+    std::uint8_t corrupt_mask = 1;   // XOR mask (single bit)
+    double delay_s = 0.0;            // extra sim-clock latency
+  };
+
+  FaultInjector(FaultConfig config, std::uint64_t seed);
+
+  /// Decides the fate of the next message on link from→to.
+  Verdict judge(std::uint32_t from, std::uint32_t to, std::size_t num_bytes);
+
+  const FaultConfig& config() const { return config_; }
+  FaultStats stats() const;
+
+ private:
+  FaultConfig config_;
+  std::uint64_t seed_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::uint64_t> link_seq_;
+  FaultStats stats_;
+};
+
+/// Returns `base` with APPFL_FAULT_* environment overrides applied:
+/// APPFL_FAULT_DROP, _DUPLICATE, _REORDER, _CORRUPT, _DELAY, _DELAY_MAX_S
+/// (doubles) and APPFL_FAULT_DEAD (comma-separated endpoint ids). Unset
+/// variables leave the corresponding field untouched.
+FaultConfig fault_config_from_env(FaultConfig base);
 
 /// Unbounded MPSC queue with blocking and non-blocking receive.
 class Mailbox {
  public:
   void push(Datagram d);
 
-  /// Blocks until a datagram arrives.
+  /// Front-of-queue insert, used by the injector's reorder fault.
+  void push_front(Datagram d);
+
+  /// Blocks until a datagram arrives (ignores deliver_at stamps — the
+  /// fault-free path, where every stamp is 0).
   Datagram pop();
 
   /// Returns immediately; nullopt when the box is empty.
   std::optional<Datagram> try_pop();
+
+  /// First queued datagram with deliver_at <= now; nullopt when none is
+  /// ready yet (later-stamped traffic stays queued, preserving FIFO order
+  /// among ready messages).
+  std::optional<Datagram> try_pop_ready(double now);
+
+  /// Earliest deliver_at among queued datagrams; negative when empty.
+  double next_deliver_at() const;
 
   std::size_t size() const;
 
@@ -42,12 +128,24 @@ class Mailbox {
 /// each. send() copies nothing extra: the byte buffer is moved through.
 class InProcNetwork {
  public:
-  explicit InProcNetwork(std::size_t num_endpoints);
+  /// What happened to a send: whether it was delivered at all, and the
+  /// simulated time at which the receiver can first see it.
+  struct SendOutcome {
+    bool delivered = true;
+    double deliver_at = 0.0;
+  };
+
+  /// `faults`/`seed` configure the optional injector; a disabled config
+  /// builds the plain lossless network.
+  explicit InProcNetwork(std::size_t num_endpoints, FaultConfig faults = {},
+                         std::uint64_t seed = 0);
 
   std::size_t num_endpoints() const { return boxes_.size(); }
 
-  void send(std::uint32_t from, std::uint32_t to,
-            std::vector<std::uint8_t> bytes);
+  /// `now` is the current simulated time (stamped on the datagram; the
+  /// injector's delay fault adds to it).
+  SendOutcome send(std::uint32_t from, std::uint32_t to,
+                   std::vector<std::uint8_t> bytes, double now = 0.0);
 
   /// Blocking receive at endpoint `at`.
   Datagram recv(std::uint32_t at);
@@ -55,11 +153,23 @@ class InProcNetwork {
   /// Non-blocking receive at endpoint `at`.
   std::optional<Datagram> try_recv(std::uint32_t at);
 
+  /// Non-blocking receive of the first datagram already deliverable at
+  /// simulated time `now`.
+  std::optional<Datagram> try_recv_ready(std::uint32_t at, double now);
+
+  /// Earliest pending delivery time at `at`; negative when the box is empty.
+  double next_deliver_at(std::uint32_t at) const;
+
   /// Pending datagram count at `at` (diagnostics).
   std::size_t pending(std::uint32_t at) const;
 
+  bool faults_enabled() const { return injector_ != nullptr; }
+  /// Injected-fault counters (all zero when the injector is off).
+  FaultStats fault_stats() const;
+
  private:
   std::vector<Mailbox> boxes_;
+  std::unique_ptr<FaultInjector> injector_;
 };
 
 }  // namespace appfl::comm

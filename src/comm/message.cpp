@@ -18,6 +18,38 @@ std::string to_string(MessageKind kind) {
   return "unknown";
 }
 
+bool same_bits(float a, float b) {
+  std::uint32_t ba, bb;
+  std::memcpy(&ba, &a, 4);
+  std::memcpy(&bb, &b, 4);
+  return ba == bb;
+}
+
+bool same_bits(double a, double b) {
+  std::uint64_t ba, bb;
+  std::memcpy(&ba, &a, 8);
+  std::memcpy(&bb, &b, 8);
+  return ba == bb;
+}
+
+namespace {
+
+bool same_bits_vec(const std::vector<float>& a, const std::vector<float>& b) {
+  if (a.size() != b.size()) return false;
+  return a.empty() || std::memcmp(a.data(), b.data(), 4 * a.size()) == 0;
+}
+
+}  // namespace
+
+bool Message::operator==(const Message& other) const {
+  return kind == other.kind && sender == other.sender &&
+         receiver == other.receiver && round == other.round &&
+         sample_count == other.sample_count && same_bits(loss, other.loss) &&
+         same_bits(rho, other.rho) && same_bits_vec(primal, other.primal) &&
+         same_bits_vec(dual, other.dual) && codec == other.codec &&
+         packed == other.packed;
+}
+
 namespace {
 
 void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {

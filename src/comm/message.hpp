@@ -44,8 +44,17 @@ struct Message {
   std::uint8_t codec = 0;
   std::vector<std::uint8_t> packed;
 
-  bool operator==(const Message&) const = default;
+  /// Bitwise equality: float fields (loss, rho, primal, dual) compare by
+  /// their bit patterns, not IEEE semantics, so a faithfully round-tripped
+  /// NaN still compares equal and codec tests cannot silently pass or fail
+  /// on NaN payloads.
+  bool operator==(const Message& other) const;
 };
+
+/// Bit-pattern equality for floating-point values (NaN == NaN when the
+/// payloads match; -0.0 != +0.0). The comparison Message::operator== uses.
+bool same_bits(float a, float b);
+bool same_bits(double a, double b);
 
 /// Raw encoding (MPI path): fixed header + contiguous float payloads.
 std::vector<std::uint8_t> encode_raw(const Message& m);

@@ -43,6 +43,15 @@ class BaseClient {
   /// delegates to update().
   comm::Message handle_global(const comm::Message& global);
 
+  /// Transport feedback, called by the runner after the uplink send with
+  /// delivered = false when this round's update never reached the server
+  /// (dropped after all retransmits, or landed past the gather deadline).
+  /// Algorithms whose server keeps a bit-identical state replica override
+  /// this to roll back speculative state — IIADMM reverts its client-side
+  /// dual so both replicas stay in the last mutually-observed round.
+  /// Default: no-op.
+  virtual void on_uplink_result(bool /*delivered*/) {}
+
   std::uint32_t id() const { return id_; }
   std::size_t num_samples() const { return dataset_.size(); }
   std::size_t num_parameters() { return model_->num_parameters(); }

@@ -89,6 +89,9 @@ void RunConfig::validate() const {
                     "dual replicas — use FedAvg or FedProx");
     APPFL_CHECK(topk_fraction > 0.0 && topk_fraction <= 1.0);
   }
+  faults.validate();
+  APPFL_CHECK_MSG(gather_timeout_s > 0.0, "gather_timeout_s must be positive");
+  APPFL_CHECK_MSG(ack_timeout_s > 0.0, "ack_timeout_s must be positive");
   APPFL_CHECK(validate_batch >= 1);
   APPFL_CHECK_MSG(kernel_backend == "auto" || kernel_backend == "reference" ||
                       kernel_backend == "tiled",

@@ -99,6 +99,21 @@ struct RunConfig {
   std::size_t validate_batch = 256;
   bool validate_every_round = true;
 
+  /// Fault injection on the in-process network (comm robustness plane).
+  /// All-zero (the default) keeps the injector off; wire bytes, sim-clock
+  /// times, and results are then bit-identical to a fault-free build.
+  /// APPFL_FAULT_* environment variables override these at run start (see
+  /// comm::fault_config_from_env). Client endpoint ids listed in
+  /// faults.dead are permanently failed.
+  comm::FaultConfig faults;
+  /// Sim-seconds the server's deadline gather waits before proceeding with
+  /// whatever arrived (fault plane only).
+  double gather_timeout_s = 30.0;
+  /// Uplink retransmit policy (fault plane only): base ack timeout that
+  /// doubles per retry up to max_uplink_retries attempts.
+  double ack_timeout_s = 0.25;
+  std::size_t max_uplink_retries = 4;
+
   /// Kernel execution engine (tensor substrate). "auto" leaves the
   /// process-wide setting untouched (env APPFL_KERNEL_BACKEND, default
   /// tiled); "reference" forces the scalar baseline loops, "tiled" the

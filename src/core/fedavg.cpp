@@ -76,7 +76,11 @@ std::vector<float> FedAvgServer::compute_global(std::uint32_t) {
 
 void FedAvgServer::update(const std::vector<comm::Message>& locals,
                           std::span<const float>, std::uint32_t round) {
-  APPFL_CHECK(!locals.empty() && locals.size() <= num_clients());
+  // Straggler policy: a round where no update survived the network keeps
+  // the previous aggregate untouched; otherwise the next compute_global
+  // reweights by the sample counts of the clients that actually responded.
+  if (locals.empty()) return;
+  APPFL_CHECK(locals.size() <= num_clients());
   last_participants_.clear();
   for (const auto& m : locals) {
     APPFL_CHECK_MSG(m.round == round, "stale update from client " << m.sender);

@@ -82,7 +82,10 @@ std::vector<float> IceAdmmServer::compute_global(std::uint32_t) {
 
 void IceAdmmServer::update(const std::vector<comm::Message>& locals,
                            std::span<const float> global, std::uint32_t round) {
-  APPFL_CHECK(!locals.empty() && locals.size() <= num_clients());
+  // Straggler policy: absent clients keep their previous (z_p, λ_p) pair —
+  // ICEADMM ships both on the wire, so a stale pair stays self-consistent.
+  if (locals.empty()) return;
+  APPFL_CHECK(locals.size() <= num_clients());
   double primal_residual = 0.0;
   double dual_residual = 0.0;
   for (const auto& m : locals) {

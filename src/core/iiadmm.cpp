@@ -44,7 +44,9 @@ comm::Message IIAdmmClient::update(std::span<const float> global,
   // and client duals remain identical under DP.
   apply_dp(z, round);
 
-  // Line 21: client-side dual update.
+  // Line 21: client-side dual update. The pre-update dual is kept so a
+  // lost uplink (on_uplink_result(false)) can rewind this speculation.
+  lambda_prev_ = lambda_;
   for (std::size_t i = 0; i < m; ++i) {
     lambda_[i] += rho * (global[i] - z[i]);
   }
@@ -58,6 +60,10 @@ comm::Message IIAdmmClient::update(std::span<const float> global,
   msg.sample_count = num_samples();
   msg.loss = last_loss();
   return msg;
+}
+
+void IIAdmmClient::on_uplink_result(bool delivered) {
+  if (!delivered && !lambda_prev_.empty()) lambda_ = lambda_prev_;
 }
 
 IIAdmmServer::IIAdmmServer(const RunConfig& config,
@@ -88,7 +94,13 @@ std::vector<float> IIAdmmServer::compute_global(std::uint32_t) {
 
 void IIAdmmServer::update(const std::vector<comm::Message>& locals,
                           std::span<const float> global, std::uint32_t round) {
-  APPFL_CHECK(!locals.empty() && locals.size() <= num_clients());
+  // Straggler policy: an absent client's (z_p, λ_p) stay at their previous
+  // values — sound because the dual update is duplicated on both sides, and
+  // a client whose uplink was lost rolls its own dual back to match
+  // (IIAdmmClient::on_uplink_result). compute_global then reuses the stale
+  // primal exactly as under partial participation.
+  if (locals.empty()) return;
+  APPFL_CHECK(locals.size() <= num_clients());
   const float rho = rho_;  // the ρ^t the clients just used
   double primal_residual = 0.0;
   double dual_residual = 0.0;

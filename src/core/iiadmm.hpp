@@ -29,12 +29,19 @@ class IIAdmmClient : public BaseClient {
   comm::Message update(std::span<const float> global,
                        std::uint32_t round) override;
 
+  /// A lost uplink means the server never replayed this round's dual
+  /// update — roll the speculative client-side dual back so both replicas
+  /// keep the bit-identical-duals invariant (the round's local work is
+  /// discarded, exactly as if the client had crashed before sending).
+  void on_uplink_result(bool delivered) override;
+
   /// Client-side dual state (the dual-consistency test compares this with
   /// the server's replica).
   const std::vector<float>& dual() const { return lambda_; }
 
  private:
-  std::vector<float> lambda_;  // persistent local dual λ_p
+  std::vector<float> lambda_;       // persistent local dual λ_p
+  std::vector<float> lambda_prev_;  // pre-round λ_p, for uplink-loss rollback
 };
 
 class IIAdmmServer : public BaseServer {

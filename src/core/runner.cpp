@@ -120,9 +120,18 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
   APPFL_CHECK(num_clients >= 1);
   APPFL_CHECK(server.num_clients() == num_clients);
 
+  comm::ReliabilityConfig reliability;
+  // Env overrides let fault campaigns wrap any existing binary unchanged.
+  reliability.faults = comm::fault_config_from_env(config.faults);
+  reliability.gather_timeout_s = config.gather_timeout_s;
+  reliability.ack_timeout_s = config.ack_timeout_s;
+  reliability.backoff_cap_s =
+      std::max(config.ack_timeout_s, reliability.backoff_cap_s);
+  reliability.max_retries = config.max_uplink_retries;
   comm::Communicator comm(config.protocol, num_clients,
                           rng::derive_seed(config.seed, {77}),
-                          {config.uplink_codec, config.topk_fraction});
+                          {config.uplink_codec, config.topk_fraction},
+                          reliability);
   util::ThreadPool pool;
   rng::Rng sampler(rng::derive_seed(config.seed, {78}));
 
@@ -146,7 +155,10 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
       std::sort(participants.begin(), participants.end());
     }
 
-    // (1) Global update + broadcast to the round's participants.
+    // (1) Global update + broadcast to the round's participants. The stats
+    // snapshot brackets the whole round, broadcast included, so the
+    // per-round metric deltas add up to the run totals.
+    const comm::TrafficStats before = comm.stats();
     const std::vector<float> w = server.compute_global(round);
     comm::Message global;
     global.kind = comm::MessageKind::kGlobalModel;
@@ -158,25 +170,36 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
 
     // (2) Parallel client updates. Each participant pulls w from its
     // mailbox (already delivered, so no deadlock with a small pool),
-    // trains, sends.
+    // trains, sends. A client whose downlink was lost sits the round out;
+    // one whose uplink was lost is told so (ADMM clients roll their
+    // speculative dual update back).
     pool.parallel_for(participants.size(), [&](std::size_t i) {
       const std::uint32_t id = participants[i];
-      const comm::Message incoming = comm.recv_global(id);
-      APPFL_CHECK(incoming.round == round);
-      comm::Message update = clients[id - 1]->handle_global(incoming);
-      comm.send_update(id, update);
+      const std::optional<comm::Message> incoming =
+          comm.try_recv_global(id, round);
+      if (!incoming) return;
+      comm::Message update = clients[id - 1]->handle_global(*incoming);
+      const bool delivered = comm.send_update(id, update);
+      clients[id - 1]->on_uplink_result(delivered);
     });
 
-    // (3) Gather + server-side absorption.
+    // (3) Gather + server-side absorption (tolerates partial rounds).
     const std::vector<comm::Message> locals =
         comm.gather_locals(round, participants.size());
     server.update(locals, w, round);
+    const comm::TrafficStats after = comm.stats();
 
     // (4) Metrics.
     RoundMetrics metrics;
     metrics.round = round;
     metrics.rho = global.rho;
     metrics.participants = participants.size();
+    metrics.responders = locals.size();
+    metrics.drops = after.drops - before.drops;
+    metrics.retries = after.retries - before.retries;
+    metrics.crc_failures = after.crc_failures - before.crc_failures;
+    metrics.discards = after.discards - before.discards;
+    metrics.timeouts = after.gather_timeouts - before.gather_timeouts;
     double loss_acc = 0.0;
     std::uint64_t samples = 0;
     for (const auto& m : locals) {
@@ -192,9 +215,20 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
     } else {
       metrics.test_accuracy = -1.0;
     }
-    APPFL_LOG_DEBUG(to_string(config.algorithm)
-                    << " round " << round << ": loss=" << metrics.train_loss
-                    << " acc=" << metrics.test_accuracy);
+    if (comm.fault_plane_active()) {
+      APPFL_LOG_DEBUG(to_string(config.algorithm)
+                      << " round " << round << ": loss=" << metrics.train_loss
+                      << " acc=" << metrics.test_accuracy << " responders="
+                      << metrics.responders << "/" << metrics.participants
+                      << " drops=" << metrics.drops << " retries="
+                      << metrics.retries << " crc=" << metrics.crc_failures
+                      << " discards=" << metrics.discards
+                      << " timeouts=" << metrics.timeouts);
+    } else {
+      APPFL_LOG_DEBUG(to_string(config.algorithm)
+                      << " round " << round << ": loss=" << metrics.train_loss
+                      << " acc=" << metrics.test_accuracy);
+    }
     result.rounds.push_back(metrics);
   }
 

@@ -32,6 +32,14 @@ struct RoundMetrics {
   double gather_s = 0.0;       // simulated
   double rho = 0.0;            // penalty ρ^t broadcast this round
   std::size_t participants = 0;  // clients sampled this round
+  std::size_t responders = 0;    // updates that survived the network
+  // Per-round deltas of the fault-plane counters (all zero when the fault
+  // plane is inactive).
+  std::uint64_t drops = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t crc_failures = 0;
+  std::uint64_t discards = 0;
+  std::uint64_t timeouts = 0;
 };
 
 struct RunResult {

@@ -38,7 +38,9 @@ std::vector<float> FedOptServer::compute_global(std::uint32_t) { return w_; }
 
 void FedOptServer::update(const std::vector<comm::Message>& locals,
                           std::span<const float> global, std::uint32_t round) {
-  APPFL_CHECK(!locals.empty() && locals.size() <= num_clients());
+  // Straggler policy: no surviving updates ⇒ no pseudo-gradient step.
+  if (locals.empty()) return;
+  APPFL_CHECK(locals.size() <= num_clients());
   const std::size_t n = w_.size();
 
   // Pseudo-gradient: sample-weighted mean of (z_p − w) over this round's

@@ -21,6 +21,16 @@ std::uint64_t splitmix64(std::uint64_t& state);
 std::uint64_t derive_seed(std::uint64_t base,
                           std::initializer_list<std::uint64_t> ids);
 
+/// Reserved first-position stream tags for derive_seed tuples. Subsystems
+/// that mint many per-entity streams lead their tuple with a named tag so
+/// independent stream families cannot collide on ad-hoc literals.
+namespace stream {
+/// Comm fault plane: one stream per (tag, from, to, link-sequence) message,
+/// so the drop/delay/corrupt schedule is a pure function of the seed and
+/// each link's send order — independent of thread interleaving.
+constexpr std::uint64_t kCommFault = 0xFA;
+}  // namespace stream
+
 /// xoshiro256** engine. Satisfies UniformRandomBitGenerator.
 class Rng {
  public:

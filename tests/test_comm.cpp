@@ -145,12 +145,34 @@ TEST(Communicator, MpiHasNoPerClientTimes) {
   EXPECT_TRUE(comm.round_log()[0].client_transfer_s.empty());
 }
 
-TEST(Communicator, GatherRejectsRoundMismatch) {
-  Communicator comm(Protocol::kMpi, 1, 1);
+TEST(Communicator, GatherDiscardsRoundMismatch) {
+  // A stale-round update must be dropped and counted, never fatal — under
+  // fault injection a delayed uplink can legitimately arrive a round late.
+  Communicator comm(Protocol::kMpi, 2, 1);
+  comm.broadcast_global(global_msg(2, 4));
+  comm.recv_global(1);
+  comm.recv_global(2);
+  comm.send_update(1, local_msg(1, /*round=*/1, 4));  // leftover from round 1
+  comm.send_update(2, local_msg(2, /*round=*/2, 4));
+  const auto locals = comm.gather_locals(2, /*expected=*/1);
+  ASSERT_EQ(locals.size(), 1U);
+  EXPECT_EQ(locals[0].sender, 2U);
+  EXPECT_EQ(comm.stats().discards, 1U);
+}
+
+TEST(Communicator, GatherDiscardsDuplicateSenders) {
+  Communicator comm(Protocol::kMpi, 2, 1);
   comm.broadcast_global(global_msg(1, 4));
   comm.recv_global(1);
-  comm.send_update(1, local_msg(1, /*round=*/2, 4));
-  EXPECT_THROW(comm.gather_locals(1), appfl::Error);
+  comm.recv_global(2);
+  comm.send_update(1, local_msg(1, 1, 4));
+  comm.send_update(1, local_msg(1, 1, 4));  // double send (e.g. app retry)
+  comm.send_update(2, local_msg(2, 1, 4));
+  const auto locals = comm.gather_locals(1, /*expected=*/2);
+  ASSERT_EQ(locals.size(), 2U);
+  EXPECT_EQ(locals[0].sender, 1U);
+  EXPECT_EQ(locals[1].sender, 2U);
+  EXPECT_EQ(comm.stats().discards, 1U);
 }
 
 TEST(Communicator, SenderFieldMustMatchClient) {

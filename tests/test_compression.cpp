@@ -84,6 +84,18 @@ TEST(TopK, KClampedToLength) {
   EXPECT_THROW(appfl::comm::sparsify_topk(v, 0), appfl::Error);
 }
 
+TEST(TopK, EmptyInputYieldsEmptySparseVector) {
+  // Regression: clamping k against an empty input used to underflow the
+  // partial-sort iterator (k − 1 past begin of an empty range). An empty
+  // update must sparsify to an empty TopK, whatever k was requested.
+  const std::vector<float> empty;
+  const auto sparse = appfl::comm::sparsify_topk(empty, 5);
+  EXPECT_EQ(sparse.size, 0U);
+  EXPECT_TRUE(sparse.indices.empty());
+  EXPECT_TRUE(sparse.values.empty());
+  EXPECT_TRUE(appfl::comm::densify(sparse).empty());
+}
+
 TEST(TopK, WireBytesScaleWithK) {
   const auto v = gaussian_vec(4, 100000);
   const auto s1 = appfl::comm::sparsify_topk(v, 1000);

@@ -117,4 +117,22 @@ TEST(Message, FloatPayloadBitExactThroughBothEncodings) {
   }
 }
 
+TEST(Message, NanPayloadsCompareEqualAfterRoundTrip) {
+  // operator== compares float fields bitwise: a NaN loss (divergent client)
+  // or NaN parameters must round-trip as "equal", not poison every
+  // comparison with NaN != NaN.
+  Message msg = sample_message(6, true);
+  msg.loss = std::numeric_limits<double>::quiet_NaN();
+  msg.rho = std::numeric_limits<float>::quiet_NaN();
+  msg.primal[2] = std::numeric_limits<float>::quiet_NaN();
+  msg.dual[0] = -std::numeric_limits<float>::quiet_NaN();
+  EXPECT_EQ(msg, msg);  // reflexive even with NaNs present
+  EXPECT_EQ(appfl::comm::decode_raw(appfl::comm::encode_raw(msg)), msg);
+  EXPECT_EQ(appfl::comm::decode_proto(appfl::comm::encode_proto(msg)), msg);
+  // Bitwise means different payloads still differ.
+  Message other = msg;
+  other.primal[0] += 1.0F;
+  EXPECT_FALSE(msg == other);
+}
+
 }  // namespace
