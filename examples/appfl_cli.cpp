@@ -7,6 +7,7 @@
 // Every RunConfig knob is exposed; --help lists them. Unknown flags are
 // rejected (typo protection).
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
 #include <limits>
 
@@ -161,8 +162,13 @@ int main(int argc, char** argv) {
         const std::size_t comma = dead.find(',');
         const std::string tok = dead.substr(0, comma);
         if (!tok.empty()) {
-          cfg.faults.dead.push_back(
-              static_cast<std::uint32_t>(std::stoul(tok)));
+          if (tok.find_first_not_of("0123456789") != std::string::npos) {
+            std::cerr << "--fault-dead expects comma-separated client ids, "
+                         "got '" << tok << "'\n(use --help)\n";
+            return 2;
+          }
+          cfg.faults.dead.push_back(static_cast<std::uint32_t>(
+              std::strtoul(tok.c_str(), nullptr, 10)));
         }
         dead = comma == std::string::npos ? "" : dead.substr(comma + 1);
       }

@@ -193,7 +193,11 @@ bool Communicator::send_update(std::uint32_t client, const Message& m) {
       if (attempt > 0) ++stats_.retries;
     }
     const auto outcome = network_.send(client, 0, bytes, now + backoff);
-    if (outcome.delivered) return outcome.deliver_at <= deadline;
+    // A corrupted delivery reaches the server but is CRC-discarded there,
+    // so the receiver never acks it — to the sender it is a drop.
+    if (outcome.delivered && !outcome.corrupted) {
+      return outcome.deliver_at <= deadline;
+    }
     if (attempt >= reliability_.max_retries) return false;
     backoff += std::min(reliability_.backoff_cap_s,
                         reliability_.ack_timeout_s *
@@ -244,20 +248,22 @@ std::vector<Message> Communicator::gather_locals(std::uint32_t round,
   upload_bytes.reserve(expected);
 
   // Validates one datagram: duplicates, stale rounds, unknown senders, and
-  // damaged payloads are discarded and counted — never fatal.
+  // damaged payloads are discarded and counted — never fatal. Returns
+  // whether the datagram was accepted into the gather.
   const auto consider = [&](const Datagram& d) {
     std::optional<Message> m = decode_frame(d.bytes);
-    if (!m) return;
+    if (!m) return false;
     if (m->kind != MessageKind::kLocalUpdate || m->sender < 1 ||
         m->sender > num_clients_ || m->round != round || seen[m->sender]) {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.discards;
-      return;
+      return false;
     }
     decompress_update(*m);
     seen[m->sender] = true;
     upload_bytes.push_back(d.bytes.size());
     out.push_back(std::move(*m));
+    return true;
   };
 
   const double start = clock_.now();
@@ -265,7 +271,24 @@ std::vector<Message> Communicator::gather_locals(std::uint32_t round,
   if (!network_.faults_enabled()) {
     // Fault-free path: block until every expected update has arrived —
     // identical timing and byte accounting to the pre-fault communicator.
-    while (out.size() < expected) consider(network_.recv(0));
+    // Discards are still tolerated (a caller may legitimately double-send),
+    // but once one has consumed a datagram and the mailbox runs dry the
+    // missing update can never be replaced: fail loudly instead of letting
+    // the blocking recv turn a caller bug into a silent deadlock.
+    std::size_t discarded = 0;
+    while (out.size() < expected) {
+      std::optional<Datagram> d = network_.try_recv(0);
+      if (!d) {
+        APPFL_CHECK_MSG(discarded == 0,
+                        "gather(round " << round << ") would block forever: "
+                            << discarded << " message(s) were discarded "
+                            << "(stale round, duplicate sender, or bad kind) "
+                            << "and only " << out.size() << " of " << expected
+                            << " expected updates arrived");
+        d = network_.recv(0);
+      }
+      if (!consider(*d)) ++discarded;
+    }
   } else {
     // Deadline drain: consume everything deliverable "now", fast-forward to
     // the next scheduled delivery while it is within the deadline, and give

@@ -123,7 +123,10 @@ class Communicator {
   /// advances simulated time, and appends a RoundCommRecord. Duplicate,
   /// stale-round, and malformed messages are discarded and counted, never
   /// fatal. Fault plane off: blocks until `expected` valid updates arrive
-  /// (pre-fault behavior). Fault plane on: drains against a sim-clock
+  /// (pre-fault behavior) — but if a discard has consumed a datagram and
+  /// the mailbox runs dry short of `expected`, the missing update can never
+  /// be replaced, so the caller bug is diagnosed with an appfl::Error
+  /// instead of deadlocking. Fault plane on: drains against a sim-clock
   /// deadline of reliability.gather_timeout_s and returns whatever made it
   /// (possibly fewer than `expected`; a short return bumps gather_timeouts).
   /// Updates are returned ordered by client id.
@@ -134,9 +137,11 @@ class Communicator {
 
   /// Client `client` (1..P) sends its update to the server. Returns true
   /// when the update will be seen by this round's gather. Under fault
-  /// injection a dropped uplink is retransmitted with capped exponential
-  /// backoff (each attempt's bytes are accounted); false means the update
-  /// was lost after all retries or landed past the gather deadline.
+  /// injection a dropped — or corrupted, since the server CRC-discards the
+  /// damaged frame and so never acks it — uplink is retransmitted with
+  /// capped exponential backoff (each attempt's bytes are accounted); false
+  /// means the update was lost after all retries or landed past the gather
+  /// deadline.
   bool send_update(std::uint32_t client, const Message& m);
 
   /// Client `client` receives the current global model (blocking; fault-free

@@ -1,6 +1,7 @@
 #include "comm/mailbox.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
@@ -89,8 +90,20 @@ FaultStats FaultInjector::stats() const {
 }
 
 FaultConfig fault_config_from_env(FaultConfig base) {
+  // Garbage values are warned about and ignored (the field keeps its base
+  // value) — silently reading "abc" as 0 would disable a fault campaign
+  // without any hint that the knob never engaged.
   const auto env_double = [](const char* name, double& field) {
-    if (const char* value = std::getenv(name)) field = std::atof(value);
+    const char* value = std::getenv(name);
+    if (!value) return;
+    char* end = nullptr;
+    const double parsed = std::strtod(value, &end);
+    if (end == value || *end != '\0') {
+      std::fprintf(stderr, "warning: ignoring unparseable %s='%s'\n", name,
+                   value);
+      return;
+    }
+    field = parsed;
   };
   env_double("APPFL_FAULT_DROP", base.drop);
   env_double("APPFL_FAULT_DUPLICATE", base.duplicate);
@@ -107,8 +120,14 @@ FaultConfig fault_config_from_env(FaultConfig base) {
       const std::string token =
           list.substr(pos, comma == std::string::npos ? comma : comma - pos);
       if (!token.empty()) {
-        base.dead.push_back(
-            static_cast<std::uint32_t>(std::strtoul(token.c_str(), nullptr, 10)));
+        if (token.find_first_not_of("0123456789") == std::string::npos) {
+          base.dead.push_back(static_cast<std::uint32_t>(
+              std::strtoul(token.c_str(), nullptr, 10)));
+        } else {
+          std::fprintf(stderr,
+                       "warning: ignoring bad APPFL_FAULT_DEAD token '%s'\n",
+                       token.c_str());
+        }
       }
       if (comma == std::string::npos) break;
       pos = comma + 1;
@@ -207,7 +226,7 @@ InProcNetwork::SendOutcome InProcNetwork::send(std::uint32_t from,
     boxes_[to].push(std::move(d));
   }
   if (dup) boxes_[to].push(std::move(*dup));
-  return {true, at};
+  return {true, at, v.corrupt};
 }
 
 Datagram InProcNetwork::recv(std::uint32_t at) {

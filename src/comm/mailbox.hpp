@@ -90,7 +90,8 @@ class FaultInjector {
 /// Returns `base` with APPFL_FAULT_* environment overrides applied:
 /// APPFL_FAULT_DROP, _DUPLICATE, _REORDER, _CORRUPT, _DELAY, _DELAY_MAX_S
 /// (doubles) and APPFL_FAULT_DEAD (comma-separated endpoint ids). Unset
-/// variables leave the corresponding field untouched.
+/// variables leave the corresponding field untouched; unparseable values
+/// are warned about on stderr and ignored rather than silently read as 0.
 FaultConfig fault_config_from_env(FaultConfig base);
 
 /// Unbounded MPSC queue with blocking and non-blocking receive.
@@ -128,11 +129,15 @@ class Mailbox {
 /// each. send() copies nothing extra: the byte buffer is moved through.
 class InProcNetwork {
  public:
-  /// What happened to a send: whether it was delivered at all, and the
-  /// simulated time at which the receiver can first see it.
+  /// What happened to a send: whether it was delivered at all, the
+  /// simulated time at which the receiver can first see it, and whether the
+  /// payload was damaged in flight. A corrupted delivery reaches the
+  /// receiver's mailbox but fails CRC validation there, so senders modelling
+  /// an ack must treat `delivered && !corrupted` as the ack condition.
   struct SendOutcome {
     bool delivered = true;
     double deliver_at = 0.0;
+    bool corrupted = false;
   };
 
   /// `faults`/`seed` configure the optional injector; a disabled config

@@ -175,6 +175,18 @@ TEST(Communicator, GatherDiscardsDuplicateSenders) {
   EXPECT_EQ(comm.stats().discards, 1U);
 }
 
+TEST(Communicator, FaultFreeGatherDiagnosesUnfillableExpectation) {
+  // Fault plane off, a discarded message can never be replaced by a
+  // retransmission; once the mailbox runs dry short of `expected` the
+  // gather must fail loudly with a diagnosis instead of blocking forever.
+  Communicator comm(Protocol::kMpi, 2, 1);
+  comm.broadcast_global(global_msg(2, 4));
+  comm.recv_global(1);
+  comm.recv_global(2);
+  comm.send_update(1, local_msg(1, /*round=*/1, 4));  // stale — discarded
+  EXPECT_THROW(comm.gather_locals(2, /*expected=*/1), appfl::Error);
+}
+
 TEST(Communicator, SenderFieldMustMatchClient) {
   Communicator comm(Protocol::kMpi, 2, 1);
   EXPECT_THROW(comm.send_update(1, local_msg(2, 1, 4)), appfl::Error);

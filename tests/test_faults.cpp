@@ -147,6 +147,24 @@ TEST(FaultConfig, EnvOverridesApply) {
   EXPECT_TRUE(cfg.enabled());
 }
 
+TEST(FaultConfig, EnvIgnoresUnparseableValues) {
+  // Garbage must not be silently read as 0 (which would quietly disable a
+  // fault campaign): the base value survives and bad dead-list tokens are
+  // skipped.
+  ::setenv("APPFL_FAULT_DROP", "not-a-number", 1);
+  ::setenv("APPFL_FAULT_DELAY", "0.5x", 1);
+  ::setenv("APPFL_FAULT_DEAD", "3,two,9", 1);
+  FaultConfig base;
+  base.drop = 0.125;
+  const FaultConfig cfg = appfl::comm::fault_config_from_env(base);
+  ::unsetenv("APPFL_FAULT_DROP");
+  ::unsetenv("APPFL_FAULT_DELAY");
+  ::unsetenv("APPFL_FAULT_DEAD");
+  EXPECT_DOUBLE_EQ(cfg.drop, 0.125);  // garbage leaves the base value
+  EXPECT_DOUBLE_EQ(cfg.delay, 0.0);   // trailing junk rejected, not truncated
+  EXPECT_EQ(cfg.dead, (std::vector<std::uint32_t>{3, 9}));
+}
+
 // -- CRC envelope --------------------------------------------------------------
 
 TEST(Envelope, RoundTripsAndDetectsEverySingleBitFlip) {
@@ -183,13 +201,38 @@ TEST_P(FaultProtocolTest, CorruptionIsCountedNeverFatal) {
   rel.gather_timeout_s = 1.0;
   Communicator comm(GetParam(), 1, 1, {}, rel);
   EXPECT_TRUE(comm.fault_plane_active());
-  comm.send_update(1, local_msg(1, 1, 64));
+  // Corrupted deliveries are CRC-discarded at the server, never acked: the
+  // client must burn its whole retry budget and report the update lost.
+  EXPECT_FALSE(comm.send_update(1, local_msg(1, 1, 64)));
   const auto locals = comm.gather_locals(1, 1);  // must not throw or hang
   EXPECT_TRUE(locals.empty());
   const auto stats = comm.stats();
   EXPECT_GE(stats.corruptions, 1U);
   EXPECT_GE(stats.crc_failures, 1U);
+  EXPECT_EQ(stats.retries, rel.max_retries);
   EXPECT_EQ(stats.gather_timeouts, 1U);
+}
+
+TEST_P(FaultProtocolTest, CorruptedUplinkAcksMatchTheGatherExactly) {
+  // Regression: a delivered-but-corrupted uplink used to report success
+  // even though the server CRC-discards the frame, so the update vanished
+  // with no retransmit. Corruption must behave like a drop to the sender:
+  // retransmitted, and acked ⇔ gathered must hold exactly.
+  ReliabilityConfig rel;
+  rel.faults.corrupt = 0.5;
+  rel.gather_timeout_s = 30.0;
+  Communicator comm(GetParam(), 4, 9, {}, rel);
+  std::size_t acked = 0;
+  for (std::uint32_t c = 1; c <= 4; ++c) {
+    acked += comm.send_update(c, local_msg(c, 1, 32)) ? 1U : 0U;
+  }
+  const auto locals = comm.gather_locals(1, 4);
+  EXPECT_EQ(locals.size(), acked);  // acked ⇔ gathered, exactly
+  const auto stats = comm.stats();
+  EXPECT_GT(stats.corruptions, 0U);
+  EXPECT_GT(stats.retries, 0U);
+  EXPECT_GT(stats.crc_failures, 0U);
+  EXPECT_GT(acked, 0U);  // with 5 attempts at p=0.5 someone gets through
 }
 
 TEST_P(FaultProtocolTest, DeadlineGatherReturnsPartialSetWithDeadClient) {
@@ -393,6 +436,47 @@ TEST(FaultsEndToEnd, IIAdmmDualReplicasSurviveUplinkLoss) {
                                    clients.size());
   const auto result = appfl::core::run_federated(cfg, server, clients);
   EXPECT_GT(result.traffic.drops, 0U);
+
+  for (std::size_t p = 0; p < clients.size(); ++p) {
+    const auto& client_dual =
+        static_cast<appfl::core::IIAdmmClient&>(*clients[p]).dual();
+    const auto& server_dual = server.dual(static_cast<std::uint32_t>(p + 1));
+    ASSERT_EQ(client_dual.size(), server_dual.size());
+    for (std::size_t i = 0; i < client_dual.size(); ++i) {
+      ASSERT_EQ(std::bit_cast<std::uint32_t>(client_dual[i]),
+                std::bit_cast<std::uint32_t>(server_dual[i]))
+          << "client " << p + 1 << " coord " << i;
+    }
+  }
+}
+
+TEST(FaultsEndToEnd, IIAdmmDualReplicasSurviveCorruptedUplinks) {
+  // A corrupted uplink is delivered but CRC-discarded by the server, which
+  // therefore never replays that round's dual update. The client must see
+  // the corruption as a lost uplink (no ack) and roll its speculative dual
+  // back — previously delivered-but-corrupt reported success and the dual
+  // replicas drifted apart permanently.
+  const auto split = six_client_split();
+  appfl::core::RunConfig cfg = fedavg_config();
+  cfg.algorithm = appfl::core::Algorithm::kIIAdmm;
+  cfg.rho = 2.0F;
+  cfg.zeta = 2.0F;
+  cfg.faults.corrupt = 0.4;
+  cfg.max_uplink_retries = 1;  // some updates stay lost through the budget
+  cfg.gather_timeout_s = 2.0;
+
+  auto model = appfl::core::build_model(cfg, split.test);
+  std::vector<std::unique_ptr<appfl::core::BaseClient>> clients;
+  for (std::size_t p = 0; p < split.clients.size(); ++p) {
+    clients.push_back(std::make_unique<appfl::core::IIAdmmClient>(
+        static_cast<std::uint32_t>(p + 1), cfg, *model, split.clients[p]));
+  }
+  appfl::core::IIAdmmServer server(cfg, std::move(model), split.test,
+                                   clients.size());
+  const auto result = appfl::core::run_federated(cfg, server, clients);
+  EXPECT_GT(result.traffic.corruptions, 0U);
+  EXPECT_GT(result.traffic.crc_failures, 0U);
+  EXPECT_GT(result.traffic.retries, 0U);
 
   for (std::size_t p = 0; p < clients.size(); ++p) {
     const auto& client_dual =
