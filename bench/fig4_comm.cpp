@@ -14,6 +14,10 @@
 #include "bench_common.hpp"
 #include "comm/communicator.hpp"
 #include "comm/cost_model.hpp"
+#include "comm/envelope.hpp"
+#include "comm/message.hpp"
+#include "core/aggregate.hpp"
+#include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -141,6 +145,76 @@ int main() {
   appfl::bench::emit(box, box_csv, "fig4b_grpc_boxplot.csv");
   std::cout << "\nExpected shape (paper Fig 4b): up to ~30x spread between a\n"
                "client's fastest and slowest round (traffic-dependent jitter).\n\n";
+
+  // (c) where a round's CPU time goes on the server data path: proto
+  // serialization (encode + zero-copy view decode), CRC framing (one pass at
+  // the sender, one verify at the receiver), and the weighted aggregation of
+  // all client updates. Uplink-only estimate: `clients` encode/decode/CRC
+  // hops plus one aggregate. The payload is APPFL_FIG4_SPLIT_FLOATS floats
+  // (default 1M ≈ 4 MB); the 203 aggregation terms alias a handful of
+  // distinct buffers so the arithmetic is full-scale without 800 MB resident.
+  const std::size_t split_floats =
+      appfl::bench::env_size_t("APPFL_FIG4_SPLIT_FLOATS", std::size_t{1} << 20);
+  {
+    appfl::rng::Rng rng(2026);
+    std::vector<float> payload_floats(split_floats);
+    for (auto& v : payload_floats)
+      v = static_cast<float>(rng.uniform01()) - 0.5F;
+    Message update;
+    update.kind = appfl::comm::MessageKind::kLocalUpdate;
+    update.sender = 1;
+    update.round = 1;
+    update.primal = payload_floats;
+
+    std::vector<std::uint8_t> wire;
+    Message scratch;
+    // Warm pass so the timed hop reflects steady-state pooled buffers, not
+    // first-touch allocation.
+    appfl::comm::encode_proto_append(update, wire);
+    appfl::comm::decode_proto_view(wire).detach_into(scratch);
+    appfl::util::Stopwatch sw;
+    wire.clear();
+    appfl::comm::encode_proto_append(update, wire);
+    appfl::comm::decode_proto_view(wire).detach_into(scratch);
+    const double serialize_ms = sw.elapsed_seconds() * 1e3;
+
+    sw.reset();
+    const std::uint32_t sent = appfl::comm::crc32(wire);
+    const std::uint32_t verified = appfl::comm::crc32(wire);
+    const double crc_ms = sw.elapsed_seconds() * 1e3;
+    if (sent != verified) return 1;  // cannot happen; defeats dead-code elim
+
+    constexpr std::size_t kDistinctClients = 8;
+    std::vector<std::vector<float>> client_payloads(kDistinctClients,
+                                                    payload_floats);
+    std::vector<appfl::core::WeightedVec> terms(clients);
+    for (std::size_t c = 0; c < clients; ++c)
+      terms[c] = {client_payloads[c % kDistinctClients],
+                  1.0F / static_cast<float>(clients)};
+    std::vector<float> global(split_floats);
+    sw.reset();
+    appfl::core::weighted_sum(terms, global);
+    const double aggregate_ms = sw.elapsed_seconds() * 1e3;
+
+    const double n = static_cast<double>(clients);
+    const double ser_round = serialize_ms * n;
+    const double crc_round = crc_ms * n;
+    const double total = ser_round + crc_round + aggregate_ms;
+    appfl::util::TextTable split({"component", "per_round_ms", "share_pct"});
+    appfl::util::CsvWriter split_csv({"component", "per_round_ms", "share_pct"});
+    auto add = [&](const char* name, double ms) {
+      split.add_row({name, fmt(ms, 2), fmt(100.0 * ms / total, 1)});
+      split_csv.add_row({name, fmt(ms, 3), fmt(100.0 * ms / total, 2)});
+    };
+    add("serialization", ser_round);
+    add("crc32_framing", crc_round);
+    add("aggregation", aggregate_ms);
+    add("total", total);
+    std::cout << "(c) server data-path time split per round (" << clients
+              << " uplinks of " << split_floats << " floats):\n";
+    appfl::bench::emit(split, split_csv, "fig4c_datapath_split.csv");
+    std::cout << "\n";
+  }
 
   // Sanity: push real (small) messages through both protocol stacks so the
   // encode/decode path is exercised end to end in this binary too.

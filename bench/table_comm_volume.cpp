@@ -68,6 +68,48 @@ int main() {
 
   appfl::bench::emit(table, csv, "table_comm_volume.csv");
   std::cout << "\nExpected: ICEADMM's uplink ratio ~2.0 floats/param (primal+dual),\n"
-               "FedAvg and IIADMM ~1.0 (primal only) — the §III-A claim.\n";
+               "FedAvg and IIADMM ~1.0 (primal only) — the §III-A claim.\n\n";
+
+  // Codec savings: the same FedAvg run under each lossy uplink codec,
+  // comparing pre-codec bytes (what the update would cost uncompressed) to
+  // what actually crossed the wire. fp16 halves the float payload, quant8
+  // quarters it, topk scales with the kept fraction.
+  std::cout << "== Uplink codec savings (FedAvg, measured) ==\n\n";
+  appfl::util::TextTable codec_table({"codec", "precodec_B/client/round",
+                                      "wire_B/client/round", "wire/precodec",
+                                      "final_accuracy"});
+  appfl::util::CsvWriter codec_csv({"codec", "bytes_up_precodec_per_client_round",
+                                    "bytes_up_per_client_round", "wire_ratio",
+                                    "final_accuracy"});
+  for (appfl::comm::UplinkCodec codec :
+       {appfl::comm::UplinkCodec::kNone, appfl::comm::UplinkCodec::kFp16,
+        appfl::comm::UplinkCodec::kQuant8, appfl::comm::UplinkCodec::kTopK}) {
+    appfl::core::RunConfig cfg;
+    cfg.algorithm = Algorithm::kFedAvg;
+    cfg.model = appfl::core::ModelKind::kMlp;
+    cfg.mlp_hidden = 16;
+    cfg.rounds = rounds;
+    cfg.local_steps = 1;
+    cfg.batch_size = 32;
+    cfg.validate_every_round = false;
+    cfg.seed = 7;
+    cfg.uplink_codec = codec;
+    const auto result = appfl::core::run_federated(cfg, split);
+
+    const double denom = static_cast<double>(split.num_clients() * rounds);
+    const double precodec =
+        static_cast<double>(result.traffic.bytes_up_precodec) / denom;
+    const double wire = static_cast<double>(result.traffic.bytes_up) / denom;
+    codec_table.add_row({appfl::comm::to_string(codec), fmt(precodec, 0),
+                         fmt(wire, 0), fmt(wire / precodec, 3),
+                         fmt(result.final_accuracy, 4)});
+    codec_csv.add_row({appfl::comm::to_string(codec), fmt(precodec, 1),
+                       fmt(wire, 1), fmt(wire / precodec, 4),
+                       fmt(result.final_accuracy, 4)});
+  }
+  appfl::bench::emit(codec_table, codec_csv, "table_codec_savings.csv");
+  std::cout << "\nExpected: fp16 wire/precodec ~0.5, quant8 ~0.26, topk ~0.2 on\n"
+               "this small model (10% kept + 4B indices + per-message header),\n"
+               "none = 1.0 — accuracy unchanged for fp16/quant8.\n";
   return 0;
 }

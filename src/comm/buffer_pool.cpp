@@ -1,0 +1,36 @@
+#include "comm/buffer_pool.hpp"
+
+namespace appfl::comm {
+
+std::vector<std::uint8_t> BufferPool::acquire() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.acquires;
+  if (free_.empty()) return {};
+  std::vector<std::uint8_t> buf = std::move(free_.back());
+  free_.pop_back();
+  buf.clear();  // capacity survives; contents do not
+  ++stats_.reuses;
+  return buf;
+}
+
+void BufferPool::release(std::vector<std::uint8_t>&& buf) {
+  if (buf.capacity() == 0) return;  // nothing worth keeping
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (free_.size() >= max_buffers_) {
+    ++stats_.dropped;
+    return;  // buf frees on scope exit
+  }
+  free_.push_back(std::move(buf));
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t BufferPool::free_buffers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return free_.size();
+}
+
+}  // namespace appfl::comm

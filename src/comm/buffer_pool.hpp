@@ -1,0 +1,51 @@
+// Recycled wire buffers for the comm data path.
+//
+// Every message crossing the in-process network used to allocate a fresh
+// std::vector<std::uint8_t> on encode and drop it after decode — at FEMNIST
+// scale that is a multi-MB allocation (plus the page faults of first touch)
+// per message per round. A BufferPool keeps a bounded free list of retired
+// buffers: encode acquires one (its capacity survives from previous
+// rounds, so steady-state encodes never touch the allocator), the buffer
+// rides through the mailbox network as the datagram payload, and the
+// receiver releases it back after decode. Contents are never reused — only
+// capacity — so pooling is invisible to the wire format.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace appfl::comm {
+
+class BufferPool {
+ public:
+  /// `max_buffers` caps the free list; surplus releases simply deallocate.
+  explicit BufferPool(std::size_t max_buffers = 32)
+      : max_buffers_(max_buffers) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// An empty buffer, with whatever capacity its previous life left it.
+  std::vector<std::uint8_t> acquire();
+
+  /// Returns a retired buffer to the free list (or frees it past the cap).
+  void release(std::vector<std::uint8_t>&& buf);
+
+  struct Stats {
+    std::uint64_t acquires = 0;  // total acquire() calls
+    std::uint64_t reuses = 0;    // acquires served from the free list
+    std::uint64_t dropped = 0;   // releases discarded because the list was full
+  };
+  Stats stats() const;
+
+  std::size_t free_buffers() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::vector<std::uint8_t>> free_;
+  std::size_t max_buffers_;
+  Stats stats_;
+};
+
+}  // namespace appfl::comm

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "comm/compression.hpp"
 #include "comm/envelope.hpp"
@@ -18,8 +21,24 @@ std::string to_string(UplinkCodec codec) {
     case UplinkCodec::kNone: return "none";
     case UplinkCodec::kQuant8: return "quant8";
     case UplinkCodec::kTopK: return "topk";
+    case UplinkCodec::kFp16: return "fp16";
   }
   return "?";
+}
+
+UplinkCodec uplink_codec_from_env(UplinkCodec base) {
+  const char* env = std::getenv("APPFL_WIRE_CODEC");
+  if (env == nullptr || *env == '\0') return base;
+  const std::string v(env);
+  if (v == "none") return UplinkCodec::kNone;
+  if (v == "fp16") return UplinkCodec::kFp16;
+  if (v == "quant8") return UplinkCodec::kQuant8;
+  if (v == "topk") return UplinkCodec::kTopK;
+  std::fprintf(stderr,
+               "appfl: ignoring invalid APPFL_WIRE_CODEC='%s' "
+               "(expected none|fp16|quant8|topk)\n",
+               env);
+  return base;
 }
 
 namespace {
@@ -53,7 +72,9 @@ void Communicator::compress_update(Message& m) const {
   }
   APPFL_CHECK_MSG(m.dual.empty(),
                   "uplink codecs are lossy and cannot carry dual state");
-  if (codec_.codec == UplinkCodec::kQuant8) {
+  if (codec_.codec == UplinkCodec::kFp16) {
+    m.packed = encode_fp16(m.primal);
+  } else if (codec_.codec == UplinkCodec::kQuant8) {
     m.packed = encode_quantized8(quantize8(m.primal));
   } else {
     APPFL_CHECK_MSG(last_broadcast_primal_.size() == m.primal.size(),
@@ -75,7 +96,9 @@ void Communicator::compress_update(Message& m) const {
 void Communicator::decompress_update(Message& m) const {
   if (m.codec == 0) return;
   APPFL_CHECK_MSG(m.primal.empty(), "packed update also carries raw primal");
-  if (m.codec == static_cast<std::uint8_t>(UplinkCodec::kQuant8)) {
+  if (m.codec == static_cast<std::uint8_t>(UplinkCodec::kFp16)) {
+    m.primal = decode_fp16(m.packed);
+  } else if (m.codec == static_cast<std::uint8_t>(UplinkCodec::kQuant8)) {
     m.primal = dequantize8(decode_quantized8(m.packed));
   } else if (m.codec == static_cast<std::uint8_t>(UplinkCodec::kTopK)) {
     const TopK sparse = decode_topk(m.packed);
@@ -92,21 +115,31 @@ void Communicator::decompress_update(Message& m) const {
   m.packed.clear();
 }
 
-std::vector<std::uint8_t> Communicator::encode(const Message& m) const {
-  auto bytes = protocol_ == Protocol::kMpi ? encode_raw(m) : encode_proto(m);
+void Communicator::encode_into(const Message& m,
+                               std::vector<std::uint8_t>& out) const {
+  out.clear();
   // The CRC frame exists to catch injected corruption; without the injector
   // it is skipped so the wire bytes match the fault-free format exactly.
-  if (network_.faults_enabled()) bytes = seal_envelope(std::move(bytes));
-  return bytes;
+  const bool framed = network_.faults_enabled();
+  if (framed) out.resize(kEnvelopeOverhead);  // header placeholder
+  if (protocol_ == Protocol::kMpi) {
+    encode_raw_append(m, out);
+  } else {
+    encode_proto_append(m, out);
+  }
+  if (framed) seal_envelope_in_place(out);
 }
 
 Message Communicator::decode(std::span<const std::uint8_t> bytes) const {
   return protocol_ == Protocol::kMpi ? decode_raw(bytes) : decode_proto(bytes);
 }
 
-std::optional<Message> Communicator::decode_frame(
+std::optional<MessageView> Communicator::decode_frame_view(
     std::span<const std::uint8_t> bytes) {
-  if (!network_.faults_enabled()) return decode(bytes);
+  if (!network_.faults_enabled()) {
+    return protocol_ == Protocol::kMpi ? decode_raw_view(bytes)
+                                       : decode_proto_view(bytes);
+  }
   const auto payload = open_envelope(bytes);
   if (!payload) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -114,7 +147,8 @@ std::optional<Message> Communicator::decode_frame(
     return std::nullopt;
   }
   try {
-    return decode(*payload);
+    return protocol_ == Protocol::kMpi ? decode_raw_view(*payload)
+                                       : decode_proto_view(*payload);
   } catch (const appfl::Error&) {
     // A CRC collision let damaged bytes through, or the payload was built
     // malformed; either way decoding must not take the process down.
@@ -140,7 +174,8 @@ void Communicator::broadcast_global(
                     "broadcast to bad client id " << c);
     Message copy = m;
     copy.receiver = c;
-    auto bytes = encode(copy);
+    std::vector<std::uint8_t> bytes = pool_.acquire();
+    encode_into(copy, bytes);
     bytes_each = bytes.size();
     stats_.bytes_down += bytes.size();
     ++stats_.messages_down;
@@ -167,13 +202,23 @@ bool Communicator::send_update(std::uint32_t client, const Message& m) {
                   "bad client id " << client);
   APPFL_CHECK_MSG(m.sender == client, "sender field must match client id");
   Message outgoing = m;
+  // What this update costs with the codec off — the exact encoded size of
+  // the uncompressed message (no need to build those bytes), envelope
+  // included. Accounted per send attempt so bytes_up_precodec / bytes_up is
+  // the codec's true wire saving even under retransmission.
+  const std::size_t precodec_bytes =
+      (protocol_ == Protocol::kMpi ? raw_encoded_size(outgoing)
+                                   : proto_encoded_size(outgoing)) +
+      (network_.faults_enabled() ? kEnvelopeOverhead : 0);
   compress_update(outgoing);
-  auto bytes = encode(outgoing);
+  std::vector<std::uint8_t> bytes = pool_.acquire();
+  encode_into(outgoing, bytes);
   const double now = clock_.now();
   if (!network_.faults_enabled()) {
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       stats_.bytes_up += bytes.size();
+      stats_.bytes_up_precodec += precodec_bytes;
       ++stats_.messages_up;
     }
     (void)network_.send(client, 0, std::move(bytes), now);
@@ -189,6 +234,7 @@ bool Communicator::send_update(std::uint32_t client, const Message& m) {
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       stats_.bytes_up += bytes.size();
+      stats_.bytes_up_precodec += precodec_bytes;
       ++stats_.messages_up;
       if (attempt > 0) ++stats_.retries;
     }
@@ -196,9 +242,14 @@ bool Communicator::send_update(std::uint32_t client, const Message& m) {
     // A corrupted delivery reaches the server but is CRC-discarded there,
     // so the receiver never acks it — to the sender it is a drop.
     if (outcome.delivered && !outcome.corrupted) {
-      return outcome.deliver_at <= deadline;
+      const bool in_time = outcome.deliver_at <= deadline;
+      pool_.release(std::move(bytes));
+      return in_time;
     }
-    if (attempt >= reliability_.max_retries) return false;
+    if (attempt >= reliability_.max_retries) {
+      pool_.release(std::move(bytes));
+      return false;
+    }
     backoff += std::min(reliability_.backoff_cap_s,
                         reliability_.ack_timeout_s *
                             static_cast<double>(std::uint64_t{1} << attempt));
@@ -209,7 +260,9 @@ Message Communicator::recv_global(std::uint32_t client) {
   APPFL_CHECK(client >= 1 && client <= num_clients_);
   Datagram d = network_.recv(client);
   APPFL_CHECK_MSG(d.from == 0, "client received a non-server message");
-  return decode(d.bytes);
+  Message m = decode(d.bytes);
+  pool_.release(std::move(d.bytes));
+  return m;
 }
 
 std::optional<Message> Communicator::try_recv_global(std::uint32_t client,
@@ -218,19 +271,27 @@ std::optional<Message> Communicator::try_recv_global(std::uint32_t client,
   const double now = clock_.now();
   while (auto d = network_.try_recv_ready(client, now)) {
     if (d->from != 0) {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.discards;
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.discards;
+      }
+      pool_.release(std::move(d->bytes));
       continue;
     }
-    std::optional<Message> m = decode_frame(d->bytes);
-    if (!m) continue;  // counted by decode_frame
-    if (m->kind != MessageKind::kGlobalModel || m->round != round) {
+    // Zero-copy peek: kind/round checks run on a view into the datagram;
+    // only an accepted broadcast materializes its payload.
+    std::optional<MessageView> v = decode_frame_view(d->bytes);
+    if (v && v->kind == MessageKind::kGlobalModel && v->round == round) {
+      Message m = v->detach();
+      pool_.release(std::move(d->bytes));
+      return m;
+    }
+    if (v) {
       // A broadcast from an earlier round that was delayed past its window.
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.discards;
-      continue;
-    }
-    return m;
+    }  // else: counted by decode_frame_view
+    pool_.release(std::move(d->bytes));
   }
   return std::nullopt;
 }
@@ -248,22 +309,31 @@ std::vector<Message> Communicator::gather_locals(std::uint32_t round,
   upload_bytes.reserve(expected);
 
   // Validates one datagram: duplicates, stale rounds, unknown senders, and
-  // damaged payloads are discarded and counted — never fatal. Returns
-  // whether the datagram was accepted into the gather.
-  const auto consider = [&](const Datagram& d) {
-    std::optional<Message> m = decode_frame(d.bytes);
-    if (!m) return false;
-    if (m->kind != MessageKind::kLocalUpdate || m->sender < 1 ||
-        m->sender > num_clients_ || m->round != round || seen[m->sender]) {
+  // damaged payloads are discarded and counted — never fatal. Validation
+  // runs on a zero-copy view into the datagram, so a rejected message never
+  // copies its (multi-MB) payload; only accepted updates detach. The
+  // datagram buffer is recycled into the pool either way. Returns whether
+  // the datagram was accepted into the gather.
+  const auto consider = [&](Datagram& d) {
+    bool accepted = false;
+    std::optional<MessageView> v = decode_frame_view(d.bytes);
+    if (!v) {
+      // counted by decode_frame_view
+    } else if (v->kind != MessageKind::kLocalUpdate || v->sender < 1 ||
+               v->sender > num_clients_ || v->round != round ||
+               seen[v->sender]) {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.discards;
-      return false;
+    } else {
+      Message m = v->detach();
+      decompress_update(m);
+      seen[m.sender] = true;
+      upload_bytes.push_back(d.bytes.size());
+      out.push_back(std::move(m));
+      accepted = true;
     }
-    decompress_update(*m);
-    seen[m->sender] = true;
-    upload_bytes.push_back(d.bytes.size());
-    out.push_back(std::move(*m));
-    return true;
+    pool_.release(std::move(d.bytes));
+    return accepted;
   };
 
   const double start = clock_.now();

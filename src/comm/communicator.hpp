@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "comm/buffer_pool.hpp"
 #include "comm/cost_model.hpp"
 #include "comm/mailbox.hpp"
 #include "comm/message.hpp"
@@ -42,9 +43,17 @@ enum class UplinkCodec : std::uint8_t {
   kNone = 0,
   kQuant8 = 1,  // 8-bit block quantization of the update (≈4× fewer bytes)
   kTopK = 2,    // top-k of (z − w) vs the round's broadcast (k = f·m)
+  kFp16 = 3,    // IEEE binary16 payload (2× fewer bytes, ≤2⁻¹¹ rel. error)
 };
 
 std::string to_string(UplinkCodec codec);
+
+/// APPFL_WIRE_CODEC env override of the configured uplink codec
+/// (none | fp16 | quant8 | topk). Returns `base` when the variable is unset;
+/// an unrecognized value warns on stderr and keeps `base`, mirroring
+/// fault_config_from_env. Callers must re-validate the run configuration
+/// when the override changes the codec.
+UplinkCodec uplink_codec_from_env(UplinkCodec base);
 
 struct CodecConfig {
   UplinkCodec codec = UplinkCodec::kNone;
@@ -72,6 +81,10 @@ struct TrafficStats {
   std::uint64_t messages_down = 0;
   std::uint64_t bytes_up = 0;    // client → server (retransmissions included)
   std::uint64_t bytes_down = 0;  // server → client
+  /// Bytes the same uplink traffic would have cost with the codec off —
+  /// pre-codec encoded size per send attempt, envelope included. Equals
+  /// bytes_up when no codec is active; the gap is the codec's wire saving.
+  std::uint64_t bytes_up_precodec = 0;
 
   std::uint64_t drops = 0;        // messages lost in flight (either direction)
   std::uint64_t duplicates = 0;   // duplicate deliveries injected
@@ -161,13 +174,27 @@ class Communicator {
   const std::vector<RoundCommRecord>& round_log() const { return round_log_; }
   const SimClock& clock() const { return clock_; }
 
+  /// The uplink codec in force — the negotiation record both endpoints
+  /// honor. On the wire the agreement travels per message as Message.codec
+  /// (inside the CRC frame), so a receiver never guesses the encoding.
+  UplinkCodec negotiated_codec() const { return codec_.codec; }
+
+  /// Encode-buffer recycling counters (see comm/buffer_pool.hpp).
+  BufferPool::Stats pool_stats() const { return pool_.stats(); }
+
  private:
-  std::vector<std::uint8_t> encode(const Message& m) const;
+  /// Appends the encoded (and, fault plane on, CRC-framed) message to `out`
+  /// — the pooled zero-realloc encode. `out` is cleared first; its capacity
+  /// is what pooling recycles.
+  void encode_into(const Message& m, std::vector<std::uint8_t>& out) const;
   Message decode(std::span<const std::uint8_t> bytes) const;
-  /// Envelope-aware decode: verifies the CRC frame (fault plane only) and
-  /// never throws on damaged bytes — counts a crc_failure and returns
-  /// nullopt instead.
-  std::optional<Message> decode_frame(std::span<const std::uint8_t> bytes);
+  /// Zero-copy decode of one datagram: verifies the CRC frame (fault plane
+  /// only) and parses a view whose float payloads still live in `bytes`.
+  /// Fault plane off, malformed bytes throw (caller bug, pre-fault
+  /// behavior); fault plane on, damage is counted as a crc_failure and
+  /// nullopt returned. The view borrows from `bytes`.
+  std::optional<MessageView> decode_frame_view(
+      std::span<const std::uint8_t> bytes);
 
   /// Packs m.primal into m.packed per the configured codec (send side).
   void compress_update(Message& m) const;
@@ -180,6 +207,9 @@ class Communicator {
   CodecConfig codec_;
   ReliabilityConfig reliability_;
   InProcNetwork network_;
+  /// Recycles wire buffers end to end: encode acquires, the mailbox carries
+  /// the buffer as the datagram payload, the receiver releases after decode.
+  mutable BufferPool pool_;
   MpiCostModel mpi_model_;
   GrpcCostModel grpc_model_;
   mutable std::mutex stats_mutex_;  // clients send concurrently

@@ -103,6 +103,66 @@ std::vector<float> densify(const TopK& sparse) {
   return out;
 }
 
+std::uint16_t float_to_half(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  const auto sign = static_cast<std::uint16_t>((bits >> 16) & 0x8000U);
+  const std::uint32_t exp = (bits >> 23) & 0xFFU;
+  std::uint32_t mant = bits & 0x7FFFFFU;
+  if (exp == 0xFFU) {
+    // Inf stays inf; NaN keeps its top payload bits and is quieted so a
+    // payload whose high 13 bits are zero cannot collapse into inf.
+    const std::uint32_t nan_payload = mant ? (0x200U | (mant >> 13)) : 0U;
+    return static_cast<std::uint16_t>(sign | 0x7C00U | nan_payload);
+  }
+  const int e = static_cast<int>(exp) - 127 + 15;  // rebias to binary16
+  if (e >= 31) return static_cast<std::uint16_t>(sign | 0x7C00U);  // → ±inf
+  if (e <= 0) {
+    // Result is a binary16 subnormal (or zero). Below 2⁻²⁵ even the nearest
+    // subnormal is zero; at exactly 2⁻²⁵ round-to-even also gives zero,
+    // which the shift path below produces naturally for e == -10.
+    if (e < -10) return sign;
+    mant |= 0x800000U;  // make the leading 1 explicit
+    const int shift = 14 - e;
+    std::uint32_t half = mant >> shift;
+    const std::uint32_t rem = mant & ((std::uint32_t{1} << shift) - 1);
+    const std::uint32_t halfway = std::uint32_t{1} << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half & 1U))) ++half;
+    // A carry out of the subnormal mantissa lands in exp = 1: exactly right.
+    return static_cast<std::uint16_t>(sign | half);
+  }
+  std::uint32_t half =
+      (static_cast<std::uint32_t>(e) << 10) | (mant >> 13);
+  const std::uint32_t rem = mant & 0x1FFFU;
+  if (rem > 0x1000U || (rem == 0x1000U && (half & 1U))) {
+    ++half;  // mantissa/exponent carry chains; 65520 → inf is correct RNE
+  }
+  return static_cast<std::uint16_t>(sign | half);
+}
+
+float half_to_float(std::uint16_t h) {
+  const std::uint32_t sign = (std::uint32_t{h} & 0x8000U) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1FU;
+  const std::uint32_t mant = h & 0x3FFU;
+  std::uint32_t bits;
+  if (exp == 0x1FU) {
+    bits = sign | 0x7F800000U | (mant << 13);  // inf / NaN
+  } else if (exp == 0) {
+    if (mant == 0) {
+      bits = sign;
+    } else {
+      // Subnormal half: value is mant × 2⁻²⁴, exact in float32.
+      const float v = std::ldexp(static_cast<float>(mant), -24);
+      return sign ? -v : v;
+    }
+  } else {
+    bits = sign | ((exp + 112U) << 23) | (mant << 13);  // rebias 15 → 127
+  }
+  float v;
+  std::memcpy(&v, &bits, 4);
+  return v;
+}
+
 namespace {
 
 void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
@@ -191,6 +251,34 @@ TopK decode_topk(std::span<const std::uint8_t> bytes) {
   sparse.values = get_floats(bytes, off, k);
   APPFL_CHECK_MSG(off == bytes.size(), "trailing bytes in top-k payload");
   return sparse;
+}
+
+std::vector<std::uint8_t> encode_fp16(std::span<const float> values) {
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + 2 * values.size());
+  put_u64(out, values.size());
+  for (float v : values) {
+    const std::uint16_t h = float_to_half(v);
+    out.push_back(static_cast<std::uint8_t>(h));
+    out.push_back(static_cast<std::uint8_t>(h >> 8));
+  }
+  return out;
+}
+
+std::vector<float> decode_fp16(std::span<const std::uint8_t> bytes) {
+  std::size_t off = 0;
+  const std::uint64_t count = get_u64(bytes, off);
+  APPFL_CHECK_MSG(count <= (bytes.size() - off) / 2, "truncated fp16 payload");
+  APPFL_CHECK_MSG(off + 2 * count == bytes.size(),
+                  "trailing bytes in fp16 payload");
+  std::vector<float> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto h = static_cast<std::uint16_t>(
+        std::uint16_t{bytes[off + 2 * i]} |
+        (std::uint16_t{bytes[off + 2 * i + 1]} << 8));
+    out[i] = half_to_float(h);
+  }
+  return out;
 }
 
 }  // namespace appfl::comm

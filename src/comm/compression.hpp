@@ -1,13 +1,17 @@
 // Lossy update compression: the orthogonal communication-efficiency lever to
 // IIADMM's algorithmic one (ship fewer vectors) — ship *smaller* vectors.
 //
-// Two standard codecs, composable with any FL algorithm that tolerates
+// Three standard codecs, composable with any FL algorithm that tolerates
 // approximate updates (FedAvg-family; the error is absorbed like DP noise):
+//   • fp16: IEEE binary16 with round-to-nearest-even — 2× smaller, relative
+//     error ≤ 2⁻¹¹ for values in the normal half range, the cheapest and
+//     least lossy of the three;
 //   • 8-bit linear quantization in blocks: each block of values is mapped to
-//     [0, 255] over its own [min, max] range (4× smaller than float32);
+//     [0, 255] over its own [min, max] range — int8 with a per-chunk scale,
+//     4× smaller than float32;
 //   • top-k sparsification: keep the k largest-|·| coordinates as
 //     (index, value) pairs — the classic gradient-sparsification codec.
-// Both provide encode/decode plus exact wire sizes so benches can trade
+// All provide encode/decode plus exact wire sizes so benches can trade
 // accuracy against bytes.
 #pragma once
 
@@ -55,6 +59,20 @@ TopK sparsify_topk(std::span<const float> values, std::size_t k);
 /// Densifies back to length `size` with zeros elsewhere.
 std::vector<float> densify(const TopK& sparse);
 
+// -- fp16 (IEEE binary16) ----------------------------------------------------
+
+/// float32 → binary16 with round-to-nearest-even. NaN stays NaN (quieted,
+/// top payload bits kept), ±inf stays ±inf, overflow rounds to ±inf,
+/// values below the subnormal range flush to signed zero.
+std::uint16_t float_to_half(float v);
+
+/// binary16 → float32, exact (every half value is representable in float).
+float half_to_float(std::uint16_t h);
+
+/// Worst-case relative round-trip error for values in the normal binary16
+/// range: half a ulp of the 11-bit significand.
+constexpr double kFp16RelativeErrorBound = 1.0 / 2048.0;  // 2⁻¹¹
+
 // -- Byte serialization (for carrying compressed payloads in Message.packed) --
 
 std::vector<std::uint8_t> encode_quantized8(const Quantized8& q);
@@ -62,5 +80,9 @@ Quantized8 decode_quantized8(std::span<const std::uint8_t> bytes);
 
 std::vector<std::uint8_t> encode_topk(const TopK& sparse);
 TopK decode_topk(std::span<const std::uint8_t> bytes);
+
+/// [count u64 | count × half u16 LE] — 2 bytes per value on the wire.
+std::vector<std::uint8_t> encode_fp16(std::span<const float> values);
+std::vector<float> decode_fp16(std::span<const std::uint8_t> bytes);
 
 }  // namespace appfl::comm

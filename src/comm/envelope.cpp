@@ -1,24 +1,97 @@
 #include "comm/envelope.hpp"
 
+#include <algorithm>
 #include <array>
+#include <cstring>
+
+#include "tensor/gemm.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace appfl::comm {
 
 namespace {
 
 constexpr std::uint32_t kMagic = 0x41504643;  // "APFC" (APpfl Frame + Crc)
+constexpr std::uint32_t kPoly = 0xEDB88320U;  // reflected CRC-32
 
-std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
+// Slicing-by-8 tables: table[0] is the classic bytewise table; table[k]
+// advances a byte through k additional zero bytes, so eight lookups retire
+// eight input bytes per iteration.
+using CrcTables = std::array<std::array<std::uint32_t, 256>, 8>;
+
+CrcTables make_crc_tables() {
+  CrcTables t{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int bit = 0; bit < 8; ++bit) {
-      c = (c & 1U) ? (0xEDB88320U ^ (c >> 1)) : (c >> 1);
+      c = (c & 1U) ? (kPoly ^ (c >> 1)) : (c >> 1);
     }
-    table[i] = c;
+    t[0][i] = c;
   }
-  return table;
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      const std::uint32_t prev = t[k - 1][i];
+      t[k][i] = t[0][prev & 0xFFU] ^ (prev >> 8);
+    }
+  }
+  return t;
 }
+
+const CrcTables& crc_tables() {
+  static const CrcTables tables = make_crc_tables();
+  return tables;
+}
+
+/// Sliced serial kernel over one contiguous range, starting from (and
+/// returning) a raw register value (pre/post-conditioning is the caller's
+/// job so chunks can be chained).
+std::uint32_t crc32_sliced_raw(std::uint32_t crc, const std::uint8_t* p,
+                               std::size_t n) {
+  const CrcTables& t = crc_tables();
+  while (n >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = t[7][lo & 0xFFU] ^ t[6][(lo >> 8) & 0xFFU] ^
+          t[5][(lo >> 16) & 0xFFU] ^ t[4][lo >> 24] ^ t[3][hi & 0xFFU] ^
+          t[2][(hi >> 8) & 0xFFU] ^ t[1][(hi >> 16) & 0xFFU] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = t[0][(crc ^ *p++) & 0xFFU] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+std::uint32_t crc32_serial(std::span<const std::uint8_t> bytes) {
+  return crc32_sliced_raw(0xFFFFFFFFU, bytes.data(), bytes.size()) ^
+         0xFFFFFFFFU;
+}
+
+// -- GF(2) matrix helpers for crc32_combine (zlib's algorithm) ---------------
+
+std::uint32_t gf2_matrix_times(const std::uint32_t* mat, std::uint32_t vec) {
+  std::uint32_t sum = 0;
+  while (vec != 0) {
+    if ((vec & 1U) != 0) sum ^= *mat;
+    vec >>= 1;
+    ++mat;
+  }
+  return sum;
+}
+
+void gf2_matrix_square(std::uint32_t* square, const std::uint32_t* mat) {
+  for (int n = 0; n < 32; ++n) square[n] = gf2_matrix_times(mat, mat[n]);
+}
+
+/// Fixed chunk width for the parallel path. Chunk boundaries depend only on
+/// the buffer size — never on the thread count — and crc32_combine is exact,
+/// so the result is identical to the serial CRC regardless of pool size.
+constexpr std::size_t kCrcChunk = std::size_t{1} << 19;  // 512 KiB
 
 void put_u32(std::uint8_t* out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
@@ -32,13 +105,68 @@ std::uint32_t get_u32(const std::uint8_t* in) {
 
 }  // namespace
 
-std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
-  static const std::array<std::uint32_t, 256> table = make_crc_table();
+std::uint32_t crc32_bytewise(std::span<const std::uint8_t> bytes) {
+  const CrcTables& t = crc_tables();
   std::uint32_t crc = 0xFFFFFFFFU;
   for (std::uint8_t b : bytes) {
-    crc = table[(crc ^ b) & 0xFFU] ^ (crc >> 8);
+    crc = t[0][(crc ^ b) & 0xFFU] ^ (crc >> 8);
   }
   return crc ^ 0xFFFFFFFFU;
+}
+
+std::uint32_t crc32_combine(std::uint32_t crc_a, std::uint32_t crc_b,
+                            std::size_t len_b) {
+  if (len_b == 0) return crc_a;
+  std::uint32_t even[32];  // operator for 2^(2k) zero bytes
+  std::uint32_t odd[32];   // operator for 2^(2k+1) zero bytes
+
+  // odd = operator for one zero bit.
+  odd[0] = kPoly;
+  std::uint32_t row = 1;
+  for (int n = 1; n < 32; ++n) {
+    odd[n] = row;
+    row <<= 1;
+  }
+  gf2_matrix_square(even, odd);  // two zero bits
+  gf2_matrix_square(odd, even);  // four zero bits (one nibble)
+
+  // Advance crc_a through len_b zero *bytes*, squaring as len_b's bits run
+  // out, then add crc_b's effect.
+  std::uint64_t len = len_b;
+  do {
+    gf2_matrix_square(even, odd);
+    if ((len & 1U) != 0) crc_a = gf2_matrix_times(even, crc_a);
+    len >>= 1;
+    if (len == 0) break;
+    gf2_matrix_square(odd, even);
+    if ((len & 1U) != 0) crc_a = gf2_matrix_times(odd, crc_a);
+    len >>= 1;
+  } while (len != 0);
+  return crc_a ^ crc_b;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kParallelCrcThreshold ||
+      util::ThreadPool::on_worker_thread()) {
+    return crc32_serial(bytes);
+  }
+  const auto pool = tensor::kernel_pool();
+  if (pool->size() <= 1) return crc32_serial(bytes);
+
+  const std::size_t chunks = (bytes.size() + kCrcChunk - 1) / kCrcChunk;
+  std::vector<std::uint32_t> partial(chunks);
+  pool->parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * kCrcChunk;
+    const std::size_t len = std::min(kCrcChunk, bytes.size() - begin);
+    partial[c] = crc32_serial(bytes.subspan(begin, len));
+  });
+  std::uint32_t crc = partial[0];
+  for (std::size_t c = 1; c < chunks; ++c) {
+    const std::size_t begin = c * kCrcChunk;
+    const std::size_t len = std::min(kCrcChunk, bytes.size() - begin);
+    crc = crc32_combine(crc, partial[c], len);
+  }
+  return crc;
 }
 
 std::vector<std::uint8_t> seal_envelope(std::vector<std::uint8_t> payload) {
@@ -48,6 +176,15 @@ std::vector<std::uint8_t> seal_envelope(std::vector<std::uint8_t> payload) {
   put_u32(payload.data(), kMagic);
   put_u32(payload.data() + 4, checksum);
   return payload;
+}
+
+void seal_envelope_in_place(std::vector<std::uint8_t>& buf) {
+  APPFL_CHECK_MSG(buf.size() >= kEnvelopeOverhead,
+                  "seal_envelope_in_place needs the header placeholder");
+  const std::uint32_t checksum = crc32(
+      std::span<const std::uint8_t>(buf).subspan(kEnvelopeOverhead));
+  put_u32(buf.data(), kMagic);
+  put_u32(buf.data() + 4, checksum);
 }
 
 std::optional<std::span<const std::uint8_t>> open_envelope(

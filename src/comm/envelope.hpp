@@ -10,6 +10,13 @@
 // decode_proto, where a flipped length byte could abort the process. With
 // fault injection off the envelope is skipped entirely, keeping the wire
 // bytes bit-identical to a fault-free build.
+//
+// CRC engine: crc32() runs slicing-by-8 (eight bytes per table step instead
+// of one), and payloads past a size threshold are chunked across the shared
+// kernel ThreadPool with the partial CRCs stitched together by
+// crc32_combine() — checksums stay bit-identical to the original bytewise
+// loop (kept as crc32_bytewise for tests and benchmarks) for every input,
+// thread count, and chunking.
 #pragma once
 
 #include <cstdint>
@@ -20,13 +27,35 @@
 namespace appfl::comm {
 
 /// IEEE CRC-32 (polynomial 0xEDB88320, reflected), as used by Ethernet/zip.
+/// Slicing-by-8 with transparent chunked-parallel computation for large
+/// buffers; bit-identical to crc32_bytewise on every input.
 std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+/// The original one-table bytewise loop, kept as the correctness baseline
+/// (known-answer tests) and the "before" side of bench/comm_path.
+std::uint32_t crc32_bytewise(std::span<const std::uint8_t> bytes);
+
+/// CRC of the concatenation A‖B from crc32(A), crc32(B) and |B| alone
+/// (zlib's crc32_combine, GF(2) matrix exponentiation) — what lets chunk
+/// CRCs computed in parallel collapse into the whole-buffer checksum.
+std::uint32_t crc32_combine(std::uint32_t crc_a, std::uint32_t crc_b,
+                            std::size_t len_b);
+
+/// Buffers at or above this size fan their CRC out over the kernel pool
+/// (unless the caller is already inside a pool worker).
+constexpr std::size_t kParallelCrcThreshold = std::size_t{1} << 20;  // 1 MiB
 
 /// Bytes the envelope adds in front of the payload (magic + checksum).
 constexpr std::size_t kEnvelopeOverhead = 8;
 
 /// Wraps `payload` in a checksum frame (moves the buffer; no payload copy).
 std::vector<std::uint8_t> seal_envelope(std::vector<std::uint8_t> payload);
+
+/// In-place variant for pooled encode buffers: `buf` must hold
+/// kEnvelopeOverhead placeholder bytes followed by the payload; the header
+/// is written into the placeholder, avoiding seal_envelope's O(n) front
+/// insertion. Wire bytes are identical to seal_envelope's.
+void seal_envelope_in_place(std::vector<std::uint8_t>& buf);
 
 /// Verifies the frame and returns a view of the payload, or nullopt when
 /// the buffer is too short, the magic is wrong, or the checksum mismatches.

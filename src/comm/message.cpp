@@ -84,20 +84,60 @@ void append_float_vec(std::vector<std::uint8_t>& out,
   std::memcpy(out.data() + start, v.data(), 4 * v.size());
 }
 
-std::vector<float> read_float_vec(std::span<const std::uint8_t> b,
-                                  std::size_t& off) {
+FloatView read_float_view(std::span<const std::uint8_t> b, std::size_t& off) {
   const std::uint64_t n = read_u64(b, off);
   // Divide instead of multiplying: 4·n would wrap for hostile lengths and
   // an unchecked vector(n) could throw bad_alloc/length_error (fuzzer find).
   APPFL_CHECK_MSG(off <= b.size() && n <= (b.size() - off) / 4,
                   "truncated raw float vector");
-  std::vector<float> v(n);
-  std::memcpy(v.data(), b.data() + off, 4 * n);
+  FloatView v(b.data() + off, n);
   off += 4 * n;
   return v;
 }
 
 }  // namespace
+
+float FloatView::operator[](std::size_t i) const {
+  float v;
+  std::memcpy(&v, data_ + 4 * i, 4);
+  return v;
+}
+
+void FloatView::copy_to(std::span<float> out) const {
+  APPFL_CHECK(out.size() == count_);
+  if (count_ > 0) std::memcpy(out.data(), data_, 4 * count_);
+}
+
+void FloatView::copy_into(std::vector<float>& out) const {
+  out.resize(count_);
+  if (count_ > 0) std::memcpy(out.data(), data_, 4 * count_);
+}
+
+std::vector<float> FloatView::to_vector() const {
+  std::vector<float> out;
+  copy_into(out);
+  return out;
+}
+
+Message MessageView::detach() const {
+  Message m;
+  detach_into(m);
+  return m;
+}
+
+void MessageView::detach_into(Message& out) const {
+  out.kind = kind;
+  out.sender = sender;
+  out.receiver = receiver;
+  out.round = round;
+  out.sample_count = sample_count;
+  out.loss = loss;
+  out.rho = rho;
+  out.codec = codec;
+  primal.copy_into(out.primal);
+  dual.copy_into(out.dual);
+  out.packed.assign(packed.begin(), packed.end());
+}
 
 std::size_t raw_encoded_size(const Message& m) {
   // kind(1) + sender(4) + receiver(4) + round(4) + samples(8) + loss(8)
@@ -108,7 +148,12 @@ std::size_t raw_encoded_size(const Message& m) {
 
 std::vector<std::uint8_t> encode_raw(const Message& m) {
   std::vector<std::uint8_t> out;
-  out.reserve(raw_encoded_size(m));
+  encode_raw_append(m, out);
+  return out;
+}
+
+void encode_raw_append(const Message& m, std::vector<std::uint8_t>& out) {
+  out.reserve(out.size() + raw_encoded_size(m));
   out.push_back(static_cast<std::uint8_t>(m.kind));
   append_u32(out, m.sender);
   append_u32(out, m.receiver);
@@ -125,12 +170,15 @@ std::vector<std::uint8_t> encode_raw(const Message& m) {
   out.push_back(m.codec);
   append_u64(out, m.packed.size());
   out.insert(out.end(), m.packed.begin(), m.packed.end());
-  return out;
 }
 
 Message decode_raw(std::span<const std::uint8_t> bytes) {
+  return decode_raw_view(bytes).detach();
+}
+
+MessageView decode_raw_view(std::span<const std::uint8_t> bytes) {
   APPFL_CHECK_MSG(!bytes.empty(), "empty raw message");
-  Message m;
+  MessageView m;
   std::size_t off = 0;
   const std::uint8_t kind = bytes[off++];
   APPFL_CHECK_MSG(kind <= 3, "invalid message kind " << int{kind});
@@ -143,15 +191,14 @@ Message decode_raw(std::span<const std::uint8_t> bytes) {
   std::memcpy(&m.loss, &loss_bits, 8);
   const std::uint64_t rho_bits = read_u64(bytes, off);
   std::memcpy(&m.rho, &rho_bits, 8);
-  m.primal = read_float_vec(bytes, off);
-  m.dual = read_float_vec(bytes, off);
+  m.primal = read_float_view(bytes, off);
+  m.dual = read_float_view(bytes, off);
   APPFL_CHECK_MSG(off < bytes.size(), "truncated raw message (codec)");
   m.codec = bytes[off++];
   const std::uint64_t packed_len = read_u64(bytes, off);
   APPFL_CHECK_MSG(packed_len <= bytes.size() - off,
                   "truncated raw packed payload");
-  m.packed.assign(bytes.begin() + static_cast<long>(off),
-                  bytes.begin() + static_cast<long>(off + packed_len));
+  m.packed = bytes.subspan(off, packed_len);
   off += packed_len;
   APPFL_CHECK_MSG(off == bytes.size(), "trailing bytes in raw message");
   return m;
@@ -173,7 +220,16 @@ constexpr std::uint32_t kFPacked = 11;
 }  // namespace
 
 std::vector<std::uint8_t> encode_proto(const Message& m) {
-  ProtoWriter w;
+  std::vector<std::uint8_t> out;
+  encode_proto_append(m, out);
+  return out;
+}
+
+void encode_proto_append(const Message& m, std::vector<std::uint8_t>& out) {
+  ProtoWriter w(std::move(out));
+  // Exact pre-size: the varint-heavy append loop must never reallocate (a
+  // multi-MB packed-float field used to trigger repeated growth copies).
+  w.reserve(proto_encoded_size(m));
   w.add_varint(kFKind, static_cast<std::uint64_t>(m.kind));
   w.add_varint(kFSender, m.sender);
   w.add_varint(kFReceiver, m.receiver);
@@ -187,11 +243,28 @@ std::vector<std::uint8_t> encode_proto(const Message& m) {
     w.add_varint(kFCodec, m.codec);
     w.add_bytes(kFPacked, m.packed);
   }
-  return w.take();
+  out = w.take();
 }
 
+namespace {
+
+/// View counterpart of ProtoReader::as_packed_floats — same checks and
+/// error text, no copy.
+FloatView as_packed_float_view(const ProtoField& f) {
+  APPFL_CHECK_MSG(f.wire_type == 2, "field is not length-delimited");
+  APPFL_CHECK_MSG(f.bytes.size() % 4 == 0,
+                  "packed float payload not a multiple of 4");
+  return {f.bytes.data(), f.bytes.size() / 4};
+}
+
+}  // namespace
+
 Message decode_proto(std::span<const std::uint8_t> bytes) {
-  Message m;
+  return decode_proto_view(bytes).detach();
+}
+
+MessageView decode_proto_view(std::span<const std::uint8_t> bytes) {
+  MessageView m;
   ProtoReader r(bytes);
   ProtoField f;
   while (r.next(f)) {
@@ -205,15 +278,15 @@ Message decode_proto(std::span<const std::uint8_t> bytes) {
       case kFRound: m.round = static_cast<std::uint32_t>(f.varint); break;
       case kFSamples: m.sample_count = f.varint; break;
       case kFLoss: m.loss = ProtoReader::as_double(f); break;
-      case kFPrimal: m.primal = ProtoReader::as_packed_floats(f); break;
-      case kFDual: m.dual = ProtoReader::as_packed_floats(f); break;
+      case kFPrimal: m.primal = as_packed_float_view(f); break;
+      case kFDual: m.dual = as_packed_float_view(f); break;
       case kFRho: m.rho = ProtoReader::as_double(f); break;
       case kFCodec:
         APPFL_CHECK_MSG(f.varint <= 255, "invalid codec " << f.varint);
         m.codec = static_cast<std::uint8_t>(f.varint);
         break;
       case kFPacked:
-        m.packed.assign(f.bytes.begin(), f.bytes.end());
+        m.packed = f.bytes;
         break;
       default:
         break;  // unknown fields are skipped, like protobuf

@@ -56,6 +56,59 @@ struct Message {
 bool same_bits(float a, float b);
 bool same_bits(double a, double b);
 
+/// Read-only view of packed little-endian float32s sitting inside a wire
+/// buffer. A std::span<const float> cannot be used directly: neither
+/// encoding 4-byte-aligns its float payloads (the raw header is 37 bytes;
+/// proto offsets are varint-sized), so elements are read through memcpy —
+/// the standards-clean unaligned load, which compiles to a plain mov.
+class FloatView {
+ public:
+  FloatView() = default;
+  FloatView(const std::uint8_t* data, std::size_t count)
+      : data_(data), count_(count) {}
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  float operator[](std::size_t i) const;
+
+  /// Bulk copy into `out` (out.size() must equal size()).
+  void copy_to(std::span<float> out) const;
+  /// Resizes `out` (reusing capacity) and copies — the detach primitive.
+  void copy_into(std::vector<float>& out) const;
+  std::vector<float> to_vector() const;
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+/// A decoded message whose float payloads still live in the wire buffer —
+/// the zero-copy decode result. Header fields are materialized (they are a
+/// few dozen bytes); primal/dual/packed borrow from the buffer passed to
+/// decode_raw_view / decode_proto_view, which must outlive the view.
+/// Validation (kind, sender, round, duplicate checks) can therefore run
+/// without ever copying a multi-MB payload; consumers that keep the data
+/// call detach()/detach_into().
+struct MessageView {
+  MessageKind kind = MessageKind::kGlobalModel;
+  std::uint32_t sender = 0;
+  std::uint32_t receiver = 0;
+  std::uint32_t round = 0;
+  std::uint64_t sample_count = 0;
+  double loss = 0.0;
+  double rho = 0.0;
+  std::uint8_t codec = 0;
+  FloatView primal;
+  FloatView dual;
+  std::span<const std::uint8_t> packed{};
+
+  /// Materializes an owning Message (exactly one copy per payload).
+  Message detach() const;
+  /// Same, but reuses `out`'s vector capacities (pooled-Message decode).
+  void detach_into(Message& out) const;
+};
+
 /// Raw encoding (MPI path): fixed header + contiguous float payloads.
 std::vector<std::uint8_t> encode_raw(const Message& m);
 Message decode_raw(std::span<const std::uint8_t> bytes);
@@ -63,6 +116,18 @@ Message decode_raw(std::span<const std::uint8_t> bytes);
 /// Protobuf encoding (gRPC path) via protolite.
 std::vector<std::uint8_t> encode_proto(const Message& m);
 Message decode_proto(std::span<const std::uint8_t> bytes);
+
+/// Append-encode into a caller-owned buffer (the pooled, zero-realloc
+/// path): the encoded bytes — identical to encode_raw/encode_proto's — are
+/// appended after `out`'s existing contents (e.g. an envelope header
+/// placeholder), with the exact total reserved up front.
+void encode_raw_append(const Message& m, std::vector<std::uint8_t>& out);
+void encode_proto_append(const Message& m, std::vector<std::uint8_t>& out);
+
+/// Zero-copy decodes. Same validation and errors as the owning decodes;
+/// float payloads stay in `bytes` (see MessageView).
+MessageView decode_raw_view(std::span<const std::uint8_t> bytes);
+MessageView decode_proto_view(std::span<const std::uint8_t> bytes);
 
 /// Size in bytes each encoding would produce (raw is exact and cheap;
 /// proto is exact too — computed without building the buffer).

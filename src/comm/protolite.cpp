@@ -146,11 +146,17 @@ std::string ProtoReader::as_string(const ProtoField& f) {
 }
 
 std::vector<float> ProtoReader::as_packed_floats(const ProtoField& f) {
+  std::vector<float> out;
+  as_packed_floats_into(f, out);
+  return out;
+}
+
+void ProtoReader::as_packed_floats_into(const ProtoField& f,
+                                        std::vector<float>& out) {
   APPFL_CHECK_MSG(f.wire_type == kLengthDelimited, "field is not length-delimited");
   APPFL_CHECK_MSG(f.bytes.size() % 4 == 0, "packed float payload not a multiple of 4");
-  std::vector<float> out(f.bytes.size() / 4);
+  out.resize(f.bytes.size() / 4);
   std::memcpy(out.data(), f.bytes.data(), f.bytes.size());
-  return out;
 }
 
 }  // namespace appfl::comm

@@ -21,6 +21,18 @@ namespace appfl::comm {
 /// Streaming encoder. Append fields in any order; take() yields the buffer.
 class ProtoWriter {
  public:
+  ProtoWriter() = default;
+
+  /// Adopts `buf` (keeping its contents and, more importantly, its
+  /// capacity) and appends after the existing bytes — the pooled-buffer
+  /// encode path, which also lets a frame header placeholder precede the
+  /// payload without a later O(n) shift.
+  explicit ProtoWriter(std::vector<std::uint8_t>&& buf) : buf_(std::move(buf)) {}
+
+  /// Pre-sizes the buffer (see proto_encoded_size) so the varint-heavy
+  /// append loop never reallocates mid-message.
+  void reserve(std::size_t bytes) { buf_.reserve(buf_.size() + bytes); }
+
   /// Field of wire type 0: unsigned varint.
   void add_varint(std::uint32_t field, std::uint64_t value);
 
@@ -72,6 +84,11 @@ class ProtoReader {
   static double as_double(const ProtoField& f);
   static std::string as_string(const ProtoField& f);
   static std::vector<float> as_packed_floats(const ProtoField& f);
+
+  /// Out-parameter flavor: decodes into `out`, reusing its capacity — no
+  /// fresh vector per field on repeated decodes (the gather hot path).
+  static void as_packed_floats_into(const ProtoField& f,
+                                    std::vector<float>& out);
 
  private:
   std::uint64_t read_varint();

@@ -1,0 +1,84 @@
+#include "core/aggregate.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "tensor/gemm.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace appfl::core {
+
+namespace {
+
+/// Runs fn over [0, n) — chunked across the kernel pool when the reduction
+/// is big enough to pay for the fan-out, serially otherwise. fn must be
+/// safe to call on disjoint ranges concurrently (each output element is
+/// written by exactly one range).
+void run_chunked(std::size_t n, std::size_t num_terms,
+                 const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n >= kParallelAggregateThreshold && num_terms >= 2 &&
+      !util::ThreadPool::on_worker_thread()) {
+    const auto pool = tensor::kernel_pool();
+    if (pool && pool->size() > 1) {
+      pool->parallel_for_range(n, fn);
+      return;
+    }
+  }
+  fn(0, n);
+}
+
+}  // namespace
+
+void weighted_sum(std::span<const WeightedVec> terms, std::span<float> out) {
+  for (const auto& t : terms) APPFL_CHECK(t.values.size() == out.size());
+  std::fill(out.begin(), out.end(), 0.0F);
+  run_chunked(out.size(), terms.size(),
+              [&](std::size_t lo, std::size_t hi) {
+                for (const auto& t : terms) {
+                  const float weight = t.weight;
+                  const float* x = t.values.data();
+                  for (std::size_t i = lo; i < hi; ++i) {
+                    out[i] += weight * x[i];
+                  }
+                }
+              });
+}
+
+void consensus_sum(std::span<const ConsensusTerm> terms, float inv_p,
+                   float inv_rho, std::span<float> out) {
+  for (const auto& t : terms) {
+    APPFL_CHECK(t.primal.size() == out.size());
+    APPFL_CHECK(t.dual.size() == out.size());
+  }
+  std::fill(out.begin(), out.end(), 0.0F);
+  run_chunked(out.size(), terms.size(),
+              [&](std::size_t lo, std::size_t hi) {
+                for (const auto& t : terms) {
+                  const float* z = t.primal.data();
+                  const float* l = t.dual.data();
+                  for (std::size_t i = lo; i < hi; ++i) {
+                    out[i] += inv_p * (z[i] - inv_rho * l[i]);
+                  }
+                }
+              });
+}
+
+void weighted_delta(std::span<const DeltaTerm> terms,
+                    std::span<const float> base, std::span<double> out) {
+  APPFL_CHECK(base.size() == out.size());
+  for (const auto& t : terms) APPFL_CHECK(t.values.size() == out.size());
+  std::fill(out.begin(), out.end(), 0.0);
+  run_chunked(out.size(), terms.size(),
+              [&](std::size_t lo, std::size_t hi) {
+                for (const auto& t : terms) {
+                  const double weight = t.weight;
+                  const float* z = t.values.data();
+                  for (std::size_t i = lo; i < hi; ++i) {
+                    out[i] += weight * (static_cast<double>(z[i]) - base[i]);
+                  }
+                }
+              });
+}
+
+}  // namespace appfl::core

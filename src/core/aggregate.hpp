@@ -1,0 +1,58 @@
+// Parallel deterministic server-side aggregation.
+//
+// Every server algorithm reduces P client vectors into one model-sized
+// output — the hot loop of the aggregation step at FEMNIST scale (203
+// clients × the model dimension). These helpers parallelize that reduction
+// over *index chunks* of the output while accumulating participants in the
+// caller's order within each element. Chunking over the index axis never
+// reorders any individual element's float additions, so the result is
+// bit-identical to the serial loop for every thread count and chunk split —
+// unlike a tree reduction over participants, which would re-associate the
+// (non-associative) float sums. Work fans out over the shared kernel
+// ThreadPool and degrades to serial inside pool workers, below a size
+// threshold, or on a single-thread pool.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace appfl::core {
+
+/// One participant of a weighted sum.
+struct WeightedVec {
+  std::span<const float> values;
+  float weight = 1.0F;
+};
+
+/// out[i] = Σ_p weight_p · values_p[i], terms accumulated in order — the
+/// FedAvg/FedProx aggregate (same per-element expression as tensor::axpy).
+void weighted_sum(std::span<const WeightedVec> terms, std::span<float> out);
+
+/// One client's (z_p, λ_p) replica pair.
+struct ConsensusTerm {
+  std::span<const float> primal;  // z_p
+  std::span<const float> dual;    // λ_p
+};
+
+/// out[i] = Σ_p inv_p · (z_p[i] − inv_rho · λ_p[i]) — the IIADMM/ICEADMM
+/// consensus line (Line 3), terms accumulated in order.
+void consensus_sum(std::span<const ConsensusTerm> terms, float inv_p,
+                   float inv_rho, std::span<float> out);
+
+/// One participant of a pseudo-gradient average.
+struct DeltaTerm {
+  std::span<const float> values;  // z_p
+  double weight = 1.0;
+};
+
+/// out[i] = Σ_p weight_p · (double(z_p[i]) − double(base[i])) — FedOpt's
+/// sample-weighted pseudo-gradient, accumulated in double.
+void weighted_delta(std::span<const DeltaTerm> terms,
+                    std::span<const float> base, std::span<double> out);
+
+/// Elements below which the reductions stay serial (chunk setup would cost
+/// more than the arithmetic saves).
+constexpr std::size_t kParallelAggregateThreshold = 16384;
+
+}  // namespace appfl::core

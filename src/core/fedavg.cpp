@@ -1,6 +1,6 @@
 #include "core/fedavg.hpp"
 
-#include "tensor/ops.hpp"
+#include "core/aggregate.hpp"
 #include "util/check.hpp"
 
 namespace appfl::core {
@@ -58,6 +58,8 @@ std::vector<float> FedAvgServer::compute_global(std::uint32_t) {
   const std::size_t m = primal_.front().size();
   APPFL_CHECK(!last_participants_.empty());
   std::vector<float> w(m, 0.0F);
+  std::vector<WeightedVec> terms;
+  terms.reserve(last_participants_.size());
   if (config().weighted_aggregation) {
     std::uint64_t total = 0;
     for (std::size_t p : last_participants_) total += sample_counts_[p];
@@ -65,12 +67,13 @@ std::vector<float> FedAvgServer::compute_global(std::uint32_t) {
     for (std::size_t p : last_participants_) {
       const float weight = static_cast<float>(
           static_cast<double>(sample_counts_[p]) / static_cast<double>(total));
-      tensor::axpy(weight, primal_[p], w);
+      terms.push_back({primal_[p], weight});
     }
   } else {
     const float inv = 1.0F / static_cast<float>(last_participants_.size());
-    for (std::size_t p : last_participants_) tensor::axpy(inv, primal_[p], w);
+    for (std::size_t p : last_participants_) terms.push_back({primal_[p], inv});
   }
+  weighted_sum(terms, w);
   return w;
 }
 

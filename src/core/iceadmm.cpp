@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/adaptive.hpp"
+#include "core/aggregate.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
 
@@ -70,13 +71,11 @@ std::vector<float> IceAdmmServer::compute_global(std::uint32_t) {
   const float inv_p = 1.0F / static_cast<float>(primal_.size());
   const float inv_rho = 1.0F / rho_;
   std::vector<float> w(m, 0.0F);
+  std::vector<ConsensusTerm> terms(primal_.size());
   for (std::size_t p = 0; p < primal_.size(); ++p) {
-    const auto& z = primal_[p];
-    const auto& l = dual_[p];
-    for (std::size_t i = 0; i < m; ++i) {
-      w[i] += inv_p * (z[i] - inv_rho * l[i]);
-    }
+    terms[p] = {primal_[p], dual_[p]};
   }
+  consensus_sum(terms, inv_p, inv_rho, w);
   return w;
 }
 

@@ -128,10 +128,20 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
   reliability.backoff_cap_s =
       std::max(config.ack_timeout_s, reliability.backoff_cap_s);
   reliability.max_retries = config.max_uplink_retries;
+  // APPFL_WIRE_CODEC swaps the uplink codec without rebuilding the binary
+  // (codec sweeps over existing benches). The env value bypasses the
+  // caller's validate(), so the combination is re-checked here — an fp16
+  // override on an ADMM run must fail just like a configured one.
+  const comm::UplinkCodec wire_codec =
+      comm::uplink_codec_from_env(config.uplink_codec);
+  if (wire_codec != config.uplink_codec) {
+    RunConfig overridden = config;
+    overridden.uplink_codec = wire_codec;
+    overridden.validate();
+  }
   comm::Communicator comm(config.protocol, num_clients,
                           rng::derive_seed(config.seed, {77}),
-                          {config.uplink_codec, config.topk_fraction},
-                          reliability);
+                          {wire_codec, config.topk_fraction}, reliability);
   util::ThreadPool pool;
   rng::Rng sampler(rng::derive_seed(config.seed, {78}));
 

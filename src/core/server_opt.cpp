@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/aggregate.hpp"
 #include "util/check.hpp"
 
 namespace appfl::core {
@@ -54,15 +55,16 @@ void FedOptServer::update(const std::vector<comm::Message>& locals,
     total_samples += msg.sample_count;
   }
   APPFL_CHECK(total_samples > 0);
+  std::vector<DeltaTerm> terms;
+  terms.reserve(locals.size());
   for (const auto& msg : locals) {
     const double weight = config().weighted_aggregation
                               ? static_cast<double>(msg.sample_count) /
                                     static_cast<double>(total_samples)
                               : 1.0 / static_cast<double>(locals.size());
-    for (std::size_t i = 0; i < n; ++i) {
-      delta[i] += weight * (static_cast<double>(msg.primal[i]) - global[i]);
-    }
+    terms.push_back({msg.primal, weight});
   }
+  weighted_delta(terms, global, delta);
 
   for (std::size_t i = 0; i < n; ++i) {
     const float d = static_cast<float>(delta[i]);

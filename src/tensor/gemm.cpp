@@ -307,6 +307,10 @@ void apply_kernel_config(const std::string& backend, std::size_t threads) {
   set_kernel_config(config);
 }
 
+std::shared_ptr<util::ThreadPool> kernel_pool() {
+  return acquire_pool(resolved_threads(kernel_config()));
+}
+
 std::size_t last_gemm_chunks() { return t_last_chunks; }
 
 bool gemm_uses_avx2() {

@@ -27,7 +27,12 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
+
+namespace appfl::util {
+class ThreadPool;
+}  // namespace appfl::util
 
 namespace appfl::tensor {
 
@@ -78,6 +83,14 @@ void gemm_reference(Trans ta, Trans tb, std::size_t m, std::size_t n,
 void gemm_tiled(Trans ta, Trans tb, std::size_t m, std::size_t n,
                 std::size_t k, const float* a, std::size_t lda, const float* b,
                 std::size_t ldb, float* c);
+
+/// The process-wide kernel ThreadPool, (re)built lazily to the configured
+/// size (kernel_config().threads, 0 = hardware concurrency). Shared by the
+/// GEMM driver, the comm data path (chunked CRC32) and the deterministic
+/// aggregation reductions so the process never runs more than one set of
+/// compute workers. Callers must consult ThreadPool::on_worker_thread()
+/// first and fall back to serial execution when already inside a worker.
+std::shared_ptr<util::ThreadPool> kernel_pool();
 
 /// Number of row-panel chunks the most recent gemm on the calling thread
 /// fanned out (1 = ran serially). Diagnostic for the nested-parallelism

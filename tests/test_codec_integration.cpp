@@ -68,6 +68,23 @@ TEST(Codec, TopKCutsUplinkByTheConfiguredFraction) {
   EXPECT_GT(sparse.final_accuracy, 0.6);
 }
 
+TEST(Codec, Fp16HalvesUplinkWithNoAccuracyLoss) {
+  const auto split = split_of();
+  const auto raw = appfl::core::run_federated(codec_cfg(UplinkCodec::kNone),
+                                              split);
+  const auto fp16 = appfl::core::run_federated(codec_cfg(UplinkCodec::kFp16),
+                                               split);
+  const double ratio = static_cast<double>(raw.traffic.bytes_up) /
+                       static_cast<double>(fp16.traffic.bytes_up);
+  // 2 B per float instead of 4 B, modulo the fixed per-message header.
+  EXPECT_GT(ratio, 1.8);
+  EXPECT_LT(ratio, 2.05);
+  EXPECT_EQ(raw.traffic.bytes_down, fp16.traffic.bytes_down);
+  // Pre-codec accounting sees the same logical update either way.
+  EXPECT_EQ(raw.traffic.bytes_up_precodec, fp16.traffic.bytes_up_precodec);
+  EXPECT_NEAR(fp16.final_accuracy, raw.final_accuracy, 0.05);
+}
+
 TEST(Codec, ServersNeverSeePackedPayloads) {
   // The decompression happens in gather_locals; downstream metrics (loss
   // aggregation) and validation must behave exactly like uncompressed runs
