@@ -1,0 +1,267 @@
+// Chaos-restart harness: kill a federated run at every round boundary (and
+// once mid-save, leaving a torn slot), restart it from the round-checkpoint
+// store, and verify the resumed run reaches the SAME final model — float
+// bytes compared with memcmp, not a tolerance — with a monotone DP ledger.
+// Covers all five algorithms (FedAvg, FedProx, FedOpt, ICEADMM, IIADMM)
+// plus the asynchronous runner at update granularity.
+//
+//   chaos_restart           full sweep: 10 rounds, every kill point,
+//                           writes results/chaos_restart.csv
+//   chaos_restart --smoke   seconds-long CI mode: fewer rounds/kill points,
+//                           same invariants, writes nothing
+//
+// Env knobs: APPFL_CHAOS_ROUNDS, APPFL_CHAOS_CLIENTS, APPFL_CHAOS_PER_CLIENT.
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/async_runner.hpp"
+#include "core/checkpoint.hpp"
+#include "core/runner.hpp"
+#include "core/server_opt.hpp"
+#include "data/synth.hpp"
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using appfl::core::Algorithm;
+using appfl::core::RunConfig;
+using appfl::core::RunResult;
+
+struct AlgoCase {
+  std::string name;
+  Algorithm algorithm;  // ignored when fedopt
+  bool fedopt = false;
+};
+
+bool same_bits(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+// One run of the case; FedOpt needs the custom-server overload (its resume
+// identity rides on checkpoint_kind(), not the algorithm enum).
+RunResult run_case(const AlgoCase& algo, const RunConfig& cfg,
+                   const appfl::data::FederatedSplit& split) {
+  if (!algo.fedopt) return appfl::core::run_federated(cfg, split);
+  auto model = appfl::core::build_model(cfg, split.test);
+  std::vector<std::unique_ptr<appfl::core::BaseClient>> clients;
+  for (std::size_t p = 0; p < split.clients.size(); ++p) {
+    clients.push_back(appfl::core::build_client(
+        static_cast<std::uint32_t>(p + 1), cfg, *model, split.clients[p]));
+  }
+  appfl::core::FedOptServer server(cfg, appfl::core::ServerOptConfig{},
+                                   std::move(model), split.test,
+                                   clients.size());
+  return appfl::core::run_federated(cfg, server, clients);
+}
+
+// Truncates the newest checkpoint slot to a prefix, as a crash mid-save
+// would. Returns the torn file's name.
+std::string tear_newest_slot(const std::string& dir) {
+  appfl::core::CheckpointStore probe(dir);
+  const auto newest = probe.load_latest();
+  APPFL_CHECK_MSG(newest.has_value(), "no checkpoint to tear in " << dir);
+  const fs::path path = fs::path(dir) / newest->slot;
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  bytes.resize(bytes.size() / 3);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return newest->slot;
+}
+
+struct KillOutcome {
+  bool identical = false;
+  bool dp_monotone = false;
+  std::uint32_t resumed_from = 0;
+};
+
+KillOutcome kill_restart_verify(const AlgoCase& algo, const RunConfig& cfg,
+                                const appfl::data::FederatedSplit& split,
+                                const RunResult& baseline, std::uint32_t k,
+                                bool tear_mid_save) {
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("appfl_chaos_" + algo.name + "_" + std::to_string(k) +
+        (tear_mid_save ? "_torn" : "")))
+          .string();
+  fs::remove_all(dir);
+  RunConfig killed = cfg;
+  killed.checkpoint_dir = dir;
+  killed.halt_after_round = k;
+  const RunResult partial = run_case(algo, killed, split);
+  if (tear_mid_save) tear_newest_slot(dir);
+
+  RunConfig resumed_cfg = cfg;
+  resumed_cfg.checkpoint_dir = dir;
+  resumed_cfg.resume_from = dir;
+  const RunResult resumed = run_case(algo, resumed_cfg, split);
+
+  KillOutcome out;
+  out.identical = same_bits(baseline.final_parameters,
+                            resumed.final_parameters);
+  // DP ledger can only grow across the kill, and the completed resumed run
+  // must land exactly on the uninterrupted run's total.
+  out.dp_monotone = resumed.dp_epsilon_spent >= partial.dp_epsilon_spent &&
+                    resumed.dp_epsilon_spent == baseline.dp_epsilon_spent;
+  out.resumed_from = resumed.resumed_from_round;
+  fs::remove_all(dir);
+  return out;
+}
+
+void verify_async(const appfl::data::FederatedSplit& split,
+                  const RunConfig& base, bool smoke) {
+  appfl::core::AsyncConfig acfg;
+  acfg.run = base;
+  acfg.run.epsilon = std::numeric_limits<double>::infinity();
+  const auto baseline = appfl::core::run_async(acfg, split);
+  const std::uint64_t total = baseline.applied_updates;
+  const std::uint64_t step = smoke ? total / 2 : 1;
+  for (std::uint64_t k = step; k < total; k += step) {
+    const std::string dir =
+        (fs::temp_directory_path() / ("appfl_chaos_async_" +
+                                      std::to_string(k)))
+            .string();
+    fs::remove_all(dir);
+    appfl::core::AsyncConfig killed = acfg;
+    killed.run.checkpoint_dir = dir;
+    killed.run.halt_after_round = k;  // applied-update granularity
+    (void)appfl::core::run_async(killed, split);
+    appfl::core::AsyncConfig resumed_cfg = acfg;
+    resumed_cfg.run.checkpoint_dir = dir;
+    resumed_cfg.run.resume_from = dir;
+    const auto resumed = appfl::core::run_async(resumed_cfg, split);
+    APPFL_CHECK_MSG(resumed.resumed_from_update == k,
+                    "async resume landed on update "
+                        << resumed.resumed_from_update << ", expected " << k);
+    APPFL_CHECK_MSG(same_bits(baseline.final_w, resumed.final_w),
+                    "async final model diverged after kill at update " << k);
+    fs::remove_all(dir);
+  }
+  std::cout << "async: " << (total - 1) / step
+            << " kill points bit-identical\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  const std::size_t rounds =
+      appfl::bench::env_size_t("APPFL_CHAOS_ROUNDS", smoke ? 6 : 10);
+  const std::size_t clients =
+      appfl::bench::env_size_t("APPFL_CHAOS_CLIENTS", smoke ? 3 : 4);
+  const std::size_t per_client =
+      appfl::bench::env_size_t("APPFL_CHAOS_PER_CLIENT", smoke ? 32 : 48);
+
+  appfl::data::SynthImageSpec spec;
+  spec.num_clients = clients;
+  spec.train_per_client = per_client;
+  spec.test_size = smoke ? 64 : 128;
+  spec.seed = 29;
+  const auto split = appfl::data::mnist_like(spec);
+
+  const std::vector<AlgoCase> cases = {
+      {"FedAvg", Algorithm::kFedAvg, false},
+      {"FedProx", Algorithm::kFedProx, false},
+      {"FedOpt", Algorithm::kFedAvg, true},
+      {"ICEADMM", Algorithm::kIceAdmm, false},
+      {"IIADMM", Algorithm::kIIAdmm, false},
+  };
+
+  appfl::util::TextTable table(
+      {"algorithm", "scenario", "kill_at", "identical", "dp_monotone",
+       "resumed_from", "final_acc"});
+  appfl::util::CsvWriter csv(
+      {"algorithm", "scenario", "kill_at", "identical", "dp_monotone",
+       "resumed_from", "final_acc"});
+
+  std::size_t failures = 0;
+  for (const AlgoCase& algo : cases) {
+    RunConfig cfg;
+    cfg.algorithm = algo.algorithm;
+    cfg.model = appfl::core::ModelKind::kLogistic;
+    cfg.rounds = rounds;
+    cfg.local_steps = 2;
+    cfg.batch_size = 16;
+    cfg.seed = 11;
+    cfg.validate_every_round = false;
+    // Finite budget so every scenario also audits the DP ledger.
+    cfg.epsilon = 0.25;
+    const RunResult baseline = run_case(algo, cfg, split);
+
+    // Kill at every round boundary (smoke: a head/middle/tail sample).
+    std::vector<std::uint32_t> kills;
+    if (smoke) {
+      kills = {1, static_cast<std::uint32_t>(rounds / 2),
+               static_cast<std::uint32_t>(rounds - 1)};
+    } else {
+      for (std::uint32_t k = 1; k < rounds; ++k) kills.push_back(k);
+    }
+    for (const std::uint32_t k : kills) {
+      const KillOutcome out =
+          kill_restart_verify(algo, cfg, split, baseline, k, false);
+      failures += !out.identical || !out.dp_monotone ||
+                  out.resumed_from != k;
+      const std::vector<std::string> row{
+          algo.name, "kill", std::to_string(k),
+          out.identical ? "yes" : "NO", out.dp_monotone ? "yes" : "NO",
+          std::to_string(out.resumed_from),
+          appfl::util::fmt(baseline.final_accuracy, 4)};
+      table.add_row(row);
+      csv.add_row(row);
+    }
+
+    // Crash DURING the save at round k: the torn slot is quarantined and
+    // recovery falls back to round k-1's snapshot.
+    const std::uint32_t k_torn =
+        static_cast<std::uint32_t>(rounds / 2);
+    const KillOutcome torn =
+        kill_restart_verify(algo, cfg, split, baseline, k_torn, true);
+    failures += !torn.identical || !torn.dp_monotone ||
+                torn.resumed_from != k_torn - 1;
+    const std::vector<std::string> row{
+        algo.name, "mid-save", std::to_string(k_torn),
+        torn.identical ? "yes" : "NO", torn.dp_monotone ? "yes" : "NO",
+        std::to_string(torn.resumed_from),
+        appfl::util::fmt(baseline.final_accuracy, 4)};
+    table.add_row(row);
+    csv.add_row(row);
+  }
+
+  {
+    RunConfig async_base;
+    async_base.algorithm = Algorithm::kFedAvg;
+    async_base.model = appfl::core::ModelKind::kLogistic;
+    async_base.rounds = smoke ? 3 : 4;
+    async_base.local_steps = 1;
+    async_base.batch_size = 16;
+    async_base.seed = 11;
+    async_base.validate_every_round = false;
+    verify_async(split, async_base, smoke);
+  }
+
+  if (smoke) {
+    table.print(std::cout);
+  } else {
+    appfl::bench::emit(table, csv, "chaos_restart.csv");
+  }
+  if (failures > 0) {
+    std::cerr << "chaos_restart: " << failures << " scenario(s) FAILED\n";
+    return 1;
+  }
+  std::cout << "chaos_restart: all scenarios bit-identical, DP ledger "
+               "monotone\n";
+  return 0;
+}

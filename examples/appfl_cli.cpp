@@ -56,6 +56,9 @@ void print_help() {
       "  --csv PATH           write the learning curve as CSV\n"
       "  --save PATH          checkpoint the final global model\n"
       "  --load PATH          warm-start from a saved checkpoint\n"
+      "  --ckpt-dir PATH      A/B round-checkpoint store for crash recovery\n"
+      "  --ckpt-every N       checkpoint cadence in rounds (default 1)\n"
+      "  --resume PATH        resume from the newest valid checkpoint in PATH\n"
       "  --report             print per-class recall of the final model\n"
       "  --quiet              suppress the per-round table\n";
 }
@@ -184,6 +187,22 @@ int main(int argc, char** argv) {
     cfg.kernel_threads =
         static_cast<std::size_t>(args.get_int("kernel-threads", 0));
     cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    cfg.checkpoint_dir = args.get_string("ckpt-dir", "");
+    cfg.resume_from = args.get_string("resume", "");
+    if (args.has("ckpt-every")) {
+      // Usage errors (exit 2) rather than the exception path: a cadence of
+      // 0/negative/garbage must never silently become "checkpoint never".
+      const auto v = args.value("ckpt-every");
+      char* end = nullptr;
+      const long parsed =
+          v.has_value() ? std::strtol(v->c_str(), &end, 10) : 0;
+      if (!v.has_value() || end == v->c_str() || *end != '\0' || parsed < 1) {
+        std::cerr << "--ckpt-every expects a positive integer, got '"
+                  << v.value_or("") << "'\n(use --help)\n";
+        return 2;
+      }
+      cfg.checkpoint_every_n_rounds = static_cast<std::size_t>(parsed);
+    }
     const bool quiet = args.get_bool("quiet", false);
     const bool report = args.get_bool("report", false);
     const std::string csv_path = args.get_string("csv", "");
@@ -258,6 +277,12 @@ int main(int argc, char** argv) {
                 << t.retries << " crc_failures=" << t.crc_failures
                 << " discards=" << t.discards << " gather_timeouts="
                 << t.gather_timeouts << "\n";
+    }
+
+    if (result.resumed_from_round > 0 || result.checkpoints_written > 0) {
+      std::cout << "[ckpt] resumed after round " << result.resumed_from_round
+                << ", wrote " << result.checkpoints_written
+                << " checkpoint(s)\n";
     }
 
     if (report) {

@@ -432,4 +432,33 @@ TrafficStats Communicator::stats() const {
   return s;
 }
 
+Communicator::PersistentState Communicator::persistent_state() const {
+  PersistentState s;
+  s.sim_now = clock_.now();
+  s.stats = stats();
+  const FaultInjector::PersistentState fs = network_.fault_persistent_state();
+  s.link_keys = fs.link_keys;
+  s.link_seqs = fs.link_seqs;
+  return s;
+}
+
+void Communicator::restore_persistent_state(const PersistentState& s) {
+  clock_.sync_to(s.sim_now);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    // The injector-owned counters are restored into the injector below;
+    // stats() composes them back on top of this copy either way.
+    stats_ = s.stats;
+  }
+  FaultInjector::PersistentState fs;
+  fs.stats.drops = s.stats.drops;
+  fs.stats.duplicates = s.stats.duplicates;
+  fs.stats.reorders = s.stats.reorders;
+  fs.stats.corruptions = s.stats.corruptions;
+  fs.stats.delays = s.stats.delays;
+  fs.link_keys = s.link_keys;
+  fs.link_seqs = s.link_seqs;
+  network_.restore_fault_state(fs);
+}
+
 }  // namespace appfl::comm

@@ -182,6 +182,20 @@ class Communicator {
   /// Encode-buffer recycling counters (see comm/buffer_pool.hpp).
   BufferPool::Stats pool_stats() const { return pool_.stats(); }
 
+  /// Resumable snapshot of the comm plane: the simulated clock, the
+  /// composed traffic/fault ledger, and the fault injector's per-link
+  /// sequence counters. Restoring it on a fresh Communicator (same
+  /// protocol/seed/config) continues the simulated timeline and fault
+  /// schedule exactly where the snapshot left off.
+  struct PersistentState {
+    double sim_now = 0.0;
+    TrafficStats stats;
+    std::vector<std::uint64_t> link_keys;
+    std::vector<std::uint64_t> link_seqs;
+  };
+  PersistentState persistent_state() const;
+  void restore_persistent_state(const PersistentState& s);
+
  private:
   /// Appends the encoded (and, fault plane on, CRC-framed) message to `out`
   /// — the pooled zero-realloc encode. `out` is cleared first; its capacity

@@ -89,6 +89,29 @@ FaultStats FaultInjector::stats() const {
   return stats_;
 }
 
+FaultInjector::PersistentState FaultInjector::persistent_state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PersistentState s;
+  s.stats = stats_;
+  s.link_keys.reserve(link_seq_.size());
+  s.link_seqs.reserve(link_seq_.size());
+  for (const auto& [key, seq] : link_seq_) {
+    s.link_keys.push_back(key);
+    s.link_seqs.push_back(seq);
+  }
+  return s;
+}
+
+void FaultInjector::restore_persistent_state(const PersistentState& s) {
+  APPFL_CHECK(s.link_keys.size() == s.link_seqs.size());
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = s.stats;
+  link_seq_.clear();
+  for (std::size_t i = 0; i < s.link_keys.size(); ++i) {
+    link_seq_[s.link_keys[i]] = s.link_seqs[i];
+  }
+}
+
 FaultConfig fault_config_from_env(FaultConfig base) {
   // Garbage values are warned about and ignored (the field keeps its base
   // value) — silently reading "abc" as 0 would disable a fault campaign
@@ -257,6 +280,16 @@ std::size_t InProcNetwork::pending(std::uint32_t at) const {
 
 FaultStats InProcNetwork::fault_stats() const {
   return injector_ ? injector_->stats() : FaultStats{};
+}
+
+FaultInjector::PersistentState InProcNetwork::fault_persistent_state() const {
+  return injector_ ? injector_->persistent_state()
+                   : FaultInjector::PersistentState{};
+}
+
+void InProcNetwork::restore_fault_state(
+    const FaultInjector::PersistentState& s) {
+  if (injector_) injector_->restore_persistent_state(s);
 }
 
 }  // namespace appfl::comm

@@ -79,6 +79,18 @@ class FaultInjector {
   const FaultConfig& config() const { return config_; }
   FaultStats stats() const;
 
+  /// Resumable snapshot: the applied-fault counters plus every link's
+  /// sequence counter (keys = (from << 32) | to, parallel to seqs). Since
+  /// the schedule is a pure function of (seed, from, to, seq), restoring
+  /// these continues the fault schedule with no replayed or skipped events.
+  struct PersistentState {
+    FaultStats stats;
+    std::vector<std::uint64_t> link_keys;
+    std::vector<std::uint64_t> link_seqs;
+  };
+  PersistentState persistent_state() const;
+  void restore_persistent_state(const PersistentState& s);
+
  private:
   FaultConfig config_;
   std::uint64_t seed_;
@@ -171,6 +183,11 @@ class InProcNetwork {
   bool faults_enabled() const { return injector_ != nullptr; }
   /// Injected-fault counters (all zero when the injector is off).
   FaultStats fault_stats() const;
+
+  /// Injector snapshot / restore for crash recovery (empty state / no-op
+  /// when the injector is off).
+  FaultInjector::PersistentState fault_persistent_state() const;
+  void restore_fault_state(const FaultInjector::PersistentState& s);
 
  private:
   std::vector<Mailbox> boxes_;

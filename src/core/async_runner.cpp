@@ -1,9 +1,11 @@
 #include "core/async_runner.hpp"
 
 #include <bit>
+#include <optional>
 #include <queue>
 
 #include "comm/message.hpp"
+#include "core/checkpoint.hpp"
 #include "core/iiadmm.hpp"
 #include "core/runner.hpp"
 #include "util/check.hpp"
@@ -88,10 +90,49 @@ AsyncRunResult run_async(const AsyncConfig& config,
     queue.push({now + duration_of(p), static_cast<std::uint32_t>(p + 1),
                 version});
   };
-  for (std::size_t p = 0; p < num_clients; ++p) dispatch(p, 0.0);
 
   AsyncRunResult result;
   double staleness_sum = 0.0;
+
+  const CheckpointOptions ckpt = checkpoint_options_from_env(cfg);
+  std::optional<CheckpointStore> store;
+  if (!ckpt.dir.empty()) store.emplace(ckpt.dir);
+  if (!ckpt.resume_from.empty()) {
+    std::optional<CheckpointStore> separate;
+    CheckpointStore& resume_store =
+        store && ckpt.resume_from == ckpt.dir
+            ? *store
+            : separate.emplace(ckpt.resume_from);
+    const std::optional<AsyncCheckpoint> ac =
+        load_latest_async_checkpoint(resume_store);
+    APPFL_CHECK_MSG(ac.has_value(), "resume_from='" << ckpt.resume_from
+                        << "' holds no loadable async checkpoint");
+    APPFL_CHECK_MSG(
+        ac->seed == cfg.seed && ac->num_clients == num_clients &&
+            ac->param_count == w.size() && ac->total_updates == total_updates,
+        "async checkpoint fingerprint mismatch");
+    w = ac->w;
+    version = ac->version;
+    dispatch_counter = ac->dispatch_counter;
+    result.applied_updates = ac->applied_updates;
+    result.resumed_from_update = ac->applied_updates;
+    result.sim_seconds = ac->sim_seconds;
+    staleness_sum = ac->staleness_sum;
+    jitter.set_state(ac->jitter_state);
+    for (std::size_t p = 0; p < num_clients; ++p) {
+      clients[p]->import_state(ac->clients[p]);
+      in_flight[p] = ac->in_flight[p];
+    }
+    // The pending dispatches were computed before the crash; their results
+    // (in_flight) ride along, so nothing is re-trained or skipped.
+    for (const AsyncCheckpoint::Pending& pend : ac->queue) {
+      queue.push({pend.finish_time, pend.client,
+                  static_cast<std::size_t>(pend.version)});
+    }
+  } else {
+    for (std::size_t p = 0; p < num_clients; ++p) dispatch(p, 0.0);
+  }
+
   while (result.applied_updates < total_updates) {
     APPFL_CHECK(!queue.empty());
     const PendingUpdate next = queue.top();
@@ -124,9 +165,41 @@ AsyncRunResult run_async(const AsyncConfig& config,
     if (result.applied_updates + queue.size() < total_updates) {
       dispatch(p, next.finish_time);
     }
+
+    const bool halt_here = cfg.halt_after_round > 0 &&
+                           result.applied_updates == cfg.halt_after_round;
+    if (store && (result.applied_updates % ckpt.every == 0 ||
+                  result.applied_updates == total_updates || halt_here)) {
+      AsyncCheckpoint ac;
+      ac.seed = cfg.seed;
+      ac.num_clients = static_cast<std::uint32_t>(num_clients);
+      ac.param_count = w.size();
+      ac.total_updates = total_updates;
+      ac.applied_updates = result.applied_updates;
+      ac.version = version;
+      ac.dispatch_counter = dispatch_counter;
+      ac.staleness_sum = staleness_sum;
+      ac.sim_seconds = result.sim_seconds;
+      ac.w = w;
+      ac.jitter_state = jitter.state();
+      auto pending = queue;  // priority_queue has no iteration; drain a copy
+      while (!pending.empty()) {
+        const PendingUpdate& top = pending.top();
+        ac.queue.push_back({top.finish_time, top.client, top.version});
+        pending.pop();
+      }
+      ac.in_flight = in_flight;
+      for (std::size_t cp = 0; cp < num_clients; ++cp) {
+        ac.clients.push_back(clients[cp]->export_state());
+      }
+      save_async_checkpoint(*store, ac);
+      ++result.checkpoints_written;
+    }
+    if (halt_here) break;
   }
 
   result.final_accuracy = server->validate(w);
+  result.final_w = w;
   result.mean_staleness =
       staleness_sum / static_cast<double>(result.applied_updates);
   return result;

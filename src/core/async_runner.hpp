@@ -53,9 +53,22 @@ struct AsyncRunResult {
   double sim_seconds = 0.0;       // virtual time to finish all updates
   std::size_t applied_updates = 0;
   double mean_staleness = 0.0;
+
+  /// The final global model (chaos tests byte-compare it across resumes).
+  std::vector<float> final_w;
+  /// Applied-update count the run resumed after (0 = fresh start).
+  std::uint64_t resumed_from_update = 0;
+  /// Async checkpoints written by this process.
+  std::size_t checkpoints_written = 0;
 };
 
 /// Runs the asynchronous scheme on a federated split.
+///
+/// Crash recovery mirrors the sync runner, at update granularity: with
+/// run.checkpoint_dir set an AsyncCheckpoint is stored every
+/// run.checkpoint_every_n_rounds *applied updates*, run.resume_from restores
+/// the newest valid one (bit-identical continuation), and
+/// run.halt_after_round stops after that many applied updates.
 AsyncRunResult run_async(const AsyncConfig& config,
                          const data::FederatedSplit& split);
 

@@ -107,6 +107,27 @@ void BaseClient::reset_loss_average() {
   loss_batches_ = 0;
 }
 
+ClientStateCkpt BaseClient::export_state() const {
+  ClientStateCkpt s;
+  s.id = id_;
+  s.loader_epochs = loader_.epoch();
+  export_algo_state(s);
+  return s;
+}
+
+void BaseClient::import_state(const ClientStateCkpt& s) {
+  APPFL_CHECK_MSG(s.id == id_, "checkpoint for client " << s.id
+                                   << " applied to client " << id_);
+  APPFL_CHECK_MSG(loader_.epoch() <= s.loader_epochs,
+                  "client " << id_ << " is past the checkpoint (loader epoch "
+                            << loader_.epoch() << " > " << s.loader_epochs
+                            << ")");
+  // Replaying the epoch advances reproduces the loader's RNG state and
+  // permutation exactly — the shuffle stream is the only RNG it owns.
+  while (loader_.epoch() < s.loader_epochs) loader_.next_epoch();
+  import_algo_state(s);
+}
+
 BaseServer::BaseServer(const RunConfig& config,
                        std::unique_ptr<nn::Module> model,
                        data::TensorDataset test_set, std::size_t num_clients)
@@ -120,6 +141,18 @@ BaseServer::BaseServer(const RunConfig& config,
 }
 
 float BaseServer::current_rho() const { return config_.rho; }
+
+ServerStateCkpt BaseServer::export_state() const {
+  ServerStateCkpt s;
+  s.kind = checkpoint_kind();
+  return s;
+}
+
+void BaseServer::import_state(const ServerStateCkpt& s) {
+  APPFL_CHECK_MSG(s.kind == checkpoint_kind(),
+                  "checkpoint holds '" << s.kind << "' server state, this "
+                  "server is '" << checkpoint_kind() << "'");
+}
 
 double BaseServer::validate(std::span<const float> w) {
   model_->set_flat_parameters(w);

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "comm/message.hpp"
+#include "core/checkpoint.hpp"
 #include "core/config.hpp"
 #include "data/dataloader.hpp"
 #include "data/dataset.hpp"
@@ -56,6 +57,18 @@ class BaseClient {
   std::size_t num_samples() const { return dataset_.size(); }
   std::size_t num_parameters() { return model_->num_parameters(); }
 
+  /// Resumable snapshot at a round boundary: loader epoch counter plus the
+  /// algorithm's persistent vectors (export_algo_state). dp_spent is owned
+  /// by the runner's accountant and left at 0 here.
+  ClientStateCkpt export_state() const;
+
+  /// Restores a snapshot taken by export_state on an identically-constructed
+  /// client (same id/config/data/seed). The data loader is fast-forwarded by
+  /// replaying its epoch advances, which reproduces both its RNG state and
+  /// its batch order exactly. Throws appfl::Error on an id mismatch or a
+  /// snapshot older than this client's current position.
+  void import_state(const ClientStateCkpt& s);
+
   /// Mean training loss observed during the most recent update().
   double last_loss() const { return last_loss_; }
 
@@ -81,6 +94,12 @@ class BaseClient {
   /// Local solves per round for ε-splitting in gradient mode. Default:
   /// local_steps × batches-per-epoch; full-batch algorithms override.
   virtual std::size_t dp_steps_per_round() const;
+
+  /// Algorithm-specific halves of export_state/import_state: fill/restore
+  /// the persistent primal/dual vectors. Default: stateless client (FedAvg,
+  /// FedProx — their momentum does not persist across rounds).
+  virtual void export_algo_state(ClientStateCkpt& /*out*/) const {}
+  virtual void import_algo_state(const ClientStateCkpt& /*s*/) {}
 
   const RunConfig& config() const { return config_; }
   nn::Module& model() { return *model_; }
@@ -138,6 +157,20 @@ class BaseServer {
 
   std::size_t num_clients() const { return num_clients_; }
   std::size_t num_parameters() { return model_->num_parameters(); }
+
+  /// Tag naming this server's resumable-state schema ("fedavg", "iceadmm",
+  /// "iiadmm", "fedopt"). Cross-checked on import so a checkpoint never
+  /// restores into the wrong algorithm. Custom servers that do not override
+  /// the state hooks keep the default and cannot be resumed.
+  virtual std::string checkpoint_kind() const { return "custom"; }
+
+  /// Resumable snapshot of server-side algorithm state at a round boundary.
+  /// The default exports only the kind tag (stateless server).
+  virtual ServerStateCkpt export_state() const;
+
+  /// Restores a snapshot from export_state. Throws appfl::Error when the
+  /// snapshot's kind does not match checkpoint_kind().
+  virtual void import_state(const ServerStateCkpt& s);
 
   /// Initial flat parameters (the shared starting point z¹).
   std::vector<float> initial_parameters() { return model_->flat_parameters(); }

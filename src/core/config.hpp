@@ -114,6 +114,25 @@ struct RunConfig {
   double ack_timeout_s = 0.25;
   std::size_t max_uplink_retries = 4;
 
+  /// Crash recovery (core/checkpoint.hpp). An empty checkpoint_dir (the
+  /// default) disables checkpointing entirely, leaving the run bit-identical
+  /// to a checkpoint-less build; otherwise a round checkpoint is written to
+  /// the directory's A/B slot store every checkpoint_every_n_rounds rounds.
+  /// resume_from names a store directory whose newest valid checkpoint is
+  /// restored before the first round — the resumed run continues to a
+  /// bit-identical final model. APPFL_CKPT_DIR / APPFL_CKPT_EVERY /
+  /// APPFL_CKPT_RESUME override these at run start (unparseable values are
+  /// warned about on stderr and ignored, like APPFL_FAULT_*).
+  std::string checkpoint_dir;
+  std::size_t checkpoint_every_n_rounds = 1;
+  std::string resume_from;
+  /// Chaos-harness hook: stop after completing (and, when a store is
+  /// configured, checkpointing) round k — WITHOUT changing `rounds`, so
+  /// round-count-dependent lr schedules stay pinned to the full run.
+  /// 0 = run to completion. The async runner reads it as "halt after k
+  /// applied updates".
+  std::size_t halt_after_round = 0;
+
   /// Kernel execution engine (tensor substrate). "auto" leaves the
   /// process-wide setting untouched (env APPFL_KERNEL_BACKEND, default
   /// tiled); "reference" forces the scalar baseline loops, "tiled" the
@@ -130,5 +149,18 @@ struct RunConfig {
   /// Throws appfl::Error on inconsistent settings.
   void validate() const;
 };
+
+/// Checkpoint policy after APPFL_CKPT_* environment overrides.
+struct CheckpointOptions {
+  std::string dir;          // empty ⇒ checkpointing off
+  std::size_t every = 1;    // save cadence in rounds (>= 1)
+  std::string resume_from;  // empty ⇒ fresh start
+};
+
+/// Resolves the run's checkpoint policy: config fields overridden by
+/// APPFL_CKPT_DIR, APPFL_CKPT_EVERY (positive integer), APPFL_CKPT_RESUME.
+/// Unparseable env values are warned about on stderr and ignored, matching
+/// the APPFL_FAULT_* convention.
+CheckpointOptions checkpoint_options_from_env(const RunConfig& config);
 
 }  // namespace appfl::core

@@ -96,4 +96,28 @@ void FedAvgServer::update(const std::vector<comm::Message>& locals,
   }
 }
 
+ServerStateCkpt FedAvgServer::export_state() const {
+  ServerStateCkpt s = BaseServer::export_state();
+  s.primal = primal_;
+  s.sample_counts = sample_counts_;
+  s.participants.assign(last_participants_.begin(), last_participants_.end());
+  return s;
+}
+
+void FedAvgServer::import_state(const ServerStateCkpt& s) {
+  BaseServer::import_state(s);
+  APPFL_CHECK_MSG(s.primal.size() == num_clients() &&
+                      s.sample_counts.size() == num_clients(),
+                  "FedAvg checkpoint sized for " << s.primal.size()
+                      << " clients, server has " << num_clients());
+  primal_ = s.primal;
+  sample_counts_ = s.sample_counts;
+  last_participants_.clear();
+  for (std::uint64_t p : s.participants) {
+    APPFL_CHECK(p < num_clients());
+    last_participants_.push_back(static_cast<std::size_t>(p));
+  }
+  APPFL_CHECK(!last_participants_.empty());
+}
+
 }  // namespace appfl::core

@@ -29,6 +29,10 @@ class FedAvgServer : public BaseServer {
   void update(const std::vector<comm::Message>& locals,
               std::span<const float> global, std::uint32_t round) override;
 
+  std::string checkpoint_kind() const override { return "fedavg"; }
+  ServerStateCkpt export_state() const override;
+  void import_state(const ServerStateCkpt& s) override;
+
  private:
   std::vector<std::vector<float>> primal_;     // z_p^t per client
   std::vector<std::uint64_t> sample_counts_;   // I_p per client

@@ -111,4 +111,34 @@ void IceAdmmServer::update(const std::vector<comm::Message>& locals,
   }
 }
 
+void IceAdmmClient::export_algo_state(ClientStateCkpt& out) const {
+  out.primal = z_;
+  out.dual = lambda_;
+}
+
+void IceAdmmClient::import_algo_state(const ClientStateCkpt& s) {
+  APPFL_CHECK(s.primal.size() == z_.size() && s.dual.size() == lambda_.size());
+  z_ = s.primal;
+  lambda_ = s.dual;
+}
+
+ServerStateCkpt IceAdmmServer::export_state() const {
+  ServerStateCkpt s = BaseServer::export_state();
+  s.rho = rho_;
+  s.primal = primal_;
+  s.dual = dual_;
+  return s;
+}
+
+void IceAdmmServer::import_state(const ServerStateCkpt& s) {
+  BaseServer::import_state(s);
+  APPFL_CHECK_MSG(s.primal.size() == num_clients() &&
+                      s.dual.size() == num_clients(),
+                  "ICEADMM checkpoint sized for " << s.primal.size()
+                      << " clients, server has " << num_clients());
+  rho_ = static_cast<float>(s.rho);
+  primal_ = s.primal;
+  dual_ = s.dual;
+}
+
 }  // namespace appfl::core

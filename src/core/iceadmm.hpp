@@ -32,6 +32,10 @@ class IceAdmmClient : public BaseClient {
     return config().local_steps;
   }
 
+ protected:
+  void export_algo_state(ClientStateCkpt& out) const override;
+  void import_algo_state(const ClientStateCkpt& s) override;
+
  private:
   std::vector<float> z_;       // persistent local primal
   std::vector<float> lambda_;  // persistent local dual
@@ -46,6 +50,10 @@ class IceAdmmServer : public BaseServer {
   void update(const std::vector<comm::Message>& locals,
               std::span<const float> global, std::uint32_t round) override;
   float current_rho() const override { return rho_; }
+
+  std::string checkpoint_kind() const override { return "iceadmm"; }
+  ServerStateCkpt export_state() const override;
+  void import_state(const ServerStateCkpt& s) override;
 
  private:
   std::vector<std::vector<float>> primal_;  // z_p received

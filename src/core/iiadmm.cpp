@@ -135,4 +135,35 @@ const std::vector<float>& IIAdmmServer::dual(std::uint32_t client) const {
   return dual_[client - 1];
 }
 
+void IIAdmmClient::export_algo_state(ClientStateCkpt& out) const {
+  out.dual = lambda_;
+}
+
+void IIAdmmClient::import_algo_state(const ClientStateCkpt& s) {
+  APPFL_CHECK(s.dual.size() == lambda_.size());
+  lambda_ = s.dual;
+  // lambda_prev_ only matters between update() and on_uplink_result()
+  // within one round; a round-boundary snapshot never carries it.
+  lambda_prev_.clear();
+}
+
+ServerStateCkpt IIAdmmServer::export_state() const {
+  ServerStateCkpt s = BaseServer::export_state();
+  s.rho = rho_;
+  s.primal = primal_;
+  s.dual = dual_;
+  return s;
+}
+
+void IIAdmmServer::import_state(const ServerStateCkpt& s) {
+  BaseServer::import_state(s);
+  APPFL_CHECK_MSG(s.primal.size() == num_clients() &&
+                      s.dual.size() == num_clients(),
+                  "IIADMM checkpoint sized for " << s.primal.size()
+                      << " clients, server has " << num_clients());
+  rho_ = static_cast<float>(s.rho);
+  primal_ = s.primal;
+  dual_ = s.dual;
+}
+
 }  // namespace appfl::core

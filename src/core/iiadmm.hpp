@@ -39,6 +39,10 @@ class IIAdmmClient : public BaseClient {
   /// the server's replica).
   const std::vector<float>& dual() const { return lambda_; }
 
+ protected:
+  void export_algo_state(ClientStateCkpt& out) const override;
+  void import_algo_state(const ClientStateCkpt& s) override;
+
  private:
   std::vector<float> lambda_;       // persistent local dual λ_p
   std::vector<float> lambda_prev_;  // pre-round λ_p, for uplink-loss rollback
@@ -56,6 +60,10 @@ class IIAdmmServer : public BaseServer {
 
   /// Server-side replica of client p's dual (1-based id; tests inspect it).
   const std::vector<float>& dual(std::uint32_t client) const;
+
+  std::string checkpoint_kind() const override { return "iiadmm"; }
+  ServerStateCkpt export_state() const override;
+  void import_state(const ServerStateCkpt& s) override;
 
  private:
   std::vector<std::vector<float>> primal_;  // z_p^t

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <optional>
 
+#include "core/checkpoint.hpp"
 #include "core/fedavg.hpp"
+#include "dp/accountant.hpp"
 #include "core/iceadmm.hpp"
 #include "core/fedprox.hpp"
 #include "core/iiadmm.hpp"
@@ -148,7 +152,60 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
   RunResult result;
   result.model_parameters = server.num_parameters();
 
-  for (std::uint32_t round = 1; round <= config.rounds; ++round) {
+  // Crash recovery: an empty dir keeps every path below untouched, so a
+  // checkpoint-free run stays bit-identical to a pre-checkpoint build.
+  const CheckpointOptions ckpt = checkpoint_options_from_env(config);
+  std::optional<CheckpointStore> store;
+  if (!ckpt.dir.empty()) store.emplace(ckpt.dir);
+  dp::PrivacyAccountant accountant(num_clients);
+  // ε is spent once per round by each client that releases an update
+  // (basic composition); ε = ∞ rounds are accounted as zero leakage.
+  const double round_epsilon = std::isfinite(config.epsilon) ? config.epsilon : 0.0;
+
+  std::uint32_t start_round = 1;
+  if (!ckpt.resume_from.empty()) {
+    // Resuming through the save store (same directory) keeps the A/B
+    // alternation correct: the next save overwrites the slot we did NOT
+    // load from.
+    std::optional<CheckpointStore> separate;
+    CheckpointStore& resume_store =
+        store && ckpt.resume_from == ckpt.dir
+            ? *store
+            : separate.emplace(ckpt.resume_from);
+    const std::optional<RoundCheckpoint> rc =
+        load_latest_round_checkpoint(resume_store);
+    for (const std::string& diag : resume_store.report().diagnostics) {
+      std::fprintf(stderr, "warning: checkpoint recovery: %s\n", diag.c_str());
+    }
+    APPFL_CHECK_MSG(rc.has_value(), "resume_from='" << ckpt.resume_from
+                        << "' holds no loadable checkpoint");
+    APPFL_CHECK_MSG(
+        rc->seed == config.seed && rc->num_clients == num_clients &&
+            rc->param_count == server.num_parameters() &&
+            rc->total_rounds == config.rounds,
+        "checkpoint fingerprint mismatch: checkpoint is (seed="
+            << rc->seed << ", clients=" << rc->num_clients << ", params="
+            << rc->param_count << ", rounds=" << rc->total_rounds
+            << "), this run is (seed=" << config.seed << ", clients="
+            << num_clients << ", params=" << server.num_parameters()
+            << ", rounds=" << config.rounds << ")");
+    server.import_state(rc->server);  // also cross-checks the kind tag
+    for (std::size_t p = 0; p < num_clients; ++p) {
+      clients[p]->import_state(rc->clients[p]);
+      accountant.restore_spent(p, rc->clients[p].dp_spent);
+    }
+    sampler.set_state(rc->sampler_state);
+    comm::Communicator::PersistentState cs;
+    cs.sim_now = rc->comm.sim_now;
+    cs.stats = rc->comm.stats;
+    cs.link_keys = rc->comm.link_keys;
+    cs.link_seqs = rc->comm.link_seqs;
+    comm.restore_persistent_state(cs);
+    start_round = rc->rounds_completed + 1;
+    result.resumed_from_round = rc->rounds_completed;
+  }
+
+  for (std::uint32_t round = start_round; round <= config.rounds; ++round) {
     // (0) Client sampling: all clients at fraction 1, otherwise ⌈f·P⌉
     // distinct ids drawn from the seed-derived stream.
     std::vector<std::uint32_t> participants(num_clients);
@@ -183,11 +240,13 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
     // trains, sends. A client whose downlink was lost sits the round out;
     // one whose uplink was lost is told so (ADMM clients roll their
     // speculative dual update back).
+    std::vector<char> trained(num_clients, 0);
     pool.parallel_for(participants.size(), [&](std::size_t i) {
       const std::uint32_t id = participants[i];
       const std::optional<comm::Message> incoming =
           comm.try_recv_global(id, round);
       if (!incoming) return;
+      trained[id - 1] = 1;
       comm::Message update = clients[id - 1]->handle_global(*incoming);
       const bool delivered = comm.send_update(id, update);
       clients[id - 1]->on_uplink_result(delivered);
@@ -198,6 +257,11 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
         comm.gather_locals(round, participants.size());
     server.update(locals, w, round);
     const comm::TrafficStats after = comm.stats();
+    // Every client that trained released a perturbed update, so it spent
+    // this round's ε whether or not the network delivered it.
+    for (std::size_t p = 0; p < num_clients; ++p) {
+      if (trained[p]) accountant.spend(p, round_epsilon);
+    }
 
     // (4) Metrics.
     RoundMetrics metrics;
@@ -240,12 +304,44 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
                       << " acc=" << metrics.test_accuracy);
     }
     result.rounds.push_back(metrics);
+
+    // (5) Round checkpoint: captured after the server absorbed the round,
+    // so a restart replays nothing and skips nothing.
+    const bool halt_here =
+        config.halt_after_round > 0 && round == config.halt_after_round;
+    if (store &&
+        (round % ckpt.every == 0 || round == config.rounds || halt_here)) {
+      RoundCheckpoint rc;
+      rc.algorithm = to_string(config.algorithm);
+      rc.seed = config.seed;
+      rc.num_clients = static_cast<std::uint32_t>(num_clients);
+      rc.param_count = server.num_parameters();
+      rc.total_rounds = static_cast<std::uint32_t>(config.rounds);
+      rc.rounds_completed = round;
+      rc.parameters = w;
+      rc.server = server.export_state();
+      for (std::size_t p = 0; p < num_clients; ++p) {
+        rc.clients.push_back(clients[p]->export_state());
+        rc.clients.back().dp_spent = accountant.spent(p);
+      }
+      rc.sampler_state = sampler.state();
+      const comm::Communicator::PersistentState cs = comm.persistent_state();
+      rc.comm.sim_now = cs.sim_now;
+      rc.comm.stats = cs.stats;
+      rc.comm.link_keys = cs.link_keys;
+      rc.comm.link_seqs = cs.link_seqs;
+      save_round_checkpoint(*store, rc);
+      ++result.checkpoints_written;
+    }
+    if (halt_here) break;
   }
 
   // Final validation on the post-absorption global parameters.
   const std::vector<float> w_final =
       server.compute_global(static_cast<std::uint32_t>(config.rounds + 1));
   result.final_accuracy = server.validate(w_final);
+  result.final_parameters = w_final;
+  result.dp_epsilon_spent = accountant.max_spent();
   result.traffic = comm.stats();
   result.comm_rounds = comm.round_log();
   result.sim_comm_seconds = comm.clock().now();

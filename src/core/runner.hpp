@@ -50,6 +50,16 @@ struct RunResult {
   double sim_comm_seconds = 0.0;
   std::size_t model_parameters = 0;
 
+  /// The final global model (what chaos tests byte-compare across resumes).
+  std::vector<float> final_parameters;
+
+  /// Largest cumulative ε spent by any client (0 when ε = ∞ throughout).
+  double dp_epsilon_spent = 0.0;
+  /// Round the run resumed after (0 = fresh start).
+  std::uint32_t resumed_from_round = 0;
+  /// Round checkpoints written by this process.
+  std::size_t checkpoints_written = 0;
+
   /// Cumulative simulated communication time after each round (Fig 4a).
   std::vector<double> cumulative_comm_seconds() const;
 };

@@ -91,4 +91,23 @@ void FedOptServer::update(const std::vector<comm::Message>& locals,
   }
 }
 
+ServerStateCkpt FedOptServer::export_state() const {
+  ServerStateCkpt s = BaseServer::export_state();
+  s.opt_w = w_;
+  s.opt_m = m_;
+  s.opt_v = v_;
+  return s;
+}
+
+void FedOptServer::import_state(const ServerStateCkpt& s) {
+  BaseServer::import_state(s);
+  APPFL_CHECK_MSG(s.opt_w.size() == w_.size() && s.opt_m.size() == m_.size() &&
+                      s.opt_v.size() == v_.size(),
+                  "FedOpt checkpoint holds " << s.opt_w.size()
+                      << " parameters, server has " << w_.size());
+  w_ = s.opt_w;
+  m_ = s.opt_m;
+  v_ = s.opt_v;
+}
+
 }  // namespace appfl::core

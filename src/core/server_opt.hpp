@@ -43,6 +43,10 @@ class FedOptServer : public BaseServer {
 
   const ServerOptConfig& opt() const { return opt_; }
 
+  std::string checkpoint_kind() const override { return "fedopt"; }
+  ServerStateCkpt export_state() const override;
+  void import_state(const ServerStateCkpt& s) override;
+
  private:
   ServerOptConfig opt_;
   std::vector<float> w_;        // the server-held global model

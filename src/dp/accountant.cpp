@@ -26,6 +26,12 @@ double PrivacyAccountant::spent(std::size_t client) const {
   return spent_[client];
 }
 
+void PrivacyAccountant::restore_spent(std::size_t client, double epsilon) {
+  APPFL_CHECK(client < spent_.size());
+  APPFL_CHECK(epsilon >= 0.0 && epsilon <= budget_);
+  spent_[client] = epsilon;
+}
+
 double PrivacyAccountant::remaining(std::size_t client) const {
   APPFL_CHECK(client < spent_.size());
   return budget_ - spent_[client];

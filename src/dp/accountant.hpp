@@ -27,6 +27,10 @@ class PrivacyAccountant {
   /// Cumulative ε spent by `client` (basic composition).
   double spent(std::size_t client) const;
 
+  /// Crash-recovery restore: overwrites `client`'s cumulative spend with a
+  /// value from a checkpoint. The restored value must respect the budget.
+  void restore_spent(std::size_t client, double epsilon);
+
   /// Remaining budget for `client`.
   double remaining(std::size_t client) const;
 

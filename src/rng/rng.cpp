@@ -58,6 +58,16 @@ double Rng::uniform01_open() {
   return (static_cast<double>(next() >> 11) + 0.5) * 0x1.0p-53;
 }
 
+std::array<std::uint64_t, 4> Rng::state() const {
+  return {s_[0], s_[1], s_[2], s_[3]};
+}
+
+void Rng::set_state(const std::array<std::uint64_t, 4>& s) {
+  APPFL_CHECK_MSG(s[0] != 0 || s[1] != 0 || s[2] != 0 || s[3] != 0,
+                  "all-zero xoshiro256** state is invalid");
+  for (std::size_t i = 0; i < 4; ++i) s_[i] = s[i];
+}
+
 std::uint64_t Rng::uniform_below(std::uint64_t n) {
   APPFL_CHECK(n > 0);
   // Rejection sampling over the largest multiple of n that fits in 64 bits.

@@ -6,6 +6,7 @@
 // The engine is xoshiro256** (Blackman & Vigna), seeded via SplitMix64.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <initializer_list>
 
@@ -54,6 +55,15 @@ class Rng {
   /// Uniform integer in [0, n). Requires n > 0. Uses rejection sampling so
   /// the distribution is exactly uniform.
   std::uint64_t uniform_below(std::uint64_t n);
+
+  /// The full engine state (4 xoshiro256** words). Together with set_state
+  /// this freezes and resumes a sequential stream exactly — the crash
+  ///-recovery path checkpoints every stream that advances across rounds.
+  std::array<std::uint64_t, 4> state() const;
+
+  /// Restores a state captured by state(). All-zero states are rejected
+  /// (xoshiro256** has a single invalid fixed point at zero).
+  void set_state(const std::array<std::uint64_t, 4>& s);
 
  private:
   std::uint64_t s_[4];

@@ -4,6 +4,7 @@
 #include "util/check.hpp"
 
 #include <filesystem>
+#include <fstream>
 
 #include "core/checkpoint.hpp"
 #include "core/evaluation.hpp"
@@ -42,6 +43,34 @@ TEST(Checkpoint, FileRoundTrip) {
   appfl::core::save_checkpoint(path, ckpt);
   EXPECT_EQ(appfl::core::load_checkpoint(path), ckpt);
   std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, SaveIsAtomicAndCleansUpTempFile) {
+  // Regression: save used to stream straight into the destination, so a
+  // crash mid-write left a torn half-file where a good checkpoint had been.
+  // It now writes a temp file and renames it into place.
+  const std::string path = temp_path("appfl_ckpt_atomic.bin");
+  Checkpoint old_ckpt = sample_checkpoint();
+  old_ckpt.rounds_completed = 1;
+  appfl::core::save_checkpoint(path, old_ckpt);
+
+  // A stale temp file from a previously killed process must not interfere.
+  {
+    std::ofstream junk(path + ".tmp", std::ios::binary);
+    junk << "torn";
+  }
+  const Checkpoint new_ckpt = sample_checkpoint();
+  appfl::core::save_checkpoint(path, new_ckpt);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_EQ(appfl::core::load_checkpoint(path), new_ckpt);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, SaveToUnwritableDirectoryThrows) {
+  EXPECT_THROW(
+      appfl::core::save_checkpoint("/nonexistent_dir_appfl/x.bin",
+                                   sample_checkpoint()),
+      appfl::Error);
 }
 
 TEST(Checkpoint, RejectsMissingFile) {

@@ -1,0 +1,511 @@
+// Crash recovery: a run killed at ANY round boundary and resumed from its
+// round checkpoint must reach a bit-identical final model — same float
+// bytes — as the uninterrupted run, for every algorithm, including under an
+// active fault schedule and DP accounting. Also covers the CheckpointStore
+// A/B invariants (mid-save crashes, quarantine of corrupt slots).
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <vector>
+
+#include "core/async_runner.hpp"
+#include "core/checkpoint.hpp"
+#include "core/runner.hpp"
+#include "core/server_opt.hpp"
+#include "data/synth.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using appfl::core::Algorithm;
+using appfl::core::CheckpointStore;
+using appfl::core::ModelKind;
+using appfl::core::RunConfig;
+using appfl::core::RunResult;
+
+// Fresh (pre-removed) temp directory, cleaned up on scope exit.
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& name)
+      : path(fs::temp_directory_path() / name) {
+    fs::remove_all(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string str() const { return path.string(); }
+};
+
+appfl::data::FederatedSplit make_split(std::uint64_t seed = 91) {
+  appfl::data::SynthImageSpec spec;
+  spec.num_clients = 3;
+  spec.train_per_client = 32;
+  spec.test_size = 64;
+  spec.seed = seed;
+  return appfl::data::mnist_like(spec);
+}
+
+RunConfig base_config(Algorithm alg) {
+  RunConfig cfg;
+  cfg.algorithm = alg;
+  cfg.model = ModelKind::kLogistic;
+  cfg.rounds = 6;
+  cfg.local_steps = 2;
+  cfg.batch_size = 16;
+  cfg.seed = 7;
+  cfg.validate_every_round = false;
+  return cfg;
+}
+
+// Bitwise equality — accuracy-style EXPECT_NEAR would hide drift.
+bool same_bits(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+bool same_bits2(const std::vector<std::vector<float>>& a,
+                const std::vector<std::vector<float>>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!same_bits(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+// Kill at round k (halt_after_round), restart from the checkpoint, and
+// return the resumed run's result.
+RunResult kill_and_resume(const RunConfig& cfg,
+                          const appfl::data::FederatedSplit& split,
+                          const std::string& dir, std::uint32_t k) {
+  RunConfig killed = cfg;
+  killed.checkpoint_dir = dir;
+  killed.halt_after_round = k;
+  const RunResult partial = appfl::core::run_federated(killed, split);
+  EXPECT_EQ(partial.rounds.size(), k);
+  EXPECT_GE(partial.checkpoints_written, 1U);
+
+  RunConfig resumed = cfg;
+  resumed.checkpoint_dir = dir;
+  resumed.resume_from = dir;
+  RunResult result = appfl::core::run_federated(resumed, split);
+  EXPECT_EQ(result.resumed_from_round, k);
+  return result;
+}
+
+TEST(Resume, KillAtEveryRoundBitIdenticalAllAlgorithms) {
+  const auto split = make_split();
+  for (const Algorithm alg : {Algorithm::kFedAvg, Algorithm::kFedProx,
+                              Algorithm::kIceAdmm, Algorithm::kIIAdmm}) {
+    const RunConfig cfg = base_config(alg);
+    const RunResult baseline = appfl::core::run_federated(cfg, split);
+    ASSERT_FALSE(baseline.final_parameters.empty());
+    for (std::uint32_t k = 1; k < cfg.rounds; ++k) {
+      TempDir dir("appfl_resume_" + appfl::core::to_string(alg) + "_" +
+                  std::to_string(k));
+      const RunResult resumed = kill_and_resume(cfg, split, dir.str(), k);
+      EXPECT_TRUE(same_bits(baseline.final_parameters,
+                            resumed.final_parameters))
+          << appfl::core::to_string(alg) << " diverged after kill at round "
+          << k;
+      EXPECT_EQ(baseline.final_accuracy, resumed.final_accuracy);
+    }
+  }
+}
+
+TEST(Resume, ClientSamplingStreamSurvivesRestart) {
+  // fraction < 1 draws participants from the stateful sampler stream; the
+  // resumed run must pick the SAME clients in every remaining round.
+  const auto split = make_split();
+  RunConfig cfg = base_config(Algorithm::kFedAvg);
+  cfg.client_fraction = 0.67;
+  const RunResult baseline = appfl::core::run_federated(cfg, split);
+  TempDir dir("appfl_resume_sampler");
+  const RunResult resumed = kill_and_resume(cfg, split, dir.str(), 3);
+  EXPECT_TRUE(same_bits(baseline.final_parameters, resumed.final_parameters));
+  for (std::size_t r = 3; r < baseline.rounds.size(); ++r) {
+    EXPECT_EQ(baseline.rounds[r].participants,
+              resumed.rounds[r - 3].participants);
+  }
+}
+
+TEST(Resume, FedOptServerMomentsSurviveRestart) {
+  // FedOpt runs through the custom-server overload; its resume fingerprint
+  // rides on checkpoint_kind(), not the algorithm enum.
+  const auto split = make_split();
+  RunConfig cfg = base_config(Algorithm::kFedAvg);
+  const appfl::core::ServerOptConfig opt;  // FedAdam defaults
+
+  auto run_fedopt = [&](const RunConfig& rc) {
+    auto model = appfl::core::build_model(rc, split.test);
+    std::vector<std::unique_ptr<appfl::core::BaseClient>> clients;
+    for (std::size_t p = 0; p < split.clients.size(); ++p) {
+      clients.push_back(appfl::core::build_client(
+          static_cast<std::uint32_t>(p + 1), rc, *model, split.clients[p]));
+    }
+    appfl::core::FedOptServer server(rc, opt, std::move(model), split.test,
+                                     clients.size());
+    return appfl::core::run_federated(rc, server, clients);
+  };
+
+  const RunResult baseline = run_fedopt(cfg);
+  TempDir dir("appfl_resume_fedopt");
+  RunConfig killed = cfg;
+  killed.checkpoint_dir = dir.str();
+  killed.halt_after_round = 3;
+  (void)run_fedopt(killed);
+  RunConfig resumed_cfg = cfg;
+  resumed_cfg.checkpoint_dir = dir.str();
+  resumed_cfg.resume_from = dir.str();
+  const RunResult resumed = run_fedopt(resumed_cfg);
+  EXPECT_EQ(resumed.resumed_from_round, 3U);
+  EXPECT_TRUE(same_bits(baseline.final_parameters, resumed.final_parameters));
+}
+
+TEST(Resume, IIAdmmDualReplicasBitIdenticalAfterRestart) {
+  // The paper's dual-replication invariant: server-held λ_p replicas (never
+  // on the wire) must survive the restart byte-for-byte, on both sides.
+  const auto split = make_split();
+  const RunConfig cfg = base_config(Algorithm::kIIAdmm);
+
+  struct Outcome {
+    RunResult result;
+    appfl::core::ServerStateCkpt server;
+    std::vector<appfl::core::ClientStateCkpt> clients;
+  };
+  auto run_iiadmm = [&](const RunConfig& rc) {
+    auto model = appfl::core::build_model(rc, split.test);
+    std::vector<std::unique_ptr<appfl::core::BaseClient>> clients;
+    for (std::size_t p = 0; p < split.clients.size(); ++p) {
+      clients.push_back(appfl::core::build_client(
+          static_cast<std::uint32_t>(p + 1), rc, *model, split.clients[p]));
+    }
+    auto server = appfl::core::build_server(rc, std::move(model), split.test,
+                                            clients.size());
+    Outcome out;
+    out.result = appfl::core::run_federated(rc, *server, clients);
+    out.server = server->export_state();
+    for (const auto& c : clients) out.clients.push_back(c->export_state());
+    return out;
+  };
+
+  const Outcome baseline = run_iiadmm(cfg);
+  TempDir dir("appfl_resume_iiadmm_duals");
+  RunConfig killed = cfg;
+  killed.checkpoint_dir = dir.str();
+  killed.halt_after_round = 2;
+  (void)run_iiadmm(killed);
+  RunConfig resumed_cfg = cfg;
+  resumed_cfg.checkpoint_dir = dir.str();
+  resumed_cfg.resume_from = dir.str();
+  const Outcome resumed = run_iiadmm(resumed_cfg);
+
+  EXPECT_TRUE(
+      same_bits(baseline.result.final_parameters,
+                resumed.result.final_parameters));
+  EXPECT_TRUE(same_bits2(baseline.server.dual, resumed.server.dual));
+  EXPECT_TRUE(same_bits2(baseline.server.primal, resumed.server.primal));
+  ASSERT_EQ(baseline.clients.size(), resumed.clients.size());
+  for (std::size_t p = 0; p < baseline.clients.size(); ++p) {
+    // Replication invariant per client, across the restart.
+    EXPECT_TRUE(same_bits(baseline.clients[p].dual, resumed.clients[p].dual));
+    EXPECT_TRUE(same_bits(resumed.clients[p].dual, resumed.server.dual[p]));
+  }
+}
+
+TEST(Resume, FaultScheduleContinuesDeterministically) {
+  // The injector schedule is a pure function of (seed, per-link sequence
+  // counters); restoring the counters must continue it with no replayed or
+  // skipped events. Delay/reorder faults are excluded: they move traffic
+  // across the kill boundary, which a round-granular snapshot cannot (and
+  // need not) represent.
+  const auto split = make_split();
+  RunConfig cfg = base_config(Algorithm::kFedAvg);
+  cfg.faults.drop = 0.2;
+  cfg.faults.corrupt = 0.1;
+  cfg.faults.duplicate = 0.1;
+  const RunResult baseline = appfl::core::run_federated(cfg, split);
+  TempDir dir("appfl_resume_faults");
+  const RunResult resumed = kill_and_resume(cfg, split, dir.str(), 3);
+  EXPECT_TRUE(same_bits(baseline.final_parameters, resumed.final_parameters));
+  EXPECT_EQ(baseline.traffic.drops, resumed.traffic.drops);
+  EXPECT_EQ(baseline.traffic.duplicates, resumed.traffic.duplicates);
+  EXPECT_EQ(baseline.traffic.corruptions, resumed.traffic.corruptions);
+  EXPECT_EQ(baseline.traffic.crc_failures, resumed.traffic.crc_failures);
+  EXPECT_EQ(baseline.traffic.retries, resumed.traffic.retries);
+  EXPECT_EQ(baseline.traffic.messages_up, resumed.traffic.messages_up);
+}
+
+TEST(Resume, DpBudgetMonotoneAndRestartInvariant) {
+  const auto split = make_split();
+  RunConfig cfg = base_config(Algorithm::kFedAvg);
+  cfg.epsilon = 0.5;  // per-round budget, basic composition
+  cfg.clip = 1.0F;
+  const RunResult baseline = appfl::core::run_federated(cfg, split);
+  EXPECT_NEAR(baseline.dp_epsilon_spent, 0.5 * 6, 1e-12);
+
+  TempDir dir("appfl_resume_dp");
+  RunConfig killed = cfg;
+  killed.checkpoint_dir = dir.str();
+  killed.halt_after_round = 4;
+  const RunResult partial = appfl::core::run_federated(killed, split);
+
+  // The on-disk accountant state never decreases across the kill.
+  CheckpointStore store(dir.str());
+  const auto rc = appfl::core::load_latest_round_checkpoint(store);
+  ASSERT_TRUE(rc.has_value());
+  for (const auto& c : rc->clients) {
+    EXPECT_NEAR(c.dp_spent, 0.5 * 4, 1e-12);
+  }
+  EXPECT_NEAR(partial.dp_epsilon_spent, 0.5 * 4, 1e-12);
+
+  RunConfig resumed_cfg = cfg;
+  resumed_cfg.checkpoint_dir = dir.str();
+  resumed_cfg.resume_from = dir.str();
+  const RunResult resumed = appfl::core::run_federated(resumed_cfg, split);
+  EXPECT_GE(resumed.dp_epsilon_spent, partial.dp_epsilon_spent);
+  EXPECT_NEAR(resumed.dp_epsilon_spent, baseline.dp_epsilon_spent, 1e-12);
+  EXPECT_TRUE(same_bits(baseline.final_parameters, resumed.final_parameters));
+}
+
+TEST(Resume, CheckpointingItselfChangesNothing) {
+  // Writing checkpoints must be pure observation: a run with the store on
+  // ends bit-identical to one with it off.
+  const auto split = make_split();
+  const RunConfig cfg = base_config(Algorithm::kIceAdmm);
+  const RunResult plain = appfl::core::run_federated(cfg, split);
+  TempDir dir("appfl_resume_observer");
+  RunConfig observed = cfg;
+  observed.checkpoint_dir = dir.str();
+  const RunResult with_ckpt = appfl::core::run_federated(observed, split);
+  EXPECT_EQ(with_ckpt.checkpoints_written, cfg.rounds);
+  EXPECT_TRUE(same_bits(plain.final_parameters, with_ckpt.final_parameters));
+  EXPECT_EQ(plain.final_accuracy, with_ckpt.final_accuracy);
+}
+
+TEST(Resume, CheckpointCadenceResumesFromLastMultiple)  {
+  const auto split = make_split();
+  RunConfig cfg = base_config(Algorithm::kFedAvg);
+  cfg.checkpoint_every_n_rounds = 2;
+  const RunResult baseline = appfl::core::run_federated(cfg, split);
+
+  TempDir dir("appfl_resume_cadence");
+  RunConfig killed = cfg;
+  killed.checkpoint_dir = dir.str();
+  killed.halt_after_round = 3;  // halt boundary forces a snapshot at 3
+  (void)appfl::core::run_federated(killed, split);
+  RunConfig resumed_cfg = cfg;
+  resumed_cfg.checkpoint_dir = dir.str();
+  resumed_cfg.resume_from = dir.str();
+  const RunResult resumed = appfl::core::run_federated(resumed_cfg, split);
+  EXPECT_EQ(resumed.resumed_from_round, 3U);
+  EXPECT_TRUE(same_bits(baseline.final_parameters, resumed.final_parameters));
+}
+
+TEST(Resume, FingerprintMismatchIsRejected) {
+  const auto split = make_split();
+  RunConfig cfg = base_config(Algorithm::kFedAvg);
+  TempDir dir("appfl_resume_fingerprint");
+  cfg.checkpoint_dir = dir.str();
+  cfg.halt_after_round = 2;
+  (void)appfl::core::run_federated(cfg, split);
+
+  RunConfig other = base_config(Algorithm::kFedAvg);
+  other.resume_from = dir.str();
+  other.seed = cfg.seed + 1;  // different run
+  EXPECT_THROW(appfl::core::run_federated(other, split), appfl::Error);
+  other.seed = cfg.seed;
+  other.rounds = cfg.rounds + 1;  // lr schedule would differ
+  EXPECT_THROW(appfl::core::run_federated(other, split), appfl::Error);
+
+  // Wrong server kind: an ICEADMM run must refuse a FedAvg checkpoint.
+  RunConfig wrong_alg = base_config(Algorithm::kIceAdmm);
+  wrong_alg.resume_from = dir.str();
+  EXPECT_THROW(appfl::core::run_federated(wrong_alg, split), appfl::Error);
+}
+
+TEST(Resume, AsyncRunSurvivesKillAndRestartBitIdentical) {
+  const auto split = make_split();
+  appfl::core::AsyncConfig acfg;
+  acfg.run = base_config(Algorithm::kFedAvg);
+  acfg.run.rounds = 4;  // 4 × 3 clients = 12 applied updates
+  const auto baseline = appfl::core::run_async(acfg, split);
+  ASSERT_FALSE(baseline.final_w.empty());
+
+  for (const std::uint64_t k : {1ULL, 5ULL, 11ULL}) {
+    TempDir dir("appfl_resume_async_" + std::to_string(k));
+    appfl::core::AsyncConfig killed = acfg;
+    killed.run.checkpoint_dir = dir.str();
+    killed.run.halt_after_round = k;  // applied-update granularity
+    const auto partial = appfl::core::run_async(killed, split);
+    EXPECT_EQ(partial.applied_updates, k);
+
+    appfl::core::AsyncConfig resumed_cfg = acfg;
+    resumed_cfg.run.checkpoint_dir = dir.str();
+    resumed_cfg.run.resume_from = dir.str();
+    const auto resumed = appfl::core::run_async(resumed_cfg, split);
+    EXPECT_EQ(resumed.resumed_from_update, k);
+    EXPECT_TRUE(same_bits(baseline.final_w, resumed.final_w))
+        << "async run diverged after kill at update " << k;
+    EXPECT_EQ(baseline.sim_seconds, resumed.sim_seconds);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointStore: the crash-consistency substrate.
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> payload_of(char fill, std::size_t n = 64) {
+  return std::vector<std::uint8_t>(n, static_cast<std::uint8_t>(fill));
+}
+
+void write_raw(const fs::path& p, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(CheckpointStore, AlternatesSlotsAndLoadsNewest) {
+  TempDir dir("appfl_store_ab");
+  CheckpointStore store(dir.str());
+  store.save(payload_of('a'), 1);
+  store.save(payload_of('b'), 2);
+  EXPECT_TRUE(fs::exists(dir.path / CheckpointStore::kSlotA));
+  EXPECT_TRUE(fs::exists(dir.path / CheckpointStore::kSlotB));
+  store.save(payload_of('c'), 3);
+
+  CheckpointStore fresh(dir.str());
+  const auto loaded = fresh.load_latest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->sequence, 3U);
+  EXPECT_EQ(loaded->payload, payload_of('c'));
+  EXPECT_EQ(fresh.report().corrupt_quarantined, 0U);
+}
+
+TEST(CheckpointStore, SaveAfterRecoveryOverwritesTheOtherSlot) {
+  TempDir dir("appfl_store_ab_resume");
+  {
+    CheckpointStore store(dir.str());
+    store.save(payload_of('a'), 1);
+    store.save(payload_of('b'), 2);
+  }
+  CheckpointStore recovered(dir.str());
+  const auto loaded = recovered.load_latest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->sequence, 2U);
+  // The next save must overwrite the slot we did NOT load from (seq 1's),
+  // so seq 2 stays on disk until seq 3 is fully committed.
+  recovered.save(payload_of('c'), 3);
+  CheckpointStore verify(dir.str());
+  const auto newest = verify.load_latest();
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_EQ(newest->sequence, 3U);
+  EXPECT_EQ(newest->payload, payload_of('c'));
+}
+
+TEST(CheckpointStore, TornSlotIsQuarantinedNeverFatal) {
+  TempDir dir("appfl_store_torn");
+  {
+    CheckpointStore store(dir.str());
+    store.save(payload_of('a'), 1);
+    store.save(payload_of('b'), 2);
+  }
+  // Simulate a crash mid-write: slot B (the newer one) is truncated to a
+  // prefix, as if the machine died before the final blocks hit disk.
+  const fs::path slot_b = dir.path / CheckpointStore::kSlotB;
+  std::vector<std::uint8_t> torn(8, 0x55);
+  write_raw(slot_b, torn);
+
+  CheckpointStore recovered(dir.str());
+  const auto loaded = recovered.load_latest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->sequence, 1U);  // falls back to the older good slot
+  EXPECT_EQ(loaded->payload, payload_of('a'));
+  EXPECT_EQ(recovered.report().corrupt_quarantined, 1U);
+  EXPECT_FALSE(recovered.report().diagnostics.empty());
+  EXPECT_FALSE(fs::exists(slot_b));
+  EXPECT_TRUE(fs::exists(dir.path / (std::string(CheckpointStore::kSlotB) +
+                                     ".quarantined")));
+}
+
+TEST(CheckpointStore, LeftoverTempAndGarbageSlotsAreHarmless) {
+  TempDir dir("appfl_store_tmp");
+  {
+    CheckpointStore store(dir.str());
+    store.save(payload_of('a'), 1);
+  }
+  // A crash exactly mid-save leaves a dangling temp file; a bit-rotted
+  // second slot holds noise. Both must be shrugged off.
+  write_raw(dir.path / "slot_b.ckpt.tmp", payload_of('x', 13));
+  write_raw(dir.path / CheckpointStore::kSlotB, payload_of('y', 200));
+
+  CheckpointStore recovered(dir.str());
+  const auto loaded = recovered.load_latest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->sequence, 1U);
+  EXPECT_EQ(recovered.report().corrupt_quarantined, 1U);
+}
+
+TEST(CheckpointStore, EmptyDirectoryLoadsNothing) {
+  TempDir dir("appfl_store_empty");
+  CheckpointStore store(dir.str());
+  EXPECT_FALSE(store.load_latest().has_value());
+  EXPECT_EQ(store.report().corrupt_quarantined, 0U);
+}
+
+TEST(CheckpointStore, ValidatorRejectionQuarantines) {
+  TempDir dir("appfl_store_validator");
+  {
+    CheckpointStore store(dir.str());
+    store.save(payload_of('a'), 1);
+  }
+  CheckpointStore picky(dir.str());
+  const auto loaded = picky.load_latest(
+      [](std::span<const std::uint8_t>) { return false; });
+  EXPECT_FALSE(loaded.has_value());
+  EXPECT_EQ(picky.report().corrupt_quarantined, 1U);
+}
+
+TEST(Resume, CrashDuringSaveAlwaysLeavesLoadableCheckpoint) {
+  // End-to-end mid-save crash: run to round 4 (checkpoints at 1..4), then
+  // clobber the most recent slot with a partial write. Recovery must land
+  // on round 3's snapshot and continue to a full-length run whose final
+  // model equals the baseline killed-at-3 resume.
+  const auto split = make_split();
+  const RunConfig cfg = base_config(Algorithm::kFedAvg);
+  const RunResult baseline = appfl::core::run_federated(cfg, split);
+
+  TempDir dir("appfl_resume_midsave");
+  RunConfig killed = cfg;
+  killed.checkpoint_dir = dir.str();
+  killed.halt_after_round = 4;
+  (void)appfl::core::run_federated(killed, split);
+
+  // Find the newest slot (sequence 4) and tear it.
+  CheckpointStore probe(dir.str());
+  const auto newest = probe.load_latest();
+  ASSERT_TRUE(newest.has_value());
+  ASSERT_EQ(newest->sequence, 4U);
+  const fs::path torn_path = dir.path / newest->slot;
+  std::ifstream in(torn_path, std::ios::binary);
+  std::vector<char> full((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  in.close();
+  full.resize(full.size() / 3);  // the crash point
+  std::ofstream out(torn_path, std::ios::binary | std::ios::trunc);
+  out.write(full.data(), static_cast<std::streamsize>(full.size()));
+  out.close();
+
+  RunConfig resumed_cfg = cfg;
+  resumed_cfg.checkpoint_dir = dir.str();
+  resumed_cfg.resume_from = dir.str();
+  const RunResult resumed = appfl::core::run_federated(resumed_cfg, split);
+  EXPECT_EQ(resumed.resumed_from_round, 3U);
+  EXPECT_TRUE(same_bits(baseline.final_parameters, resumed.final_parameters));
+}
+
+}  // namespace
