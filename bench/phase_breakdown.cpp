@@ -1,0 +1,192 @@
+// Phase-time breakdown from the observability plane — the Fig 3b / Fig 4
+// shapes regenerated from INSTRUMENTATION rather than from the analytic cost
+// models. Every number below is computed from tracer spans and registry
+// metrics collected during real runs; nothing reads the cost models
+// directly, so agreement with fig3_scaling / fig4_comm cross-checks the
+// instrumentation end to end.
+//
+// (3b) Sweep the client count P with full participation and measure, per
+//      round, the wall time of the parallel local-update phase
+//      (fl.local_update_phase spans) against the server-side gather+decode+
+//      aggregate wall time (fl.gather_phase + fl.aggregate spans). The
+//      gather share grows with P — the local phase parallelizes over the
+//      pool while the server-side work is O(P) — which is the paper's
+//      Fig 3b story told from measured spans.
+// (4)  A gRPC run's per-round simulated comm time (sim_dur of the
+//      comm.broadcast + comm.gather spans) and the per-client uplink
+//      transfer distribution (comm.uplink.transfer spans) — Fig 4's
+//      per-round comm-time distribution from instrumentation.
+//
+// --smoke shrinks the sweep for CI. Knobs: APPFL_PHASE_ROUNDS,
+// APPFL_PHASE_PER_CLIENT.
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/runner.hpp"
+#include "data/synth.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct PhaseTotals {
+  double local_s = 0.0;
+  double gather_s = 0.0;
+  double aggregate_s = 0.0;
+  std::size_t rounds = 0;
+};
+
+// Sums the wall durations of the phase spans left in the global tracer by
+// the run that just finished (each run clears the tracer at start).
+PhaseTotals phase_totals(const std::vector<appfl::obs::SpanRecord>& spans) {
+  PhaseTotals t;
+  for (const auto& s : spans) {
+    if (std::strcmp(s.name, "fl.local_update_phase") == 0) {
+      t.local_s += s.wall_dur_s;
+      ++t.rounds;
+    } else if (std::strcmp(s.name, "fl.gather_phase") == 0) {
+      t.gather_s += s.wall_dur_s;
+    } else if (std::strcmp(s.name, "fl.aggregate") == 0) {
+      t.aggregate_s += s.wall_dur_s;
+    }
+  }
+  return t;
+}
+
+double quantile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+appfl::core::RunConfig base_config(std::size_t rounds) {
+  appfl::core::RunConfig cfg;
+  cfg.algorithm = appfl::core::Algorithm::kFedAvg;
+  cfg.model = appfl::core::ModelKind::kMlp;
+  cfg.mlp_hidden = 32;
+  cfg.rounds = rounds;
+  cfg.local_steps = 1;
+  cfg.batch_size = 32;
+  cfg.seed = 7;
+  cfg.validate_every_round = false;
+  cfg.obs_level = "trace";  // collected in-process; no trace file needed
+  return cfg;
+}
+
+appfl::data::FederatedSplit make_split(std::size_t clients,
+                                       std::size_t per_client) {
+  appfl::data::SynthImageSpec spec;
+  spec.num_clients = clients;
+  spec.train_per_client = per_client;
+  spec.test_size = 64;
+  spec.seed = 91;
+  return appfl::data::mnist_like(spec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using appfl::util::fmt;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::size_t rounds =
+      appfl::bench::env_size_t("APPFL_PHASE_ROUNDS", smoke ? 3 : 6);
+  const std::size_t per_client =
+      appfl::bench::env_size_t("APPFL_PHASE_PER_CLIENT", smoke ? 24 : 64);
+
+  std::cout << "== Phase breakdown from instrumentation (" << rounds
+            << " rounds/point, " << per_client << " samples/client) ==\n\n";
+
+  // -- Fig 3b shape: gather share of the round vs client count -------------
+  appfl::util::TextTable t3({"clients", "local_s", "gather_s", "aggregate_s",
+                             "gather_pct"});
+  appfl::util::CsvWriter c3({"clients", "local_s", "gather_s", "aggregate_s",
+                             "gather_pct"});
+  std::vector<std::size_t> sweep = smoke ? std::vector<std::size_t>{2, 4}
+                                         : std::vector<std::size_t>{2, 4, 8,
+                                                                    16, 32};
+  for (std::size_t clients : sweep) {
+    const appfl::data::FederatedSplit split = make_split(clients, per_client);
+    const appfl::core::RunConfig cfg = base_config(rounds);
+    (void)appfl::core::run_federated(cfg, split);
+    const PhaseTotals t =
+        phase_totals(appfl::obs::Tracer::global().collect());
+    const double server_s = t.gather_s + t.aggregate_s;
+    const double pct =
+        100.0 * server_s / std::max(1e-12, t.local_s + server_s);
+    t3.add_row({std::to_string(clients), fmt(t.local_s, 4),
+                fmt(t.gather_s, 4), fmt(t.aggregate_s, 4), fmt(pct, 1)});
+    c3.add_row({std::to_string(clients), fmt(t.local_s, 6),
+                fmt(t.gather_s, 6), fmt(t.aggregate_s, 6), fmt(pct, 2)});
+  }
+  appfl::bench::emit(t3, c3, "phase_breakdown_fig3b.csv");
+  std::cout
+      << "\nExpected shape (paper Fig 3b): gather_pct grows with the client\n"
+         "count — the local phase spreads over the thread pool while the\n"
+         "server-side gather/decode/aggregate work is O(P).\n\n";
+
+  // -- Fig 4 shape: per-round comm time + uplink transfer distribution -----
+  {
+    const std::size_t clients = smoke ? 4 : 8;
+    const appfl::data::FederatedSplit split = make_split(clients, per_client);
+    appfl::core::RunConfig cfg = base_config(rounds);
+    cfg.protocol = appfl::comm::Protocol::kGrpc;
+    (void)appfl::core::run_federated(cfg, split);
+    const auto spans = appfl::obs::Tracer::global().collect();
+
+    std::vector<double> transfers;
+    for (const auto& s : spans) {
+      if (s.sim_dur_s >= 0.0 &&
+          std::strcmp(s.name, "comm.uplink.transfer") == 0) {
+        transfers.push_back(s.sim_dur_s);
+      }
+    }
+    std::vector<double> round_comm;
+    {
+      // One broadcast + one gather per round, ordered on the sim timeline.
+      std::vector<const appfl::obs::SpanRecord*> bcast, gather;
+      for (const auto& s : spans) {
+        if (std::strcmp(s.name, "comm.broadcast") == 0) bcast.push_back(&s);
+        if (std::strcmp(s.name, "comm.gather") == 0) gather.push_back(&s);
+      }
+      const std::size_t n = std::min(bcast.size(), gather.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        round_comm.push_back(bcast[i]->sim_dur_s + gather[i]->sim_dur_s);
+      }
+    }
+
+    appfl::util::TextTable t4({"series", "count", "min_s", "p25_s", "p50_s",
+                               "p75_s", "max_s"});
+    appfl::util::CsvWriter c4({"series", "count", "min_s", "p25_s", "p50_s",
+                               "p75_s", "max_s"});
+    const auto add = [&](const std::string& name, std::vector<double> v) {
+      const double mn = v.empty() ? 0.0 : *std::min_element(v.begin(), v.end());
+      const double mx = v.empty() ? 0.0 : *std::max_element(v.begin(), v.end());
+      t4.add_row({name, std::to_string(v.size()), fmt(mn, 4),
+                  fmt(quantile(v, 0.25), 4), fmt(quantile(v, 0.50), 4),
+                  fmt(quantile(v, 0.75), 4), fmt(mx, 4)});
+      c4.add_row({name, std::to_string(v.size()), fmt(mn, 6),
+                  fmt(quantile(v, 0.25), 6), fmt(quantile(v, 0.50), 6),
+                  fmt(quantile(v, 0.75), 6), fmt(mx, 6)});
+    };
+    add("round_comm_s", round_comm);
+    add("uplink_transfer_s", transfers);
+    appfl::bench::emit(t4, c4, "phase_breakdown_fig4.csv");
+    std::cout
+        << "\nExpected shape (paper Fig 4b): per-client gRPC uplink transfers\n"
+           "spread with the jitter model; per-round comm time sits above the\n"
+           "slowest transfer (broadcast + gather of the straggler).\n";
+  }
+  return 0;
+}

@@ -59,6 +59,9 @@ void print_help() {
       "  --ckpt-dir PATH      A/B round-checkpoint store for crash recovery\n"
       "  --ckpt-every N       checkpoint cadence in rounds (default 1)\n"
       "  --resume PATH        resume from the newest valid checkpoint in PATH\n"
+      "  --obs-level L        off | metrics | trace — observability plane\n"
+      "  --trace-out PATH     Chrome trace JSON (requires --obs-level trace)\n"
+      "  --metrics-out PATH   per-round JSONL stream (requires metrics/trace)\n"
       "  --report             print per-class recall of the final model\n"
       "  --quiet              suppress the per-round table\n";
 }
@@ -202,6 +205,24 @@ int main(int argc, char** argv) {
         return 2;
       }
       cfg.checkpoint_every_n_rounds = static_cast<std::size_t>(parsed);
+    }
+    cfg.obs_level = args.get_string("obs-level", "off");
+    if (cfg.obs_level != "off" && cfg.obs_level != "metrics" &&
+        cfg.obs_level != "trace") {
+      std::cerr << "unknown --obs-level '" << cfg.obs_level
+                << "' (expected off|metrics|trace)\n(use --help)\n";
+      return 2;
+    }
+    cfg.trace_out = args.get_string("trace-out", "");
+    cfg.metrics_out = args.get_string("metrics-out", "");
+    if (!cfg.trace_out.empty() && cfg.obs_level != "trace") {
+      std::cerr << "--trace-out requires --obs-level trace\n(use --help)\n";
+      return 2;
+    }
+    if (!cfg.metrics_out.empty() && cfg.obs_level == "off") {
+      std::cerr << "--metrics-out requires --obs-level metrics or trace\n"
+                   "(use --help)\n";
+      return 2;
     }
     const bool quiet = args.get_bool("quiet", false);
     const bool report = args.get_bool("report", false);

@@ -8,6 +8,8 @@
 
 #include "comm/compression.hpp"
 #include "comm/envelope.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace appfl::comm {
@@ -43,6 +45,33 @@ UplinkCodec uplink_codec_from_env(UplinkCodec base) {
 
 namespace {
 constexpr std::uint64_t kFaultNetStream = 0xFE;
+
+// Registry handles for the comm data path, resolved once per process
+// (registration locks; updates afterwards are sharded relaxed atomics).
+// Every use is guarded by obs::metrics_on(), and the counters mirror — never
+// replace — TrafficStats: the stats struct stays the checkpointed source of
+// truth, the registry gives the live-export view.
+struct CommInstruments {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::Counter& messages_up = reg.counter("comm.messages_up");
+  obs::Counter& messages_down = reg.counter("comm.messages_down");
+  obs::Counter& bytes_up = reg.counter("comm.bytes_up");
+  obs::Counter& bytes_down = reg.counter("comm.bytes_down");
+  obs::Counter& bytes_up_precodec = reg.counter("comm.bytes_up_precodec");
+  obs::Counter& retries = reg.counter("comm.retries");
+  obs::Counter& crc_failures = reg.counter("comm.crc_failures");
+  obs::Counter& discards = reg.counter("comm.discards");
+  obs::Counter& gather_timeouts = reg.counter("comm.gather_timeouts");
+  obs::Histogram& encode_s = reg.histogram("comm.encode_s", 1e-7, 1.0, 32);
+  obs::Histogram& decode_s = reg.histogram("comm.decode_s", 1e-7, 1.0, 32);
+  obs::Histogram& uplink_sim_transfer_s =
+      reg.histogram("comm.uplink.sim_transfer_s", 1e-6, 100.0, 40);
+};
+
+CommInstruments& instruments() {
+  static CommInstruments* in = new CommInstruments();  // never destroyed
+  return *in;
+}
 }  // namespace
 
 Communicator::Communicator(Protocol protocol, std::size_t num_clients,
@@ -117,6 +146,8 @@ void Communicator::decompress_update(Message& m) const {
 
 void Communicator::encode_into(const Message& m,
                                std::vector<std::uint8_t>& out) const {
+  const bool timed = obs::metrics_on();
+  const double t0 = timed ? obs::Tracer::global().now() : 0.0;
   out.clear();
   // The CRC frame exists to catch injected corruption; without the injector
   // it is skipped so the wire bytes match the fault-free format exactly.
@@ -128,38 +159,63 @@ void Communicator::encode_into(const Message& m,
     encode_proto_append(m, out);
   }
   if (framed) seal_envelope_in_place(out);
+  if (timed) instruments().encode_s.record(obs::Tracer::global().now() - t0);
 }
 
 Message Communicator::decode(std::span<const std::uint8_t> bytes) const {
-  return protocol_ == Protocol::kMpi ? decode_raw(bytes) : decode_proto(bytes);
+  const bool timed = obs::metrics_on();
+  const double t0 = timed ? obs::Tracer::global().now() : 0.0;
+  Message m =
+      protocol_ == Protocol::kMpi ? decode_raw(bytes) : decode_proto(bytes);
+  if (timed) instruments().decode_s.record(obs::Tracer::global().now() - t0);
+  return m;
 }
 
 std::optional<MessageView> Communicator::decode_frame_view(
     std::span<const std::uint8_t> bytes) {
+  const bool timed = obs::metrics_on();
+  const double t0 = timed ? obs::Tracer::global().now() : 0.0;
+  const auto done = [&] {
+    if (timed) instruments().decode_s.record(obs::Tracer::global().now() - t0);
+  };
   if (!network_.faults_enabled()) {
-    return protocol_ == Protocol::kMpi ? decode_raw_view(bytes)
-                                       : decode_proto_view(bytes);
+    auto v = protocol_ == Protocol::kMpi ? decode_raw_view(bytes)
+                                         : decode_proto_view(bytes);
+    done();
+    return v;
   }
   const auto payload = open_envelope(bytes);
   if (!payload) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.crc_failures;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.crc_failures;
+    }
+    if (timed) instruments().crc_failures.inc();
+    done();
     return std::nullopt;
   }
   try {
-    return protocol_ == Protocol::kMpi ? decode_raw_view(*payload)
-                                       : decode_proto_view(*payload);
+    auto v = protocol_ == Protocol::kMpi ? decode_raw_view(*payload)
+                                         : decode_proto_view(*payload);
+    done();
+    return v;
   } catch (const appfl::Error&) {
     // A CRC collision let damaged bytes through, or the payload was built
     // malformed; either way decoding must not take the process down.
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.crc_failures;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.crc_failures;
+    }
+    if (timed) instruments().crc_failures.inc();
+    done();
     return std::nullopt;
   }
 }
 
 void Communicator::broadcast_global(
     const Message& m, std::span<const std::uint32_t> participants) {
+  obs::ScopedSpan span("comm.broadcast", "comm");
+  span.set_arg("round", m.round);
   APPFL_CHECK_MSG(m.sender == 0, "broadcast must originate at the server");
   std::vector<std::uint32_t> all;
   if (participants.empty()) {
@@ -179,6 +235,10 @@ void Communicator::broadcast_global(
     bytes_each = bytes.size();
     stats_.bytes_down += bytes.size();
     ++stats_.messages_down;
+    if (obs::metrics_on()) {
+      instruments().bytes_down.add(bytes.size());
+      instruments().messages_down.inc();
+    }
     // Lost downlinks are not retried: the client misses the round and the
     // deadline gather treats it as a straggler.
     (void)network_.send(0, c, std::move(bytes), now);
@@ -194,10 +254,13 @@ void Communicator::broadcast_global(
     for (auto& t : times) t = grpc_model_.transfer_seconds(bytes_each, jitter);
     pending_broadcast_s_ = grpc_model_.round_seconds(times);
   }
+  span.set_sim(now, pending_broadcast_s_);
   clock_.advance(pending_broadcast_s_);
 }
 
 bool Communicator::send_update(std::uint32_t client, const Message& m) {
+  obs::ScopedSpan span("comm.uplink.send", "comm");
+  span.set_arg("client", client);
   APPFL_CHECK_MSG(client >= 1 && client <= num_clients_,
                   "bad client id " << client);
   APPFL_CHECK_MSG(m.sender == client, "sender field must match client id");
@@ -221,6 +284,11 @@ bool Communicator::send_update(std::uint32_t client, const Message& m) {
       stats_.bytes_up_precodec += precodec_bytes;
       ++stats_.messages_up;
     }
+    if (obs::metrics_on()) {
+      instruments().bytes_up.add(bytes.size());
+      instruments().bytes_up_precodec.add(precodec_bytes);
+      instruments().messages_up.inc();
+    }
     (void)network_.send(client, 0, std::move(bytes), now);
     return true;
   }
@@ -237,6 +305,12 @@ bool Communicator::send_update(std::uint32_t client, const Message& m) {
       stats_.bytes_up_precodec += precodec_bytes;
       ++stats_.messages_up;
       if (attempt > 0) ++stats_.retries;
+    }
+    if (obs::metrics_on()) {
+      instruments().bytes_up.add(bytes.size());
+      instruments().bytes_up_precodec.add(precodec_bytes);
+      instruments().messages_up.inc();
+      if (attempt > 0) instruments().retries.inc();
     }
     const auto outcome = network_.send(client, 0, bytes, now + backoff);
     // A corrupted delivery reaches the server but is CRC-discarded there,
@@ -275,6 +349,7 @@ std::optional<Message> Communicator::try_recv_global(std::uint32_t client,
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.discards;
       }
+      if (obs::metrics_on()) instruments().discards.inc();
       pool_.release(std::move(d->bytes));
       continue;
     }
@@ -288,8 +363,11 @@ std::optional<Message> Communicator::try_recv_global(std::uint32_t client,
     }
     if (v) {
       // A broadcast from an earlier round that was delayed past its window.
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.discards;
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.discards;
+      }
+      if (obs::metrics_on()) instruments().discards.inc();
     }  // else: counted by decode_frame_view
     pool_.release(std::move(d->bytes));
   }
@@ -298,6 +376,8 @@ std::optional<Message> Communicator::try_recv_global(std::uint32_t client,
 
 std::vector<Message> Communicator::gather_locals(std::uint32_t round,
                                                  std::size_t expected) {
+  obs::ScopedSpan span("comm.gather", "comm");
+  span.set_arg("round", round);
   if (expected == 0) expected = num_clients_;
   APPFL_CHECK_MSG(expected <= num_clients_,
                   "cannot gather " << expected << " updates from "
@@ -307,6 +387,8 @@ std::vector<Message> Communicator::gather_locals(std::uint32_t round,
   std::vector<bool> seen(num_clients_ + 1, false);
   std::vector<std::size_t> upload_bytes;
   upload_bytes.reserve(expected);
+  std::vector<std::uint32_t> upload_senders;
+  upload_senders.reserve(expected);
 
   // Validates one datagram: duplicates, stale rounds, unknown senders, and
   // damaged payloads are discarded and counted — never fatal. Validation
@@ -322,13 +404,17 @@ std::vector<Message> Communicator::gather_locals(std::uint32_t round,
     } else if (v->kind != MessageKind::kLocalUpdate || v->sender < 1 ||
                v->sender > num_clients_ || v->round != round ||
                seen[v->sender]) {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.discards;
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.discards;
+      }
+      if (obs::metrics_on()) instruments().discards.inc();
     } else {
       Message m = v->detach();
       decompress_update(m);
       seen[m.sender] = true;
       upload_bytes.push_back(d.bytes.size());
+      upload_senders.push_back(m.sender);
       out.push_back(std::move(m));
       accepted = true;
     }
@@ -378,8 +464,11 @@ std::vector<Message> Communicator::gather_locals(std::uint32_t round,
       break;  // nothing else can make the deadline
     }
     if (out.size() < expected) {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.gather_timeouts;
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.gather_timeouts;
+      }
+      if (obs::metrics_on()) instruments().gather_timeouts.inc();
       vt = deadline;  // the server waited the round out
     }
     waited_s = vt - start;
@@ -410,8 +499,32 @@ std::vector<Message> Communicator::gather_locals(std::uint32_t round,
           grpc_model_.transfer_seconds(upload_bytes[i], jitter);
     }
     model_s = grpc_model_.round_seconds(rec.client_transfer_s);
+    // Per-client uplink transfers on the sim timeline (the Fig 4b per-round
+    // distribution): one zero-wall-cost record per accepted upload, carrying
+    // the gRPC-model transfer time and the sender id.
+    if (obs::metrics_on()) {
+      for (double t : rec.client_transfer_s) {
+        instruments().uplink_sim_transfer_s.record(t);
+      }
+    }
+    if (obs::trace_on()) {
+      obs::Tracer& tracer = obs::Tracer::global();
+      for (std::size_t i = 0; i < received; ++i) {
+        obs::SpanRecord r;
+        r.name = "comm.uplink.transfer";
+        r.cat = "comm";
+        r.wall_start_s = tracer.now();
+        r.wall_dur_s = 0.0;
+        r.sim_start_s = start;
+        r.sim_dur_s = rec.client_transfer_s[i];
+        r.arg_name = "sender";
+        r.arg = upload_senders[i];
+        tracer.emit(r);
+      }
+    }
   }
   rec.gather_s = std::max(model_s, waited_s);
+  span.set_sim(start, rec.gather_s);
   clock_.advance(rec.gather_s);
   round_log_.push_back(std::move(rec));
   return out;

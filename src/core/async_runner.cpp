@@ -3,11 +3,15 @@
 #include <bit>
 #include <optional>
 #include <queue>
+#include <sstream>
 
 #include "comm/message.hpp"
 #include "core/checkpoint.hpp"
 #include "core/iiadmm.hpp"
+#include "core/obs_session.hpp"
 #include "core/runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace appfl::core {
@@ -28,6 +32,29 @@ struct PendingUpdate {
   }
 };
 
+// Shared async-runner instrumentation: the staleness distribution is THE
+// async-specific signal (how stale was each absorbed update), so both async
+// schemes feed the same registry histogram.
+void record_async_event_metrics(std::size_t staleness) {
+  if (!obs::metrics_on()) return;
+  static obs::Histogram& staleness_h = obs::MetricsRegistry::global().histogram(
+      "async.staleness", 1.0, 1024.0, 24);
+  static obs::Counter& applied_c =
+      obs::MetricsRegistry::global().counter("async.updates_applied");
+  staleness_h.record(static_cast<double>(staleness));
+  applied_c.inc();
+}
+
+std::string async_event_json(std::size_t index, const AsyncEvent& e) {
+  std::ostringstream os;
+  os << "{\"type\":\"async_event\",\"update\":" << index
+     << ",\"sim_time\":" << obs::json_number(e.sim_time)
+     << ",\"client\":" << e.client << ",\"staleness\":" << e.staleness
+     << ",\"mixing\":" << obs::json_number(e.mixing)
+     << ",\"test_accuracy\":" << obs::json_optional(e.test_accuracy) << "}";
+  return os.str();
+}
+
 }  // namespace
 
 AsyncRunResult run_async(const AsyncConfig& config,
@@ -35,6 +62,7 @@ AsyncRunResult run_async(const AsyncConfig& config,
   RunConfig cfg = config.run;
   cfg.algorithm = Algorithm::kFedAvg;  // async mixing is server-side
   cfg.validate();
+  ObsSession obs_session(cfg);
   APPFL_CHECK_MSG(config.mixing_alpha > 0.0F && config.mixing_alpha <= 1.0F,
                   "mixing alpha must be in (0, 1]");
   const std::size_t num_clients = split.clients.size();
@@ -84,6 +112,8 @@ AsyncRunResult run_async(const AsyncConfig& config,
   std::size_t version = 0;
   std::size_t dispatch_counter = 0;
   auto dispatch = [&](std::size_t p, double now) {
+    obs::ScopedSpan span("async.dispatch", "async");
+    span.set_arg("client", p + 1);
     const comm::Message update = clients[p]->update(
         w, static_cast<std::uint32_t>(++dispatch_counter));
     in_flight[p] = update.primal;
@@ -98,6 +128,7 @@ AsyncRunResult run_async(const AsyncConfig& config,
   std::optional<CheckpointStore> store;
   if (!ckpt.dir.empty()) store.emplace(ckpt.dir);
   if (!ckpt.resume_from.empty()) {
+    APPFL_SPAN("ckpt.restore", "ckpt");
     std::optional<CheckpointStore> separate;
     CheckpointStore& resume_store =
         store && ckpt.resume_from == ckpt.dir
@@ -143,12 +174,17 @@ AsyncRunResult run_async(const AsyncConfig& config,
                           (1.0F + static_cast<float>(staleness));
     const auto& z = in_flight[p];
     APPFL_CHECK(z.size() == w.size());
-    for (std::size_t i = 0; i < w.size(); ++i) {
-      w[i] = (1.0F - alpha_s) * w[i] + alpha_s * z[i];
+    {
+      obs::ScopedSpan span("async.apply", "async");
+      span.set_arg("client", next.client);
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        w[i] = (1.0F - alpha_s) * w[i] + alpha_s * z[i];
+      }
     }
     ++version;
     ++result.applied_updates;
     staleness_sum += static_cast<double>(staleness);
+    record_async_event_metrics(staleness);
 
     AsyncEvent event;
     event.sim_time = next.finish_time;
@@ -157,10 +193,15 @@ AsyncRunResult run_async(const AsyncConfig& config,
     event.mixing = alpha_s;
     if (config.validate_every > 0 &&
         result.applied_updates % config.validate_every == 0) {
+      APPFL_SPAN("fl.validate", "fl");
       event.test_accuracy = server->validate(w);
     }
     result.sim_seconds = next.finish_time;
     result.events.push_back(event);
+    if (obs_session.streaming()) {
+      obs_session.write_line(
+          async_event_json(result.applied_updates, event));
+    }
 
     if (result.applied_updates + queue.size() < total_updates) {
       dispatch(p, next.finish_time);
@@ -170,6 +211,7 @@ AsyncRunResult run_async(const AsyncConfig& config,
                            result.applied_updates == cfg.halt_after_round;
     if (store && (result.applied_updates % ckpt.every == 0 ||
                   result.applied_updates == total_updates || halt_here)) {
+      APPFL_SPAN("ckpt.save", "ckpt");
       AsyncCheckpoint ac;
       ac.seed = cfg.seed;
       ac.num_clients = static_cast<std::uint32_t>(num_clients);
@@ -202,6 +244,18 @@ AsyncRunResult run_async(const AsyncConfig& config,
   result.final_w = w;
   result.mean_staleness =
       staleness_sum / static_cast<double>(result.applied_updates);
+  if (obs_session.streaming()) {
+    std::ostringstream os;
+    os << "{\"type\":\"async_summary\",\"applied_updates\":"
+       << result.applied_updates
+       << ",\"sim_seconds\":" << obs::json_number(result.sim_seconds)
+       << ",\"final_accuracy\":" << obs::json_number(result.final_accuracy)
+       << ",\"mean_staleness\":" << obs::json_number(result.mean_staleness)
+       << ",\"resumed_from_update\":" << result.resumed_from_update
+       << ",\"checkpoints_written\":" << result.checkpoints_written << "}";
+    obs_session.write_line(os.str());
+  }
+  obs_session.finish();
   return result;
 }
 
@@ -210,6 +264,7 @@ AsyncIIAdmmResult run_async_iiadmm(const AsyncConfig& config,
   RunConfig cfg = config.run;
   cfg.algorithm = Algorithm::kIIAdmm;
   cfg.validate();
+  ObsSession obs_session(cfg);
   APPFL_CHECK(config.mixing_alpha > 0.0F && config.mixing_alpha <= 1.0F);
   const std::size_t num_clients = split.clients.size();
   APPFL_CHECK(num_clients >= 1);
@@ -301,6 +356,7 @@ AsyncIIAdmmResult run_async_iiadmm(const AsyncConfig& config,
     ++version;
     ++result.base.applied_updates;
     staleness_sum += static_cast<double>(version - 1 - next.version);
+    record_async_event_metrics(version - 1 - next.version);
 
     AsyncEvent event;
     event.sim_time = next.finish_time;
@@ -313,6 +369,10 @@ AsyncIIAdmmResult run_async_iiadmm(const AsyncConfig& config,
     }
     result.base.sim_seconds = next.finish_time;
     result.base.events.push_back(event);
+    if (obs_session.streaming()) {
+      obs_session.write_line(
+          async_event_json(result.base.applied_updates, event));
+    }
 
     if (result.base.applied_updates + queue.size() < total_updates) {
       dispatch(p, next.finish_time);
@@ -336,6 +396,7 @@ AsyncIIAdmmResult run_async_iiadmm(const AsyncConfig& config,
       }
     }
   }
+  obs_session.finish();
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "nn/loss.hpp"
+#include "obs/trace.hpp"
 #include "rng/rng.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
@@ -52,6 +53,8 @@ comm::Message BaseClient::handle_global(const comm::Message& global) {
 
 std::vector<float> BaseClient::batch_gradient(std::span<const float> z,
                                               const data::Batch& batch) {
+  obs::ScopedSpan span("client.batch", "client");
+  span.set_arg("client", id_);
   model_->set_flat_parameters(z);
   model_->zero_grad();
   nn::Tensor logits = model_->forward(batch.inputs);
@@ -97,6 +100,8 @@ std::vector<float> BaseClient::batch_gradient(std::span<const float> z,
 }
 
 void BaseClient::apply_dp(std::vector<float>& values, std::uint32_t round) {
+  obs::ScopedSpan span("dp.noise", "dp");
+  span.set_arg("client", id_);
   // In gradient mode mechanism_ is the no-op: the budget was spent per step.
   rng::Rng noise(rng::derive_seed(config_.seed, {kDpStream, id_, round}));
   mechanism_->apply(values, noise);

@@ -101,6 +101,14 @@ void RunConfig::validate() const {
                       << kernel_backend << "'");
   APPFL_CHECK_MSG(checkpoint_every_n_rounds >= 1,
                   "checkpoint_every_n_rounds must be >= 1");
+  APPFL_CHECK_MSG(obs::parse_level(obs_level).has_value(),
+                  "obs_level must be off|metrics|trace, got '" << obs_level
+                                                               << "'");
+  const obs::Level lv = *obs::parse_level(obs_level);
+  APPFL_CHECK_MSG(trace_out.empty() || lv >= obs::Level::kTrace,
+                  "trace_out requires obs_level=trace");
+  APPFL_CHECK_MSG(metrics_out.empty() || lv >= obs::Level::kMetrics,
+                  "metrics_out requires obs_level=metrics or trace");
 }
 
 CheckpointOptions checkpoint_options_from_env(const RunConfig& config) {
@@ -127,6 +135,15 @@ CheckpointOptions checkpoint_options_from_env(const RunConfig& config) {
       opts.every = static_cast<std::size_t>(parsed);
     }
   }
+  return opts;
+}
+
+obs::ObsOptions obs_options_from_env(const RunConfig& config) {
+  obs::ObsOptions opts;
+  if (const auto lv = obs::parse_level(config.obs_level)) opts.level = *lv;
+  opts.trace_out = config.trace_out;
+  opts.metrics_out = config.metrics_out;
+  obs::apply_env_overrides(opts);
   return opts;
 }
 

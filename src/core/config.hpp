@@ -9,6 +9,7 @@
 
 #include "comm/communicator.hpp"
 #include "nn/sgd.hpp"
+#include "obs/obs.hpp"
 
 namespace appfl::core {
 
@@ -143,6 +144,22 @@ struct RunConfig {
   std::string kernel_backend = "auto";
   std::size_t kernel_threads = 0;
 
+  /// Observability plane (src/obs). obs_level selects how much the run
+  /// records: "off" (default — zero instrumentation, output bit-identical
+  /// to a build without the plane), "metrics" (registry counters and
+  /// histograms only), "trace" (metrics plus per-phase spans exported as
+  /// Chrome trace JSON). trace_out names the trace file (requires "trace");
+  /// metrics_out names a JSONL stream with one line per round plus a final
+  /// summary (requires at least "metrics"). APPFL_OBS_LEVEL /
+  /// APPFL_OBS_TRACE_OUT / APPFL_OBS_METRICS_OUT override these at run
+  /// start; invalid values are warned about on stderr and ignored, like
+  /// APPFL_FAULT_* and APPFL_CKPT_*. The plane only reads clocks and
+  /// counters — never RNG, sim time, or wire bytes — so enabling it does
+  /// not change results.
+  std::string obs_level = "off";
+  std::string trace_out;
+  std::string metrics_out;
+
   /// Per-round DP sensitivity Δ̄ for this config (algorithm-dependent).
   double sensitivity() const;
 
@@ -162,5 +179,12 @@ struct CheckpointOptions {
 /// Unparseable env values are warned about on stderr and ignored, matching
 /// the APPFL_FAULT_* convention.
 CheckpointOptions checkpoint_options_from_env(const RunConfig& config);
+
+/// Resolves the run's observability policy: config fields (obs_level /
+/// trace_out / metrics_out) overridden by APPFL_OBS_LEVEL /
+/// APPFL_OBS_TRACE_OUT / APPFL_OBS_METRICS_OUT. Assumes config.validate()
+/// passed, so config.obs_level parses; env values are warned about on
+/// stderr and ignored when invalid.
+obs::ObsOptions obs_options_from_env(const RunConfig& config);
 
 }  // namespace appfl::core

@@ -1,0 +1,93 @@
+#include "core/obs_session.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace appfl::core {
+
+ObsSession::ObsSession(const RunConfig& config)
+    : opts_(obs_options_from_env(config)), previous_(obs::level()) {
+  obs::set_level(opts_.level);
+  if (opts_.level >= obs::Level::kMetrics) {
+    // Artifacts describe this run only; instruments are zeroed in place so
+    // references cached by hot paths (gemm, communicator) stay valid.
+    obs::MetricsRegistry::global().reset();
+    obs::Tracer::global().clear();
+  }
+  if (!opts_.metrics_out.empty()) writer_.emplace(opts_.metrics_out);
+}
+
+ObsSession::~ObsSession() { obs::set_level(previous_); }
+
+void ObsSession::write_round(const RoundMetrics& m) {
+  if (!writer_ || !writer_->ok()) return;
+  std::ostringstream os;
+  os << "{\"type\":\"round\",\"round\":" << m.round
+     << ",\"train_loss\":" << obs::json_number(m.train_loss)
+     << ",\"test_accuracy\":" << obs::json_optional(m.test_accuracy)
+     << ",\"broadcast_s\":" << obs::json_number(m.broadcast_s)
+     << ",\"gather_s\":" << obs::json_number(m.gather_s)
+     << ",\"rho\":" << obs::json_number(m.rho)
+     << ",\"participants\":" << m.participants
+     << ",\"responders\":" << m.responders << ",\"drops\":" << m.drops
+     << ",\"retries\":" << m.retries
+     << ",\"crc_failures\":" << m.crc_failures
+     << ",\"discards\":" << m.discards << ",\"timeouts\":" << m.timeouts
+     << "}";
+  writer_->line(os.str());
+}
+
+void ObsSession::write_line(const std::string& json) {
+  if (!writer_ || !writer_->ok()) return;
+  writer_->line(json);
+}
+
+void ObsSession::finish(const RunResult& result) {
+  if (writer_ && writer_->ok()) {
+    const comm::TrafficStats& t = result.traffic;
+    std::ostringstream os;
+    os << "{\"type\":\"summary\",\"rounds_completed\":" << result.rounds.size()
+       << ",\"final_accuracy\":" << obs::json_number(result.final_accuracy)
+       << ",\"mean_test_accuracy\":"
+       << obs::json_optional(result.mean_test_accuracy())
+       << ",\"best_test_accuracy\":"
+       << obs::json_optional(result.best_test_accuracy())
+       << ",\"sim_comm_seconds\":" << obs::json_number(result.sim_comm_seconds)
+       << ",\"model_parameters\":" << result.model_parameters
+       << ",\"dp_epsilon_spent\":" << obs::json_number(result.dp_epsilon_spent)
+       << ",\"resumed_from_round\":" << result.resumed_from_round
+       << ",\"checkpoints_written\":" << result.checkpoints_written
+       << ",\"traffic\":{\"messages_up\":" << t.messages_up
+       << ",\"messages_down\":" << t.messages_down
+       << ",\"bytes_up\":" << t.bytes_up << ",\"bytes_down\":" << t.bytes_down
+       << ",\"bytes_up_precodec\":" << t.bytes_up_precodec
+       << ",\"drops\":" << t.drops << ",\"retries\":" << t.retries
+       << ",\"crc_failures\":" << t.crc_failures
+       << ",\"discards\":" << t.discards
+       << ",\"gather_timeouts\":" << t.gather_timeouts
+       << "},\"dropped_spans\":" << obs::Tracer::global().dropped() << "}";
+    writer_->line(os.str());
+  }
+  finish();
+}
+
+void ObsSession::finish() {
+  if (writer_ && writer_->ok()) {
+    writer_->line(obs::metrics_snapshot_json(
+        obs::MetricsRegistry::global().snapshot()));
+    writer_->flush();
+  }
+  if (!opts_.trace_out.empty()) {
+    std::string error;
+    if (!obs::write_chrome_trace(obs::Tracer::global(), opts_.trace_out,
+                                 &error)) {
+      std::fprintf(stderr, "warning: trace export failed: %s\n",
+                   error.c_str());
+    }
+  }
+}
+
+}  // namespace appfl::core

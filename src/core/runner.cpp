@@ -7,11 +7,13 @@
 
 #include "core/checkpoint.hpp"
 #include "core/fedavg.hpp"
+#include "core/obs_session.hpp"
 #include "dp/accountant.hpp"
 #include "core/iceadmm.hpp"
 #include "core/fedprox.hpp"
 #include "core/iiadmm.hpp"
 #include "nn/model_zoo.hpp"
+#include "obs/trace.hpp"
 #include "rng/distributions.hpp"
 #include "tensor/gemm.hpp"
 #include "util/check.hpp"
@@ -28,6 +30,26 @@ std::vector<double> RunResult::cumulative_comm_seconds() const {
     out.push_back(acc);
   }
   return out;
+}
+
+double RunResult::mean_test_accuracy() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& m : rounds) {
+    if (m.test_accuracy < 0.0) continue;  // skipped-validation sentinel
+    sum += m.test_accuracy;
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : -1.0;
+}
+
+double RunResult::best_test_accuracy() const {
+  double best = -1.0;
+  for (const auto& m : rounds) {
+    if (m.test_accuracy < 0.0) continue;
+    best = std::max(best, m.test_accuracy);
+  }
+  return best;
 }
 
 std::unique_ptr<nn::Module> build_model(const RunConfig& config,
@@ -149,6 +171,12 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
   util::ThreadPool pool;
   rng::Rng sampler(rng::derive_seed(config.seed, {78}));
 
+  // Observability session: raises the process level for this run, clears
+  // the global tracer/registry when enabled, streams per-round JSONL lines,
+  // and exports trace + summary at the end. At level off every hook below
+  // is a single relaxed atomic load, and the run is bit-identical.
+  ObsSession obs_session(config);
+
   RunResult result;
   result.model_parameters = server.num_parameters();
 
@@ -164,6 +192,7 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
 
   std::uint32_t start_round = 1;
   if (!ckpt.resume_from.empty()) {
+    APPFL_SPAN("ckpt.restore", "ckpt");
     // Resuming through the save store (same directory) keeps the A/B
     // alternation correct: the next save overwrites the slot we did NOT
     // load from.
@@ -206,6 +235,9 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
   }
 
   for (std::uint32_t round = start_round; round <= config.rounds; ++round) {
+    obs::ScopedSpan round_span("fl.round", "fl");
+    round_span.set_arg("round", round);
+    const double sim_round_start = comm.clock().now();
     // (0) Client sampling: all clients at fraction 1, otherwise ⌈f·P⌉
     // distinct ids drawn from the seed-derived stream.
     std::vector<std::uint32_t> participants(num_clients);
@@ -226,7 +258,10 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
     // snapshot brackets the whole round, broadcast included, so the
     // per-round metric deltas add up to the run totals.
     const comm::TrafficStats before = comm.stats();
-    const std::vector<float> w = server.compute_global(round);
+    const std::vector<float> w = [&] {
+      APPFL_SPAN("fl.compute_global", "fl");
+      return server.compute_global(round);
+    }();
     comm::Message global;
     global.kind = comm::MessageKind::kGlobalModel;
     global.sender = 0;
@@ -241,22 +276,38 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
     // one whose uplink was lost is told so (ADMM clients roll their
     // speculative dual update back).
     std::vector<char> trained(num_clients, 0);
-    pool.parallel_for(participants.size(), [&](std::size_t i) {
-      const std::uint32_t id = participants[i];
-      const std::optional<comm::Message> incoming =
-          comm.try_recv_global(id, round);
-      if (!incoming) return;
-      trained[id - 1] = 1;
-      comm::Message update = clients[id - 1]->handle_global(*incoming);
-      const bool delivered = comm.send_update(id, update);
-      clients[id - 1]->on_uplink_result(delivered);
-    });
+    {
+      // The wall time of this block is the round's parallel local-update
+      // phase — the numerator's complement in the Fig 3b gather-share
+      // breakdown (bench/phase_breakdown).
+      obs::ScopedSpan phase_span("fl.local_update_phase", "fl");
+      phase_span.set_arg("participants", participants.size());
+      pool.parallel_for(participants.size(), [&](std::size_t i) {
+        const std::uint32_t id = participants[i];
+        obs::ScopedSpan client_span("fl.client_update", "fl");
+        client_span.set_arg("client", id);
+        const std::optional<comm::Message> incoming =
+            comm.try_recv_global(id, round);
+        if (!incoming) return;
+        trained[id - 1] = 1;
+        comm::Message update = clients[id - 1]->handle_global(*incoming);
+        const bool delivered = comm.send_update(id, update);
+        clients[id - 1]->on_uplink_result(delivered);
+      });
+    }
 
     // (3) Gather + server-side absorption (tolerates partial rounds).
-    const std::vector<comm::Message> locals =
-        comm.gather_locals(round, participants.size());
-    server.update(locals, w, round);
+    const std::vector<comm::Message> locals = [&] {
+      APPFL_SPAN("fl.gather_phase", "fl");
+      return comm.gather_locals(round, participants.size());
+    }();
+    {
+      APPFL_SPAN("fl.aggregate", "fl");
+      server.update(locals, w, round);
+    }
     const comm::TrafficStats after = comm.stats();
+    round_span.set_sim(sim_round_start,
+                      comm.clock().now() - sim_round_start);
     // Every client that trained released a perturbed update, so it spent
     // this round's ε whether or not the network delivered it.
     for (std::size_t p = 0; p < num_clients; ++p) {
@@ -285,6 +336,7 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
     metrics.broadcast_s = rec.broadcast_s;
     metrics.gather_s = rec.gather_s;
     if (config.validate_every_round || round == config.rounds) {
+      APPFL_SPAN("fl.validate", "fl");
       metrics.test_accuracy = server.validate(w);
     } else {
       metrics.test_accuracy = -1.0;
@@ -304,6 +356,7 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
                       << " acc=" << metrics.test_accuracy);
     }
     result.rounds.push_back(metrics);
+    obs_session.write_round(metrics);
 
     // (5) Round checkpoint: captured after the server absorbed the round,
     // so a restart replays nothing and skips nothing.
@@ -311,6 +364,7 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
         config.halt_after_round > 0 && round == config.halt_after_round;
     if (store &&
         (round % ckpt.every == 0 || round == config.rounds || halt_here)) {
+      APPFL_SPAN("ckpt.save", "ckpt");
       RoundCheckpoint rc;
       rc.algorithm = to_string(config.algorithm);
       rc.seed = config.seed;
@@ -339,12 +393,16 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
   // Final validation on the post-absorption global parameters.
   const std::vector<float> w_final =
       server.compute_global(static_cast<std::uint32_t>(config.rounds + 1));
-  result.final_accuracy = server.validate(w_final);
+  {
+    APPFL_SPAN("fl.validate", "fl");
+    result.final_accuracy = server.validate(w_final);
+  }
   result.final_parameters = w_final;
   result.dp_epsilon_spent = accountant.max_spent();
   result.traffic = comm.stats();
   result.comm_rounds = comm.round_log();
   result.sim_comm_seconds = comm.clock().now();
+  obs_session.finish(result);
   return result;
 }
 

@@ -62,6 +62,14 @@ struct RunResult {
 
   /// Cumulative simulated communication time after each round (Fig 4a).
   std::vector<double> cumulative_comm_seconds() const;
+
+  /// Mean / best of the per-round test accuracies over the rounds that
+  /// actually validated. RoundMetrics::test_accuracy uses −1 as the
+  /// "validation skipped" sentinel; those rounds are MISSING data, not
+  /// zeros, and must never enter an average. Returns −1 when no round
+  /// validated (the same sentinel, so exporters render it as null).
+  double mean_test_accuracy() const;
+  double best_test_accuracy() const;
 };
 
 /// Builds the model prescribed by `config` for the given data shape.

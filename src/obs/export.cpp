@@ -1,0 +1,136 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace appfl::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string json_optional(double v) {
+  return v < 0.0 ? std::string("null") : json_number(v);
+}
+
+bool write_chrome_trace(const Tracer& tracer, const std::string& path,
+                        std::string* error) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  const std::vector<SpanRecord> records = tracer.collect();
+  out << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_spans\":"
+      << tracer.dropped() << "},\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& r : records) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":\"" << json_escape(r.name) << "\",\"cat\":\""
+        << json_escape(r.cat) << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << r.tid
+        << ",\"ts\":" << json_number(r.wall_start_s * 1e6)
+        << ",\"dur\":" << json_number(r.wall_dur_s * 1e6);
+    const bool has_sim = r.sim_start_s >= 0.0;
+    const bool has_arg = r.arg_name != nullptr;
+    if (has_sim || has_arg) {
+      out << ",\"args\":{";
+      if (has_sim) {
+        out << "\"sim_ts_s\":" << json_number(r.sim_start_s)
+            << ",\"sim_dur_s\":" << json_number(r.sim_dur_s);
+      }
+      if (has_arg) {
+        if (has_sim) out << ",";
+        out << "\"" << json_escape(r.arg_name) << "\":" << r.arg;
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "\n]}\n";
+  out.flush();
+  if (!out.good()) {
+    if (error != nullptr) *error = "write to '" + path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+std::string metrics_snapshot_json(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  os << "{\"type\":\"metrics\",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << json_number(value);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snap.histograms) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(h.name) << "\":{\"count\":" << h.count
+       << ",\"sum\":" << json_number(h.sum)
+       << ",\"mean\":" << json_number(h.mean())
+       << ",\"p50_ub\":" << json_number(h.quantile_upper_bound(0.50))
+       << ",\"p99_ub\":" << json_number(h.quantile_upper_bound(0.99)) << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+JsonlWriter::JsonlWriter(const std::string& path)
+    : out_(path, std::ios::trunc) {
+  if (!out_.is_open()) {
+    std::fprintf(stderr,
+                 "warning: cannot open metrics stream '%s'; metrics JSONL "
+                 "disabled for this run\n",
+                 path.c_str());
+  }
+}
+
+void JsonlWriter::line(const std::string& json) {
+  if (!ok()) return;
+  out_ << json << "\n";
+}
+
+void JsonlWriter::flush() {
+  if (out_.is_open()) out_.flush();
+}
+
+}  // namespace appfl::obs

@@ -1,0 +1,64 @@
+// Exporters for the observability plane:
+//   • write_chrome_trace — the tracer's rings as Chrome trace_event JSON
+//     ("X" complete events; open in Perfetto or chrome://tracing). Wall
+//     times map to ts/dur (microseconds); sim-timeline intervals and the
+//     span argument ride in args.
+//   • JsonlWriter — line-delimited JSON stream (one object per line); the
+//     runner writes one line per round plus a final summary line.
+//   • Small JSON value formatters shared by both (json_escape / json_number
+//     — JSON has no NaN/Inf/negative-sentinel, so missing values must be
+//     emitted as null, see json_optional).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace appfl::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes excluded).
+std::string json_escape(const std::string& s);
+
+/// Finite doubles as shortest-roundtrip decimal; NaN/Inf as null (JSON has
+/// no representation for them).
+std::string json_number(double v);
+
+/// The repo's "skipped" convention: negative sentinel values (e.g.
+/// RoundMetrics::test_accuracy == −1 when validation was skipped) are
+/// *missing*, not data — they serialize as null so downstream averaging
+/// can't absorb them.
+std::string json_optional(double v);
+
+/// Writes the tracer's merged records to `path` as a Chrome trace JSON
+/// object. Returns false (with a message in *error if given) when the file
+/// cannot be written. Records are complete ("X") events with pid 0 and the
+/// tracer-assigned thread index as tid.
+bool write_chrome_trace(const Tracer& tracer, const std::string& path,
+                        std::string* error = nullptr);
+
+/// Appends a `{"type":"metrics", ...}` rendering of a registry snapshot to
+/// `out` (counters, gauges, histogram count/mean/p50/p99) — the end-of-run
+/// summary block.
+std::string metrics_snapshot_json(const MetricsSnapshot& snap);
+
+/// Line-delimited JSON writer. Construction truncates `path`; a path that
+/// cannot be opened leaves the writer inert (ok() == false) — observability
+/// must never take the experiment down.
+class JsonlWriter {
+ public:
+  JsonlWriter() = default;
+  explicit JsonlWriter(const std::string& path);
+
+  bool ok() const { return out_.is_open() && out_.good(); }
+  /// Writes one pre-rendered JSON object as a line (newline appended).
+  void line(const std::string& json);
+  void flush();
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace appfl::obs

@@ -1,0 +1,66 @@
+#include "obs/obs.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace appfl::obs {
+
+namespace detail {
+std::atomic<int> g_level{static_cast<int>(Level::kOff)};
+}  // namespace detail
+
+std::string to_string(Level lv) {
+  switch (lv) {
+    case Level::kOff: return "off";
+    case Level::kMetrics: return "metrics";
+    case Level::kTrace: return "trace";
+  }
+  return "?";
+}
+
+std::optional<Level> parse_level(const std::string& name) {
+  if (name == "off") return Level::kOff;
+  if (name == "metrics") return Level::kMetrics;
+  if (name == "trace") return Level::kTrace;
+  return std::nullopt;
+}
+
+void set_level(Level lv) {
+  detail::g_level.store(static_cast<int>(lv), std::memory_order_relaxed);
+}
+
+void apply_env_overrides(ObsOptions& opts) {
+  if (const char* value = std::getenv("APPFL_OBS_LEVEL")) {
+    const std::optional<Level> parsed = parse_level(value);
+    if (parsed) {
+      opts.level = *parsed;
+    } else {
+      std::fprintf(stderr,
+                   "warning: ignoring invalid APPFL_OBS_LEVEL='%s' "
+                   "(expected off|metrics|trace)\n",
+                   value);
+    }
+  }
+  if (const char* value = std::getenv("APPFL_OBS_TRACE_OUT")) {
+    if (*value != '\0') opts.trace_out = value;
+  }
+  if (const char* value = std::getenv("APPFL_OBS_METRICS_OUT")) {
+    if (*value != '\0') opts.metrics_out = value;
+  }
+  if (!opts.trace_out.empty() && opts.level < Level::kTrace) {
+    std::fprintf(stderr,
+                 "warning: trace output '%s' requires obs level 'trace' "
+                 "(level is '%s') — ignoring it\n",
+                 opts.trace_out.c_str(), to_string(opts.level).c_str());
+    opts.trace_out.clear();
+  }
+  if (!opts.metrics_out.empty() && opts.level < Level::kMetrics) {
+    std::fprintf(stderr,
+                 "warning: metrics output '%s' requires obs level 'metrics' "
+                 "or 'trace' (level is 'off') — ignoring it\n",
+                 opts.metrics_out.c_str());
+    opts.metrics_out.clear();
+  }
+}
+
+}  // namespace appfl::obs

@@ -1,0 +1,69 @@
+// Observability plane — the process-wide switch the span tracer
+// (obs/trace.hpp) and the metrics registry (obs/metrics.hpp) consult before
+// doing any work.
+//
+// Three levels:
+//   kOff     — every hook is dormant. Training output is bit-identical to a
+//              build without the plane (instrumentation only *reads* clocks
+//              and counters; it never touches RNG streams, sim time, or the
+//              wire), and the per-hook cost is one relaxed atomic load.
+//   kMetrics — counters/gauges/histograms record; spans stay off.
+//   kTrace   — metrics plus RAII spans into thread-local ring buffers,
+//              exportable as Chrome trace_event JSON (Perfetto,
+//              chrome://tracing).
+//
+// Compile-time kill switch: building with -DAPPFL_OBS_DISABLED pins the
+// level to kOff so every guard folds to `if (false)` and the instrumented
+// binary is observability-free.
+#pragma once
+
+#include <atomic>
+#include <optional>
+#include <string>
+
+namespace appfl::obs {
+
+enum class Level : int { kOff = 0, kMetrics = 1, kTrace = 2 };
+
+std::string to_string(Level lv);
+
+/// Parses "off" / "metrics" / "trace"; nullopt on anything else.
+std::optional<Level> parse_level(const std::string& name);
+
+namespace detail {
+#if defined(APPFL_OBS_DISABLED)
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+extern std::atomic<int> g_level;
+}  // namespace detail
+
+inline Level level() {
+  if constexpr (!detail::kCompiledIn) return Level::kOff;
+  return static_cast<Level>(detail::g_level.load(std::memory_order_relaxed));
+}
+
+void set_level(Level lv);
+
+inline bool metrics_on() { return level() >= Level::kMetrics; }
+inline bool trace_on() { return level() >= Level::kTrace; }
+
+/// Resolved observability policy for one run: the level plus where (if
+/// anywhere) the exporters write. Populated from RunConfig by
+/// core::obs_options_from_env, then overridden by APPFL_OBS_*.
+struct ObsOptions {
+  Level level = Level::kOff;
+  std::string trace_out;    // Chrome trace JSON path ("" = don't write)
+  std::string metrics_out;  // per-round JSONL stream path ("" = don't write)
+};
+
+/// Applies APPFL_OBS_LEVEL / APPFL_OBS_TRACE_OUT / APPFL_OBS_METRICS_OUT on
+/// top of `opts`. An unparseable APPFL_OBS_LEVEL is warned about on stderr
+/// and ignored (the APPFL_FAULT_* / APPFL_CKPT_* convention). Output paths
+/// whose level cannot produce them (trace_out below kTrace, metrics_out at
+/// kOff) are warned about and cleared, so a run never silently emits an
+/// empty artifact.
+void apply_env_overrides(ObsOptions& opts);
+
+}  // namespace appfl::obs

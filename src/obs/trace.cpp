@@ -1,0 +1,141 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace appfl::obs {
+
+struct Tracer::Ring {
+  explicit Ring(std::size_t capacity) : buf(capacity) {}
+
+  mutable std::mutex m;
+  std::vector<SpanRecord> buf;
+  std::size_t head = 0;     // next write position
+  std::uint64_t total = 0;  // records ever written to this ring
+  std::uint32_t tid = 0;    // assigned at registration
+};
+
+namespace {
+// Thread-local cache of (tracer id → ring). A vector scanned linearly: a
+// thread talks to one or two tracers (the global one, plus a test's local
+// instance), so the scan is effectively one pointer compare.
+struct RingCacheEntry {
+  std::uint64_t tracer_id;
+  Tracer::Ring* ring;
+};
+}  // namespace
+
+// Defined out of line so the anonymous-namespace cache type stays local.
+static thread_local std::vector<RingCacheEntry> t_ring_cache;
+
+static std::uint64_t next_tracer_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tracer::Tracer(std::size_t ring_capacity)
+    : ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      tracer_id_(next_tracer_id()),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() = default;
+
+Tracer::Ring& Tracer::local_ring() {
+  for (const RingCacheEntry& e : t_ring_cache) {
+    if (e.tracer_id == tracer_id_) return *e.ring;
+  }
+  auto ring = std::make_shared<Ring>(ring_capacity_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring->tid = static_cast<std::uint32_t>(rings_.size());
+    rings_.push_back(ring);
+  }
+  // The tracer's shared_ptr keeps the ring alive past thread exit; the raw
+  // pointer cached here is only ever used by this thread while it lives.
+  t_ring_cache.push_back({tracer_id_, ring.get()});
+  return *ring;
+}
+
+void Tracer::emit(SpanRecord r) {
+  Ring& ring = local_ring();
+  std::lock_guard<std::mutex> lock(ring.m);
+  r.tid = ring.tid;
+  ring.buf[ring.head] = r;
+  ring.head = (ring.head + 1) % ring.buf.size();
+  ++ring.total;
+}
+
+std::vector<SpanRecord> Tracer::collect() const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings = rings_;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->m);
+    const std::size_t cap = ring->buf.size();
+    const std::size_t retained =
+        static_cast<std::size_t>(std::min<std::uint64_t>(ring->total, cap));
+    // Oldest retained record first: the ring wrapped iff total > cap.
+    const std::size_t start =
+        ring->total > cap ? ring->head : 0;
+    for (std::size_t i = 0; i < retained; ++i) {
+      out.push_back(ring->buf[(start + i) % cap]);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     if (a.wall_start_s != b.wall_start_s) {
+                       return a.wall_start_s < b.wall_start_s;
+                     }
+                     return a.tid < b.tid;
+                   });
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings = rings_;
+  }
+  std::uint64_t dropped = 0;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->m);
+    const std::uint64_t cap = ring->buf.size();
+    if (ring->total > cap) dropped += ring->total - cap;
+  }
+  return dropped;
+}
+
+std::uint64_t Tracer::emitted() const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings = rings_;
+  }
+  std::uint64_t total = 0;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->m);
+    total += ring->total;
+  }
+  return total;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->m);
+    ring->head = 0;
+    ring->total = 0;
+  }
+  epoch_.store(std::chrono::steady_clock::now(), std::memory_order_relaxed);
+}
+
+Tracer& Tracer::global() {
+  static Tracer* tracer = new Tracer();  // never destroyed
+  return *tracer;
+}
+
+}  // namespace appfl::obs

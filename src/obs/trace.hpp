@@ -1,0 +1,144 @@
+// Span tracer — low-overhead scoped timing for the observability plane.
+//
+// Emitting a span appends one fixed-size record to a ring buffer owned by
+// the calling thread (one uncontended mutex acquire; writers never touch
+// another thread's ring). A full ring overwrites its oldest record and
+// counts the drop — emission never blocks and never allocates after the
+// ring exists. Every record carries a dual timestamp: the steady-clock wall
+// interval (what the span really cost on this machine) and, where the
+// instrumented phase lives on the simulated experiment timeline, the
+// sim-clock interval as well (what the phase costs in the paper's units).
+//
+// Export: obs/export.hpp serializes the merged rings as Chrome trace_event
+// JSON ("X" complete events) loadable in Perfetto / chrome://tracing;
+// Tracer::collect() hands the raw records to in-process analysis
+// (bench/phase_breakdown).
+//
+// Names and categories are `const char*` by design: the emit path stores
+// the pointer, so callers must pass string literals (or otherwise
+// tracer-outliving storage).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace appfl::obs {
+
+struct SpanRecord {
+  const char* name = "";
+  const char* cat = "";
+  double wall_start_s = 0.0;  // seconds since the tracer's epoch
+  double wall_dur_s = 0.0;
+  double sim_start_s = -1.0;  // simulated seconds; < 0 ⇒ not on the sim timeline
+  double sim_dur_s = -1.0;
+  const char* arg_name = nullptr;  // optional numeric argument (e.g. "client")
+  std::uint64_t arg = 0;
+  std::uint32_t tid = 0;  // tracer-assigned thread index
+};
+
+class Tracer {
+ public:
+  /// `ring_capacity` records per thread (each thread that emits gets its own
+  /// ring of this size).
+  explicit Tracer(std::size_t ring_capacity = kDefaultRingCapacity);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Appends to the calling thread's ring (created on first emit). tid is
+  /// stamped here; a full ring overwrites its oldest record.
+  void emit(SpanRecord r);
+
+  /// Merged copy of every ring, ordered by wall_start_s (ties by tid).
+  /// Safe to call while other threads emit; each ring is snapshotted under
+  /// its own lock.
+  std::vector<SpanRecord> collect() const;
+
+  /// Total records overwritten before they could be collected.
+  std::uint64_t dropped() const;
+  /// Total records ever emitted (retained + dropped).
+  std::uint64_t emitted() const;
+
+  /// Forgets all records and drop counts; rings stay registered. A new
+  /// epoch is taken so subsequent spans start near wall time 0.
+  void clear();
+
+  /// Seconds since the tracer's epoch on the steady clock.
+  double now() const {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() -
+               epoch_.load(std::memory_order_relaxed))
+        .count();
+  }
+
+  std::size_t ring_capacity() const { return ring_capacity_; }
+
+  /// The process-wide tracer the APPFL_SPAN hooks write to.
+  static Tracer& global();
+
+  static constexpr std::size_t kDefaultRingCapacity = 1 << 14;
+
+  struct Ring;  // opaque; public so the per-thread ring cache can name it
+
+ private:
+  Ring& local_ring();
+
+  const std::size_t ring_capacity_;
+  const std::uint64_t tracer_id_;  // distinguishes instances in thread caches
+  std::atomic<std::chrono::steady_clock::time_point> epoch_;
+  mutable std::mutex mutex_;  // guards rings_ registration
+  std::vector<std::shared_ptr<Ring>> rings_;
+};
+
+/// RAII span: snapshots the wall clock at construction and emits one record
+/// at destruction. Construction is a no-op (active_=false) unless tracing
+/// was on when the scope opened.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* cat) : active_(trace_on()) {
+    if (!active_) return;
+    rec_.name = name;
+    rec_.cat = cat;
+    rec_.wall_start_s = Tracer::global().now();
+  }
+  ~ScopedSpan() {
+    if (!active_) return;
+    rec_.wall_dur_s = Tracer::global().now() - rec_.wall_start_s;
+    Tracer::global().emit(rec_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches the phase's interval on the simulated timeline.
+  void set_sim(double start_s, double dur_s) {
+    rec_.sim_start_s = start_s;
+    rec_.sim_dur_s = dur_s;
+  }
+  /// Attaches one named numeric argument (name must outlive the tracer).
+  void set_arg(const char* name, std::uint64_t value) {
+    rec_.arg_name = name;
+    rec_.arg = value;
+  }
+  bool active() const { return active_; }
+
+ private:
+  bool active_;
+  SpanRecord rec_;
+};
+
+#define APPFL_OBS_CONCAT_INNER(a, b) a##b
+#define APPFL_OBS_CONCAT(a, b) APPFL_OBS_CONCAT_INNER(a, b)
+/// Scoped span over the rest of the enclosing block:
+///   APPFL_SPAN("fl.round", "fl");
+#define APPFL_SPAN(name, cat) \
+  ::appfl::obs::ScopedSpan APPFL_OBS_CONCAT(appfl_span_, __LINE__)(name, cat)
+
+}  // namespace appfl::obs

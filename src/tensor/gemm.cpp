@@ -7,6 +7,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/workspace.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
@@ -414,6 +416,22 @@ void gemm_tiled(Trans ta, Trans tb, std::size_t m, std::size_t n,
   }
 }
 
+namespace {
+// Kernel-time instruments, resolved lazily on the first metered call so a
+// metrics-off process never touches the registry.
+struct GemmInstruments {
+  obs::Counter& calls = obs::MetricsRegistry::global().counter("kernel.gemm_calls");
+  obs::Counter& flops = obs::MetricsRegistry::global().counter("kernel.gemm_flops");
+  obs::Histogram& seconds =
+      obs::MetricsRegistry::global().histogram("kernel.gemm_s", 1e-7, 10.0, 40);
+};
+
+GemmInstruments& gemm_instruments() {
+  static GemmInstruments* in = new GemmInstruments();  // never destroyed
+  return *in;
+}
+}  // namespace
+
 void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
           const float* a, std::size_t lda, const float* b, std::size_t ldb,
           float* c) {
@@ -422,13 +440,21 @@ void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
     std::fill(c, c + m * n, 0.0F);
     return;
   }
+  const bool timed = obs::metrics_on();
+  const double t0 = timed ? obs::Tracer::global().now() : 0.0;
   const KernelConfig config = kernel_config();
   if (config.backend == KernelBackend::kReference || m * n * k < kTinyFlops) {
     t_last_chunks = 1;
     gemm_reference(ta, tb, m, n, k, a, lda, b, ldb, c);
-    return;
+  } else {
+    gemm_tiled(ta, tb, m, n, k, a, lda, b, ldb, c);
   }
-  gemm_tiled(ta, tb, m, n, k, a, lda, b, ldb, c);
+  if (timed) {
+    GemmInstruments& in = gemm_instruments();
+    in.calls.inc();
+    in.flops.add(2 * static_cast<std::uint64_t>(m) * n * k);
+    in.seconds.record(obs::Tracer::global().now() - t0);
+  }
 }
 
 }  // namespace appfl::tensor

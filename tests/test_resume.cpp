@@ -12,6 +12,7 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <vector>
 
 #include "core/async_runner.hpp"
@@ -506,6 +507,89 @@ TEST(Resume, CrashDuringSaveAlwaysLeavesLoadableCheckpoint) {
   const RunResult resumed = appfl::core::run_federated(resumed_cfg, split);
   EXPECT_EQ(resumed.resumed_from_round, 3U);
   EXPECT_TRUE(same_bits(baseline.final_parameters, resumed.final_parameters));
+}
+
+TEST(Resume, ObservabilityCountersContinueAndSpansRestart) {
+  // The obs×resume contract: (a) enabling the plane changes no result bits;
+  // (b) traffic counters CONTINUE across the resume (they ride the
+  // checkpointed TrafficStats, so the resumed run's totals equal the
+  // straight run's); (c) spans RESTART — the resumed run's trace covers only
+  // the rounds this process executed.
+  const auto split = make_split();
+  const RunConfig cfg_off = base_config(Algorithm::kFedAvg);
+  const RunResult baseline_off = appfl::core::run_federated(cfg_off, split);
+
+  TempDir dir("appfl_resume_obs");
+  fs::create_directories(dir.path);
+  const std::string trace_path = (dir.path / "trace.json").string();
+  const std::string jsonl_path = (dir.path / "metrics.jsonl").string();
+
+  RunConfig cfg = cfg_off;
+  cfg.obs_level = "trace";
+
+  // (a) full instrumented run: bit-identical to the obs-off baseline.
+  const RunResult straight = appfl::core::run_federated(cfg, split);
+  ASSERT_TRUE(same_bits(baseline_off.final_parameters,
+                        straight.final_parameters))
+      << "enabling observability changed the result";
+
+  // Kill at round 3, then resume with trace + metrics stream on.
+  const std::uint32_t k = 3;
+  RunConfig killed = cfg;
+  killed.checkpoint_dir = (dir.path / "ckpt").string();
+  killed.halt_after_round = k;
+  (void)appfl::core::run_federated(killed, split);
+
+  RunConfig resumed_cfg = cfg;
+  resumed_cfg.checkpoint_dir = killed.checkpoint_dir;
+  resumed_cfg.resume_from = killed.checkpoint_dir;
+  resumed_cfg.trace_out = trace_path;
+  resumed_cfg.metrics_out = jsonl_path;
+  const RunResult resumed = appfl::core::run_federated(resumed_cfg, split);
+  ASSERT_EQ(resumed.resumed_from_round, k);
+  EXPECT_TRUE(same_bits(baseline_off.final_parameters,
+                        resumed.final_parameters));
+
+  // (b) counters continue: the resumed run's traffic totals (restored from
+  // the checkpoint, then grown) equal the straight run's. The checkpointed
+  // leg also wrote checkpoints, so only the comm-plane ledger must match.
+  EXPECT_EQ(straight.traffic.bytes_up, resumed.traffic.bytes_up);
+  EXPECT_EQ(straight.traffic.bytes_down, resumed.traffic.bytes_down);
+  EXPECT_EQ(straight.traffic.messages_up, resumed.traffic.messages_up);
+  EXPECT_EQ(straight.traffic.messages_down, resumed.traffic.messages_down);
+
+  const auto slurp = [](const std::string& p) {
+    std::ifstream in(p);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  const auto count_occurrences = [](const std::string& text,
+                                    const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + needle.size())) {
+      ++n;
+    }
+    return n;
+  };
+
+  // (c) spans restart: exactly rounds − k fl.round spans in the trace.
+  const std::string trace = slurp(trace_path);
+  ASSERT_FALSE(trace.empty()) << "trace file was not written";
+  EXPECT_EQ(count_occurrences(trace, "\"name\":\"fl.round\""),
+            cfg.rounds - k);
+
+  // The JSONL stream covers only the resumed rounds (first line is round
+  // k+1) and its summary reports the CONTINUED traffic totals.
+  const std::string jsonl = slurp(jsonl_path);
+  ASSERT_FALSE(jsonl.empty()) << "metrics stream was not written";
+  EXPECT_NE(jsonl.find("\"type\":\"round\",\"round\":" + std::to_string(k + 1)),
+            std::string::npos);
+  EXPECT_EQ(jsonl.find("\"type\":\"round\",\"round\":1,"), std::string::npos);
+  EXPECT_NE(
+      jsonl.find("\"bytes_up\":" + std::to_string(straight.traffic.bytes_up)),
+      std::string::npos);
 }
 
 }  // namespace
