@@ -29,6 +29,7 @@
 #include "comm/protolite.hpp"
 #include "core/aggregate.hpp"
 #include "rng/distributions.hpp"
+#include "tensor/accumulate.hpp"
 #include "tensor/gemm.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
@@ -211,17 +212,28 @@ BenchCase e2e_case(std::size_t floats, int reps) {
   return c;
 }
 
+std::vector<std::uint8_t> packed_floats(std::uint64_t seed,
+                                        std::size_t floats) {
+  const std::vector<float> v = gaussian_vec(seed, floats);
+  std::vector<std::uint8_t> bytes(4 * floats);
+  std::memcpy(bytes.data(), v.data(), bytes.size());
+  return bytes;
+}
+
+/// Consensus aggregate over wire-resident (z_p, λ_p) payloads.
+/// before: the seed data path — every payload decoded into a fresh owning
+///         vector (FloatView::to_vector) first, then reduced by the serial
+///         scalar loop, so all the bytes are touched twice plus 2P
+///         model-sized allocations per round.
+/// after:  the fused path — consensus_sum_stream reads the wire bytes once
+///         through the AVX2 accumulate kernels. Bit-identical by memcmp.
 BenchCase aggregate_case(std::size_t clients, std::size_t floats, int reps) {
-  std::vector<std::vector<float>> primal, dual;
+  std::vector<std::vector<std::uint8_t>> primal, dual;
   primal.reserve(clients);
   dual.reserve(clients);
   for (std::size_t p = 0; p < clients; ++p) {
-    primal.push_back(gaussian_vec(2 * p + 1, floats));
-    dual.push_back(gaussian_vec(2 * p + 2, floats));
-  }
-  std::vector<appfl::core::ConsensusTerm> terms(clients);
-  for (std::size_t p = 0; p < clients; ++p) {
-    terms[p] = {primal[p], dual[p]};
+    primal.push_back(packed_floats(2 * p + 1, floats));
+    dual.push_back(packed_floats(2 * p + 2, floats));
   }
   const float inv_p = 1.0F / static_cast<float>(clients);
   const float inv_rho = 1.0F / 2.0F;
@@ -229,24 +241,72 @@ BenchCase aggregate_case(std::size_t clients, std::size_t floats, int reps) {
   BenchCase c;
   c.name = "aggregate_consensus_p" + std::to_string(clients);
   c.bytes = 4 * floats * clients * 2;
-  std::vector<float> serial(floats), parallel(floats);
-  {
-    const ScopedEngine engine(appfl::tensor::KernelBackend::kTiled, 1);
-    c.before_ms = time_best_of(reps, [&] {
-      appfl::core::consensus_sum(terms, inv_p, inv_rho, serial);
-      keep(serial);
-    });
+  std::vector<float> decoded(floats), fused(floats);
+  c.before_ms = time_best_of(reps, [&] {
+    std::fill(decoded.begin(), decoded.end(), 0.0F);
+    for (std::size_t p = 0; p < clients; ++p) {
+      const std::vector<float> z =
+          appfl::comm::FloatView(primal[p].data(), floats).to_vector();
+      const std::vector<float> l =
+          appfl::comm::FloatView(dual[p].data(), floats).to_vector();
+      for (std::size_t i = 0; i < floats; ++i) {
+        decoded[i] += inv_p * (z[i] - inv_rho * l[i]);
+      }
+    }
+    keep(decoded);
+  });
+  std::vector<appfl::core::ConsensusStreamTerm> terms(clients);
+  for (std::size_t p = 0; p < clients; ++p) {
+    terms[p] = {appfl::comm::WirePayload::f32_bytes(primal[p].data(), floats),
+                appfl::comm::WirePayload::f32_bytes(dual[p].data(), floats)};
   }
-  {
-    const ScopedEngine engine(appfl::tensor::KernelBackend::kTiled, 0);
-    c.after_ms = time_best_of(reps, [&] {
-      appfl::core::consensus_sum(terms, inv_p, inv_rho, parallel);
-      keep(parallel);
-    });
+  c.after_ms = time_best_of(reps, [&] {
+    appfl::core::consensus_sum_stream(terms, inv_p, inv_rho, fused);
+    keep(fused);
+  });
+  APPFL_CHECK_MSG(std::memcmp(decoded.data(), fused.data(), 4 * floats) == 0,
+                  "fused consensus diverged from decode-then-reduce");
+  return c;
+}
+
+/// FedAvg-style weighted aggregate over wire-resident primal payloads:
+/// decode-then-reduce vs weighted_sum_stream. Same bit-identity contract.
+BenchCase fused_aggregate_case(std::size_t clients, std::size_t floats,
+                               int reps) {
+  std::vector<std::vector<std::uint8_t>> primal;
+  std::vector<float> weights(clients);
+  primal.reserve(clients);
+  for (std::size_t p = 0; p < clients; ++p) {
+    primal.push_back(packed_floats(3 * p + 1, floats));
+    weights[p] = 1.0F / static_cast<float>(clients - p);
   }
-  APPFL_CHECK_MSG(
-      std::memcmp(serial.data(), parallel.data(), 4 * floats) == 0,
-      "parallel aggregation diverged from serial");
+
+  BenchCase c;
+  c.name = "fused_aggregate_p" + std::to_string(clients);
+  c.bytes = 4 * floats * clients;
+  std::vector<float> decoded(floats), fused(floats);
+  c.before_ms = time_best_of(reps, [&] {
+    std::fill(decoded.begin(), decoded.end(), 0.0F);
+    for (std::size_t p = 0; p < clients; ++p) {
+      const std::vector<float> z =
+          appfl::comm::FloatView(primal[p].data(), floats).to_vector();
+      for (std::size_t i = 0; i < floats; ++i) {
+        decoded[i] += weights[p] * z[i];
+      }
+    }
+    keep(decoded);
+  });
+  std::vector<appfl::core::StreamTerm> terms(clients);
+  for (std::size_t p = 0; p < clients; ++p) {
+    terms[p] = {appfl::comm::WirePayload::f32_bytes(primal[p].data(), floats),
+                weights[p]};
+  }
+  c.after_ms = time_best_of(reps, [&] {
+    appfl::core::weighted_sum_stream(terms, fused);
+    keep(fused);
+  });
+  APPFL_CHECK_MSG(std::memcmp(decoded.data(), fused.data(), 4 * floats) == 0,
+                  "fused weighted sum diverged from decode-then-reduce");
   return c;
 }
 
@@ -289,13 +349,22 @@ int run_smoke() {
   }
 
   sw.reset();
-  const auto agg = aggregate_case(5, 32768, 1);
+  const auto agg = aggregate_case(203, 32768, 3);
   const double aggregate_ms = sw.elapsed_seconds() * 1e3;
-  keep(agg);
+  // Regression gate for the fused decode→aggregate path: the CI workflow
+  // fails if the FEMNIST-scale consensus case drops below 2× (the full
+  // bench demonstrates ≥3× — smoke sizes are smaller and noisier).
+  APPFL_CHECK_MSG(agg.speedup() >= 2.0,
+                  "aggregate_consensus_p203 regressed: fused speedup "
+                      << agg.speedup() << "x < 2x over decode-then-reduce");
+  const auto fused = fused_aggregate_case(50, 32768, 3);
+  keep(fused);
 
   std::cout << "smoke time split (ms): encode=" << encode_ms
             << " crc=" << crc_ms << " decode=" << decode_ms
             << " aggregate=" << aggregate_ms << "\n";
+  std::cout << "smoke aggregate_consensus_p203 fused speedup: "
+            << agg.speedup() << "x (gate: >= 2x)\n";
   std::cout << "comm_path smoke OK\n";
   return 0;
 }
@@ -314,11 +383,17 @@ void write_report(const std::vector<BenchCase>& cases,
   out << "{\n";
   out << "  \"schema\": \"appfl-bench-comm-v1\",\n";
   out << "  \"note\": \"before = seed comm path (bytewise CRC, push-back "
-         "proto encode, owning decode, serial aggregate); after = sliced/"
-         "parallel CRC, pooled append encode, zero-copy view decode, "
-         "chunked-parallel aggregate\",\n";
-  out << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+         "proto encode, owning decode, decode-then-reduce aggregate); after "
+         "= sliced/parallel CRC, pooled append encode, zero-copy view "
+         "decode, fused single-pass streaming aggregate (AVX2 when "
+         "available)\",\n";
+  const std::size_t hw = std::thread::hardware_concurrency();
+  const appfl::tensor::KernelConfig kc = appfl::tensor::kernel_config();
+  out << "  \"hardware_threads\": " << hw << ",\n";
+  out << "  \"kernel_pool_threads\": " << (kc.threads == 0 ? hw : kc.threads)
       << ",\n";
+  out << "  \"accumulate_uses_avx2\": "
+      << (appfl::tensor::accumulate_uses_avx2() ? "true" : "false") << ",\n";
   out << "  \"fp16_wire_ratio\": " << fp16_ratio << ",\n";
   out << "  \"cases\": [\n";
   for (std::size_t i = 0; i < cases.size(); ++i) {
@@ -344,7 +419,7 @@ int main(int argc, char** argv) {
     if (std::string(argv[i]) == "--smoke") return run_smoke();
   }
   const int reps = static_cast<int>(
-      appfl::bench::env_size_t("APPFL_BENCH_COMM_REPS", 7));
+      appfl::bench::env_size_t("APPFL_BENCH_COMM_REPS", 15));
   const std::size_t agg_floats =
       appfl::bench::env_size_t("APPFL_BENCH_AGG_FLOATS", 262144);
 
@@ -360,10 +435,15 @@ int main(int argc, char** argv) {
     cases.push_back(decode_case(bytes / 4, reps));
   }
   for (std::size_t bytes : payloads) cases.push_back(e2e_case(bytes / 4, reps));
-  // FEMNIST client-count ladder at a 1 MB model.
+  // FEMNIST client-count ladder at a 1 MB model: consensus (ADMM) and
+  // weighted (FedAvg) aggregates, decode-then-reduce vs fused streaming.
   for (std::size_t clients : {std::size_t{5}, std::size_t{50},
                               std::size_t{203}}) {
     cases.push_back(aggregate_case(clients, agg_floats, reps));
+  }
+  for (std::size_t clients : {std::size_t{5}, std::size_t{50},
+                              std::size_t{203}}) {
+    cases.push_back(fused_aggregate_case(clients, agg_floats, reps));
   }
 
   const char* path = std::getenv("APPFL_BENCH_COMM_PATH");

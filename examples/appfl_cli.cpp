@@ -41,7 +41,8 @@ void print_help() {
       "  --clip C             gradient clipping bound (default 1.0)\n"
       "  --fraction F         client sampling fraction (default 1.0)\n"
       "  --protocol NAME      mpi | grpc (default mpi)\n"
-      "  --codec NAME         none | fp16 | quant8 | topk — lossy uplink codec\n"
+      "  --codec NAME         none | fp16 | quant8 | topk | int8 — lossy "
+      "uplink codec\n"
       "  --fault-drop P       per-message drop probability (default 0)\n"
       "  --fault-dup P        duplicate-delivery probability (default 0)\n"
       "  --fault-reorder P    queue-jumping probability (default 0)\n"
@@ -153,6 +154,7 @@ int main(int argc, char** argv) {
     if (codec == "fp16") cfg.uplink_codec = appfl::comm::UplinkCodec::kFp16;
     else if (codec == "quant8") cfg.uplink_codec = appfl::comm::UplinkCodec::kQuant8;
     else if (codec == "topk") cfg.uplink_codec = appfl::comm::UplinkCodec::kTopK;
+    else if (codec == "int8") cfg.uplink_codec = appfl::comm::UplinkCodec::kInt8Ef;
     else if (codec != "none") {
       std::cerr << "unknown --codec '" << codec << "'\n";
       return 2;

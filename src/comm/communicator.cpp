@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "comm/compression.hpp"
@@ -24,6 +25,7 @@ std::string to_string(UplinkCodec codec) {
     case UplinkCodec::kQuant8: return "quant8";
     case UplinkCodec::kTopK: return "topk";
     case UplinkCodec::kFp16: return "fp16";
+    case UplinkCodec::kInt8Ef: return "int8";
   }
   return "?";
 }
@@ -36,9 +38,10 @@ UplinkCodec uplink_codec_from_env(UplinkCodec base) {
   if (v == "fp16") return UplinkCodec::kFp16;
   if (v == "quant8") return UplinkCodec::kQuant8;
   if (v == "topk") return UplinkCodec::kTopK;
+  if (v == "int8") return UplinkCodec::kInt8Ef;
   std::fprintf(stderr,
                "appfl: ignoring invalid APPFL_WIRE_CODEC='%s' "
-               "(expected none|fp16|quant8|topk)\n",
+               "(expected none|fp16|quant8|topk|int8)\n",
                env);
   return base;
 }
@@ -86,6 +89,9 @@ Communicator::Communicator(Protocol protocol, std::size_t num_clients,
                rng::derive_seed(seed, {kFaultNetStream})) {
   APPFL_CHECK_MSG(num_clients >= 1, "need at least one client");
   APPFL_CHECK(codec_.topk_fraction > 0.0 && codec_.topk_fraction <= 1.0);
+  APPFL_CHECK_MSG(codec_.int8_range >= 0.0,
+                  "int8 clip range must be non-negative");
+  ef_residual_.resize(num_clients_);
   APPFL_CHECK_MSG(reliability_.gather_timeout_s > 0.0,
                   "gather deadline must be positive");
   APPFL_CHECK_MSG(reliability_.ack_timeout_s > 0.0 &&
@@ -94,7 +100,7 @@ Communicator::Communicator(Protocol protocol, std::size_t num_clients,
                   "base timeout");
 }
 
-void Communicator::compress_update(Message& m) const {
+void Communicator::compress_update(Message& m) {
   if (codec_.codec == UplinkCodec::kNone ||
       m.kind != MessageKind::kLocalUpdate || m.primal.empty()) {
     return;
@@ -105,7 +111,7 @@ void Communicator::compress_update(Message& m) const {
     m.packed = encode_fp16(m.primal);
   } else if (codec_.codec == UplinkCodec::kQuant8) {
     m.packed = encode_quantized8(quantize8(m.primal));
-  } else {
+  } else if (codec_.codec == UplinkCodec::kTopK) {
     APPFL_CHECK_MSG(last_broadcast_primal_.size() == m.primal.size(),
                     "kTopK needs a matching broadcast to delta against");
     std::vector<float> delta = m.primal;
@@ -117,29 +123,70 @@ void Communicator::compress_update(Message& m) const {
                std::ceil(codec_.topk_fraction *
                          static_cast<double>(delta.size()))));
     m.packed = encode_topk(sparsify_topk(delta, k));
+  } else {
+    // kInt8Ef: quantize (delta + carried residual), keep the new
+    // quantization error in the sender's residual slot so next round's
+    // update corrects it. The server reconstructs dequantize(q) + w from
+    // the same stored scales, bit-exactly.
+    APPFL_CHECK_MSG(last_broadcast_primal_.size() == m.primal.size(),
+                    "kInt8Ef needs a matching broadcast to delta against");
+    APPFL_CHECK(m.sender >= 1 && m.sender <= num_clients_);
+    std::vector<float>& residual = ef_residual_[m.sender - 1];
+    if (residual.size() != m.primal.size()) {
+      residual.assign(m.primal.size(), 0.0F);
+    }
+    std::vector<float> carried(m.primal.size());
+    for (std::size_t i = 0; i < carried.size(); ++i) {
+      carried[i] = (m.primal[i] - last_broadcast_primal_[i]) + residual[i];
+    }
+    const Int8Ef q =
+        quantize_int8(carried, static_cast<float>(codec_.int8_range));
+    const std::vector<float> recon = dequantize_int8(q);
+    for (std::size_t i = 0; i < carried.size(); ++i) {
+      residual[i] = carried[i] - recon[i];
+    }
+    m.packed = encode_int8(q);
   }
   m.codec = static_cast<std::uint8_t>(codec_.codec);
   m.primal.clear();
 }
 
+std::vector<float> Communicator::decode_packed(
+    std::uint8_t codec, std::span<const std::uint8_t> packed) const {
+  if (codec == static_cast<std::uint8_t>(UplinkCodec::kFp16)) {
+    return decode_fp16(packed);
+  }
+  if (codec == static_cast<std::uint8_t>(UplinkCodec::kQuant8)) {
+    return dequantize8(decode_quantized8(packed));
+  }
+  if (codec == static_cast<std::uint8_t>(UplinkCodec::kTopK)) {
+    const TopK sparse = decode_topk(packed);
+    APPFL_CHECK_MSG(sparse.size == last_broadcast_primal_.size(),
+                    "top-k payload size does not match the broadcast model");
+    std::vector<float> primal = densify(sparse);
+    for (std::size_t i = 0; i < primal.size(); ++i) {
+      primal[i] += last_broadcast_primal_[i];
+    }
+    return primal;
+  }
+  if (codec == static_cast<std::uint8_t>(UplinkCodec::kInt8Ef)) {
+    const Int8Ef q = decode_int8(packed);
+    APPFL_CHECK_MSG(q.size == last_broadcast_primal_.size(),
+                    "int8 payload size does not match the broadcast model");
+    std::vector<float> primal = dequantize_int8(q);
+    for (std::size_t i = 0; i < primal.size(); ++i) {
+      primal[i] += last_broadcast_primal_[i];
+    }
+    return primal;
+  }
+  APPFL_CHECK_MSG(false, "unknown uplink codec " << int{codec});
+  return {};
+}
+
 void Communicator::decompress_update(Message& m) const {
   if (m.codec == 0) return;
   APPFL_CHECK_MSG(m.primal.empty(), "packed update also carries raw primal");
-  if (m.codec == static_cast<std::uint8_t>(UplinkCodec::kFp16)) {
-    m.primal = decode_fp16(m.packed);
-  } else if (m.codec == static_cast<std::uint8_t>(UplinkCodec::kQuant8)) {
-    m.primal = dequantize8(decode_quantized8(m.packed));
-  } else if (m.codec == static_cast<std::uint8_t>(UplinkCodec::kTopK)) {
-    const TopK sparse = decode_topk(m.packed);
-    APPFL_CHECK_MSG(sparse.size == last_broadcast_primal_.size(),
-                    "top-k payload size does not match the broadcast model");
-    m.primal = densify(sparse);
-    for (std::size_t i = 0; i < m.primal.size(); ++i) {
-      m.primal[i] += last_broadcast_primal_[i];
-    }
-  } else {
-    APPFL_CHECK_MSG(false, "unknown uplink codec " << int{m.codec});
-  }
+  m.primal = decode_packed(m.codec, m.packed);
   m.codec = 0;
   m.packed.clear();
 }
@@ -376,14 +423,21 @@ std::optional<Message> Communicator::try_recv_global(std::uint32_t client,
 
 std::vector<Message> Communicator::gather_locals(std::uint32_t round,
                                                  std::size_t expected) {
+  return gather_batch(round, expected).take_messages();
+}
+
+GatherBatch Communicator::gather_batch(std::uint32_t round,
+                                       std::size_t expected) {
   obs::ScopedSpan span("comm.gather", "comm");
   span.set_arg("round", round);
   if (expected == 0) expected = num_clients_;
   APPFL_CHECK_MSG(expected <= num_clients_,
                   "cannot gather " << expected << " updates from "
                                    << num_clients_ << " clients");
-  std::vector<Message> out;
-  out.reserve(expected);
+  GatherBatch batch;
+  batch.pool_ = &pool_;
+  batch.updates_.reserve(expected);
+  batch.buffers_.reserve(expected);
   std::vector<bool> seen(num_clients_ + 1, false);
   std::vector<std::size_t> upload_bytes;
   upload_bytes.reserve(expected);
@@ -393,9 +447,10 @@ std::vector<Message> Communicator::gather_locals(std::uint32_t round,
   // Validates one datagram: duplicates, stale rounds, unknown senders, and
   // damaged payloads are discarded and counted — never fatal. Validation
   // runs on a zero-copy view into the datagram, so a rejected message never
-  // copies its (multi-MB) payload; only accepted updates detach. The
-  // datagram buffer is recycled into the pool either way. Returns whether
-  // the datagram was accepted into the gather.
+  // copies its (multi-MB) payload. An accepted datagram is retained by the
+  // batch (its floats are read in place during fused aggregation); a
+  // rejected one recycles into the pool immediately. Returns whether the
+  // datagram was accepted into the gather.
   const auto consider = [&](Datagram& d) {
     bool accepted = false;
     std::optional<MessageView> v = decode_frame_view(d.bytes);
@@ -410,17 +465,54 @@ std::vector<Message> Communicator::gather_locals(std::uint32_t round,
       }
       if (obs::metrics_on()) instruments().discards.inc();
     } else {
-      Message m = v->detach();
-      decompress_update(m);
-      seen[m.sender] = true;
+      GatherUpdate u;
+      u.sender = v->sender;
+      u.receiver = v->receiver;
+      u.round = v->round;
+      u.sample_count = v->sample_count;
+      u.loss = v->loss;
+      u.rho = v->rho;
+      if (v->codec == 0) {
+        // Raw floats: read them where they landed.
+        u.primal = WirePayload::f32_bytes(v->primal.bytes(), v->primal.size());
+        u.dual = WirePayload::f32_bytes(v->dual.bytes(), v->dual.size());
+      } else {
+        APPFL_CHECK_MSG(v->primal.empty(),
+                        "packed update also carries raw primal");
+        if (v->codec == static_cast<std::uint8_t>(UplinkCodec::kFp16)) {
+          // fp16 stays packed: validate the frame exactly as decode_fp16
+          // would, then aggregate straight from the half bytes (the
+          // widening kernel is the same exact conversion).
+          const std::span<const std::uint8_t> p = v->packed;
+          APPFL_CHECK_MSG(p.size() >= 8, "truncated compressed payload");
+          std::uint64_t count = 0;
+          for (int i = 0; i < 8; ++i) count |= std::uint64_t{p[i]} << (8 * i);
+          APPFL_CHECK_MSG(count <= (p.size() - 8) / 2,
+                          "truncated fp16 payload");
+          APPFL_CHECK_MSG(8 + 2 * count == p.size(),
+                          "trailing bytes in fp16 payload");
+          u.primal = WirePayload::f16_bytes(p.data() + 8, count);
+        } else {
+          // quant8/topk/int8 need real decoding; the result lives in the
+          // batch so downstream aggregation still reads it exactly once.
+          auto decoded = std::make_unique<std::vector<float>>(
+              decode_packed(v->codec, v->packed));
+          u.primal = WirePayload::f32(decoded->data(), decoded->size());
+          batch.decoded_.push_back(std::move(decoded));
+        }
+      }
+      seen[u.sender] = true;
       upload_bytes.push_back(d.bytes.size());
-      upload_senders.push_back(m.sender);
-      out.push_back(std::move(m));
+      upload_senders.push_back(u.sender);
+      batch.buffers_.push_back(
+          std::make_unique<std::vector<std::uint8_t>>(std::move(d.bytes)));
+      batch.updates_.push_back(u);
       accepted = true;
     }
-    pool_.release(std::move(d.bytes));
+    if (!accepted) pool_.release(std::move(d.bytes));
     return accepted;
   };
+  auto& out = batch.updates_;
 
   const double start = clock_.now();
   double waited_s = 0.0;  // extra sim-time spent waiting on late deliveries
@@ -474,7 +566,9 @@ std::vector<Message> Communicator::gather_locals(std::uint32_t round,
     waited_s = vt - start;
   }
   std::sort(out.begin(), out.end(),
-            [](const Message& a, const Message& b) { return a.sender < b.sender; });
+            [](const GatherUpdate& a, const GatherUpdate& b) {
+              return a.sender < b.sender;
+            });
 
   RoundCommRecord rec;
   rec.round = round;
@@ -527,6 +621,66 @@ std::vector<Message> Communicator::gather_locals(std::uint32_t round,
   span.set_sim(start, rec.gather_s);
   clock_.advance(rec.gather_s);
   round_log_.push_back(std::move(rec));
+  return batch;
+}
+
+GatherBatch::~GatherBatch() { release_buffers(); }
+
+GatherBatch& GatherBatch::operator=(GatherBatch&& other) noexcept {
+  if (this != &other) {
+    release_buffers();
+    updates_ = std::move(other.updates_);
+    buffers_ = std::move(other.buffers_);
+    decoded_ = std::move(other.decoded_);
+    pool_ = other.pool_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+void GatherBatch::release_buffers() {
+  if (pool_ != nullptr) {
+    for (auto& b : buffers_) pool_->release(std::move(*b));
+  }
+  buffers_.clear();
+  decoded_.clear();
+  updates_.clear();
+  pool_ = nullptr;
+}
+
+std::vector<Message> GatherBatch::take_messages() const {
+  std::vector<Message> out;
+  out.reserve(updates_.size());
+  for (const GatherUpdate& u : updates_) {
+    Message m;
+    m.kind = MessageKind::kLocalUpdate;
+    m.sender = u.sender;
+    m.receiver = u.receiver;
+    m.round = u.round;
+    m.sample_count = u.sample_count;
+    m.loss = u.loss;
+    m.rho = u.rho;
+    m.primal.resize(u.primal.count);
+    if (u.primal.enc == WireEncoding::kF32) {
+      if (u.primal.count > 0) {
+        std::memcpy(m.primal.data(), u.primal.data, 4 * u.primal.count);
+      }
+    } else {
+      // Same exact conversion the fused path's widening kernel performs, so
+      // fused and unfused consumers see identical floats.
+      for (std::size_t i = 0; i < u.primal.count; ++i) {
+        const auto h = static_cast<std::uint16_t>(
+            std::uint16_t{u.primal.data[2 * i]} |
+            (std::uint16_t{u.primal.data[2 * i + 1]} << 8));
+        m.primal[i] = half_to_float(h);
+      }
+    }
+    m.dual.resize(u.dual.count);
+    if (u.dual.count > 0) {
+      std::memcpy(m.dual.data(), u.dual.data, 4 * u.dual.count);
+    }
+    out.push_back(std::move(m));
+  }
   return out;
 }
 
@@ -552,6 +706,7 @@ Communicator::PersistentState Communicator::persistent_state() const {
   const FaultInjector::PersistentState fs = network_.fault_persistent_state();
   s.link_keys = fs.link_keys;
   s.link_seqs = fs.link_seqs;
+  s.ef_residuals = ef_residual_;
   return s;
 }
 
@@ -572,6 +727,8 @@ void Communicator::restore_persistent_state(const PersistentState& s) {
   fs.link_keys = s.link_keys;
   fs.link_seqs = s.link_seqs;
   network_.restore_fault_state(fs);
+  ef_residual_ = s.ef_residuals;
+  ef_residual_.resize(num_clients_);  // tolerate snapshots without residuals
 }
 
 }  // namespace appfl::comm

@@ -44,13 +44,18 @@ enum class UplinkCodec : std::uint8_t {
   kQuant8 = 1,  // 8-bit block quantization of the update (≈4× fewer bytes)
   kTopK = 2,    // top-k of (z − w) vs the round's broadcast (k = f·m)
   kFp16 = 3,    // IEEE binary16 payload (2× fewer bytes, ≤2⁻¹¹ rel. error)
+  // int8 + error feedback: symmetric int8 quantization of (z − w) plus the
+  // client's residual from previous rounds, Rice-entropy-coded (compression
+  // doc comment on encode_int8). The residual carries the quantization error
+  // forward so it is corrected, not lost — the classic EF-SGD trick.
+  kInt8Ef = 4,
 };
 
 std::string to_string(UplinkCodec codec);
 
 /// APPFL_WIRE_CODEC env override of the configured uplink codec
-/// (none | fp16 | quant8 | topk). Returns `base` when the variable is unset;
-/// an unrecognized value warns on stderr and keeps `base`, mirroring
+/// (none | fp16 | quant8 | topk | int8). Returns `base` when the variable is
+/// unset; an unrecognized value warns on stderr and keeps `base`, mirroring
 /// fault_config_from_env. Callers must re-validate the run configuration
 /// when the override changes the codec.
 UplinkCodec uplink_codec_from_env(UplinkCodec base);
@@ -58,6 +63,11 @@ UplinkCodec uplink_codec_from_env(UplinkCodec base);
 struct CodecConfig {
   UplinkCodec codec = UplinkCodec::kNone;
   double topk_fraction = 0.1;  // fraction of coordinates kTopK keeps
+  /// kInt8Ef clipping range for the quantizer input (delta + residual),
+  /// derived from the DP sensitivity bound when clipping is on — the same
+  /// per-round update bound DP accounting relies on caps every outlier's
+  /// quantization step. 0 = fully adaptive per-block ranges.
+  double int8_range = 0.0;
 };
 
 /// Fault-tolerance knobs. The fault plane is active iff faults.enabled().
@@ -110,6 +120,60 @@ struct RoundCommRecord {
   double total_s() const { return broadcast_s + gather_s; }
 };
 
+/// One gathered client update whose float payloads are still wire-resident
+/// (or codec-materialized) — the fused decode→aggregate handoff. Header
+/// fields are owned; `primal`/`dual` borrow from buffers the owning
+/// GatherBatch keeps alive.
+struct GatherUpdate {
+  std::uint32_t sender = 0;
+  std::uint32_t receiver = 0;
+  std::uint32_t round = 0;
+  std::uint64_t sample_count = 0;
+  double loss = 0.0;
+  double rho = 0.0;
+  WirePayload primal;
+  WirePayload dual;
+};
+
+/// The result of Communicator::gather_batch: validated updates ordered by
+/// client id, each payload readable exactly where it landed. Raw and fp16
+/// payloads point into the retained wire datagrams (zero copies); codec
+/// payloads that need real decoding (quant8/topk/int8) point into
+/// batch-owned float vectors. Buffers return to the communicator's pool
+/// when the batch is destroyed — destroy it before the next broadcast so
+/// they recycle.
+class GatherBatch {
+ public:
+  GatherBatch() = default;
+  ~GatherBatch();
+  GatherBatch(GatherBatch&&) noexcept = default;
+  GatherBatch& operator=(GatherBatch&&) noexcept;
+  GatherBatch(const GatherBatch&) = delete;
+  GatherBatch& operator=(const GatherBatch&) = delete;
+
+  std::span<const GatherUpdate> updates() const { return updates_; }
+  std::size_t size() const { return updates_.size(); }
+  bool empty() const { return updates_.empty(); }
+
+  /// Materializes owning Messages, bit-identical to what gather_locals
+  /// returns for the same traffic — the unfused fallback and the reference
+  /// the fused path is tested against.
+  std::vector<Message> take_messages() const;
+
+ private:
+  friend class Communicator;
+  void release_buffers();
+
+  std::vector<GatherUpdate> updates_;
+  /// Retained wire datagrams the zero-copy payloads point into. Each buffer
+  /// is heap storage owned by a unique_ptr, so growing the outer vector
+  /// never moves the bytes a WirePayload borrowed.
+  std::vector<std::unique_ptr<std::vector<std::uint8_t>>> buffers_;
+  /// Codec-materialized float storage (quant8/topk/int8 payloads).
+  std::vector<std::unique_ptr<std::vector<float>>> decoded_;
+  BufferPool* pool_ = nullptr;
+};
+
 class Communicator {
  public:
   /// `seed` drives the gRPC jitter stream (deterministic per round/client)
@@ -145,6 +209,13 @@ class Communicator {
   /// Updates are returned ordered by client id.
   std::vector<Message> gather_locals(std::uint32_t round,
                                      std::size_t expected = 0);
+
+  /// gather_locals' zero-copy sibling: identical draining, validation,
+  /// accounting, and timing, but the returned batch keeps each update's
+  /// float payload where it already is (wire buffer or codec decode) for
+  /// the fused decode→aggregate data path. gather_locals is implemented as
+  /// gather_batch(...).take_messages().
+  GatherBatch gather_batch(std::uint32_t round, std::size_t expected = 0);
 
   // -- Client role -------------------------------------------------------------
 
@@ -192,6 +263,11 @@ class Communicator {
     TrafficStats stats;
     std::vector<std::uint64_t> link_keys;
     std::vector<std::uint64_t> link_seqs;
+    /// Per-client kInt8Ef error-feedback residuals (index = client − 1,
+    /// empty vectors when unused). Losing these across a restart would
+    /// silently drop the quantization error they carry, so they ride in
+    /// every checkpoint.
+    std::vector<std::vector<float>> ef_residuals;
   };
   PersistentState persistent_state() const;
   void restore_persistent_state(const PersistentState& s);
@@ -211,9 +287,16 @@ class Communicator {
       std::span<const std::uint8_t> bytes);
 
   /// Packs m.primal into m.packed per the configured codec (send side).
-  void compress_update(Message& m) const;
+  /// Non-const: kInt8Ef updates the sending client's error-feedback
+  /// residual (its own slot, so concurrent senders never contend).
+  void compress_update(Message& m);
   /// Restores m.primal from m.packed (gather side).
   void decompress_update(Message& m) const;
+  /// Decodes one codec payload into the primal it represents (delta codecs
+  /// add the broadcast reference back) — shared by decompress_update and
+  /// the batch gather.
+  std::vector<float> decode_packed(std::uint8_t codec,
+                                   std::span<const std::uint8_t> packed) const;
 
   Protocol protocol_;
   std::size_t num_clients_;
@@ -231,7 +314,11 @@ class Communicator {
   std::vector<RoundCommRecord> round_log_;
   SimClock clock_;
   double pending_broadcast_s_ = 0.0;
-  std::vector<float> last_broadcast_primal_;  // reference for kTopK deltas
+  /// Reference for kTopK/kInt8Ef deltas.
+  std::vector<float> last_broadcast_primal_;
+  /// kInt8Ef error-feedback residuals, one slot per client (index =
+  /// client − 1). Disjoint slots: concurrent send_update calls are safe.
+  std::vector<std::vector<float>> ef_residual_;
 };
 
 }  // namespace appfl::comm

@@ -60,6 +60,49 @@ double quantize8_error_bound(const Quantized8& q) {
   return 0.5 * worst;
 }
 
+Int8Ef quantize_int8(std::span<const float> values, float clip_range,
+                     std::size_t block) {
+  APPFL_CHECK_MSG(block >= 2, "quantization block must hold several values");
+  APPFL_CHECK_MSG(clip_range >= 0.0F, "int8 clip range must be non-negative");
+  Int8Ef q;
+  q.size = values.size();
+  q.block = block;
+  const std::size_t num_blocks = (values.size() + block - 1) / block;
+  q.scales.reserve(num_blocks);
+  q.codes.resize(values.size());
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const std::size_t start = b * block;
+    const std::size_t end = std::min(start + block, values.size());
+    float maxabs = 0.0F;
+    for (std::size_t i = start; i < end; ++i) {
+      float v = values[i];
+      if (clip_range > 0.0F) v = std::clamp(v, -clip_range, clip_range);
+      maxabs = std::max(maxabs, std::abs(v));
+    }
+    const float scale = maxabs / 127.0F;
+    q.scales.push_back(scale);
+    for (std::size_t i = start; i < end; ++i) {
+      float v = values[i];
+      if (clip_range > 0.0F) v = std::clamp(v, -clip_range, clip_range);
+      const float code = scale > 0.0F ? std::round(v / scale) : 0.0F;
+      q.codes[i] =
+          static_cast<std::int8_t>(std::clamp(code, -127.0F, 127.0F));
+    }
+  }
+  return q;
+}
+
+std::vector<float> dequantize_int8(const Int8Ef& q) {
+  APPFL_CHECK(q.codes.size() == q.size);
+  std::vector<float> out(q.size);
+  for (std::size_t i = 0; i < q.size; ++i) {
+    const std::size_t b = i / q.block;
+    APPFL_CHECK(b < q.scales.size());
+    out[i] = q.scales[b] * static_cast<float>(q.codes[i]);
+  }
+  return out;
+}
+
 std::size_t TopK::wire_bytes() const {
   // length(8) + count(8) + 4 bytes index + 4 bytes value per kept entry.
   return 16 + 8 * indices.size();
@@ -251,6 +294,186 @@ TopK decode_topk(std::span<const std::uint8_t> bytes) {
   sparse.values = get_floats(bytes, off, k);
   APPFL_CHECK_MSG(off == bytes.size(), "trailing bytes in top-k payload");
   return sparse;
+}
+
+namespace {
+
+/// Largest per-scale block the int8 wire format admits: keeps the u16
+/// payload-length field sufficient and bounds what a hostile header can make
+/// the decoder allocate per block.
+constexpr std::size_t kInt8MaxBlock = 16384;
+
+/// LSB-first bit packer for the Rice payloads.
+struct BitSink {
+  std::vector<std::uint8_t>& out;
+  std::uint32_t acc = 0;
+  int nbits = 0;
+
+  void put(std::uint32_t v, int n) {
+    acc |= v << nbits;
+    nbits += n;
+    while (nbits >= 8) {
+      out.push_back(static_cast<std::uint8_t>(acc));
+      acc >>= 8;
+      nbits -= 8;
+    }
+  }
+  void flush() {
+    if (nbits > 0) out.push_back(static_cast<std::uint8_t>(acc));
+    acc = 0;
+    nbits = 0;
+  }
+};
+
+/// LSB-first bit reader; every read is bounds-checked.
+struct BitSource {
+  const std::uint8_t* data;
+  std::size_t nbytes;
+  std::size_t bit = 0;
+
+  bool get() {
+    APPFL_CHECK_MSG(bit < 8 * nbytes, "truncated int8 payload");
+    const bool v = ((data[bit >> 3] >> (bit & 7U)) & 1U) != 0;
+    ++bit;
+    return v;
+  }
+};
+
+/// Zigzag fold: codes in [−127, 127] → [0, 254], small magnitudes first —
+/// what makes near-zero error-feedback deltas Rice-code to a few bits.
+std::uint8_t zigzag_i8(std::int8_t c) {
+  const int v = c;
+  return static_cast<std::uint8_t>(v >= 0 ? 2 * v : -2 * v - 1);
+}
+
+std::int8_t unzigzag_u8(std::uint32_t u) {
+  return static_cast<std::int8_t>((u & 1U) != 0
+                                      ? -static_cast<int>((u + 1) / 2)
+                                      : static_cast<int>(u / 2));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_int8(const Int8Ef& q) {
+  APPFL_CHECK(q.codes.size() == q.size);
+  APPFL_CHECK_MSG(q.block >= 2 && q.block <= kInt8MaxBlock,
+                  "int8 block size out of wire-format range");
+  const std::size_t num_blocks =
+      q.size == 0 ? 0 : (q.size + q.block - 1) / q.block;
+  APPFL_CHECK(q.scales.size() == num_blocks);
+  std::vector<std::uint8_t> out;
+  out.reserve(24 + 8 * num_blocks + q.size);  // raw-escape upper bound
+  put_u64(out, q.size);
+  put_u64(out, q.block);
+  put_u64(out, num_blocks);
+  std::vector<std::uint8_t> zz;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const std::size_t start = b * q.block;
+    const std::size_t len = std::min(q.block, q.size - start);
+    zz.resize(len);
+    for (std::size_t i = 0; i < len; ++i) zz[i] = zigzag_i8(q.codes[start + i]);
+    // Scan k ∈ [0, 7] for the parameter minimizing total Rice bits:
+    // (u >> k) + 1 unary bits plus k remainder bits per value.
+    std::size_t best_bits = static_cast<std::size_t>(-1);
+    int best_k = 0;
+    for (int k = 0; k <= 7; ++k) {
+      std::size_t bits = 0;
+      for (std::uint8_t u : zz) bits += (u >> k) + 1U + static_cast<unsigned>(k);
+      if (bits < best_bits) {
+        best_bits = bits;
+        best_k = k;
+      }
+    }
+    const std::size_t rice_bytes = (best_bits + 7) / 8;
+    const bool raw = rice_bytes >= len;  // Rice cannot beat 1 byte/value
+    const std::size_t plen = raw ? len : rice_bytes;
+    const std::size_t spos = out.size();
+    out.resize(spos + 4);
+    std::memcpy(out.data() + spos, &q.scales[b], 4);
+    out.push_back(raw ? 1 : 0);
+    out.push_back(static_cast<std::uint8_t>(raw ? 0 : best_k));
+    out.push_back(static_cast<std::uint8_t>(plen));
+    out.push_back(static_cast<std::uint8_t>(plen >> 8));
+    if (raw) {
+      for (std::size_t i = 0; i < len; ++i) {
+        out.push_back(static_cast<std::uint8_t>(q.codes[start + i]));
+      }
+    } else {
+      BitSink sink{out};
+      for (std::uint8_t u : zz) {
+        for (std::uint32_t unary = u >> best_k; unary > 0; --unary) {
+          sink.put(1, 1);
+        }
+        sink.put(0, 1);
+        if (best_k > 0) sink.put(u & ((1U << best_k) - 1U), best_k);
+      }
+      sink.flush();
+    }
+  }
+  return out;
+}
+
+Int8Ef decode_int8(std::span<const std::uint8_t> bytes) {
+  Int8Ef q;
+  std::size_t off = 0;
+  q.size = get_u64(bytes, off);
+  q.block = get_u64(bytes, off);
+  APPFL_CHECK_MSG(q.block >= 2 && q.block <= kInt8MaxBlock,
+                  "invalid int8 quantization block");
+  const std::uint64_t blocks = get_u64(bytes, off);
+  APPFL_CHECK_MSG(blocks == (q.size + q.block - 1) / q.block,
+                  "inconsistent int8 header");
+  // Every block costs ≥ 8 header bytes, so this bounds both the loop and
+  // (together with the block cap) what q.codes can grow to — a hostile
+  // size field cannot force an oversized allocation.
+  APPFL_CHECK_MSG(blocks <= (bytes.size() - off) / 8,
+                  "truncated int8 payload");
+  q.scales.reserve(blocks);
+  q.codes.reserve(q.size);
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    const std::size_t len = std::min(q.block, q.size - b * q.block);
+    APPFL_CHECK_MSG(off + 8 <= bytes.size(), "truncated int8 payload");
+    float scale = 0.0F;
+    std::memcpy(&scale, bytes.data() + off, 4);
+    off += 4;
+    APPFL_CHECK_MSG(std::isfinite(scale) && scale >= 0.0F,
+                    "invalid int8 block");
+    const std::uint8_t mode = bytes[off++];
+    const std::uint8_t rice_k = bytes[off++];
+    const std::size_t plen = std::size_t{bytes[off]} |
+                             (std::size_t{bytes[off + 1]} << 8);
+    off += 2;
+    APPFL_CHECK_MSG(mode <= 1 && rice_k <= 7, "invalid int8 block");
+    APPFL_CHECK_MSG(plen <= bytes.size() - off, "truncated int8 payload");
+    if (mode == 1) {
+      APPFL_CHECK_MSG(plen == len, "invalid int8 block");
+      for (std::size_t i = 0; i < len; ++i) {
+        const auto c = static_cast<std::int8_t>(bytes[off + i]);
+        APPFL_CHECK_MSG(c >= -127, "invalid int8 block");  // −128 unused
+        q.codes.push_back(c);
+      }
+    } else {
+      BitSource bits{bytes.data() + off, plen};
+      for (std::size_t i = 0; i < len; ++i) {
+        std::uint32_t unary = 0;
+        while (bits.get()) {
+          APPFL_CHECK_MSG(++unary <= 254, "invalid int8 block");
+        }
+        std::uint32_t u = unary << rice_k;
+        for (int j = 0; j < rice_k; ++j) {
+          u |= static_cast<std::uint32_t>(bits.get()) << j;
+        }
+        APPFL_CHECK_MSG(u <= 254, "invalid int8 block");
+        q.codes.push_back(unzigzag_u8(u));
+      }
+      APPFL_CHECK_MSG((bits.bit + 7) / 8 == plen, "invalid int8 block");
+    }
+    off += plen;
+    q.scales.push_back(scale);
+  }
+  APPFL_CHECK_MSG(off == bytes.size(), "trailing bytes in int8 payload");
+  APPFL_CHECK_MSG(q.codes.size() == q.size, "inconsistent int8 header");
+  return q;
 }
 
 std::vector<std::uint8_t> encode_fp16(std::span<const float> values) {

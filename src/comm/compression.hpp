@@ -43,6 +43,31 @@ std::vector<float> dequantize8(const Quantized8& q);
 /// widest block.
 double quantize8_error_bound(const Quantized8& q);
 
+/// Symmetric int8 block quantization — the error-feedback wire codec's
+/// lossy core. Unlike Quantized8 (min/max affine), codes are signed with a
+/// per-block scale = max|·|/127, so zero maps to code 0 exactly: the
+/// near-zero-concentrated error-feedback deltas then entropy-code to a few
+/// bits per value (see encode_int8's Rice layer).
+struct Int8Ef {
+  std::size_t size = 0;      // original length
+  std::size_t block = 512;   // values per scale block
+  std::vector<float> scales; // per-block max|·| / 127
+  std::vector<std::int8_t> codes;
+};
+
+/// Quantizes with per-block symmetric ranges; block ≥ 2. clip_range > 0
+/// first clips values to ±clip_range — the DP-sensitivity-derived bound
+/// that caps any outlier's quantization step (0 = fully adaptive). The
+/// caller computes its error-feedback residual against dequantize_int8 of
+/// the returned value, which the receiver reproduces bit-exactly.
+Int8Ef quantize_int8(std::span<const float> values, float clip_range = 0.0F,
+                     std::size_t block = 512);
+
+/// Reconstructs the (lossy) vector: scale_b · code_i.
+std::vector<float> dequantize_int8(const Int8Ef& q);
+
+/// Top-k sparsified vector: the k largest-magnitude entries.
+
 /// Top-k sparsified vector: the k largest-magnitude entries.
 struct TopK {
   std::size_t size = 0;  // original length
@@ -80,6 +105,21 @@ Quantized8 decode_quantized8(std::span<const std::uint8_t> bytes);
 
 std::vector<std::uint8_t> encode_topk(const TopK& sparse);
 TopK decode_topk(std::span<const std::uint8_t> bytes);
+
+/// Entropy-coded int8 serialization. Header [size u64 | block u64 |
+/// num_blocks u64], then per block [scale f32 | mode u8 | rice_k u8 |
+/// payload_len u16 LE | payload]. mode 0 Rice-codes the zigzag-folded
+/// codes (u = 2c or −2c−1 ∈ [0, 254]) with the per-block parameter k that
+/// minimizes total bits; mode 1 is a raw-int8 escape taken whenever Rice
+/// would not beat 1 byte/value, so the encoding never expands past
+/// quant8's. Error-feedback deltas concentrate near zero, which is what
+/// makes the Rice layer beat the 4-bytes→1-byte floor and clear a ≥4×
+/// wire reduction including headers.
+std::vector<std::uint8_t> encode_int8(const Int8Ef& q);
+
+/// Fully bounds-checked decode: any truncation, oversized count, bad mode,
+/// or trailing bytes throws appfl::Error (never crashes or over-reads).
+Int8Ef decode_int8(std::span<const std::uint8_t> bytes);
 
 /// [count u64 | count × half u16 LE] — 2 bytes per value on the wire.
 std::vector<std::uint8_t> encode_fp16(std::span<const float> values);

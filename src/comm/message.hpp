@@ -69,6 +69,9 @@ class FloatView {
 
   std::size_t size() const { return count_; }
   bool empty() const { return count_ == 0; }
+  /// The packed float32 bytes this view reads (unaligned, little-endian) —
+  /// what the fused data path hands to the streaming aggregation kernels.
+  const std::uint8_t* bytes() const { return data_; }
 
   float operator[](std::size_t i) const;
 
@@ -81,6 +84,40 @@ class FloatView {
  private:
   const std::uint8_t* data_ = nullptr;
   std::size_t count_ = 0;
+};
+
+/// How a WirePayload's bytes encode its floats.
+enum class WireEncoding : std::uint8_t {
+  kF32,  // packed little-endian float32 (4 bytes per value)
+  kF16,  // packed little-endian IEEE binary16 (2 bytes per value)
+};
+
+/// A borrowed wire payload for the fused decode→aggregate data path: the
+/// raw bytes of a float vector as they sit in the wire (or codec-decoded)
+/// buffer, tagged with their encoding. The streaming aggregation entry
+/// points (core/aggregate.hpp) consume these directly, so the payload is
+/// touched exactly once — no decode-then-reduce double pass. Like
+/// FloatView, the pointer borrows from a buffer the producer keeps alive.
+struct WirePayload {
+  const std::uint8_t* data = nullptr;
+  std::size_t count = 0;  // number of float values
+  WireEncoding enc = WireEncoding::kF32;
+
+  bool empty() const { return count == 0; }
+
+  /// View over an already-decoded float vector (codec paths).
+  static WirePayload f32(const float* values, std::size_t n) {
+    return {reinterpret_cast<const std::uint8_t*>(values), n,
+            WireEncoding::kF32};
+  }
+  /// View over packed float32 wire bytes (FloatView's backing storage).
+  static WirePayload f32_bytes(const std::uint8_t* bytes, std::size_t n) {
+    return {bytes, n, WireEncoding::kF32};
+  }
+  /// View over packed binary16 wire bytes (fp16 codec payloads).
+  static WirePayload f16_bytes(const std::uint8_t* bytes, std::size_t n) {
+    return {bytes, n, WireEncoding::kF16};
+  }
 };
 
 /// A decoded message whose float payloads still live in the wire buffer —

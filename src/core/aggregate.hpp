@@ -14,8 +14,11 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <span>
 #include <vector>
+
+#include "comm/message.hpp"
 
 namespace appfl::core {
 
@@ -54,5 +57,68 @@ void weighted_delta(std::span<const DeltaTerm> terms,
 /// Elements below which the reductions stay serial (chunk setup would cost
 /// more than the arithmetic saves).
 constexpr std::size_t kParallelAggregateThreshold = 16384;
+
+// -- Streaming (fused decode→aggregate) variants ------------------------------
+//
+// These consume comm::WirePayload views — the float bytes exactly as they
+// sit in the wire (or codec-decoded) buffer — so the payload is read once,
+// during aggregation, instead of decode-then-reduce touching it twice. The
+// inner loops run through the AVX2 runtime-dispatch kernels in
+// tensor/accumulate.*; fp16 payloads are widened sub-chunk by sub-chunk
+// into a thread-local scratch (an exact conversion), so every variant stays
+// bit-identical to decoding the payloads first and calling the span form —
+// at any thread count, with the same index-chunk fan-out and caller-order
+// accumulation guarantee as above.
+
+/// One streamed participant of a weighted sum.
+struct StreamTerm {
+  comm::WirePayload values;
+  float weight = 1.0F;
+};
+
+/// Streaming weighted_sum: out[i] = Σ_p weight_p · values_p[i].
+void weighted_sum_stream(std::span<const StreamTerm> terms,
+                         std::span<float> out);
+
+/// One streamed (z_p, λ_p) replica pair.
+struct ConsensusStreamTerm {
+  comm::WirePayload primal;
+  comm::WirePayload dual;
+};
+
+/// Streaming consensus_sum: out[i] = Σ_p inv_p · (z_p[i] − inv_rho · λ_p[i]).
+void consensus_sum_stream(std::span<const ConsensusStreamTerm> terms,
+                          float inv_p, float inv_rho, std::span<float> out);
+
+/// One streamed participant of a pseudo-gradient average.
+struct DeltaStreamTerm {
+  comm::WirePayload values;
+  double weight = 1.0;
+};
+
+/// Streaming weighted_delta: out[i] = Σ_p weight_p · (double(z_p[i]) −
+/// double(base[i])), accumulated in double.
+void weighted_delta_stream(std::span<const DeltaStreamTerm> terms,
+                           std::span<const float> base, std::span<double> out);
+
+/// Decodes a wire payload into `out` (sizes must match): memcpy for f32,
+/// exact widening for f16 — the store-through primitive the fused server
+/// paths use to refresh a replica while aggregating from it.
+void materialize(const comm::WirePayload& payload, std::span<float> out);
+
+/// Chunk of a wire payload: the [lo, hi) value range decoded into
+/// `dst[0 .. hi-lo)` — materialize's ranged form, for fused loops that
+/// refresh a replica chunk and immediately accumulate from it.
+void materialize_chunk(const comm::WirePayload& payload, std::size_t lo,
+                       std::size_t hi, float* dst);
+
+/// Runs fn over disjoint index ranges covering [0, n) with the exact
+/// fan-out policy (and therefore the exact bit-identity guarantee) the
+/// reductions above use: parallel over the kernel pool when the reduction
+/// is big enough, cache-sized serial blocks otherwise. For server absorb
+/// loops that interleave replica refresh with accumulation. fn must write
+/// each output element from exactly one range.
+void for_each_chunk(std::size_t n, std::size_t num_terms,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
 
 }  // namespace appfl::core

@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "comm/communicator.hpp"
 #include "comm/message.hpp"
 #include "core/checkpoint.hpp"
 #include "core/config.hpp"
@@ -146,6 +147,19 @@ class BaseServer {
   /// `global` is the w^{t+1} that was broadcast this round.
   virtual void update(const std::vector<comm::Message>& locals,
                       std::span<const float> global, std::uint32_t round) = 0;
+
+  /// Fused decode→aggregate entry point: consume a GatherBatch whose float
+  /// payloads are still wire-resident, updating server state AND the next
+  /// aggregate in one pass over the bytes. Returns true when the batch was
+  /// absorbed (the runner then skips update()); false means this server (or
+  /// this configuration — e.g. adaptive ρ needs the residual norms) has no
+  /// fused path, and the runner falls back to take_messages() + update(),
+  /// which is always bit-identical. The built-in servers override this.
+  virtual bool absorb(const comm::GatherBatch& /*batch*/,
+                      std::span<const float> /*global*/,
+                      std::uint32_t /*round*/) {
+    return false;
+  }
 
   /// Accuracy of parameters `w` on the server-held test set.
   double validate(std::span<const float> w);

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
@@ -198,6 +199,10 @@ constexpr std::uint32_t kMSimNow = 1;
 constexpr std::uint32_t kMCounter = 2;  // repeated varint, fixed order below
 constexpr std::uint32_t kMLinkKey = 3;  // repeated varint
 constexpr std::uint32_t kMLinkSeq = 4;  // repeated varint
+// Error-feedback residuals: repeated (id, values) pairs, id always first.
+// Only non-empty residuals are written; pre-int8 decoders skip both fields.
+constexpr std::uint32_t kMResidualId = 5;    // varint client index (0-based)
+constexpr std::uint32_t kMResidualVals = 6;  // packed floats
 
 // Pending fields (async in-flight dispatch).
 constexpr std::uint32_t kPFinish = 1;
@@ -312,12 +317,18 @@ void encode_comm(comm::ProtoWriter& w, const CommStateCkpt& c) {
   for (std::uint64_t v : pack_traffic(c.stats)) mw.add_varint(kMCounter, v);
   for (std::uint64_t v : c.link_keys) mw.add_varint(kMLinkKey, v);
   for (std::uint64_t v : c.link_seqs) mw.add_varint(kMLinkSeq, v);
+  for (std::size_t i = 0; i < c.ef_residuals.size(); ++i) {
+    if (c.ef_residuals[i].empty()) continue;
+    mw.add_varint(kMResidualId, i);
+    mw.add_packed_floats(kMResidualVals, c.ef_residuals[i]);
+  }
   w.add_bytes(kTComm, mw.view());
 }
 
 CommStateCkpt decode_comm(std::span<const std::uint8_t> bytes) {
   CommStateCkpt c;
   std::vector<std::uint64_t> counters;
+  std::optional<std::uint64_t> pending_residual;  // id awaiting its values
   comm::ProtoReader r(bytes);
   comm::ProtoField f;
   while (r.next(f)) {
@@ -326,9 +337,27 @@ CommStateCkpt decode_comm(std::span<const std::uint8_t> bytes) {
       case kMCounter: counters.push_back(f.varint); break;
       case kMLinkKey: c.link_keys.push_back(f.varint); break;
       case kMLinkSeq: c.link_seqs.push_back(f.varint); break;
+      case kMResidualId:
+        APPFL_CHECK_MSG(!pending_residual.has_value(),
+                        "checkpoint residual id without values");
+        APPFL_CHECK_MSG(f.varint < 1U << 20,
+                        "checkpoint residual id out of range");
+        pending_residual = f.varint;
+        break;
+      case kMResidualVals: {
+        APPFL_CHECK_MSG(pending_residual.has_value(),
+                        "checkpoint residual values without an id");
+        const auto id = static_cast<std::size_t>(*pending_residual);
+        if (c.ef_residuals.size() <= id) c.ef_residuals.resize(id + 1);
+        c.ef_residuals[id] = comm::ProtoReader::as_packed_floats(f);
+        pending_residual.reset();
+        break;
+      }
       default: break;
     }
   }
+  APPFL_CHECK_MSG(!pending_residual.has_value(),
+                  "checkpoint residual id without values");
   c.stats = unpack_traffic(counters);
   APPFL_CHECK_MSG(c.link_keys.size() == c.link_seqs.size(),
                   "checkpoint link counters are unpaired: "

@@ -109,6 +109,10 @@ struct CommStateCkpt {
   comm::TrafficStats stats;
   std::vector<std::uint64_t> link_keys;
   std::vector<std::uint64_t> link_seqs;
+  /// Per-client int8 error-feedback residuals (index = client − 1; empty
+  /// vectors when the codec is off). Encoded as (id, values) pairs so
+  /// pre-int8 decoders skip them as unknown fields — format_version stays 2.
+  std::vector<std::vector<float>> ef_residuals;
 
   bool operator==(const CommStateCkpt&) const = default;
 };

@@ -86,6 +86,14 @@ struct RunConfig {
   comm::UplinkCodec uplink_codec = comm::UplinkCodec::kNone;
   double topk_fraction = 0.1;
 
+  /// Fused decode→aggregate data path: the server consumes gathered wire
+  /// payloads directly (BaseServer::absorb) instead of materializing every
+  /// client update into an owning Message first. Bit-identical to the
+  /// unfused path by construction; servers that cannot fuse a given round
+  /// (e.g. adaptive ρ) fall back transparently. APPFL_FUSED_AGG=0/1
+  /// overrides at run start (invalid values are warned about and ignored).
+  bool fused_aggregation = true;
+
   /// FedAvg aggregation weights: I_p/I when true (objective (1)), 1/P when
   /// false (Algorithm 1's plain average). IADMM servers always use 1/P.
   bool weighted_aggregation = true;
@@ -179,6 +187,11 @@ struct CheckpointOptions {
 /// Unparseable env values are warned about on stderr and ignored, matching
 /// the APPFL_FAULT_* convention.
 CheckpointOptions checkpoint_options_from_env(const RunConfig& config);
+
+/// Resolves whether the fused decode→aggregate path is enabled:
+/// config.fused_aggregation overridden by APPFL_FUSED_AGG (0 or 1; anything
+/// else is warned about on stderr and ignored, matching APPFL_FAULT_*).
+bool fused_aggregation_from_env(const RunConfig& config);
 
 /// Resolves the run's observability policy: config fields (obs_level /
 /// trace_out / metrics_out) overridden by APPFL_OBS_LEVEL /

@@ -1,6 +1,8 @@
 #include "core/fedavg.hpp"
 
 #include "core/aggregate.hpp"
+#include "obs/trace.hpp"
+#include "tensor/accumulate.hpp"
 #include "util/check.hpp"
 
 namespace appfl::core {
@@ -55,6 +57,7 @@ FedAvgServer::FedAvgServer(const RunConfig& config,
 }
 
 std::vector<float> FedAvgServer::compute_global(std::uint32_t) {
+  if (fused_valid_) return fused_global_;
   const std::size_t m = primal_.front().size();
   APPFL_CHECK(!last_participants_.empty());
   std::vector<float> w(m, 0.0F);
@@ -77,8 +80,67 @@ std::vector<float> FedAvgServer::compute_global(std::uint32_t) {
   return w;
 }
 
+bool FedAvgServer::absorb(const comm::GatherBatch& batch,
+                          std::span<const float>, std::uint32_t round) {
+  const std::span<const comm::GatherUpdate> updates = batch.updates();
+  // Straggler policy (same as update()): an empty round leaves all state
+  // untouched, so a previously cached aggregate stays exactly right.
+  if (updates.empty()) return true;
+  if (updates.size() > num_clients()) return false;
+  const std::size_t n = primal_.front().size();
+  for (const auto& u : updates) {
+    // Anything the fused loop cannot represent falls back to the unfused
+    // path, which reproduces the historical behavior (including its error
+    // diagnostics) bit for bit.
+    if (u.round != round || u.sender < 1 || u.sender > num_clients() ||
+        !u.dual.empty() || u.primal.count != n ||
+        primal_[u.sender - 1].size() != n) {
+      return false;
+    }
+  }
+  obs::ScopedSpan span("fl.fused_absorb", "fl");
+  span.set_arg("round", round);
+  last_participants_.clear();
+  for (const auto& u : updates) {
+    sample_counts_[u.sender - 1] = u.sample_count;
+    last_participants_.push_back(u.sender - 1);
+  }
+  // Weights exactly as compute_global derives them; batch order is sorted
+  // sender order, which is last_participants_ order.
+  std::vector<float> weights(updates.size());
+  if (config().weighted_aggregation) {
+    std::uint64_t total = 0;
+    for (const auto& u : updates) total += u.sample_count;
+    APPFL_CHECK(total > 0);
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      weights[i] = static_cast<float>(
+          static_cast<double>(updates[i].sample_count) /
+          static_cast<double>(total));
+    }
+  } else {
+    const float inv = 1.0F / static_cast<float>(updates.size());
+    for (auto& w : weights) w = inv;
+  }
+  fused_global_.assign(n, 0.0F);
+  // The single pass: each chunk of each client's payload is decoded into
+  // its replica slot and immediately accumulated into the next aggregate —
+  // the wire bytes are touched exactly once.
+  for_each_chunk(n, updates.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      float* replica = primal_[updates[i].sender - 1].data() + lo;
+      materialize_chunk(updates[i].primal, lo, hi, replica);
+      tensor::axpy_f32_bytes(weights[i],
+                             reinterpret_cast<const std::uint8_t*>(replica),
+                             fused_global_.data() + lo, hi - lo);
+    }
+  });
+  fused_valid_ = true;
+  return true;
+}
+
 void FedAvgServer::update(const std::vector<comm::Message>& locals,
                           std::span<const float>, std::uint32_t round) {
+  fused_valid_ = false;
   // Straggler policy: a round where no update survived the network keeps
   // the previous aggregate untouched; otherwise the next compute_global
   // reweights by the sample counts of the clients that actually responded.
@@ -105,6 +167,7 @@ ServerStateCkpt FedAvgServer::export_state() const {
 }
 
 void FedAvgServer::import_state(const ServerStateCkpt& s) {
+  fused_valid_ = false;
   BaseServer::import_state(s);
   APPFL_CHECK_MSG(s.primal.size() == num_clients() &&
                       s.sample_counts.size() == num_clients(),

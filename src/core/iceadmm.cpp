@@ -4,6 +4,8 @@
 
 #include "core/adaptive.hpp"
 #include "core/aggregate.hpp"
+#include "obs/trace.hpp"
+#include "tensor/accumulate.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
 
@@ -67,6 +69,7 @@ IceAdmmServer::IceAdmmServer(const RunConfig& config,
 }
 
 std::vector<float> IceAdmmServer::compute_global(std::uint32_t) {
+  if (fused_valid_) return fused_w_;
   const std::size_t m = primal_.front().size();
   const float inv_p = 1.0F / static_cast<float>(primal_.size());
   const float inv_rho = 1.0F / rho_;
@@ -79,8 +82,65 @@ std::vector<float> IceAdmmServer::compute_global(std::uint32_t) {
   return w;
 }
 
+bool IceAdmmServer::absorb(const comm::GatherBatch& batch,
+                           std::span<const float>, std::uint32_t round) {
+  // Adaptive ρ consumes the residual norms update() computes on the side;
+  // the fused loop skips them, so it only runs with a constant ρ (where
+  // skipping is observably identical).
+  if (config().adaptive_rho) return false;
+  const std::span<const comm::GatherUpdate> updates = batch.updates();
+  if (updates.empty()) return true;  // straggler policy: state untouched
+  if (updates.size() > num_clients()) return false;
+  const std::size_t n = primal_.front().size();
+  for (const auto& u : updates) {
+    if (u.round != round || u.sender < 1 || u.sender > num_clients() ||
+        u.dual.empty() || u.dual.count != u.primal.count ||
+        u.primal.count != n) {
+      return false;  // unfused path reproduces the historical diagnostics
+    }
+  }
+  for (std::size_t p = 0; p < primal_.size(); ++p) {
+    if (primal_[p].size() != n || dual_[p].size() != n) return false;
+  }
+  obs::ScopedSpan span("fl.fused_absorb", "fl");
+  span.set_arg("round", round);
+  fused_w_.assign(n, 0.0F);
+  const float inv_p = 1.0F / static_cast<float>(primal_.size());
+  const float inv_rho = 1.0F / rho_;
+  for_each_chunk(n, primal_.size(), [&](std::size_t lo, std::size_t hi) {
+    // Refresh the fresh clients' replica chunks from the wire bytes...
+    for (const auto& u : updates) {
+      const std::size_t p = u.sender - 1;
+      materialize_chunk(u.primal, lo, hi, primal_[p].data() + lo);
+      materialize_chunk(u.dual, lo, hi, dual_[p].data() + lo);
+    }
+    // ...then accumulate next round's consensus over ALL P replicas (stale
+    // pairs included), in the exact term order compute_global uses.
+    std::size_t p = 0;
+    for (; p + 2 <= primal_.size(); p += 2) {
+      tensor::consensus2_f32_bytes(
+          inv_p, inv_rho,
+          reinterpret_cast<const std::uint8_t*>(primal_[p].data() + lo),
+          reinterpret_cast<const std::uint8_t*>(dual_[p].data() + lo),
+          reinterpret_cast<const std::uint8_t*>(primal_[p + 1].data() + lo),
+          reinterpret_cast<const std::uint8_t*>(dual_[p + 1].data() + lo),
+          fused_w_.data() + lo, hi - lo);
+    }
+    for (; p < primal_.size(); ++p) {
+      tensor::consensus_f32_bytes(
+          inv_p, inv_rho,
+          reinterpret_cast<const std::uint8_t*>(primal_[p].data() + lo),
+          reinterpret_cast<const std::uint8_t*>(dual_[p].data() + lo),
+          fused_w_.data() + lo, hi - lo);
+    }
+  });
+  fused_valid_ = true;  // ρ is constant here, so the cache cannot go stale
+  return true;
+}
+
 void IceAdmmServer::update(const std::vector<comm::Message>& locals,
                            std::span<const float> global, std::uint32_t round) {
+  fused_valid_ = false;
   // Straggler policy: absent clients keep their previous (z_p, λ_p) pair —
   // ICEADMM ships both on the wire, so a stale pair stays self-consistent.
   if (locals.empty()) return;
@@ -131,6 +191,7 @@ ServerStateCkpt IceAdmmServer::export_state() const {
 }
 
 void IceAdmmServer::import_state(const ServerStateCkpt& s) {
+  fused_valid_ = false;
   BaseServer::import_state(s);
   APPFL_CHECK_MSG(s.primal.size() == num_clients() &&
                       s.dual.size() == num_clients(),

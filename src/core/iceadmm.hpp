@@ -49,6 +49,12 @@ class IceAdmmServer : public BaseServer {
   std::vector<float> compute_global(std::uint32_t round) override;
   void update(const std::vector<comm::Message>& locals,
               std::span<const float> global, std::uint32_t round) override;
+  /// Fused path (constant ρ only): refreshes each fresh (z_p, λ_p) pair
+  /// from the wire bytes and accumulates next round's consensus in the same
+  /// pass. Adaptive ρ needs the residual norms the fused loop does not
+  /// compute, so it falls back — observably identical either way.
+  bool absorb(const comm::GatherBatch& batch, std::span<const float> global,
+              std::uint32_t round) override;
   float current_rho() const override { return rho_; }
 
   std::string checkpoint_kind() const override { return "iceadmm"; }
@@ -59,6 +65,10 @@ class IceAdmmServer : public BaseServer {
   std::vector<std::vector<float>> primal_;  // z_p received
   std::vector<std::vector<float>> dual_;    // λ_p received
   float rho_;                               // ρ^t (adapts when enabled)
+  // Consensus produced by the last absorb(); valid while ρ and the replica
+  // state are untouched behind it.
+  std::vector<float> fused_w_;
+  bool fused_valid_ = false;
 };
 
 }  // namespace appfl::core

@@ -4,6 +4,8 @@
 
 #include "core/adaptive.hpp"
 #include "core/aggregate.hpp"
+#include "obs/trace.hpp"
+#include "tensor/accumulate.hpp"
 #include "util/check.hpp"
 
 namespace appfl::core {
@@ -78,6 +80,7 @@ IIAdmmServer::IIAdmmServer(const RunConfig& config,
 }
 
 std::vector<float> IIAdmmServer::compute_global(std::uint32_t) {
+  if (fused_valid_) return fused_w_;
   // Line 3: w^{t+1} = (1/P) Σ (z_p^t − λ_p^t / ρ).
   const std::size_t m = primal_.front().size();
   const float inv_p = 1.0F / static_cast<float>(primal_.size());
@@ -91,8 +94,68 @@ std::vector<float> IIAdmmServer::compute_global(std::uint32_t) {
   return w;
 }
 
+bool IIAdmmServer::absorb(const comm::GatherBatch& batch,
+                          std::span<const float> global, std::uint32_t round) {
+  // Adaptive ρ consumes the residual norms update() computes on the side;
+  // the fused loop skips them, so it only runs with a constant ρ.
+  if (config().adaptive_rho) return false;
+  const std::span<const comm::GatherUpdate> updates = batch.updates();
+  if (updates.empty()) return true;  // straggler policy: state untouched
+  if (updates.size() > num_clients()) return false;
+  const std::size_t n = primal_.front().size();
+  if (global.size() != n) return false;
+  for (const auto& u : updates) {
+    if (u.round != round || u.sender < 1 || u.sender > num_clients() ||
+        !u.dual.empty() || u.primal.count != n) {
+      return false;  // unfused path reproduces the historical diagnostics
+    }
+  }
+  for (std::size_t p = 0; p < primal_.size(); ++p) {
+    if (primal_[p].size() != n || dual_[p].size() != n) return false;
+  }
+  obs::ScopedSpan span("fl.fused_absorb", "fl");
+  span.set_arg("round", round);
+  const float rho = rho_;
+  fused_w_.assign(n, 0.0F);
+  const float inv_p = 1.0F / static_cast<float>(primal_.size());
+  const float inv_rho = 1.0F / rho_;
+  for_each_chunk(n, primal_.size(), [&](std::size_t lo, std::size_t hi) {
+    for (const auto& u : updates) {
+      const std::size_t p = u.sender - 1;
+      // Store the fresh z_p chunk, then replay line 6's dual update from it
+      // — identical arithmetic, same float inputs as the unfused loop.
+      float* z = primal_[p].data() + lo;
+      materialize_chunk(u.primal, lo, hi, z);
+      tensor::dual_step(rho, global.data() + lo, z, dual_[p].data() + lo,
+                        hi - lo);
+    }
+    // Next round's consensus over ALL P replicas, in compute_global's
+    // term order.
+    std::size_t p = 0;
+    for (; p + 2 <= primal_.size(); p += 2) {
+      tensor::consensus2_f32_bytes(
+          inv_p, inv_rho,
+          reinterpret_cast<const std::uint8_t*>(primal_[p].data() + lo),
+          reinterpret_cast<const std::uint8_t*>(dual_[p].data() + lo),
+          reinterpret_cast<const std::uint8_t*>(primal_[p + 1].data() + lo),
+          reinterpret_cast<const std::uint8_t*>(dual_[p + 1].data() + lo),
+          fused_w_.data() + lo, hi - lo);
+    }
+    for (; p < primal_.size(); ++p) {
+      tensor::consensus_f32_bytes(
+          inv_p, inv_rho,
+          reinterpret_cast<const std::uint8_t*>(primal_[p].data() + lo),
+          reinterpret_cast<const std::uint8_t*>(dual_[p].data() + lo),
+          fused_w_.data() + lo, hi - lo);
+    }
+  });
+  fused_valid_ = true;  // ρ is constant here, so the cache cannot go stale
+  return true;
+}
+
 void IIAdmmServer::update(const std::vector<comm::Message>& locals,
                           std::span<const float> global, std::uint32_t round) {
+  fused_valid_ = false;
   // Straggler policy: an absent client's (z_p, λ_p) stay at their previous
   // values — sound because the dual update is duplicated on both sides, and
   // a client whose uplink was lost rolls its own dual back to match
@@ -156,6 +219,7 @@ ServerStateCkpt IIAdmmServer::export_state() const {
 }
 
 void IIAdmmServer::import_state(const ServerStateCkpt& s) {
+  fused_valid_ = false;
   BaseServer::import_state(s);
   APPFL_CHECK_MSG(s.primal.size() == num_clients() &&
                       s.dual.size() == num_clients(),

@@ -56,6 +56,12 @@ class IIAdmmServer : public BaseServer {
   std::vector<float> compute_global(std::uint32_t round) override;
   void update(const std::vector<comm::Message>& locals,
               std::span<const float> global, std::uint32_t round) override;
+  /// Fused path (constant ρ only): per chunk, replays the server-side dual
+  /// update from the wire-resident z_p, stores the fresh z_p, and
+  /// accumulates next round's consensus — one pass over the bytes.
+  /// Adaptive ρ falls back (needs the residual norms).
+  bool absorb(const comm::GatherBatch& batch, std::span<const float> global,
+              std::uint32_t round) override;
   float current_rho() const override { return rho_; }
 
   /// Server-side replica of client p's dual (1-based id; tests inspect it).
@@ -69,6 +75,10 @@ class IIAdmmServer : public BaseServer {
   std::vector<std::vector<float>> primal_;  // z_p^t
   std::vector<std::vector<float>> dual_;    // λ_p^t (server replica)
   float rho_;                               // ρ^t (adapts when enabled)
+  // Consensus produced by the last absorb(); valid while ρ and the replica
+  // state are untouched behind it.
+  std::vector<float> fused_w_;
+  bool fused_valid_ = false;
 };
 
 }  // namespace appfl::core

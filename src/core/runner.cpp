@@ -165,9 +165,17 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
     overridden.uplink_codec = wire_codec;
     overridden.validate();
   }
+  comm::CodecConfig codec_config{wire_codec, config.topk_fraction};
+  if (wire_codec == comm::UplinkCodec::kInt8Ef && config.clip > 0.0F) {
+    // Clip the pre-quantization deltas to the DP sensitivity bound — the
+    // largest honest per-round displacement — so one outlier coordinate
+    // cannot blow up a whole block's quantization scale.
+    codec_config.int8_range = config.sensitivity();
+  }
   comm::Communicator comm(config.protocol, num_clients,
-                          rng::derive_seed(config.seed, {77}),
-                          {wire_codec, config.topk_fraction}, reliability);
+                          rng::derive_seed(config.seed, {77}), codec_config,
+                          reliability);
+  const bool fused_aggregation = fused_aggregation_from_env(config);
   util::ThreadPool pool;
   rng::Rng sampler(rng::derive_seed(config.seed, {78}));
 
@@ -229,6 +237,7 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
     cs.stats = rc->comm.stats;
     cs.link_keys = rc->comm.link_keys;
     cs.link_seqs = rc->comm.link_seqs;
+    cs.ef_residuals = rc->comm.ef_residuals;
     comm.restore_persistent_state(cs);
     start_round = rc->rounds_completed + 1;
     result.resumed_from_round = rc->rounds_completed;
@@ -296,14 +305,22 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
       });
     }
 
-    // (3) Gather + server-side absorption (tolerates partial rounds).
-    const std::vector<comm::Message> locals = [&] {
+    // (3) Gather + server-side absorption (tolerates partial rounds). The
+    // batch keeps the decoded wire payloads alive so the server can absorb
+    // them in place; only when a server declines (adaptive ρ, malformed
+    // round) are owning Messages materialized for the classic update().
+    const comm::GatherBatch batch = [&] {
       APPFL_SPAN("fl.gather_phase", "fl");
-      return comm.gather_locals(round, participants.size());
+      return comm.gather_batch(round, participants.size());
     }();
     {
       APPFL_SPAN("fl.aggregate", "fl");
-      server.update(locals, w, round);
+      const bool absorbed =
+          fused_aggregation && server.absorb(batch, w, round);
+      if (!absorbed) {
+        const std::vector<comm::Message> locals = batch.take_messages();
+        server.update(locals, w, round);
+      }
     }
     const comm::TrafficStats after = comm.stats();
     round_span.set_sim(sim_round_start,
@@ -319,7 +336,7 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
     metrics.round = round;
     metrics.rho = global.rho;
     metrics.participants = participants.size();
-    metrics.responders = locals.size();
+    metrics.responders = batch.size();
     metrics.drops = after.drops - before.drops;
     metrics.retries = after.retries - before.retries;
     metrics.crc_failures = after.crc_failures - before.crc_failures;
@@ -327,9 +344,9 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
     metrics.timeouts = after.gather_timeouts - before.gather_timeouts;
     double loss_acc = 0.0;
     std::uint64_t samples = 0;
-    for (const auto& m : locals) {
-      loss_acc += m.loss * static_cast<double>(m.sample_count);
-      samples += m.sample_count;
+    for (const auto& u : batch.updates()) {
+      loss_acc += u.loss * static_cast<double>(u.sample_count);
+      samples += u.sample_count;
     }
     metrics.train_loss = samples > 0 ? loss_acc / static_cast<double>(samples) : 0.0;
     const auto& rec = comm.round_log().back();
@@ -384,6 +401,7 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
       rc.comm.stats = cs.stats;
       rc.comm.link_keys = cs.link_keys;
       rc.comm.link_seqs = cs.link_seqs;
+      rc.comm.ef_residuals = cs.ef_residuals;
       save_round_checkpoint(*store, rc);
       ++result.checkpoints_written;
     }

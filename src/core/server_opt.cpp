@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/aggregate.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace appfl::core {
@@ -65,7 +66,42 @@ void FedOptServer::update(const std::vector<comm::Message>& locals,
     terms.push_back({msg.primal, weight});
   }
   weighted_delta(terms, global, delta);
+  apply_pseudo_gradient(delta);
+}
 
+bool FedOptServer::absorb(const comm::GatherBatch& batch,
+                          std::span<const float> global, std::uint32_t round) {
+  const std::span<const comm::GatherUpdate> updates = batch.updates();
+  if (updates.empty()) return true;  // no pseudo-gradient step
+  if (updates.size() > num_clients()) return false;
+  const std::size_t n = w_.size();
+  std::uint64_t total_samples = 0;
+  for (const auto& u : updates) {
+    if (u.round != round || !u.dual.empty() || u.primal.count != n) {
+      return false;  // unfused path reproduces the historical diagnostics
+    }
+    total_samples += u.sample_count;
+  }
+  if (total_samples == 0) return false;
+  obs::ScopedSpan span("fl.fused_absorb", "fl");
+  span.set_arg("round", round);
+  std::vector<DeltaStreamTerm> terms;
+  terms.reserve(updates.size());
+  for (const auto& u : updates) {
+    const double weight = config().weighted_aggregation
+                              ? static_cast<double>(u.sample_count) /
+                                    static_cast<double>(total_samples)
+                              : 1.0 / static_cast<double>(updates.size());
+    terms.push_back({u.primal, weight});
+  }
+  std::vector<double> delta(n, 0.0);
+  weighted_delta_stream(terms, global, delta);
+  apply_pseudo_gradient(delta);
+  return true;
+}
+
+void FedOptServer::apply_pseudo_gradient(std::span<const double> delta) {
+  const std::size_t n = w_.size();
   for (std::size_t i = 0; i < n; ++i) {
     const float d = static_cast<float>(delta[i]);
     m_[i] = opt_.beta1 * m_[i] + (1.0F - opt_.beta1) * d;

@@ -40,6 +40,11 @@ class FedOptServer : public BaseServer {
   std::vector<float> compute_global(std::uint32_t round) override;
   void update(const std::vector<comm::Message>& locals,
               std::span<const float> global, std::uint32_t round) override;
+  /// Fused path: the pseudo-gradient Δ streams straight out of the
+  /// wire-resident payloads (one pass), then the identical optimizer step
+  /// runs. Bit-identical to update() on the same traffic.
+  bool absorb(const comm::GatherBatch& batch, std::span<const float> global,
+              std::uint32_t round) override;
 
   const ServerOptConfig& opt() const { return opt_; }
 
@@ -48,6 +53,9 @@ class FedOptServer : public BaseServer {
   void import_state(const ServerStateCkpt& s) override;
 
  private:
+  /// The shared server-optimizer step on an already-reduced Δ.
+  void apply_pseudo_gradient(std::span<const double> delta);
+
   ServerOptConfig opt_;
   std::vector<float> w_;        // the server-held global model
   std::vector<float> m_;        // first moment of Δ

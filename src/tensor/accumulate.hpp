@@ -1,0 +1,70 @@
+// Streaming-accumulate kernels for the fused decode→aggregate data path.
+//
+// The server-side reductions (core/aggregate.hpp) historically ran over
+// already-decoded float vectors: the comm layer copied every wire payload
+// into a fresh std::vector<float> and the aggregate loop then re-read the
+// same bytes — two full passes (plus an allocation) over hundreds of MB at
+// FEMNIST scale. These kernels consume the wire bytes directly: each one
+// reads unaligned little-endian float32 payloads (or widens IEEE binary16
+// in place) and accumulates into the caller's output in a single pass.
+//
+// Dispatch follows the GEMM engine's pattern (tensor/gemm.cpp): a scalar
+// loop defines the exact semantics, and on x86-64 an AVX2 variant is
+// selected once at runtime via __builtin_cpu_supports. The AVX2 kernels
+// mirror the scalar per-element operation order with SEPARATE multiply and
+// add (never FMA) so every result is bit-identical to the scalar loop —
+// the same discipline that keeps parallel aggregation bit-identical to the
+// serial reference at any thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace appfl::tensor {
+
+/// y[i] += a · x[i] over n unaligned little-endian float32s at `x` — the
+/// weighted_sum / FedAvg inner loop, fed straight from a wire buffer.
+void axpy_f32_bytes(float a, const std::uint8_t* x, float* y, std::size_t n);
+
+/// y[i] = ((y[i] + a1 · x1[i]) + a2 · x2[i]) — two axpy_f32_bytes sweeps in
+/// one pass over y. Bit-identical to the two single sweeps (same rounded
+/// operation sequence per element); y is loaded and stored once instead of
+/// twice, which matters when hundreds of participants stream through the
+/// same cache-resident output block.
+void axpy2_f32_bytes(float a1, const std::uint8_t* x1, float a2,
+                     const std::uint8_t* x2, float* y, std::size_t n);
+
+/// out[i] += inv_p · (z[i] − inv_rho · l[i]) over unaligned float32 bytes —
+/// the IIADMM/ICEADMM consensus line, fed from two wire payloads.
+void consensus_f32_bytes(float inv_p, float inv_rho, const std::uint8_t* z,
+                         const std::uint8_t* l, float* out, std::size_t n);
+
+/// Two consensus_f32_bytes sweeps (participants p then p+1) fused into one
+/// pass over out: out[i] = ((out[i] + t_p[i]) + t_{p+1}[i]). Bit-identical
+/// to calling the single-term kernel twice in that order; halves the
+/// output-block load/store traffic of the P-way consensus reduction.
+void consensus2_f32_bytes(float inv_p, float inv_rho, const std::uint8_t* z1,
+                          const std::uint8_t* l1, const std::uint8_t* z2,
+                          const std::uint8_t* l2, float* out, std::size_t n);
+
+/// out[i] += w · (double(z[i]) − double(base[i])) over unaligned float32
+/// bytes — FedOpt's pseudo-gradient, accumulated in double.
+void delta_f32_bytes(double w, const std::uint8_t* z, const float* base,
+                     double* out, std::size_t n);
+
+/// Widens n packed little-endian IEEE binary16 values at `src` to float32.
+/// Bitwise identical to comm::half_to_float for every input, including
+/// subnormals, ±inf, and NaN payloads (the hardware F16C conversion is the
+/// exact IEEE widening, which that routine also implements).
+void widen_f16(const std::uint8_t* src, float* dst, std::size_t n);
+
+/// l[i] += rho · (w[i] − z[i]) — the server-side IIADMM dual replica step,
+/// vectorized with the same separate mul/add ordering as the scalar loop.
+void dual_step(float rho, const float* w, const float* z, float* l,
+               std::size_t n);
+
+/// True when the runtime CPU dispatch selected the AVX2 kernels
+/// (informational — shows up in benchmark output).
+bool accumulate_uses_avx2();
+
+}  // namespace appfl::tensor

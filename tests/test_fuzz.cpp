@@ -7,6 +7,9 @@
 
 #include "util/check.hpp"
 
+#include <cstring>
+
+#include "comm/compression.hpp"
 #include "comm/envelope.hpp"
 #include "comm/message.hpp"
 #include "comm/protolite.hpp"
@@ -270,6 +273,123 @@ TEST(Fuzz, CheckpointWrongVersionAndFlavorReject) {
   EXPECT_THROW((void)appfl::core::decode_round_checkpoint(
                    appfl::core::encode_async_checkpoint(sample_async_ckpt())),
                appfl::Error);
+}
+
+std::vector<float> sample_floats(std::size_t n, std::uint64_t seed) {
+  appfl::rng::Rng r(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    x = static_cast<float>(r.uniform_below(2000)) / 1000.0F - 1.0F;
+  }
+  return v;
+}
+
+TEST(Fuzz, DecodeTopKNeverCrashes) {
+  auto decode = [](std::span<const std::uint8_t> b) {
+    (void)appfl::comm::decode_topk(b);
+  };
+  fuzz_random(decode, 3000, 21);
+  const auto valid = appfl::comm::encode_topk(
+      appfl::comm::sparsify_topk(sample_floats(300, 5), 40));
+  fuzz_mutations(valid, decode, 3000, 22);
+}
+
+TEST(Fuzz, DecodeTopKTruncationAtEveryLengthRejects) {
+  const auto valid = appfl::comm::encode_topk(
+      appfl::comm::sparsify_topk(sample_floats(100, 6), 25));
+  for (std::size_t n = 0; n < valid.size(); ++n) {
+    std::vector<std::uint8_t> cut(valid.begin(), valid.begin() + n);
+    EXPECT_THROW((void)appfl::comm::decode_topk(cut), appfl::Error)
+        << "truncation to " << n << " bytes was accepted";
+  }
+}
+
+TEST(Fuzz, DecodeTopKOversizedCountRejects) {
+  // A header claiming far more kept entries than the buffer holds must be
+  // rejected by arithmetic, not by over-reading.
+  auto bytes = appfl::comm::encode_topk(
+      appfl::comm::sparsify_topk(sample_floats(100, 7), 10));
+  const std::uint64_t huge = ~std::uint64_t{0} / 8;
+  std::memcpy(bytes.data() + 8, &huge, 8);  // k field
+  EXPECT_THROW((void)appfl::comm::decode_topk(bytes), appfl::Error);
+}
+
+TEST(Fuzz, DecodeInt8NeverCrashes) {
+  auto decode = [](std::span<const std::uint8_t> b) {
+    (void)appfl::comm::decode_int8(b);
+  };
+  fuzz_random(decode, 3000, 31);
+  const auto valid = appfl::comm::encode_int8(
+      appfl::comm::quantize_int8(sample_floats(700, 8), 0.0F, 128));
+  fuzz_mutations(valid, decode, 5000, 32);
+}
+
+TEST(Fuzz, DecodeInt8TruncationAtEveryLengthRejects) {
+  const auto valid = appfl::comm::encode_int8(
+      appfl::comm::quantize_int8(sample_floats(500, 9), 0.0F, 128));
+  for (std::size_t n = 0; n < valid.size(); ++n) {
+    std::vector<std::uint8_t> cut(valid.begin(), valid.begin() + n);
+    EXPECT_THROW((void)appfl::comm::decode_int8(cut), appfl::Error)
+        << "truncation to " << n << " bytes was accepted";
+  }
+}
+
+TEST(Fuzz, DecodeInt8MutatedHeaderRejectsOrStaysInBounds) {
+  // Every single-byte value in each of the three header fields (size,
+  // block, num_blocks) either parses or throws — never crashes. Includes
+  // block = 0 / 1, num_blocks inconsistent with size, and huge sizes.
+  const auto valid = appfl::comm::encode_int8(
+      appfl::comm::quantize_int8(sample_floats(300, 10), 0.0F, 64));
+  for (std::size_t field = 0; field < 3; ++field) {
+    for (std::uint64_t raw :
+         {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{2},
+          std::uint64_t{255}, std::uint64_t{1} << 20, ~std::uint64_t{0}}) {
+      auto bytes = valid;
+      std::memcpy(bytes.data() + 8 * field, &raw, 8);
+      try {
+        (void)appfl::comm::decode_int8(bytes);
+      } catch (const appfl::Error&) {
+      }
+    }
+  }
+}
+
+TEST(Fuzz, DecodeInt8OversizedCountRejects) {
+  auto bytes = appfl::comm::encode_int8(
+      appfl::comm::quantize_int8(sample_floats(300, 11), 0.0F, 64));
+  // size far beyond what the payload bytes can hold.
+  const std::uint64_t huge = ~std::uint64_t{0} / 2;
+  std::memcpy(bytes.data(), &huge, 8);
+  EXPECT_THROW((void)appfl::comm::decode_int8(bytes), appfl::Error);
+  // num_blocks larger than the remaining bytes could ever describe.
+  auto bytes2 = appfl::comm::encode_int8(
+      appfl::comm::quantize_int8(sample_floats(300, 12), 0.0F, 64));
+  std::memcpy(bytes2.data() + 16, &huge, 8);
+  EXPECT_THROW((void)appfl::comm::decode_int8(bytes2), appfl::Error);
+}
+
+TEST(Fuzz, SurvivingInt8MutationsRoundTripConsistently) {
+  // parse → print → parse fixpoint for every mutated buffer the int8
+  // decoder accepts (mirrors the raw-message fixpoint test).
+  appfl::rng::Rng r(33);
+  const auto valid = appfl::comm::encode_int8(
+      appfl::comm::quantize_int8(sample_floats(400, 13), 0.0F, 128));
+  int accepted = 0;
+  for (int i = 0; i < 4000; ++i) {
+    auto bytes = valid;
+    bytes[r.uniform_below(bytes.size())] ^=
+        static_cast<std::uint8_t>(1U << r.uniform_below(8));
+    try {
+      const auto q1 = appfl::comm::decode_int8(bytes);
+      const auto bytes1 = appfl::comm::encode_int8(q1);
+      const auto bytes2 =
+          appfl::comm::encode_int8(appfl::comm::decode_int8(bytes1));
+      EXPECT_EQ(bytes1, bytes2);
+      ++accepted;
+    } catch (const appfl::Error&) {
+    }
+  }
+  EXPECT_GT(accepted, 0);  // scale-byte flips are accepted (data changed)
 }
 
 TEST(Fuzz, SurvivingRawMutationsRoundTripConsistently) {
