@@ -2,12 +2,16 @@
 //
 // The paper's in-text experiment: the FEMNIST local update costs 6.96 s on a
 // V100 (Summit) vs 4.24 s on an A100 (Swing), a 1.64× imbalance. This bench
-// reproduces the numbers from the device model and then quantifies the
-// consequence the paper draws: in a synchronous round, the fast institution
-// idles while the slow one finishes.
+// reproduces the numbers from the device model, quantifies the consequence
+// the paper draws — in a synchronous round, the fast institution idles while
+// the slow one finishes — and then runs the async strategy suite (FedAsync /
+// FedBuff / FedCompass) on that exact mixed fleet to show how each one
+// converts the idle time back into useful updates.
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "core/async_runner.hpp"
+#include "data/synth.hpp"
 #include "hw/device.hpp"
 #include "util/table.hpp"
 
@@ -44,6 +48,59 @@ int main() {
   std::cout << "\nThe fast silo idles " << fmt(100.0 * (tv - ta) / tv, 1)
             << "% of every synchronous round — the load-imbalance argument\n"
                "for the asynchronous aggregation the paper lists as future "
-               "work.\n";
+               "work.\n\n";
+
+  // The remedy, measured: sync FedAvg vs each async strategy on the mixed
+  // A100/V100 fleet, same seed and total update count.
+  appfl::data::SynthImageSpec spec;
+  spec.train_per_client = 96;
+  spec.test_size = 256;
+  spec.seed = 17;
+  const auto split = appfl::data::mnist_like(spec);
+
+  appfl::core::AsyncConfig cfg;
+  cfg.run.algorithm = appfl::core::Algorithm::kFedAvg;
+  cfg.run.model = appfl::core::ModelKind::kMlp;
+  cfg.run.mlp_hidden = 32;
+  cfg.run.rounds = appfl::bench::env_size_t("APPFL_SEC4E_ROUNDS", 8);
+  cfg.run.local_steps = 2;
+  cfg.run.seed = 17;
+  cfg.devices = {a100, v100};
+  cfg.mixing_alpha = 0.6F;
+
+  appfl::util::TextTable strategies(
+      {"schedule", "sim_s", "speedup_vs_sync", "mean_staleness", "final_acc"});
+  appfl::util::CsvWriter strategy_csv({"schedule", "sim_s", "speedup_vs_sync",
+                                       "mean_staleness", "final_acc"});
+  const auto sync = appfl::core::run_sync_baseline(cfg, split);
+  strategies.add_row({"sync fedavg", fmt(sync.sim_seconds, 2), "1.00", "-",
+                      fmt(sync.final_accuracy, 3)});
+  strategy_csv.add_row({"sync", fmt(sync.sim_seconds, 3), "1.000", "0",
+                        fmt(sync.final_accuracy, 4)});
+  for (const auto kind : {appfl::core::AsyncStrategyKind::kFedAsync,
+                          appfl::core::AsyncStrategyKind::kFedBuff,
+                          appfl::core::AsyncStrategyKind::kFedCompass}) {
+    cfg.strategy.kind = kind;
+    const auto result = appfl::core::run_async(cfg, split);
+    strategies.add_row({result.strategy, fmt(result.sim_seconds, 2),
+                        fmt(sync.sim_seconds / result.sim_seconds, 2),
+                        fmt(result.mean_staleness, 2),
+                        fmt(result.final_accuracy, 3)});
+    strategy_csv.add_row({result.strategy, fmt(result.sim_seconds, 3),
+                          fmt(sync.sim_seconds / result.sim_seconds, 3),
+                          fmt(result.mean_staleness, 3),
+                          fmt(result.final_accuracy, 4)});
+  }
+  strategies.print(std::cout);
+  const std::string path =
+      appfl::bench::results_path("sec4e_strategies.csv");
+  strategy_csv.write_file(path);
+  std::cout << "\n[csv] " << path
+            << "\n\nReading: every strategy erases the barrier at the same\n"
+               "final accuracy. FedBuff's K-buffered commits slash effective\n"
+               "staleness (versions advance per commit, not per arrival);\n"
+               "FedCompass's step sizing pays off when compute, not the\n"
+               "network, dominates the client cycle (see test_async's\n"
+               "compute-bound fleet for that regime).\n";
   return 0;
 }

@@ -11,10 +11,12 @@
 #include <iostream>
 #include <limits>
 
+#include "core/async_runner.hpp"
 #include "core/checkpoint.hpp"
 #include "core/evaluation.hpp"
 #include "core/runner.hpp"
 #include "data/synth.hpp"
+#include "hw/device.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 
@@ -64,7 +66,18 @@ void print_help() {
       "  --trace-out PATH     Chrome trace JSON (requires --obs-level trace)\n"
       "  --metrics-out PATH   per-round JSONL stream (requires metrics/trace)\n"
       "  --report             print per-class recall of the final model\n"
-      "  --quiet              suppress the per-round table\n";
+      "  --quiet              suppress the per-round table\n"
+      "\n"
+      "Asynchronous mode (server absorbs updates as they arrive):\n"
+      "  --async-strategy S   fedasync | fedbuff | fedcompass — enables the\n"
+      "                       async runner (FedAvg local solver only)\n"
+      "  --staleness-weight W constant | polynomial | hinge (default polynomial)\n"
+      "  --buffer-k K         FedBuff: arrivals per commit (default 4)\n"
+      "  --mixing-alpha X     base mixing rate in (0, 1] (default 0.6)\n"
+      "  --total-updates N    async update budget (default rounds × clients)\n"
+      "  --validate-every K   validate every K applied updates (0 = end only)\n"
+      "  --fleet NAME         v100 | a100 | mixed — device fleet (default v100)\n"
+      "                       The async fault model honors --fault-drop only.\n";
 }
 
 }  // namespace
@@ -232,12 +245,161 @@ int main(int argc, char** argv) {
     const std::string save_path = args.get_string("save", "");
     const std::string load_path = args.get_string("load", "");
 
+    // -- Async mode --------------------------------------------------------
+    // Every async flag is queried unconditionally (so unknown_flags() never
+    // misfires on them), then cross-validated: async knobs without
+    // --async-strategy are usage errors, never silently ignored.
+    const bool async_mode = args.has("async-strategy");
+    const std::string async_strategy_name =
+        args.get_string("async-strategy", "");
+    const bool has_staleness_weight = args.has("staleness-weight");
+    const std::string staleness_weight_name =
+        args.get_string("staleness-weight", "polynomial");
+    const bool has_buffer_k = args.has("buffer-k");
+    const auto buffer_k_raw = args.value("buffer-k");
+    const bool has_mixing_alpha = args.has("mixing-alpha");
+    const double mixing_alpha = args.get_double("mixing-alpha", 0.6);
+    const bool has_total_updates = args.has("total-updates");
+    const long total_updates_raw = args.get_int("total-updates", 0);
+    const bool has_validate_every = args.has("validate-every");
+    const long validate_every_raw = args.get_int("validate-every", 0);
+    const bool has_fleet = args.has("fleet");
+    const std::string fleet = args.get_string("fleet", "v100");
+
+    appfl::core::AsyncConfig async_cfg;
+    if (!async_mode) {
+      const char* orphan = has_staleness_weight ? "--staleness-weight"
+                           : has_buffer_k       ? "--buffer-k"
+                           : has_mixing_alpha   ? "--mixing-alpha"
+                           : has_total_updates  ? "--total-updates"
+                           : has_validate_every ? "--validate-every"
+                           : has_fleet          ? "--fleet"
+                                                : nullptr;
+      if (orphan != nullptr) {
+        std::cerr << orphan << " requires --async-strategy\n(use --help)\n";
+        return 2;
+      }
+    } else {
+      if (args.has("algorithm") && alg != "fedavg") {
+        std::cerr << "--async-strategy runs the FedAvg local solver; "
+                     "--algorithm " << alg << " is not supported\n"
+                     "(use --help)\n";
+        return 2;
+      }
+      cfg.algorithm = appfl::core::Algorithm::kFedAvg;
+      const auto kind = appfl::core::parse_async_strategy(async_strategy_name);
+      if (!kind.has_value()) {
+        std::cerr << "unknown --async-strategy '" << async_strategy_name
+                  << "' (expected fedasync|fedbuff|fedcompass)\n"
+                     "(use --help)\n";
+        return 2;
+      }
+      async_cfg.strategy.kind = *kind;
+      const auto weight =
+          appfl::core::parse_staleness_weight(staleness_weight_name);
+      if (!weight.has_value()) {
+        std::cerr << "unknown --staleness-weight '" << staleness_weight_name
+                  << "' (expected constant|polynomial|hinge)\n"
+                     "(use --help)\n";
+        return 2;
+      }
+      async_cfg.strategy.weight = *weight;
+      if (has_buffer_k) {
+        char* end = nullptr;
+        const long parsed = buffer_k_raw.has_value()
+                                ? std::strtol(buffer_k_raw->c_str(), &end, 10)
+                                : 0;
+        if (!buffer_k_raw.has_value() || end == buffer_k_raw->c_str() ||
+            *end != '\0' || parsed < 1) {
+          std::cerr << "--buffer-k expects a positive integer, got '"
+                    << buffer_k_raw.value_or("") << "'\n(use --help)\n";
+          return 2;
+        }
+        async_cfg.strategy.buffer_k = static_cast<std::size_t>(parsed);
+      }
+      if (!(mixing_alpha > 0.0 && mixing_alpha <= 1.0)) {
+        std::cerr << "--mixing-alpha must be in (0, 1], got " << mixing_alpha
+                  << "\n(use --help)\n";
+        return 2;
+      }
+      async_cfg.mixing_alpha = static_cast<float>(mixing_alpha);
+      if (total_updates_raw < 0 || validate_every_raw < 0) {
+        std::cerr << "--total-updates / --validate-every must be >= 0\n"
+                     "(use --help)\n";
+        return 2;
+      }
+      async_cfg.total_updates = static_cast<std::size_t>(total_updates_raw);
+      async_cfg.validate_every = static_cast<std::size_t>(validate_every_raw);
+      if (fleet == "v100") {
+        async_cfg.devices = {appfl::hw::v100()};
+      } else if (fleet == "a100") {
+        async_cfg.devices = {appfl::hw::a100()};
+      } else if (fleet == "mixed") {
+        async_cfg.devices = {appfl::hw::a100(), appfl::hw::v100()};
+      } else {
+        std::cerr << "unknown --fleet '" << fleet
+                  << "' (expected v100|a100|mixed)\n(use --help)\n";
+        return 2;
+      }
+      if (!save_path.empty() || !load_path.empty() || report ||
+          codec != "none") {
+        std::cerr << "--save/--load/--report/--codec are not supported with "
+                     "--async-strategy\n(use --help)\n";
+        return 2;
+      }
+    }
+
     const auto unknown = args.unknown_flags();
     if (!unknown.empty()) {
       std::cerr << "unknown flag(s):";
       for (const auto& f : unknown) std::cerr << " --" << f;
       std::cerr << "\n(use --help)\n";
       return 2;
+    }
+
+    // -- Run (async) -------------------------------------------------------
+    if (async_mode) {
+      async_cfg.run = cfg;
+      std::cout << "appfl_cli: async " << async_strategy_name << " ("
+                << staleness_weight_name << " staleness weighting) on "
+                << split.name << " (" << split.num_clients() << " clients, "
+                << fleet << " fleet)\n\n";
+      const auto result = appfl::core::run_async(async_cfg, split);
+
+      appfl::util::TextTable table({"update", "client", "staleness", "mixing",
+                                    "committed", "test_acc", "sim_s"});
+      appfl::util::CsvWriter csv({"update", "client", "staleness", "mixing",
+                                  "committed", "test_acc", "sim_s"});
+      for (std::size_t i = 0; i < result.events.size(); ++i) {
+        const auto& e = result.events[i];
+        const std::vector<std::string> row{
+            std::to_string(i + 1), std::to_string(e.client),
+            std::to_string(e.staleness), fmt(e.mixing, 4),
+            e.committed ? "yes" : "no",
+            e.test_accuracy < 0 ? "-" : fmt(e.test_accuracy, 4),
+            fmt(e.sim_time, 3)};
+        table.add_row(row);
+        csv.add_row(row);
+      }
+      if (!quiet) table.print(std::cout);
+      if (!csv_path.empty()) {
+        csv.write_file(csv_path);
+        std::cout << "[csv] " << csv_path << "\n";
+      }
+      std::cout << "\nstrategy: " << result.strategy
+                << "\napplied updates: " << result.applied_updates
+                << " (committed " << result.committed_updates << ", dropped "
+                << result.dropped_updates << ")"
+                << "\nmean staleness: " << fmt(result.mean_staleness, 3)
+                << "\nsimulated seconds: " << fmt(result.sim_seconds, 2)
+                << "\nfinal accuracy: " << fmt(result.final_accuracy, 4)
+                << "\n";
+      if (result.resumed_from_update > 0 || result.checkpoints_written > 0) {
+        std::cout << "[ckpt] resumed after update "
+                  << result.resumed_from_update << ", wrote "
+                  << result.checkpoints_written << " checkpoint(s)\n";
+      }
+      return 0;
     }
 
     // -- Run ---------------------------------------------------------------------

@@ -175,6 +175,17 @@ constexpr std::uint32_t kTStalenessSum = 18;
 constexpr std::uint32_t kTSimSeconds = 19;
 constexpr std::uint32_t kTPending = 20;   // repeated
 constexpr std::uint32_t kTInFlight = 21;  // repeated packed floats
+// Async strategy state (optional: absent on pre-strategy checkpoints, and
+// pre-strategy decoders skip them as unknown fields).
+constexpr std::uint32_t kTStrategy = 22;       // string
+constexpr std::uint32_t kTBufferVals = 23;     // repeated packed floats
+constexpr std::uint32_t kTBufferWeight = 24;   // packed floats
+constexpr std::uint32_t kTAssignedSteps = 25;  // repeated varint
+constexpr std::uint32_t kTDropped = 26;        // varint
+constexpr std::uint32_t kTFaultRng = 27;       // repeated varint ×4
+constexpr std::uint32_t kTServerPrimal = 28;   // repeated packed floats
+constexpr std::uint32_t kTServerDual = 29;     // repeated packed floats
+constexpr std::uint32_t kTWSent = 30;          // repeated packed floats
 
 // ClientStateCkpt fields.
 constexpr std::uint32_t kCId = 1;
@@ -493,6 +504,21 @@ std::vector<std::uint8_t> encode_async_checkpoint(const AsyncCheckpoint& ckpt) {
   }
   for (const auto& z : ckpt.in_flight) w.add_packed_floats(kTInFlight, z);
   for (const auto& c : ckpt.clients) encode_client(w, c);
+  if (!ckpt.strategy.empty()) w.add_string(kTStrategy, ckpt.strategy);
+  for (const auto& d : ckpt.buffer) w.add_packed_floats(kTBufferVals, d);
+  if (!ckpt.buffer_weights.empty()) {
+    w.add_packed_floats(kTBufferWeight, ckpt.buffer_weights);
+  }
+  for (std::uint64_t s : ckpt.assigned_steps) w.add_varint(kTAssignedSteps, s);
+  if (ckpt.dropped_updates != 0) w.add_varint(kTDropped, ckpt.dropped_updates);
+  bool fault_rng_used = false;
+  for (std::uint64_t word : ckpt.fault_rng) fault_rng_used |= word != 0;
+  if (fault_rng_used) {
+    for (std::uint64_t word : ckpt.fault_rng) w.add_varint(kTFaultRng, word);
+  }
+  for (const auto& v : ckpt.server_primal) w.add_packed_floats(kTServerPrimal, v);
+  for (const auto& v : ckpt.server_dual) w.add_packed_floats(kTServerDual, v);
+  for (const auto& v : ckpt.w_sent) w.add_packed_floats(kTWSent, v);
   return seal(std::move(w));
 }
 
@@ -502,6 +528,7 @@ AsyncCheckpoint decode_async_checkpoint(std::span<const std::uint8_t> bytes) {
   ckpt.format_version = 0;
   std::uint64_t flavor = 0;
   std::vector<std::uint64_t> jitter;
+  std::vector<std::uint64_t> fault_rng;
   comm::ProtoReader r(body);
   comm::ProtoField f;
   while (r.next(f)) {
@@ -548,6 +575,25 @@ AsyncCheckpoint decode_async_checkpoint(std::span<const std::uint8_t> bytes) {
         ckpt.in_flight.push_back(comm::ProtoReader::as_packed_floats(f));
         break;
       case kTClient: ckpt.clients.push_back(decode_client(f.bytes)); break;
+      case kTStrategy: ckpt.strategy = comm::ProtoReader::as_string(f); break;
+      case kTBufferVals:
+        ckpt.buffer.push_back(comm::ProtoReader::as_packed_floats(f));
+        break;
+      case kTBufferWeight:
+        ckpt.buffer_weights = comm::ProtoReader::as_packed_floats(f);
+        break;
+      case kTAssignedSteps: ckpt.assigned_steps.push_back(f.varint); break;
+      case kTDropped: ckpt.dropped_updates = f.varint; break;
+      case kTFaultRng: fault_rng.push_back(f.varint); break;
+      case kTServerPrimal:
+        ckpt.server_primal.push_back(comm::ProtoReader::as_packed_floats(f));
+        break;
+      case kTServerDual:
+        ckpt.server_dual.push_back(comm::ProtoReader::as_packed_floats(f));
+        break;
+      case kTWSent:
+        ckpt.w_sent.push_back(comm::ProtoReader::as_packed_floats(f));
+        break;
       default: break;
     }
   }
@@ -570,6 +616,24 @@ AsyncCheckpoint decode_async_checkpoint(std::span<const std::uint8_t> bytes) {
                   "async checkpoint in-flight table has "
                       << ckpt.in_flight.size() << " entries for "
                       << ckpt.num_clients << " clients");
+  APPFL_CHECK_MSG(fault_rng.empty() || fault_rng.size() == 4,
+                  "async checkpoint fault-rng state has " << fault_rng.size()
+                                                          << " words");
+  for (std::size_t i = 0; i < fault_rng.size(); ++i) {
+    ckpt.fault_rng[i] = fault_rng[i];
+  }
+  APPFL_CHECK_MSG(ckpt.buffer.size() == ckpt.buffer_weights.size(),
+                  "async checkpoint buffer has " << ckpt.buffer.size()
+                      << " deltas but " << ckpt.buffer_weights.size()
+                      << " weights");
+  APPFL_CHECK_MSG(ckpt.assigned_steps.empty() ||
+                      ckpt.assigned_steps.size() == ckpt.num_clients,
+                  "async checkpoint step plan has "
+                      << ckpt.assigned_steps.size() << " entries for "
+                      << ckpt.num_clients << " clients");
+  APPFL_CHECK_MSG(ckpt.server_primal.size() == ckpt.server_dual.size() &&
+                      ckpt.server_primal.size() == ckpt.w_sent.size(),
+                  "async checkpoint ADMM replica tables are unpaired");
   return ckpt;
 }
 

@@ -156,8 +156,23 @@ struct AsyncCheckpoint {
     bool operator==(const Pending&) const = default;
   };
   std::vector<Pending> queue;          // in-flight dispatches
-  std::vector<std::vector<float>> in_flight;  // z computed at dispatch
+  std::vector<std::vector<float>> in_flight;  // payloads computed at dispatch
   std::vector<ClientStateCkpt> clients;
+
+  // Strategy-resumable state. All encoded as optional tags that pre-strategy
+  // decoders skip as unknown fields, so format_version stays 2. An empty
+  // `strategy` means a legacy checkpoint: FedAsync with polynomial weighting
+  // (the only scheme that existed when those files were written).
+  std::string strategy;                // "fedasync"|"fedbuff"|"fedcompass"|
+                                       // "iiadmm"; cross-checked on resume
+  std::vector<std::vector<float>> buffer;  // FedBuff: buffered deltas
+  std::vector<float> buffer_weights;       // FedBuff: α_s per buffered delta
+  std::vector<std::uint64_t> assigned_steps;  // FedCompass per-client steps
+  std::uint64_t dropped_updates = 0;   // fault-plane ledger
+  std::array<std::uint64_t, 4> fault_rng{};   // drop stream; all-zero = unused
+  std::vector<std::vector<float>> server_primal;  // IIADMM z_p replicas
+  std::vector<std::vector<float>> server_dual;    // IIADMM λ_p replicas
+  std::vector<std::vector<float>> w_sent;  // IIADMM per-client broadcast w
 
   bool operator==(const AsyncCheckpoint&) const = default;
 };

@@ -37,21 +37,41 @@ void Counter::reset() {
 Histogram::Histogram(std::string name, double min, double max,
                      std::size_t buckets)
     : name_(std::move(name)) {
-  APPFL_CHECK_MSG(min > 0.0 && max > min,
-                  "histogram '" << name_ << "' needs 0 < min < max");
+  APPFL_CHECK_MSG(min >= 0.0 && max > min,
+                  "histogram '" << name_ << "' needs 0 <= min < max");
   APPFL_CHECK_MSG(buckets >= 1 && buckets <= kMaxHistogramBuckets,
                   "histogram '" << name_ << "' bucket count " << buckets
                                 << " outside [1, " << kMaxHistogramBuckets
                                 << "]");
   bounds_.resize(buckets + 1);
-  const double log_min = std::log(min);
-  const double step = (std::log(max) - log_min) / static_cast<double>(buckets);
-  for (std::size_t i = 0; i <= buckets; ++i) {
-    bounds_[i] = std::exp(log_min + step * static_cast<double>(i));
+  if (min == 0.0) {
+    // Zero-anchored mode: bucket 0 is exactly [0, 1) and the remaining
+    // buckets are geometric from 1 to max. A log-scale ladder cannot start
+    // at 0, but integer-valued signals (update staleness, retry counts)
+    // have 0 as a — often modal — legitimate value that must stay visible
+    // in the export rather than leak into an underflow bucket.
+    APPFL_CHECK_MSG(max > 1.0, "histogram '" << name_
+                                             << "' zero-anchored needs max > 1");
+    APPFL_CHECK_MSG(buckets >= 2, "histogram '"
+                                      << name_
+                                      << "' zero-anchored needs >= 2 buckets");
+    const double step = std::log(max) / static_cast<double>(buckets - 1);
+    for (std::size_t i = 1; i <= buckets; ++i) {
+      bounds_[i] = std::exp(step * static_cast<double>(i - 1));
+    }
+    bounds_[0] = 0.0;
+    bounds_[1] = 1.0;
+  } else {
+    const double log_min = std::log(min);
+    const double step =
+        (std::log(max) - log_min) / static_cast<double>(buckets);
+    for (std::size_t i = 0; i <= buckets; ++i) {
+      bounds_[i] = std::exp(log_min + step * static_cast<double>(i));
+    }
+    bounds_.front() = min;
   }
   // Pin the ends exactly so bucket_index(min)==0 and >=max overflows by
   // comparison, not by floating-point luck.
-  bounds_.front() = min;
   bounds_.back() = max;
 }
 

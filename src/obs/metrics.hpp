@@ -80,6 +80,12 @@ class Gauge {
 /// the last bucket (both still counted — nothing is dropped). Boundaries
 /// are precomputed once and indexed by binary search, so record() and the
 /// snapshot agree bit-for-bit on every edge.
+///
+/// Zero-anchored mode: with `min == 0` (needs max > 1 and >= 2 buckets),
+/// bucket 0 covers exactly [0, 1) and the remaining buckets run
+/// geometrically from 1 to `max` — for integer-valued signals like update
+/// staleness whose modal value 0 must appear in the export, not in an
+/// underflow bucket.
 class Histogram {
  public:
   void record(double v);

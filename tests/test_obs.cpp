@@ -168,6 +168,34 @@ TEST(ObsHistogram, BucketBoundariesAreConsistentWithIndexing) {
   EXPECT_EQ(h.bucket_index(std::nan("")), 0u);
 }
 
+TEST(ObsHistogram, ZeroAnchoredModeCoversZeroInAVisibleBucket) {
+  // min == 0 lays out bucket 0 as exactly [0, 1) with a geometric ladder
+  // from 1 to max behind it — integer signals (staleness) keep their modal
+  // zero in the export instead of an underflow bucket.
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("staleness", 0.0, 1024.0, 25);
+  ASSERT_EQ(h.num_buckets(), 25u);
+  EXPECT_DOUBLE_EQ(h.lower_bound(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.upper_bound(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.upper_bound(24), 1024.0);
+  EXPECT_EQ(h.bucket_index(0.0), 0u);
+  EXPECT_EQ(h.bucket_index(0.99), 0u);
+  EXPECT_EQ(h.bucket_index(1.0), 1u);
+  EXPECT_EQ(h.bucket_index(1024.0), 24u);
+  EXPECT_EQ(h.bucket_index(std::nan("")), 0u);
+  h.record(0.0);
+  h.record(0.0);
+  h.record(3.0);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  const obs::HistogramSnapshot* hs = snap.histogram("staleness");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->buckets[0], 2u);
+  EXPECT_EQ(hs->count, 3u);
+  // Zero-anchored needs a >1 max and >= 2 buckets; degenerate layouts throw.
+  EXPECT_THROW(reg.histogram("bad0", 0.0, 0.5, 8), appfl::Error);
+  EXPECT_THROW(reg.histogram("bad1", 0.0, 64.0, 1), appfl::Error);
+}
+
 TEST(ObsHistogram, RecordAndSnapshotAgree) {
   obs::MetricsRegistry reg;
   obs::Histogram& h = reg.histogram("lat", 1e-6, 10.0, 16);
