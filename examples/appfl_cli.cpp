@@ -12,6 +12,7 @@
 #include <limits>
 
 #include "core/async_runner.hpp"
+#include "core/event_engine.hpp"
 #include "core/checkpoint.hpp"
 #include "core/evaluation.hpp"
 #include "core/runner.hpp"
@@ -68,6 +69,16 @@ void print_help() {
       "  --report             print per-class recall of the final model\n"
       "  --quiet              suppress the per-round table\n"
       "\n"
+      "Population mode (event-driven engine, sampled rounds over a lazy\n"
+      "synthetic population; FedAvg/FedProx only):\n"
+      "  --population N       total synthetic clients (enables the engine)\n"
+      "  --participants K     sampled clients per round (default 100)\n"
+      "  --tree-fanout F      leader/sub-leader aggregation tree fan-out;\n"
+      "                       0 = flat gather (default 0; byte-identical\n"
+      "                       result either way)\n"
+      "  --mailbox-cap N      per-mailbox high-water mark, 0 = unbounded\n"
+      "                       (overflowed sends are dropped and counted)\n"
+      "\n"
       "Asynchronous mode (server absorbs updates as they arrive):\n"
       "  --async-strategy S   fedasync | fedbuff | fedcompass — enables the\n"
       "                       async runner (FedAvg local solver only)\n"
@@ -92,13 +103,17 @@ int main(int argc, char** argv) {
 
   try {
     // -- Dataset ---------------------------------------------------------------
+    const bool population_mode = args.has("population");
     const std::string dataset = args.get_string("dataset", "mnist");
     const std::size_t clients =
         static_cast<std::size_t>(args.get_int("clients", 4));
     const std::size_t per_client =
         static_cast<std::size_t>(args.get_int("per-client", 96));
     appfl::data::FederatedSplit split;
-    if (dataset == "femnist") {
+    if (population_mode) {
+      // Population mode owns its (FEMNIST-style) data generator; the split
+      // is never built. Conflicting dataset flags are caught below.
+    } else if (dataset == "femnist") {
       appfl::data::FemnistSpec spec;
       spec.num_writers = static_cast<std::size_t>(args.get_int("writers", 16));
       spec.mean_samples_per_writer = per_client;
@@ -266,6 +281,76 @@ int main(int argc, char** argv) {
     const bool has_fleet = args.has("fleet");
     const std::string fleet = args.get_string("fleet", "v100");
 
+    // -- Population mode ---------------------------------------------------
+    // Same pattern as async: every flag is queried unconditionally, then
+    // cross-validated so orphans are usage errors rather than silent no-ops.
+    const long population_raw = args.get_int("population", 0);
+    const bool has_participants = args.has("participants");
+    const long participants_raw = args.get_int("participants", 100);
+    const bool has_tree_fanout = args.has("tree-fanout");
+    const long tree_fanout_raw = args.get_int("tree-fanout", 0);
+    const long mailbox_cap_raw = args.get_int("mailbox-cap", 0);
+    if (mailbox_cap_raw < 0) {
+      std::cerr << "--mailbox-cap must be >= 0 (0 = unbounded)\n"
+                   "(use --help)\n";
+      return 2;
+    }
+    // The mailbox cap is a general comm guardrail — valid for the flat
+    // runner too, not only the population engine.
+    cfg.mailbox_capacity = static_cast<std::size_t>(mailbox_cap_raw);
+    if (!population_mode) {
+      const char* orphan = has_participants  ? "--participants"
+                           : has_tree_fanout ? "--tree-fanout"
+                                             : nullptr;
+      if (orphan != nullptr) {
+        std::cerr << orphan << " requires --population\n(use --help)\n";
+        return 2;
+      }
+    } else {
+      if (args.has("async-strategy")) {
+        std::cerr << "--population and --async-strategy are mutually "
+                     "exclusive\n(use --help)\n";
+        return 2;
+      }
+      if (args.has("dataset") || args.has("clients") || args.has("writers")) {
+        std::cerr << "--population generates its own FEMNIST-style data; "
+                     "--dataset/--clients/--writers do not apply\n"
+                     "(use --help)\n";
+        return 2;
+      }
+      if (args.has("fraction")) {
+        std::cerr << "--fraction does not apply to --population; use "
+                     "--participants K\n(use --help)\n";
+        return 2;
+      }
+      if (!args.has("algorithm")) {
+        cfg.algorithm = appfl::core::Algorithm::kFedAvg;
+      } else if (alg != "fedavg" && alg != "fedprox") {
+        std::cerr << "--population supports fedavg|fedprox only\n"
+                     "(use --help)\n";
+        return 2;
+      }
+      if (population_raw < 1 || participants_raw < 1 ||
+          participants_raw > population_raw) {
+        std::cerr << "--population/--participants must satisfy "
+                     "1 <= participants <= population\n(use --help)\n";
+        return 2;
+      }
+      if (tree_fanout_raw < 0 || tree_fanout_raw == 1) {
+        std::cerr << "--tree-fanout must be 0 (flat) or >= 2\n"
+                     "(use --help)\n";
+        return 2;
+      }
+      cfg.population = static_cast<std::size_t>(population_raw);
+      cfg.participants_per_round = static_cast<std::size_t>(participants_raw);
+      cfg.tree_fan_out = static_cast<std::size_t>(tree_fanout_raw);
+      if (!save_path.empty() || !load_path.empty() || report) {
+        std::cerr << "--save/--load/--report are not supported with "
+                     "--population\n(use --help)\n";
+        return 2;
+      }
+    }
+
     appfl::core::AsyncConfig async_cfg;
     if (!async_mode) {
       const char* orphan = has_staleness_weight ? "--staleness-weight"
@@ -355,6 +440,64 @@ int main(int argc, char** argv) {
       for (const auto& f : unknown) std::cerr << " --" << f;
       std::cerr << "\n(use --help)\n";
       return 2;
+    }
+
+    // -- Run (population engine) -------------------------------------------
+    if (population_mode) {
+      cfg = appfl::core::scaling_config_from_env(cfg);
+      appfl::data::FemnistSpec spec;
+      spec.num_writers = cfg.population;
+      spec.mean_samples_per_writer = per_client;
+      spec.test_size = 256;
+      spec.seed = cfg.seed;
+      const appfl::data::SyntheticPopulation pop(spec);
+      std::cout << "appfl_cli: " << appfl::core::to_string(cfg.algorithm)
+                << " population engine (" << cfg.population << " clients, "
+                << cfg.participants_per_round << " sampled/round, "
+                << (cfg.tree_fan_out == 0
+                        ? std::string("flat gather")
+                        : "tree fan-out " + std::to_string(cfg.tree_fan_out))
+                << ", " << appfl::comm::to_string(cfg.protocol) << ")\n\n";
+      const auto result = appfl::core::run_population(cfg, pop);
+
+      appfl::util::TextTable table({"round", "participants", "responders",
+                                    "train_loss", "test_acc", "comm_s"});
+      appfl::util::CsvWriter csv({"round", "participants", "responders",
+                                  "train_loss", "test_acc", "comm_s"});
+      for (const auto& r : result.run.rounds) {
+        const std::vector<std::string> row{
+            std::to_string(r.round), std::to_string(r.participants),
+            std::to_string(r.responders), fmt(r.train_loss, 4),
+            r.test_accuracy < 0 ? "-" : fmt(r.test_accuracy, 4),
+            fmt(r.broadcast_s + r.gather_s, 3)};
+        table.add_row(row);
+        csv.add_row(row);
+      }
+      if (!quiet) table.print(std::cout);
+      if (!csv_path.empty()) {
+        csv.write_file(csv_path);
+        std::cout << "[csv] " << csv_path << "\n";
+      }
+      const auto& eng = result.engine;
+      std::cout << "\nfinal accuracy: " << fmt(result.run.final_accuracy, 4)
+                << "\nuplink: " << result.run.traffic.bytes_up / 1024
+                << " KiB, downlink: " << result.run.traffic.bytes_down / 1024
+                << " KiB, simulated comm: "
+                << fmt(result.run.sim_comm_seconds, 2) << " s"
+                << "\nengine: " << eng.events_processed << " events in "
+                << fmt(eng.wall_seconds, 2) << " s ("
+                << fmt(eng.events_per_second, 0) << " ev/s), peak RSS "
+                << eng.peak_rss_bytes / (1024 * 1024) << " MiB, tree depth "
+                << eng.tree_depth << " (" << eng.tree_leaf_groups
+                << " leaf groups), mailbox overflows "
+                << eng.mailbox_overflows << "\n";
+      if (result.run.resumed_from_round > 0 ||
+          result.run.checkpoints_written > 0) {
+        std::cout << "[ckpt] resumed after round "
+                  << result.run.resumed_from_round << ", wrote "
+                  << result.run.checkpoints_written << " checkpoint(s)\n";
+      }
+      return 0;
     }
 
     // -- Run (async) -------------------------------------------------------

@@ -86,7 +86,8 @@ Communicator::Communicator(Protocol protocol, std::size_t num_clients,
       codec_(codec),
       reliability_(std::move(reliability)),
       network_(num_clients + 1, reliability_.faults,
-               rng::derive_seed(seed, {kFaultNetStream})) {
+               rng::derive_seed(seed, {kFaultNetStream}),
+               reliability_.mailbox_capacity) {
   APPFL_CHECK_MSG(num_clients >= 1, "need at least one client");
   APPFL_CHECK(codec_.topk_fraction > 0.0 && codec_.topk_fraction <= 1.0);
   APPFL_CHECK_MSG(codec_.int8_range >= 0.0,
@@ -696,6 +697,9 @@ TrafficStats Communicator::stats() const {
   s.reorders = f.reorders;
   s.corruptions = f.corruptions;
   s.delays = f.delays;
+  // stats_.mailbox_overflows only carries a restored pre-crash base (the
+  // live count lives in the network's mailboxes), so add rather than assign.
+  s.mailbox_overflows += network_.mailbox_overflows();
   return s;
 }
 

@@ -82,6 +82,11 @@ struct ReliabilityConfig {
   double backoff_cap_s = 4.0;
   /// Retransmissions attempted after the first send of an update.
   std::size_t max_retries = 4;
+  /// Per-mailbox high-water mark (queued datagrams); 0 = unbounded. Pushes
+  /// beyond the mark are rejected and counted in
+  /// TrafficStats::mailbox_overflows — a guardrail against unbounded
+  /// std::deque growth under misconfigured fan-in, not a scheduling device.
+  std::size_t mailbox_capacity = 0;
 };
 
 /// Byte/message counters, split by direction, plus fault-plane counters
@@ -105,8 +110,13 @@ struct TrafficStats {
   std::uint64_t crc_failures = 0;   // corrupted envelopes caught at decode
   std::uint64_t discards = 0;       // duplicate/stale/malformed discards
   std::uint64_t gather_timeouts = 0;  // gathers that hit the deadline short
+  std::uint64_t mailbox_overflows = 0;  // datagrams rejected by the high-water
+                                        // mark (ReliabilityConfig::
+                                        // mailbox_capacity)
 
   std::uint64_t total_bytes() const { return bytes_up + bytes_down; }
+
+  bool operator==(const TrafficStats&) const = default;
 };
 
 /// Per-round simulated communication times.

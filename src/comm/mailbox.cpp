@@ -159,20 +159,35 @@ FaultConfig fault_config_from_env(FaultConfig base) {
   return base;
 }
 
-void Mailbox::push(Datagram d) {
+bool Mailbox::push(Datagram d) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (capacity_ > 0 && queue_.size() >= capacity_) {
+      ++overflows_;
+      return false;
+    }
     queue_.push_back(std::move(d));
   }
   cv_.notify_one();
+  return true;
 }
 
-void Mailbox::push_front(Datagram d) {
+bool Mailbox::push_front(Datagram d) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (capacity_ > 0 && queue_.size() >= capacity_) {
+      ++overflows_;
+      return false;
+    }
     queue_.push_front(std::move(d));
   }
   cv_.notify_one();
+  return true;
+}
+
+std::uint64_t Mailbox::overflows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return overflows_;
 }
 
 Datagram Mailbox::pop() {
@@ -217,13 +232,22 @@ std::size_t Mailbox::size() const {
 }
 
 InProcNetwork::InProcNetwork(std::size_t num_endpoints, FaultConfig faults,
-                             std::uint64_t seed)
+                             std::uint64_t seed, std::size_t mailbox_capacity)
     : boxes_(num_endpoints) {
   APPFL_CHECK_MSG(num_endpoints >= 2,
                   "a network needs at least a server and one client");
+  if (mailbox_capacity > 0) {
+    for (Mailbox& box : boxes_) box.set_capacity(mailbox_capacity);
+  }
   if (faults.enabled()) {
     injector_ = std::make_unique<FaultInjector>(std::move(faults), seed);
   }
+}
+
+std::uint64_t InProcNetwork::mailbox_overflows() const {
+  std::uint64_t total = 0;
+  for (const Mailbox& box : boxes_) total += box.overflows();
+  return total;
 }
 
 InProcNetwork::SendOutcome InProcNetwork::send(std::uint32_t from,
@@ -233,7 +257,7 @@ InProcNetwork::SendOutcome InProcNetwork::send(std::uint32_t from,
   APPFL_CHECK_MSG(from < boxes_.size(), "bad sender endpoint " << from);
   APPFL_CHECK_MSG(to < boxes_.size(), "bad receiver endpoint " << to);
   if (!injector_) {
-    boxes_[to].push({from, std::move(bytes), now});
+    if (!boxes_[to].push({from, std::move(bytes), now})) return {false, now};
     return {true, now};
   }
   const FaultInjector::Verdict v = injector_->judge(from, to, bytes.size());
@@ -243,12 +267,16 @@ InProcNetwork::SendOutcome InProcNetwork::send(std::uint32_t from,
   Datagram d{from, std::move(bytes), at};
   std::optional<Datagram> dup;
   if (v.duplicate) dup = d;  // identical second delivery
+  bool delivered;
   if (v.reorder) {
-    boxes_[to].push_front(std::move(d));
+    delivered = boxes_[to].push_front(std::move(d));
   } else {
-    boxes_[to].push(std::move(d));
+    delivered = boxes_[to].push(std::move(d));
   }
+  // The duplicate is an extra delivery: losing it to the high-water mark
+  // only costs the redundant copy, never the outcome the sender sees.
   if (dup) boxes_[to].push(std::move(*dup));
+  if (!delivered) return {false, now};
   return {true, at, v.corrupt};
 }
 

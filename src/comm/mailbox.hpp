@@ -106,13 +106,29 @@ class FaultInjector {
 /// are warned about on stderr and ignored rather than silently read as 0.
 FaultConfig fault_config_from_env(FaultConfig base);
 
-/// Unbounded MPSC queue with blocking and non-blocking receive.
+/// MPSC queue with blocking and non-blocking receive. Unbounded by default;
+/// set_capacity installs a high-water mark so a misconfigured sender burst
+/// (e.g. a 100k-client fan-in aimed at one box) degrades into counted drops
+/// instead of unbounded std::deque growth.
 class Mailbox {
  public:
-  void push(Datagram d);
+  /// High-water mark: pushes beyond `cap` queued datagrams are rejected and
+  /// counted. 0 (the default) = unbounded, bit-identical to the pre-cap
+  /// mailbox. Not thread-safe against concurrent push/pop — configure
+  /// before traffic flows.
+  void set_capacity(std::size_t cap) { capacity_ = cap; }
+  std::size_t capacity() const { return capacity_; }
 
-  /// Front-of-queue insert, used by the injector's reorder fault.
-  void push_front(Datagram d);
+  /// Datagrams rejected by the high-water mark since construction.
+  std::uint64_t overflows() const;
+
+  /// False when the high-water mark rejected the datagram (overflow
+  /// counted, nothing queued).
+  bool push(Datagram d);
+
+  /// Front-of-queue insert, used by the injector's reorder fault. Subject
+  /// to the same high-water mark as push.
+  bool push_front(Datagram d);
 
   /// Blocks until a datagram arrives (ignores deliver_at stamps — the
   /// fault-free path, where every stamp is 0).
@@ -135,6 +151,8 @@ class Mailbox {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Datagram> queue_;
+  std::size_t capacity_ = 0;  // 0 = unbounded
+  std::uint64_t overflows_ = 0;
 };
 
 /// A fixed set of endpoints (0 = server, 1..P = clients) with one mailbox
@@ -153,11 +171,18 @@ class InProcNetwork {
   };
 
   /// `faults`/`seed` configure the optional injector; a disabled config
-  /// builds the plain lossless network.
+  /// builds the plain lossless network. `mailbox_capacity` is the per-box
+  /// high-water mark (0 = unbounded; see Mailbox::set_capacity).
   explicit InProcNetwork(std::size_t num_endpoints, FaultConfig faults = {},
-                         std::uint64_t seed = 0);
+                         std::uint64_t seed = 0,
+                         std::size_t mailbox_capacity = 0);
 
   std::size_t num_endpoints() const { return boxes_.size(); }
+
+  /// Datagrams rejected by mailbox high-water marks, summed over all
+  /// endpoints (0 with unbounded mailboxes). A rejected primary delivery
+  /// also reports SendOutcome::delivered == false to the sender.
+  std::uint64_t mailbox_overflows() const;
 
   /// `now` is the current simulated time (stamped on the datagram; the
   /// injector's delay fault adds to it).

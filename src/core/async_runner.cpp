@@ -95,6 +95,9 @@ AsyncRunResult run_async(const AsyncConfig& config,
   RunConfig cfg = config.run;
   cfg.algorithm = Algorithm::kFedAvg;  // async mixing is server-side
   cfg.validate();
+  APPFL_CHECK_MSG(cfg.population == 0,
+                  "population sampling is a run_population feature; the "
+                  "async runner drives the split's clients directly");
   ObsSession obs_session(cfg);
   APPFL_CHECK_MSG(config.mixing_alpha > 0.0F && config.mixing_alpha <= 1.0F,
                   "mixing alpha must be in (0, 1]");
@@ -350,6 +353,9 @@ AsyncIIAdmmResult run_async_iiadmm(const AsyncConfig& config,
   RunConfig cfg = config.run;
   cfg.algorithm = Algorithm::kIIAdmm;
   cfg.validate();
+  APPFL_CHECK_MSG(cfg.population == 0,
+                  "population sampling is a run_population feature; the "
+                  "async runner drives the split's clients directly");
   ObsSession obs_session(cfg);
   APPFL_CHECK(config.mixing_alpha > 0.0F && config.mixing_alpha <= 1.0F);
   const std::size_t num_clients = split.clients.size();

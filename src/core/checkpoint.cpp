@@ -186,6 +186,13 @@ constexpr std::uint32_t kTFaultRng = 27;       // repeated varint ×4
 constexpr std::uint32_t kTServerPrimal = 28;   // repeated packed floats
 constexpr std::uint32_t kTServerDual = 29;     // repeated packed floats
 constexpr std::uint32_t kTWSent = 30;          // repeated packed floats
+// Population-engine extension (optional: absent on classic sync-runner
+// checkpoints, and pre-population decoders skip them as unknown fields).
+constexpr std::uint32_t kTPopulation = 31;            // varint
+constexpr std::uint32_t kTParticipantsPerRound = 32;  // varint
+// Sparse participation ledger: repeated (id, count) pairs, id always first.
+constexpr std::uint32_t kTParticipationId = 33;     // varint 1-based client id
+constexpr std::uint32_t kTParticipationCount = 34;  // varint rounds trained
 
 // ClientStateCkpt fields.
 constexpr std::uint32_t kCId = 1;
@@ -226,10 +233,12 @@ constexpr std::uint32_t kPVersion = 3;
 constexpr std::size_t kNumTrafficCounters = 14;
 
 std::vector<std::uint64_t> pack_traffic(const comm::TrafficStats& s) {
+  // mailbox_overflows rides as a 15th counter; kNumTrafficCounters stays 14
+  // so pre-overflow checkpoints (exactly 14 counters) still decode.
   return {s.messages_up, s.messages_down,  s.bytes_up,      s.bytes_down,
           s.bytes_up_precodec, s.drops,    s.duplicates,    s.reorders,
           s.corruptions, s.delays,         s.retries,       s.crc_failures,
-          s.discards,    s.gather_timeouts};
+          s.discards,    s.gather_timeouts, s.mailbox_overflows};
 }
 
 comm::TrafficStats unpack_traffic(const std::vector<std::uint64_t>& c) {
@@ -251,6 +260,7 @@ comm::TrafficStats unpack_traffic(const std::vector<std::uint64_t>& c) {
   s.crc_failures = c[11];
   s.discards = c[12];
   s.gather_timeouts = c[13];
+  if (c.size() > 14) s.mailbox_overflows = c[14];
   return s;
 }
 
@@ -409,6 +419,14 @@ std::vector<std::uint8_t> encode_round_checkpoint(const RoundCheckpoint& ckpt) {
   for (const auto& c : ckpt.clients) encode_client(w, c);
   for (std::uint64_t s : ckpt.sampler_state) w.add_varint(kTSamplerState, s);
   encode_comm(w, ckpt.comm);
+  if (ckpt.population > 0) {
+    w.add_varint(kTPopulation, ckpt.population);
+    w.add_varint(kTParticipantsPerRound, ckpt.participants_per_round);
+    for (const auto& [id, count] : ckpt.participation) {
+      w.add_varint(kTParticipationId, id);
+      w.add_varint(kTParticipationCount, count);
+    }
+  }
   return seal(std::move(w));
 }
 
@@ -420,6 +438,7 @@ RoundCheckpoint decode_round_checkpoint(std::span<const std::uint8_t> bytes) {
   std::vector<std::uint64_t> sampler;
   bool have_server = false;
   bool have_comm = false;
+  std::optional<std::uint32_t> pending_participation;
   comm::ProtoReader r(body);
   comm::ProtoField f;
   while (r.next(f)) {
@@ -453,9 +472,27 @@ RoundCheckpoint decode_round_checkpoint(std::span<const std::uint8_t> bytes) {
         ckpt.comm = decode_comm(f.bytes);
         have_comm = true;
         break;
+      case kTPopulation: ckpt.population = f.varint; break;
+      case kTParticipantsPerRound:
+        ckpt.participants_per_round = static_cast<std::uint32_t>(f.varint);
+        break;
+      case kTParticipationId:
+        APPFL_CHECK_MSG(!pending_participation,
+                        "participation id without a following count");
+        pending_participation = static_cast<std::uint32_t>(f.varint);
+        break;
+      case kTParticipationCount:
+        APPFL_CHECK_MSG(pending_participation,
+                        "participation count without a preceding id");
+        ckpt.participation.emplace_back(
+            *pending_participation, static_cast<std::uint32_t>(f.varint));
+        pending_participation.reset();
+        break;
       default: break;  // forward compatibility
     }
   }
+  APPFL_CHECK_MSG(!pending_participation,
+                  "participation id without a following count");
   APPFL_CHECK_MSG(ckpt.format_version == kRoundCkptVersion,
                   "unsupported round-checkpoint version "
                       << ckpt.format_version);
@@ -469,10 +506,28 @@ RoundCheckpoint decode_round_checkpoint(std::span<const std::uint8_t> bytes) {
                                            << " words, expected 4");
   for (std::size_t i = 0; i < 4; ++i) ckpt.sampler_state[i] = sampler[i];
   APPFL_CHECK_MSG(ckpt.num_clients >= 1, "round checkpoint has no clients");
-  APPFL_CHECK_MSG(ckpt.clients.size() == ckpt.num_clients,
-                  "round checkpoint carries " << ckpt.clients.size()
-                      << " client states for " << ckpt.num_clients
-                      << " clients");
+  if (ckpt.population > 0) {
+    // Population-engine checkpoint: clients are transient (rebuilt per
+    // participation), so no per-client states ride along.
+    APPFL_CHECK_MSG(ckpt.clients.empty(),
+                    "population checkpoint carries per-client states");
+    APPFL_CHECK_MSG(ckpt.participants_per_round >= 1 &&
+                        ckpt.participants_per_round <= ckpt.population,
+                    "population checkpoint samples "
+                        << ckpt.participants_per_round << " of "
+                        << ckpt.population);
+    for (const auto& [id, count] : ckpt.participation) {
+      APPFL_CHECK_MSG(id >= 1 && id <= ckpt.population,
+                      "participation ledger has out-of-range client " << id);
+      APPFL_CHECK_MSG(count >= 1, "participation ledger has idle client "
+                                      << id);
+    }
+  } else {
+    APPFL_CHECK_MSG(ckpt.clients.size() == ckpt.num_clients,
+                    "round checkpoint carries " << ckpt.clients.size()
+                        << " client states for " << ckpt.num_clients
+                        << " clients");
+  }
   APPFL_CHECK_MSG(ckpt.rounds_completed >= 1 &&
                       ckpt.rounds_completed <= ckpt.total_rounds,
                   "round checkpoint at round " << ckpt.rounds_completed

@@ -30,6 +30,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "comm/communicator.hpp"
@@ -131,6 +132,16 @@ struct RoundCheckpoint {
   std::vector<ClientStateCkpt> clients;
   std::array<std::uint64_t, 4> sampler_state{};  // client-sampling stream
   CommStateCkpt comm;
+
+  // Population-engine extension (core/event_engine). All encoded as optional
+  // tags that pre-population decoders skip as unknown fields, so
+  // format_version stays 2. `population == 0` means a classic sync-runner
+  // checkpoint. Clients in a population run are transient (rebuilt per
+  // participation), so `clients` stays empty there; per-client DP spend is
+  // carried by `participation` (id → rounds participated) instead.
+  std::uint64_t population = 0;
+  std::uint32_t participants_per_round = 0;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> participation;
 
   bool operator==(const RoundCheckpoint&) const = default;
 };

@@ -92,6 +92,38 @@ void RunConfig::validate() const {
                     "dual replicas — use FedAvg or FedProx");
     APPFL_CHECK(topk_fraction > 0.0 && topk_fraction <= 1.0);
   }
+  APPFL_CHECK_MSG(tree_fan_out == 0 || tree_fan_out >= 2,
+                  "tree_fan_out must be 0 (flat) or >= 2");
+  if (population > 0) {
+    APPFL_CHECK_MSG(algorithm == Algorithm::kFedAvg ||
+                        algorithm == Algorithm::kFedProx,
+                    "the population engine supports FedAvg/FedProx only: "
+                    "transient participants leave the IADMM server-side "
+                    "(z_p, lambda_p) replicas with no owner");
+    APPFL_CHECK_MSG(uplink_codec == comm::UplinkCodec::kNone,
+                    "the population engine requires uplink_codec=none: "
+                    "per-client codec residuals cannot ride transient "
+                    "participants");
+    APPFL_CHECK_MSG(!adaptive_rho,
+                    "adaptive rho has no population-engine path");
+    APPFL_CHECK_MSG(participants_per_round >= 1 &&
+                        participants_per_round <= population,
+                    "participants_per_round must be in [1, population], got "
+                        << participants_per_round << " of " << population);
+    if (mailbox_capacity > 0) {
+      // Bounded mailboxes under the engine's concurrent uplinks would let
+      // timing decide WHICH datagrams land; requiring the cap to clear the
+      // worst-case fan-in keeps the run deterministic while still bounding
+      // a misconfigured network.
+      const std::size_t max_fan_in =
+          tree_fan_out == 0 ? participants_per_round : tree_fan_out;
+      APPFL_CHECK_MSG(mailbox_capacity >= max_fan_in,
+                      "mailbox_capacity " << mailbox_capacity
+                          << " is below the aggregation fan-in " << max_fan_in
+                          << " — overflow would drop participant updates "
+                             "nondeterministically");
+    }
+  }
   faults.validate();
   APPFL_CHECK_MSG(gather_timeout_s > 0.0, "gather_timeout_s must be positive");
   APPFL_CHECK_MSG(ack_timeout_s > 0.0, "ack_timeout_s must be positive");
@@ -154,6 +186,26 @@ bool fused_aggregation_from_env(const RunConfig& config) {
     }
   }
   return fused;
+}
+
+RunConfig scaling_config_from_env(RunConfig config) {
+  const auto env_size = [](const char* name, std::size_t& field) {
+    const char* value = std::getenv(name);
+    if (!value) return;
+    char* end = nullptr;
+    const long parsed = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || parsed < 0) {
+      std::fprintf(stderr,
+                   "warning: ignoring invalid %s='%s' "
+                   "(need a non-negative integer)\n",
+                   name, value);
+      return;
+    }
+    field = static_cast<std::size_t>(parsed);
+  };
+  env_size("APPFL_TREE_FANOUT", config.tree_fan_out);
+  env_size("APPFL_MAILBOX_CAP", config.mailbox_capacity);
+  return config;
 }
 
 obs::ObsOptions obs_options_from_env(const RunConfig& config) {

@@ -105,6 +105,31 @@ struct RunConfig {
   /// only the participants' (z_p, λ_p) and keep the rest.
   double client_fraction = 1.0;
 
+  /// Population engine (core/event_engine.hpp). population > 0 switches
+  /// run_population on: each round samples `participants_per_round` distinct
+  /// clients from a `population`-sized lazy synthetic population
+  /// (data::SyntheticPopulation) and drives them through the discrete-event
+  /// scheduler instead of thread-per-client. Restricted to FedAvg/FedProx
+  /// with the codec off (participants are transient, so server-side dual
+  /// replicas and per-client codec residuals have nowhere to live) and
+  /// adaptive_rho off. The sync/async runners ignore these fields.
+  std::size_t population = 0;
+  std::size_t participants_per_round = 0;
+
+  /// Aggregation-tree fan-out for the population engine: 0 = flat gather
+  /// (every participant feeds the server root directly), F >= 2 = a
+  /// leader/sub-leader tree with F children per node (core/agg_tree.hpp).
+  /// Routing and simulated cost change; the reduced model is byte-identical
+  /// either way. APPFL_TREE_FANOUT overrides at run start.
+  std::size_t tree_fan_out = 0;
+
+  /// Per-mailbox high-water mark handed to the communicator / engine
+  /// network (0 = unbounded; see comm::ReliabilityConfig::mailbox_capacity).
+  /// APPFL_MAILBOX_CAP overrides at run start. The population engine
+  /// requires 0 or >= the tree's maximum fan-in, so backpressure can never
+  /// decide which participant's update survives.
+  std::size_t mailbox_capacity = 0;
+
   std::size_t validate_batch = 256;
   bool validate_every_round = true;
 
@@ -192,6 +217,11 @@ CheckpointOptions checkpoint_options_from_env(const RunConfig& config);
 /// config.fused_aggregation overridden by APPFL_FUSED_AGG (0 or 1; anything
 /// else is warned about on stderr and ignored, matching APPFL_FAULT_*).
 bool fused_aggregation_from_env(const RunConfig& config);
+
+/// Returns `config` with APPFL_TREE_FANOUT / APPFL_MAILBOX_CAP applied
+/// (non-negative integers; unparseable values are warned about on stderr
+/// and ignored, matching APPFL_FAULT_*). Callers re-validate afterwards.
+RunConfig scaling_config_from_env(RunConfig config);
 
 /// Resolves the run's observability policy: config fields (obs_level /
 /// trace_out / metrics_out) overridden by APPFL_OBS_LEVEL /

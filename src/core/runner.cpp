@@ -7,6 +7,7 @@
 
 #include "core/checkpoint.hpp"
 #include "core/fedavg.hpp"
+#include "core/sampling.hpp"
 #include "core/obs_session.hpp"
 #include "dp/accountant.hpp"
 #include "core/iceadmm.hpp"
@@ -154,6 +155,7 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
   reliability.backoff_cap_s =
       std::max(config.ack_timeout_s, reliability.backoff_cap_s);
   reliability.max_retries = config.max_uplink_retries;
+  reliability.mailbox_capacity = config.mailbox_capacity;
   // APPFL_WIRE_CODEC swaps the uplink codec without rebuilding the binary
   // (codec sweeps over existing benches). The env value bypasses the
   // caller's validate(), so the combination is re-checked here — an fp16
@@ -249,19 +251,8 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
     const double sim_round_start = comm.clock().now();
     // (0) Client sampling: all clients at fraction 1, otherwise ⌈f·P⌉
     // distinct ids drawn from the seed-derived stream.
-    std::vector<std::uint32_t> participants(num_clients);
-    for (std::size_t p = 0; p < num_clients; ++p) {
-      participants[p] = static_cast<std::uint32_t>(p + 1);
-    }
-    if (config.client_fraction < 1.0) {
-      rng::shuffle(sampler, std::span<std::uint32_t>(participants));
-      const std::size_t count = std::max<std::size_t>(
-          1, static_cast<std::size_t>(
-                 std::ceil(config.client_fraction *
-                           static_cast<double>(num_clients))));
-      participants.resize(count);
-      std::sort(participants.begin(), participants.end());
-    }
+    const std::vector<std::uint32_t> participants =
+        sample_fraction(sampler, num_clients, config.client_fraction);
 
     // (1) Global update + broadcast to the round's participants. The stats
     // snapshot brackets the whole round, broadcast included, so the

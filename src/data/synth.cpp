@@ -262,4 +262,69 @@ FederatedSplit femnist_like(const FemnistSpec& spec) {
   return split;
 }
 
+namespace {
+
+/// A writer's personal recipe — class pool and sample count — drawn from a
+/// per-writer stream so it is a pure O(num_classes) function of (spec, id).
+/// The draw order matches femnist_like's per-writer block exactly; only the
+/// stream it draws from differs (independent {9100, id} vs sequential
+/// {9000}).
+struct WriterRecipe {
+  std::vector<std::size_t> pool;
+  std::size_t count = 0;
+};
+
+WriterRecipe writer_recipe(const FemnistSpec& spec, std::uint32_t id) {
+  rng::Rng meta(rng::derive_seed(spec.seed, {9100, id}));
+  WriterRecipe recipe;
+  const std::size_t k =
+      spec.min_classes_per_writer +
+      meta.uniform_below(spec.max_classes_per_writer -
+                         spec.min_classes_per_writer + 1);
+  std::vector<std::size_t> all(spec.num_classes);
+  for (std::size_t c = 0; c < spec.num_classes; ++c) all[c] = c;
+  rng::shuffle(meta, std::span<std::size_t>(all));
+  recipe.pool.assign(all.begin(), all.begin() + static_cast<long>(k));
+  const double ln = rng::lognormal(meta, 0.0, 0.45);
+  recipe.count = static_cast<std::size_t>(
+      std::max(8.0, ln * static_cast<double>(spec.mean_samples_per_writer)));
+  return recipe;
+}
+
+}  // namespace
+
+SyntheticPopulation::SyntheticPopulation(FemnistSpec spec)
+    : spec_(std::move(spec)) {
+  APPFL_CHECK(spec_.num_writers > 0);
+  APPFL_CHECK(spec_.min_classes_per_writer >= 1);
+  APPFL_CHECK(spec_.max_classes_per_writer >= spec_.min_classes_per_writer);
+  APPFL_CHECK(spec_.max_classes_per_writer <= spec_.num_classes);
+}
+
+std::size_t SyntheticPopulation::sample_count(std::uint32_t id) const {
+  APPFL_CHECK_MSG(id >= 1 && id <= spec_.num_writers,
+                  "writer " << id << " outside population of "
+                            << spec_.num_writers);
+  return writer_recipe(spec_, id).count;
+}
+
+TensorDataset SyntheticPopulation::materialize(std::uint32_t id) const {
+  APPFL_CHECK_MSG(id >= 1 && id <= spec_.num_writers,
+                  "writer " << id << " outside population of "
+                            << spec_.num_writers);
+  constexpr std::size_t kH = 28, kW = 28, kC = 1;
+  const WriterRecipe recipe = writer_recipe(spec_, id);
+  return generate_samples(kC, kH, kW, spec_.num_classes, recipe.count,
+                          spec_.noise, spec_.seed, /*writer_id=*/id,
+                          &recipe.pool);
+}
+
+TensorDataset SyntheticPopulation::test_set() const {
+  constexpr std::size_t kH = 28, kW = 28, kC = 1;
+  return generate_samples(kC, kH, kW, spec_.num_classes, spec_.test_size,
+                          spec_.noise, spec_.seed, /*writer_id=*/0,
+                          /*class_pool=*/nullptr,
+                          /*sample_stream=*/999999);
+}
+
 }  // namespace appfl::data

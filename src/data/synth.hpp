@@ -85,6 +85,42 @@ struct FemnistSpec {
 /// labels and features) and a lognormal sample count (unbalanced).
 FederatedSplit femnist_like(const FemnistSpec& spec = {});
 
+/// A lazy FEMNIST-like client population for the event engine's sampled
+/// rounds. Same statistical family as femnist_like (personal class subset,
+/// personal style, heavy-tailed lognormal sample count), but each writer's
+/// recipe is derived from an independent per-writer stream
+/// (derive_seed(seed, {9100, id})) instead of femnist_like's one sequential
+/// meta stream — so shard `id` is a pure O(shard) function of (spec, id)
+/// and costs nothing until materialized. A 100k-writer population holds no
+/// per-writer state at all: memory tracks the participants actually built
+/// in a round, never the population. (The per-writer streams necessarily
+/// draw differently from the sequential meta stream, so this generator and
+/// femnist_like produce different — same-family — tasks for equal specs.)
+class SyntheticPopulation {
+ public:
+  /// `spec.num_writers` is the population size. Validates like femnist_like.
+  explicit SyntheticPopulation(FemnistSpec spec);
+
+  std::size_t size() const { return spec_.num_writers; }
+  const FemnistSpec& spec() const { return spec_; }
+
+  /// Writer `id`'s sample count (ids are 1-based, matching endpoint ids).
+  /// O(num_classes) — the recipe draw, no samples generated.
+  std::size_t sample_count(std::uint32_t id) const;
+
+  /// Builds writer `id`'s training shard from scratch. Pure: every call
+  /// returns bit-identical data, so transient clients can be rebuilt per
+  /// participation with no stored state.
+  TensorDataset materialize(std::uint32_t id) const;
+
+  /// Server-side test set: same task (prototypes), neutral style, all
+  /// classes — identical recipe to femnist_like's test set.
+  TensorDataset test_set() const;
+
+ private:
+  FemnistSpec spec_;
+};
+
 /// Low-level generator used by all of the above: draws `count` labeled
 /// samples with uniform class labels and writer style `writer_id`
 /// (writer 0 = neutral style). `seed` fixes the *task* — class prototypes

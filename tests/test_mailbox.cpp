@@ -10,6 +10,7 @@
 namespace {
 
 using appfl::comm::Datagram;
+using appfl::comm::FaultConfig;
 using appfl::comm::InProcNetwork;
 using appfl::comm::Mailbox;
 
@@ -90,6 +91,53 @@ TEST(Network, RejectsBadEndpoints) {
   EXPECT_THROW(net.send(5, 0, {}), appfl::Error);
   EXPECT_THROW(net.recv(7), appfl::Error);
   EXPECT_THROW(InProcNetwork(1), appfl::Error);
+}
+
+TEST(Mailbox, CapacityRejectsAndCountsOverflow) {
+  Mailbox box;
+  box.set_capacity(2);
+  EXPECT_TRUE(box.push({1, {}}));
+  EXPECT_TRUE(box.push({2, {}}));
+  EXPECT_FALSE(box.push({3, {}}));
+  EXPECT_FALSE(box.push_front({4, {}}));
+  EXPECT_EQ(box.size(), 2U);
+  EXPECT_EQ(box.overflows(), 2U);
+  // Draining frees capacity; the overflow count is cumulative.
+  EXPECT_EQ(box.pop().from, 1U);
+  EXPECT_TRUE(box.push({5, {}}));
+  EXPECT_EQ(box.overflows(), 2U);
+}
+
+TEST(Mailbox, ZeroCapacityIsUnbounded) {
+  Mailbox box;
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(box.push({1, {}}));
+  EXPECT_EQ(box.size(), 1000U);
+  EXPECT_EQ(box.overflows(), 0U);
+}
+
+TEST(Network, MailboxCapRejectsPrimaryDeliveryAndTellsTheSender) {
+  InProcNetwork net(2, {}, 0, /*mailbox_capacity=*/1);
+  EXPECT_TRUE(net.send(1, 0, {1}).delivered);
+  const auto rejected = net.send(1, 0, {2});
+  EXPECT_FALSE(rejected.delivered);
+  EXPECT_EQ(net.pending(0), 1U);
+  EXPECT_EQ(net.mailbox_overflows(), 1U);
+  // The queued datagram is the one whose send succeeded.
+  EXPECT_EQ(net.recv(0).bytes[0], 1);
+}
+
+TEST(Network, DuplicateCopyRejectionDoesNotChangeTheSendOutcome) {
+  // duplicate=1 makes every send enqueue two copies; with capacity 1 the
+  // second copy always overflows, but the PRIMARY was delivered, so the
+  // sender must still see delivered == true.
+  FaultConfig faults;
+  faults.duplicate = 1.0;
+  InProcNetwork net(2, faults, /*seed=*/5, /*mailbox_capacity=*/1);
+  const auto outcome = net.send(1, 0, {7});
+  EXPECT_TRUE(outcome.delivered);
+  EXPECT_EQ(net.pending(0), 1U);
+  EXPECT_EQ(net.mailbox_overflows(), 1U);
+  EXPECT_EQ(net.fault_stats().duplicates, 1U);
 }
 
 TEST(Network, MovesBytesWithoutCorruption) {

@@ -17,6 +17,7 @@
 
 #include "core/async_runner.hpp"
 #include "core/checkpoint.hpp"
+#include "core/event_engine.hpp"
 #include "core/runner.hpp"
 #include "core/server_opt.hpp"
 #include "data/synth.hpp"
@@ -327,6 +328,104 @@ TEST(Resume, FingerprintMismatchIsRejected) {
   RunConfig wrong_alg = base_config(Algorithm::kIceAdmm);
   wrong_alg.resume_from = dir.str();
   EXPECT_THROW(appfl::core::run_federated(wrong_alg, split), appfl::Error);
+}
+
+TEST(Resume, PopulationEngineKillAtEveryRoundBitIdentical) {
+  // Event-engine runs: the v2 checkpoint carries the sampler stream, the
+  // sparse participation ledger, and the fault-link counters, so a kill at
+  // ANY round boundary resumes to the same final bytes AND the same
+  // participant sets in every remaining round.
+  appfl::data::FemnistSpec spec;
+  spec.num_writers = 300;
+  spec.mean_samples_per_writer = 16;
+  spec.test_size = 64;
+  spec.seed = 7;
+  const appfl::data::SyntheticPopulation pop(spec);
+
+  RunConfig cfg;
+  cfg.algorithm = Algorithm::kFedAvg;
+  cfg.model = ModelKind::kLogistic;
+  cfg.rounds = 5;
+  cfg.local_steps = 1;
+  cfg.batch_size = 8;
+  cfg.population = 300;
+  cfg.participants_per_round = 20;
+  cfg.tree_fan_out = 4;
+  cfg.seed = 7;
+  cfg.validate_every_round = false;
+  cfg.faults.drop = 0.2;  // the fault schedule must resume seamlessly too
+
+  const auto baseline = appfl::core::run_population(cfg, pop);
+  ASSERT_FALSE(baseline.run.final_parameters.empty());
+  ASSERT_EQ(baseline.participants_by_round.size(), 5U);
+
+  for (std::uint32_t k = 1; k < cfg.rounds; ++k) {
+    TempDir dir("appfl_resume_population_" + std::to_string(k));
+    RunConfig killed = cfg;
+    killed.checkpoint_dir = dir.str();
+    killed.halt_after_round = k;
+    const auto partial = appfl::core::run_population(killed, pop);
+    EXPECT_EQ(partial.run.rounds.size(), k);
+    EXPECT_GE(partial.run.checkpoints_written, 1U);
+
+    RunConfig resumed_cfg = cfg;
+    resumed_cfg.checkpoint_dir = dir.str();
+    resumed_cfg.resume_from = dir.str();
+    const auto resumed = appfl::core::run_population(resumed_cfg, pop);
+    EXPECT_EQ(resumed.run.resumed_from_round, k);
+    EXPECT_TRUE(same_bits(baseline.run.final_parameters,
+                          resumed.run.final_parameters))
+        << "population engine diverged after kill at round " << k;
+    EXPECT_EQ(baseline.run.final_accuracy, resumed.run.final_accuracy);
+    // The resumed process replays none of the first k rounds and samples
+    // exactly the cohorts the uninterrupted run would have.
+    ASSERT_EQ(resumed.participants_by_round.size(), cfg.rounds - k);
+    for (std::size_t r = 0; r < resumed.participants_by_round.size(); ++r) {
+      EXPECT_EQ(baseline.participants_by_round[k + r],
+                resumed.participants_by_round[r])
+          << "cohort mismatch in resumed round " << k + r + 1;
+    }
+    // DP ledger: cumulative spend must match the uninterrupted run.
+    EXPECT_EQ(baseline.run.dp_epsilon_spent, resumed.run.dp_epsilon_spent);
+  }
+}
+
+TEST(Resume, PopulationEngineRejectsMismatchedFingerprints) {
+  appfl::data::FemnistSpec spec;
+  spec.num_writers = 100;
+  spec.mean_samples_per_writer = 16;
+  spec.test_size = 64;
+  spec.seed = 7;
+  const appfl::data::SyntheticPopulation pop(spec);
+
+  RunConfig cfg;
+  cfg.algorithm = Algorithm::kFedAvg;
+  cfg.model = ModelKind::kLogistic;
+  cfg.rounds = 3;
+  cfg.local_steps = 1;
+  cfg.batch_size = 8;
+  cfg.population = 100;
+  cfg.participants_per_round = 10;
+  cfg.seed = 7;
+  cfg.validate_every_round = false;
+  TempDir dir("appfl_resume_population_fingerprint");
+  cfg.checkpoint_dir = dir.str();
+  cfg.halt_after_round = 1;
+  (void)appfl::core::run_population(cfg, pop);
+
+  RunConfig other = cfg;
+  other.halt_after_round = 0;
+  other.checkpoint_dir.clear();
+  other.resume_from = dir.str();
+  other.participants_per_round = 11;  // different cohort size = different run
+  EXPECT_THROW(appfl::core::run_population(other, pop), appfl::Error);
+
+  // A classic sync-runner must refuse a population checkpoint (and not
+  // crash on the empty clients[] it carries).
+  RunConfig sync_cfg = base_config(Algorithm::kFedAvg);
+  sync_cfg.resume_from = dir.str();
+  EXPECT_THROW(appfl::core::run_federated(sync_cfg, make_split()),
+               appfl::Error);
 }
 
 TEST(Resume, AsyncRunSurvivesKillAndRestartBitIdentical) {

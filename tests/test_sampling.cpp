@@ -9,7 +9,9 @@
 
 #include "core/iiadmm.hpp"
 #include "core/runner.hpp"
+#include "core/sampling.hpp"
 #include "data/synth.hpp"
+#include "rng/rng.hpp"
 
 namespace {
 
@@ -137,6 +139,75 @@ TEST(Sampling, InvalidFractionRejected) {
   EXPECT_THROW(cfg.validate(), appfl::Error);
   cfg.client_fraction = 1.5;
   EXPECT_THROW(cfg.validate(), appfl::Error);
+}
+
+// -- core/sampling primitives (shared by the flat runner and the
+// population engine) --------------------------------------------------------
+
+TEST(SampleKOfN, SortedDistinctOneBasedInRange) {
+  appfl::rng::Rng rng(123);
+  const auto picked = appfl::core::sample_k_of_n(rng, 1000, 40);
+  ASSERT_EQ(picked.size(), 40U);
+  for (std::size_t i = 0; i < picked.size(); ++i) {
+    EXPECT_GE(picked[i], 1U);
+    EXPECT_LE(picked[i], 1000U);
+    if (i > 0) EXPECT_LT(picked[i - 1], picked[i]);  // sorted AND distinct
+  }
+}
+
+TEST(SampleKOfN, FullDrawIsThePermutationSorted) {
+  appfl::rng::Rng rng(7);
+  const auto all = appfl::core::sample_k_of_n(rng, 25, 25);
+  ASSERT_EQ(all.size(), 25U);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i], static_cast<std::uint32_t>(i + 1));
+  }
+}
+
+TEST(SampleKOfN, IdenticalAcrossReruns) {
+  appfl::rng::Rng a(99);
+  appfl::rng::Rng b(99);
+  EXPECT_EQ(appfl::core::sample_k_of_n(a, 100'000, 1'000),
+            appfl::core::sample_k_of_n(b, 100'000, 1'000));
+  // The stream advanced: a second draw from the same rng differs.
+  appfl::rng::Rng c(99);
+  const auto first = appfl::core::sample_k_of_n(c, 100'000, 1'000);
+  const auto second = appfl::core::sample_k_of_n(c, 100'000, 1'000);
+  EXPECT_NE(first, second);
+}
+
+TEST(SampleKOfN, EveryIdReachableAcrossSeeds) {
+  // Smoke-level uniformity: over many seeds, small-k draws from a small
+  // population should eventually touch every id.
+  std::set<std::uint32_t> seen;
+  for (std::uint64_t seed = 0; seed < 64 && seen.size() < 10; ++seed) {
+    appfl::rng::Rng rng(seed);
+    for (const auto id : appfl::core::sample_k_of_n(rng, 10, 2)) {
+      seen.insert(id);
+    }
+  }
+  EXPECT_EQ(seen.size(), 10U);
+}
+
+TEST(SampleFraction, MatchesTheRunnerContract) {
+  // fraction == 1: all clients, NO rng draw (the historical behavior the
+  // checkpoint format depends on).
+  appfl::rng::Rng a(5);
+  appfl::rng::Rng b(5);
+  const auto all = appfl::core::sample_fraction(a, 6, 1.0);
+  ASSERT_EQ(all.size(), 6U);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i], static_cast<std::uint32_t>(i + 1));
+  }
+  EXPECT_EQ(a.next(), b.next());  // stream untouched
+
+  // fraction < 1: ceil(f·n), at least 1, sorted distinct ids.
+  appfl::rng::Rng c(5);
+  const auto some = appfl::core::sample_fraction(c, 5, 0.3);
+  ASSERT_EQ(some.size(), 2U);  // ceil(1.5)
+  EXPECT_LT(some[0], some[1]);
+  appfl::rng::Rng d(5);
+  EXPECT_EQ(appfl::core::sample_fraction(d, 5, 0.01).size(), 1U);
 }
 
 TEST(Sampling, TrafficShrinksProportionally) {
