@@ -46,6 +46,11 @@ void print_help() {
       "  --protocol NAME      mpi | grpc (default mpi)\n"
       "  --codec NAME         none | fp16 | quant8 | topk | int8 — lossy "
       "uplink codec\n"
+      "  --secure-agg         Bonawitz-style masked aggregation: uploads are\n"
+      "                       pairwise+self masked; dropouts are recovered\n"
+      "                       via Shamir shares (fedavg/fedprox, codec none)\n"
+      "  --secure-agg-threshold T  Shamir threshold t (default: majority of\n"
+      "                       the round cohort; below t the round degrades)\n"
       "  --fault-drop P       per-message drop probability (default 0)\n"
       "  --fault-dup P        duplicate-delivery probability (default 0)\n"
       "  --fault-reorder P    queue-jumping probability (default 0)\n"
@@ -187,6 +192,49 @@ int main(int argc, char** argv) {
       std::cerr << "unknown --codec '" << codec << "'\n";
       return 2;
     }
+    // -- Secure aggregation ------------------------------------------------
+    // Queried unconditionally (unknown_flags() safety), cross-validated so
+    // an orphan threshold or an impossible combination is a usage error.
+    const bool secure_agg = args.get_bool("secure-agg", false);
+    const bool has_secagg_threshold = args.has("secure-agg-threshold");
+    const long secagg_threshold_raw = args.get_int("secure-agg-threshold", 0);
+    if (has_secagg_threshold && !secure_agg) {
+      std::cerr << "--secure-agg-threshold requires --secure-agg\n"
+                   "(use --help)\n";
+      return 2;
+    }
+    if (secure_agg) {
+      if (args.has("algorithm") && alg != "fedavg" && alg != "fedprox") {
+        std::cerr << "--secure-agg sums client primals exactly; ADMM "
+                     "algorithms are not supported (use fedavg|fedprox)\n"
+                     "(use --help)\n";
+        return 2;
+      }
+      if (!args.has("algorithm") && !population_mode) {
+        cfg.algorithm = appfl::core::Algorithm::kFedAvg;
+      }
+      if (codec != "none") {
+        std::cerr << "--secure-agg quantizes uploads itself; lossy codecs "
+                     "(--codec " << codec << ") cannot apply to masked "
+                     "words\n(use --help)\n";
+        return 2;
+      }
+      if (args.has("async-strategy")) {
+        std::cerr << "--secure-agg needs a synchronized masking cohort; "
+                     "--async-strategy is not supported\n(use --help)\n";
+        return 2;
+      }
+      if (has_secagg_threshold && secagg_threshold_raw < 2) {
+        std::cerr << "--secure-agg-threshold must be >= 2 (t=1 would let "
+                     "the server open any single client's masks)\n"
+                     "(use --help)\n";
+        return 2;
+      }
+      cfg.secure_agg = true;
+      cfg.secure_agg_threshold =
+          static_cast<std::size_t>(secagg_threshold_raw);
+    }
+
     cfg.faults.drop = args.get_double("fault-drop", 0.0);
     cfg.faults.duplicate = args.get_double("fault-dup", 0.0);
     cfg.faults.reorder = args.get_double("fault-reorder", 0.0);
@@ -491,6 +539,12 @@ int main(int argc, char** argv) {
                 << eng.tree_depth << " (" << eng.tree_leaf_groups
                 << " leaf groups), mailbox overflows "
                 << eng.mailbox_overflows << "\n";
+      if (cfg.secure_agg) {
+        std::cout << "secure-agg: " << result.run.secagg_reconstructions
+                  << " pairwise-mask reconstruction(s), "
+                  << result.run.secagg_rounds_degraded
+                  << " degraded round(s)\n";
+      }
       if (result.run.resumed_from_round > 0 ||
           result.run.checkpoints_written > 0) {
         std::cout << "[ckpt] resumed after round "
@@ -605,6 +659,11 @@ int main(int argc, char** argv) {
                 << t.retries << " crc_failures=" << t.crc_failures
                 << " discards=" << t.discards << " gather_timeouts="
                 << t.gather_timeouts << "\n";
+    }
+    if (cfg.secure_agg) {
+      std::cout << "secure-agg: " << result.secagg_reconstructions
+                << " pairwise-mask reconstruction(s), "
+                << result.secagg_rounds_degraded << " degraded round(s)\n";
     }
 
     if (result.resumed_from_round > 0 || result.checkpoints_written > 0) {

@@ -51,7 +51,8 @@ int main() {
   std::cout << "\nfinal accuracy: " << fmt(result.final_accuracy, 3) << "\n\n";
 
   // Secure-aggregation demo on one round of updates: the operator of the
-  // aggregation server sees only uniformly random words per utility.
+  // aggregation server sees only uniformly random words per utility — and
+  // one utility drops mid-round without breaking the sum.
   auto proto = appfl::core::build_model(cfg, split.test);
   const std::vector<float> w0 = proto->flat_parameters();
   std::vector<std::vector<float>> updates;
@@ -62,24 +63,60 @@ int main() {
     updates.push_back(client->update(w0, 1).primal);
     ids.push_back(static_cast<std::uint32_t>(u + 1));
   }
-  appfl::dp::SecureAggregator agg(ids, /*round_seed=*/2026);
-  std::vector<std::vector<std::uint64_t>> masked;
-  for (std::size_t u = 0; u < updates.size(); ++u) {
-    masked.push_back(agg.mask(ids[u], updates[u],
-                              appfl::dp::SecureAggregator::kDefaultScale));
-  }
-  const auto secure_mean =
-      agg.aggregate_mean(masked, appfl::dp::SecureAggregator::kDefaultScale);
 
+  const std::uint64_t round_seed = 2026;
+  const std::size_t threshold = ids.size() / 2 + 1;  // 5-of-8
+  appfl::dp::SecureAggServer server(ids, round_seed, threshold);
+
+  // Phase 1 — share distribution: every utility Shamir-shares its mask
+  // seeds across the cohort; delivery defines U2.
+  std::vector<appfl::dp::SecureAggClient> agg_clients;
+  for (std::uint32_t id : ids) {
+    agg_clients.emplace_back(id, ids, round_seed, threshold);
+    server.deposit_share_packet(id, agg_clients.back().share_packet());
+  }
+  const std::vector<std::uint32_t> u2 = server.share_survivors();
+
+  // Phase 2 — masked uploads: utility 3 dies AFTER sharing but BEFORE its
+  // upload lands (the adversarially interesting window). The server
+  // reconstructs its pairwise masks from the survivors' shares.
+  const std::uint32_t dropped = 3;
+  std::vector<std::uint32_t> u3;
+  std::vector<std::vector<std::uint64_t>> masked;
+  for (std::size_t u = 0; u < ids.size(); ++u) {
+    if (ids[u] == dropped) continue;
+    u3.push_back(ids[u]);
+    masked.push_back(agg_clients[u].mask(
+        updates[u], u2, appfl::dp::kDefaultScale, /*weight=*/1.0));
+  }
+  const auto recovery = server.unmask(u3, masked);
+  if (!recovery.ok) {
+    std::cout << "secure aggregation: below threshold — round degraded\n";
+    return 1;
+  }
+  const auto secure_mean = appfl::dp::dequantize_sum(
+      recovery.sum, appfl::dp::kDefaultScale * static_cast<double>(u3.size()));
+
+  // The survivor average (dropped utility excluded) is recovered exactly:
+  // identical to masking never having happened, down to quantization.
   double max_err = 0.0;
   for (std::size_t i = 0; i < w0.size(); ++i) {
     double plain = 0.0;
-    for (const auto& z : updates) plain += z[i];
-    plain /= static_cast<double>(updates.size());
+    for (std::size_t u = 0; u < ids.size(); ++u) {
+      if (ids[u] == dropped) continue;
+      plain += updates[u][i];
+    }
+    plain /= static_cast<double>(u3.size());
     max_err = std::max(max_err, std::abs(plain - secure_mean[i]));
   }
-  std::cout << "secure aggregation: server saw only masked words, yet the\n"
-            << "recovered round average matches the plain average to "
+  std::cout << "secure aggregation: utility " << dropped
+            << " dropped after share distribution; "
+            << recovery.pair_keys_reconstructed
+            << " pairwise key reconstructed, " << recovery.self_masks_removed
+            << " self-masks removed.\nThe server saw only masked words, yet "
+               "the recovered survivor average\nmatches the plain survivor "
+               "average to "
             << fmt(max_err, 7) << " (quantization only).\n";
-  return result.final_accuracy > 0.5 ? 0 : 1;
+  const bool exact_recovery = recovery.ok && max_err < 1e-4;
+  return result.final_accuracy > 0.5 && exact_recovery ? 0 : 1;
 }

@@ -625,6 +625,99 @@ GatherBatch Communicator::gather_batch(std::uint32_t round,
   return batch;
 }
 
+std::vector<Message> Communicator::gather_secagg_shares(std::uint32_t round,
+                                                        std::size_t expected) {
+  obs::ScopedSpan span("comm.gather_shares", "comm");
+  span.set_arg("round", round);
+  if (expected == 0) expected = num_clients_;
+  APPFL_CHECK_MSG(expected <= num_clients_,
+                  "cannot gather " << expected << " share packets from "
+                                   << num_clients_ << " clients");
+  std::vector<Message> out;
+  out.reserve(expected);
+  std::vector<bool> seen(num_clients_ + 1, false);
+
+  // Validates one datagram: anything that is not this round's first
+  // kSecAggShares packet from a known sender is discarded and counted
+  // (e.g. a previous round's delayed update drifting in).
+  const auto consider = [&](Datagram& d) {
+    std::optional<MessageView> v = decode_frame_view(d.bytes);
+    if (!v) {
+      // counted by decode_frame_view
+    } else if (v->kind != MessageKind::kSecAggShares || v->sender < 1 ||
+               v->sender > num_clients_ || v->round != round ||
+               seen[v->sender]) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.discards;
+      }
+      if (obs::metrics_on()) instruments().discards.inc();
+    } else {
+      Message m;
+      m.kind = MessageKind::kSecAggShares;
+      m.sender = v->sender;
+      m.receiver = v->receiver;
+      m.round = v->round;
+      m.sample_count = v->sample_count;
+      v->primal.copy_into(m.primal);
+      seen[m.sender] = true;
+      out.push_back(std::move(m));
+    }
+    pool_.release(std::move(d.bytes));
+  };
+
+  const double start = clock_.now();
+  if (!network_.faults_enabled()) {
+    // Fault-free path: every packet arrives; the deadlock guard mirrors
+    // gather_batch.
+    std::size_t discarded = 0;
+    while (out.size() < expected) {
+      std::optional<Datagram> d = network_.try_recv(0);
+      if (!d) {
+        APPFL_CHECK_MSG(discarded == 0,
+                        "share gather(round " << round
+                            << ") would block forever: " << discarded
+                            << " message(s) were discarded and only "
+                            << out.size() << " of " << expected
+                            << " expected packets arrived");
+        d = network_.recv(0);
+      }
+      const std::size_t before = out.size();
+      consider(*d);
+      if (out.size() == before) ++discarded;
+    }
+  } else {
+    const double deadline = start + reliability_.gather_timeout_s;
+    double vt = start;
+    while (out.size() < expected) {
+      if (auto d = network_.try_recv_ready(0, vt)) {
+        consider(*d);
+        continue;
+      }
+      const double next = network_.next_deliver_at(0);
+      if (next >= 0.0 && next <= deadline) {
+        vt = std::max(vt, next);
+        continue;
+      }
+      break;  // nothing else can make the deadline
+    }
+    if (out.size() < expected) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.gather_timeouts;
+      }
+      if (obs::metrics_on()) instruments().gather_timeouts.inc();
+      vt = deadline;  // the server waited the share phase out
+    }
+    span.set_sim(start, vt - start);
+    clock_.advance(vt - start);
+  }
+  std::sort(out.begin(), out.end(), [](const Message& a, const Message& b) {
+    return a.sender < b.sender;
+  });
+  return out;
+}
+
 GatherBatch::~GatherBatch() { release_buffers(); }
 
 GatherBatch& GatherBatch::operator=(GatherBatch&& other) noexcept {

@@ -227,6 +227,17 @@ class Communicator {
   /// gather_batch(...).take_messages().
   GatherBatch gather_batch(std::uint32_t round, std::size_t expected = 0);
 
+  /// Gathers the round's kSecAggShares packets (secure-aggregation share
+  /// distribution). Same draining/validation/deadline rules as
+  /// gather_batch, but it does NOT append a RoundCommRecord — the round's
+  /// comm record still comes from the masked-update gather; the wait time
+  /// advances the simulated clock directly. Returns the packets ordered by
+  /// sender (primal carries the packed share bytes). Requires the fault
+  /// plane's deadline machinery or full delivery (fault-free path blocks
+  /// until `expected` arrive).
+  std::vector<Message> gather_secagg_shares(std::uint32_t round,
+                                            std::size_t expected = 0);
+
   // -- Client role -------------------------------------------------------------
 
   /// Client `client` (1..P) sends its update to the server. Returns true

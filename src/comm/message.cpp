@@ -14,6 +14,7 @@ std::string to_string(MessageKind kind) {
     case MessageKind::kGlobalModel: return "global_model";
     case MessageKind::kLocalUpdate: return "local_update";
     case MessageKind::kShutdown: return "shutdown";
+    case MessageKind::kSecAggShares: return "secagg_shares";
   }
   return "unknown";
 }
@@ -181,7 +182,7 @@ MessageView decode_raw_view(std::span<const std::uint8_t> bytes) {
   MessageView m;
   std::size_t off = 0;
   const std::uint8_t kind = bytes[off++];
-  APPFL_CHECK_MSG(kind <= 3, "invalid message kind " << int{kind});
+  APPFL_CHECK_MSG(kind <= 4, "invalid message kind " << int{kind});
   m.kind = static_cast<MessageKind>(kind);
   m.sender = read_u32(bytes, off);
   m.receiver = read_u32(bytes, off);
@@ -270,7 +271,7 @@ MessageView decode_proto_view(std::span<const std::uint8_t> bytes) {
   while (r.next(f)) {
     switch (f.field) {
       case kFKind:
-        APPFL_CHECK_MSG(f.varint <= 3, "invalid message kind " << f.varint);
+        APPFL_CHECK_MSG(f.varint <= 4, "invalid message kind " << f.varint);
         m.kind = static_cast<MessageKind>(f.varint);
         break;
       case kFSender: m.sender = static_cast<std::uint32_t>(f.varint); break;

@@ -21,6 +21,7 @@ enum class MessageKind : std::uint8_t {
   kGlobalModel = 1,  // server → client: w^{t+1}
   kLocalUpdate = 2,  // client → server: z_p^{t+1} (+ λ_p^{t+1} if ICEADMM)
   kShutdown = 3,
+  kSecAggShares = 4,  // client → server: Shamir share packet (secure agg)
 };
 
 std::string to_string(MessageKind kind);

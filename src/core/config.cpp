@@ -124,6 +124,33 @@ void RunConfig::validate() const {
                              "nondeterministically");
     }
   }
+  if (secure_agg) {
+    APPFL_CHECK_MSG(algorithm == Algorithm::kFedAvg ||
+                        algorithm == Algorithm::kFedProx,
+                    "secure aggregation supports FedAvg/FedProx only: the "
+                    "server sees a masked SUM, never the per-client updates "
+                    "the IADMM dual replicas need");
+    APPFL_CHECK_MSG(uplink_codec == comm::UplinkCodec::kNone,
+                    "secure aggregation requires uplink_codec=none: masked "
+                    "words are opaque bit patterns a lossy codec would "
+                    "destroy");
+    APPFL_CHECK_MSG(secure_agg_threshold != 1,
+                    "secure_agg_threshold 1 would let a single survivor "
+                    "reconstruct every secret — use 0 (auto majority) or "
+                    ">= 2");
+    // The cohort the threshold must fit in: population mode samples
+    // participants_per_round, the sync runner ceil(client_fraction * P).
+    // P is unknown here for the sync runner, so the static check covers
+    // population mode; run_federated re-checks against the real cohort.
+    if (population > 0) {
+      APPFL_CHECK_MSG(secure_agg_threshold <= participants_per_round,
+                      "secure_agg_threshold " << secure_agg_threshold
+                          << " exceeds participants_per_round "
+                          << participants_per_round);
+      APPFL_CHECK_MSG(participants_per_round >= 2,
+                      "secure aggregation needs a cohort of at least 2");
+    }
+  }
   faults.validate();
   APPFL_CHECK_MSG(gather_timeout_s > 0.0, "gather_timeout_s must be positive");
   APPFL_CHECK_MSG(ack_timeout_s > 0.0, "ack_timeout_s must be positive");

@@ -130,6 +130,21 @@ struct RunConfig {
   /// decide which participant's update survives.
   std::size_t mailbox_capacity = 0;
 
+  /// Dropout-resilient secure aggregation (dp/secure_agg.hpp): clients
+  /// upload double-masked fixed-point updates plus Shamir share packets;
+  /// the server recovers the exact survivor sum as long as at least
+  /// `secure_agg_threshold` uploads arrive, and otherwise degrades the
+  /// round to a counted skip (model unchanged). Restricted to
+  /// FedAvg/FedProx with the uplink codec off (masked words are opaque
+  /// bit patterns — lossy codecs would destroy them; ADMM servers need
+  /// per-client updates the masked sum cannot provide). Works in both the
+  /// sync runner and the population engine. Off by default; when off every
+  /// code path is bit-identical to a build without the feature.
+  bool secure_agg = false;
+  /// Shamir reconstruction threshold t (2 <= t <= round cohort size).
+  /// 0 = auto: majority of the round's cohort (⌊n/2⌋ + 1).
+  std::size_t secure_agg_threshold = 0;
+
   std::size_t validate_batch = 256;
   bool validate_every_round = true;
 

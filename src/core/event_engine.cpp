@@ -5,6 +5,7 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <limits>
 #include <optional>
 #include <queue>
@@ -22,7 +23,9 @@
 #include "core/evaluation.hpp"
 #include "core/obs_session.hpp"
 #include "core/sampling.hpp"
+#include "dp/secure_agg.hpp"
 #include "hw/device.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rng/rng.hpp"
 #include "tensor/gemm.hpp"
@@ -55,13 +58,15 @@ namespace {
 constexpr std::uint64_t kSamplerStream = 79;
 constexpr std::uint64_t kDownJitterStream = 0x6A1;
 constexpr std::uint64_t kUpJitterStream = 0x6A2;
+constexpr std::uint64_t kShareJitterStream = 0x6A3;
 constexpr std::uint64_t kNetStream = 77;
 
 enum class EventKind : std::uint8_t {
-  kArrival = 0,     // broadcast model reaches a participant slot
-  kUplink = 1,      // a slot's update lands in its leaf leader's mailbox
-  kGroupReady = 2,  // a leaf leader has every surviving child update
-  kRootReduce = 3,  // the root holds every group's payload refs
+  kArrival = 0,      // broadcast model reaches a participant slot
+  kUplink = 1,       // a slot's update lands in its leaf leader's mailbox
+  kGroupReady = 2,   // a leaf leader has every surviving child update
+  kRootReduce = 3,   // the root holds every group's payload refs
+  kShareArrive = 4,  // secure agg: a slot's share packet lands at the root
 };
 
 struct Event {
@@ -219,6 +224,18 @@ PopulationRunResult run_population(const RunConfig& config,
     out.run.resumed_from_round = rc->rounds_completed;
   }
 
+  // Secure aggregation (dp/secure_agg.hpp): the share fan-out rides the same
+  // fault-injected network as the updates — slot endpoint → root (endpoint
+  // 0), a link distinct from the slot → leaf-leader uplink — and the masked
+  // uploads then flow through the ordinary tree pipeline. The root reduce
+  // becomes an integer sum + unmask instead of weighted_sum_stream.
+  const bool secure = config.secure_agg;
+  const std::size_t secagg_threshold =
+      secure ? (config.secure_agg_threshold != 0 ? config.secure_agg_threshold
+                                                 : k / 2 + 1)
+             : 0;
+  const std::size_t expected_primal = secure ? 2 * param_count : param_count;
+
   const auto wall_start = std::chrono::steady_clock::now();
   std::uint64_t events_processed = 0;
 
@@ -288,11 +305,33 @@ PopulationRunResult run_population(const RunConfig& config,
     double round_loss = 0.0;
     double gather_s = 0.0;
 
+    // Secure-aggregation round state. Slot-indexed so parallel handlers
+    // never share an entry; the sec server and U2 live on the orchestration
+    // thread only.
+    const std::uint64_t round_seed =
+        secure ? rng::derive_seed(config.seed, {rng::stream::kSecureAgg, round})
+               : 0;
+    std::optional<dp::SecureAggServer> sec_server;
+    if (secure) sec_server.emplace(participants, round_seed, secagg_threshold);
+    std::vector<std::unique_ptr<dp::SecureAggClient>> sec_clients(
+        secure ? k : 0);
+    std::vector<comm::Message> pending_updates(secure ? k : 0);
+    std::vector<SlotOutcome> share_slots(secure ? k : 0);
+    std::size_t shares_outstanding = 0;
+    double share_latest = bcast_done;
+    bool masked_phase_done = !secure;  // plain mode: no share phase to wait on
+    bool root_reduced = false;
+    bool round_degraded = false;
+    std::uint64_t round_reconstructions = 0;
+
     // Group readiness can only be decided once every training executed and
     // every surviving uplink's arrival has been observed — a late gRPC
     // arrival may interleave with another slot's uplink in event order.
+    // Secure mode additionally gates on the masked-upload phase: group
+    // mailboxes stay empty until the root has announced U2.
     const auto maybe_schedule_groups = [&] {
-      if (groups_scheduled || slots_outstanding > 0 || uplinks_outstanding > 0)
+      if (!masked_phase_done || groups_scheduled || slots_outstanding > 0 ||
+          uplinks_outstanding > 0)
         return;
       groups_scheduled = true;
       for (std::size_t g = 0; g < num_groups; ++g) {
@@ -301,6 +340,123 @@ PopulationRunResult run_population(const RunConfig& config,
                     static_cast<std::uint32_t>(g)});
         ++groups_outstanding;
       }
+    };
+
+    // Secure mode, end of the share phase: every training ran and every
+    // surviving share packet's arrival has been observed. The root drains
+    // its mailbox to decide U2 and releases the masked uploads (U2 slots
+    // only) into the ordinary uplink pipeline. Below threshold the round
+    // degrades here — no masked upload is ever sent.
+    const auto maybe_start_masked_phase = [&] {
+      if (masked_phase_done || slots_outstanding > 0 || shares_outstanding > 0)
+        return;
+      masked_phase_done = true;
+      obs::ScopedSpan span("fl.secagg_share_gather", "fl");
+      std::size_t shares_sent = 0;
+      for (std::size_t slot = 0; slot < k; ++slot) {
+        if (sec_clients[slot]) ++shares_sent;
+      }
+      std::size_t deposited = 0;
+      while (std::optional<comm::Datagram> d = net.try_recv(0)) {
+        std::span<const std::uint8_t> body(d->bytes);
+        if (faults_on) {
+          const auto opened = comm::open_envelope(body);
+          if (!opened) {
+            ++stats.crc_failures;
+            continue;
+          }
+          body = *opened;
+        }
+        if (d->from < 1 || d->from > k) {
+          ++stats.discards;
+          continue;
+        }
+        const std::size_t slot = d->from - 1;
+        try {
+          const comm::MessageView v = is_grpc ? comm::decode_proto_view(body)
+                                              : comm::decode_raw_view(body);
+          if (v.kind != comm::MessageKind::kSecAggShares || v.round != round ||
+              v.sender != participants[slot]) {
+            ++stats.discards;
+            continue;
+          }
+          if (sec_server->deposit_share_packet(
+                  v.sender, dp::unpack_bytes_from_floats(v.primal.to_vector()))) {
+            ++deposited;
+          } else {
+            ++stats.discards;  // duplicate delivery or tampered packet
+          }
+        } catch (const Error&) {
+          ++stats.discards;
+        }
+      }
+      const std::vector<std::uint32_t> u2 = sec_server->share_survivors();
+      span.set_arg("u2", u2.size());
+      // A complete share phase ends with the last arrival; a lossy one runs
+      // into the server's gather deadline before U2 is frozen.
+      const double u2_time =
+          deposited == shares_sent
+              ? share_latest
+              : std::max(share_latest, bcast_done + config.gather_timeout_s);
+      round_end = std::max(round_end, u2_time);
+      if (u2.size() < secagg_threshold) {
+        round_degraded = true;
+        maybe_schedule_groups();
+        return;
+      }
+      std::vector<char> slot_in_u2(k, 0);
+      for (std::uint32_t id : u2) {
+        const auto it =
+            std::lower_bound(participants.begin(), participants.end(), id);
+        slot_in_u2[static_cast<std::size_t>(it - participants.begin())] = 1;
+      }
+      pool.parallel_for(k, [&](std::size_t slot) {
+        if (!slot_in_u2[slot] || !sec_clients[slot]) return;
+        const comm::Message& update = pending_updates[slot];
+        const double weight =
+            config.weighted_aggregation
+                ? static_cast<double>(update.sample_count)
+                : 1.0;
+        comm::Message masked;
+        masked.kind = comm::MessageKind::kLocalUpdate;
+        masked.sender = update.sender;
+        masked.receiver = 0;
+        masked.round = round;
+        masked.sample_count = update.sample_count;
+        masked.loss = update.loss;
+        masked.primal = dp::pack_words_as_floats(sec_clients[slot]->mask(
+            update.primal, u2, dp::kDefaultScale, weight));
+        std::vector<std::uint8_t> bytes =
+            is_grpc ? comm::encode_proto(masked) : comm::encode_raw(masked);
+        double t_up = u2_time;
+        if (is_grpc) {
+          rng::Rng jitter(
+              rng::derive_seed(config.seed, {kUpJitterStream, round, slot}));
+          t_up += grpc.transfer_seconds(bytes.size() + env_overhead, jitter);
+        }
+        if (faults_on) bytes = comm::seal_envelope(std::move(bytes));
+        SlotOutcome& so = slots[slot];
+        so.up_bytes = bytes.size();
+        const comm::InProcNetwork::SendOutcome outcome =
+            net.send(static_cast<std::uint32_t>(1 + slot),
+                     leader_endpoint(tree.group_of(slot)), std::move(bytes),
+                     t_up);
+        so.delivered = outcome.delivered;
+        so.deliver_at = outcome.deliver_at;
+      });
+      for (std::size_t slot = 0; slot < k; ++slot) {
+        if (!slot_in_u2[slot] || !sec_clients[slot]) continue;
+        const SlotOutcome& so = slots[slot];
+        stats.messages_up += 1;
+        stats.bytes_up += so.up_bytes;
+        stats.bytes_up_precodec += so.up_bytes;
+        if (so.delivered) {
+          queue.push({so.deliver_at, seq++, EventKind::kUplink,
+                      static_cast<std::uint32_t>(slot)});
+          ++uplinks_outstanding;
+        }
+      }
+      maybe_schedule_groups();
     };
 
     while (!queue.empty()) {
@@ -336,6 +492,41 @@ PopulationRunResult run_population(const RunConfig& config,
                 static_cast<double>(client->num_samples()) *
                 static_cast<double>(config.local_steps));
             const double t_send = wave[wi].t + train_s;
+            if (secure) {
+              // Hold the update; ship the Shamir share packet to the root
+              // first. Losing it on this link keeps the slot out of U2.
+              sec_clients[slot] = std::make_unique<dp::SecureAggClient>(
+                  id, participants, round_seed, secagg_threshold);
+              pending_updates[slot] = std::move(update);
+              comm::Message shares;
+              shares.kind = comm::MessageKind::kSecAggShares;
+              shares.sender = id;
+              shares.receiver = 0;
+              shares.round = round;
+              shares.primal = dp::pack_bytes_as_floats(
+                  sec_clients[slot]->share_packet());
+              std::vector<std::uint8_t> bytes = is_grpc
+                                                    ? comm::encode_proto(shares)
+                                                    : comm::encode_raw(shares);
+              double t_up = t_send;
+              if (is_grpc) {
+                rng::Rng jitter(rng::derive_seed(
+                    config.seed, {kShareJitterStream, round, slot}));
+                t_up = t_send + grpc.transfer_seconds(
+                                    bytes.size() + env_overhead, jitter);
+              }
+              if (faults_on) bytes = comm::seal_envelope(std::move(bytes));
+              SlotOutcome& so = share_slots[slot];
+              so.up_bytes = bytes.size();
+              const comm::InProcNetwork::SendOutcome outcome = net.send(
+                  static_cast<std::uint32_t>(1 + slot), 0, std::move(bytes),
+                  t_up);
+              so.delivered = outcome.delivered;
+              so.deliver_at = outcome.deliver_at;
+              client->on_uplink_result(outcome.delivered &&
+                                       !outcome.corrupted);
+              return;
+            }
             double t_up = t_send;
             std::vector<std::uint8_t> bytes =
                 is_grpc ? comm::encode_proto(update) : comm::encode_raw(update);
@@ -358,18 +549,32 @@ PopulationRunResult run_population(const RunConfig& config,
           });
           // Fold on the orchestration thread, in wave (event) order.
           for (const Event& e : wave) {
-            const SlotOutcome& so = slots[e.arg];
+            const SlotOutcome& so =
+                secure ? share_slots[e.arg] : slots[e.arg];
             --slots_outstanding;
             stats.messages_up += 1;
             stats.bytes_up += so.up_bytes;
             stats.bytes_up_precodec += so.up_bytes;  // codec is always off
             ++participation[participants[e.arg]];    // trained ⇒ ε spent
             if (so.delivered) {
-              queue.push({so.deliver_at, seq++, EventKind::kUplink, e.arg});
-              ++uplinks_outstanding;
+              queue.push({so.deliver_at, seq++,
+                          secure ? EventKind::kShareArrive : EventKind::kUplink,
+                          e.arg});
+              secure ? ++shares_outstanding : ++uplinks_outstanding;
             }
           }
+          if (secure) maybe_start_masked_phase();
           maybe_schedule_groups();
+          break;
+        }
+
+        case EventKind::kShareArrive: {
+          for (const Event& e : wave) {
+            share_latest = std::max(share_latest, e.t);
+            --shares_outstanding;
+            (void)e;
+          }
+          maybe_start_masked_phase();
           break;
         }
 
@@ -420,7 +625,7 @@ PopulationRunResult run_population(const RunConfig& config,
                                                 : comm::decode_raw_view(body);
                 if (v.kind != comm::MessageKind::kLocalUpdate ||
                     v.round != round || v.sender != participants[slot] ||
-                    v.primal.size() != param_count) {
+                    v.primal.size() != expected_primal) {
                   ++group_discards[g];
                   continue;
                 }
@@ -469,7 +674,38 @@ PopulationRunResult run_population(const RunConfig& config,
           }
           round_loss =
               samples > 0 ? loss_acc / static_cast<double>(samples) : 0.0;
-          if (!views.empty()) {
+          root_reduced = true;
+          if (secure) {
+            // Integer reduce + unmask: U3 is the responder set, in slot
+            // (ascending sender) order. The aggregation weights were folded
+            // into the quantization scale client-side, so one division by
+            // scale · Σweights recovers the weighted survivor mean exactly.
+            APPFL_SPAN("fl.secagg_unmask", "fl");
+            std::vector<std::uint32_t> u3;
+            std::vector<std::vector<std::uint64_t>> uploads;
+            u3.reserve(views.size());
+            uploads.reserve(views.size());
+            double total_weight = 0.0;
+            for (const comm::MessageView& v : views) {
+              u3.push_back(v.sender);
+              std::vector<std::uint64_t> words(v.primal.size() / 2);
+              std::memcpy(words.data(), v.primal.bytes(),
+                          v.primal.size() * 4);
+              uploads.push_back(std::move(words));
+              total_weight += config.weighted_aggregation
+                                  ? static_cast<double>(v.sample_count)
+                                  : 1.0;
+            }
+            const dp::SecureAggServer::Recovery recovery =
+                sec_server->unmask(u3, uploads);
+            if (recovery.ok) {
+              round_reconstructions = recovery.pair_keys_reconstructed;
+              w = dp::dequantize_sum(recovery.sum,
+                                     dp::kDefaultScale * total_weight);
+            } else {
+              round_degraded = true;  // |U3| < t: model unchanged
+            }
+          } else if (!views.empty()) {
             std::vector<StreamTerm> terms;
             terms.reserve(views.size());
             for (const comm::MessageView& v : views) {
@@ -509,6 +745,17 @@ PopulationRunResult run_population(const RunConfig& config,
       stats.crc_failures += group_crc[g];
       stats.discards += group_discards[g];
     }
+    // Secure mode with every masked upload lost: the root reduce never
+    // fired, so the below-threshold outcome is decided here.
+    if (secure && !root_reduced) round_degraded = true;
+    if (secure && obs::metrics_on()) {
+      static obs::Counter& reconstructions =
+          obs::MetricsRegistry::global().counter("secure_agg.reconstructions");
+      static obs::Counter& degraded =
+          obs::MetricsRegistry::global().counter("secure_agg.rounds_degraded");
+      reconstructions.add(round_reconstructions);
+      if (round_degraded) degraded.add(1);
+    }
     clock.sync_to(round_end);
     const comm::TrafficStats after = current_stats();
     round_span.set_sim(sim_round_start, clock.now() - sim_round_start);
@@ -524,6 +771,10 @@ PopulationRunResult run_population(const RunConfig& config,
     metrics.drops = after.drops - before.drops;
     metrics.crc_failures = after.crc_failures - before.crc_failures;
     metrics.discards = after.discards - before.discards;
+    metrics.secagg_reconstructions = round_reconstructions;
+    metrics.secagg_degraded = round_degraded;
+    out.run.secagg_reconstructions += round_reconstructions;
+    if (round_degraded) ++out.run.secagg_rounds_degraded;
     if (config.validate_every_round || round == config.rounds) {
       APPFL_SPAN("fl.validate", "fl");
       metrics.test_accuracy =

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <optional>
 
 #include "core/checkpoint.hpp"
+#include "dp/secure_agg.hpp"
+#include "obs/metrics.hpp"
 #include "core/fedavg.hpp"
 #include "core/sampling.hpp"
 #include "core/obs_session.hpp"
@@ -275,7 +278,33 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
     // trains, sends. A client whose downlink was lost sits the round out;
     // one whose uplink was lost is told so (ADMM clients roll their
     // speculative dual update back).
+    //
+    // Secure-aggregation mode splits the uplink into a share-distribution
+    // phase (kSecAggShares → U2) and a masked-upload phase (U2 members
+    // only → U3); see dp/secure_agg.hpp for the protocol.
     std::vector<char> trained(num_clients, 0);
+    std::uint64_t round_reconstructions = 0;
+    bool round_degraded = false;
+    std::size_t secagg_threshold = 0;
+    std::uint64_t round_seed = 0;
+    std::vector<std::optional<comm::Message>> pending_updates;
+    std::vector<std::unique_ptr<dp::SecureAggClient>> sec_clients;
+    if (config.secure_agg) {
+      APPFL_CHECK_MSG(participants.size() >= 2,
+                      "secure aggregation needs a cohort of at least 2, got "
+                          << participants.size());
+      secagg_threshold = config.secure_agg_threshold != 0
+                             ? config.secure_agg_threshold
+                             : participants.size() / 2 + 1;
+      APPFL_CHECK_MSG(secagg_threshold <= participants.size(),
+                      "secure_agg_threshold " << secagg_threshold
+                          << " exceeds the round cohort of "
+                          << participants.size());
+      round_seed =
+          rng::derive_seed(config.seed, {rng::stream::kSecureAgg, round});
+      pending_updates.resize(participants.size());
+      sec_clients.resize(participants.size());
+    }
     {
       // The wall time of this block is the round's parallel local-update
       // phase — the numerator's complement in the Fig 3b gather-share
@@ -291,7 +320,66 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
         if (!incoming) return;
         trained[id - 1] = 1;
         comm::Message update = clients[id - 1]->handle_global(*incoming);
-        const bool delivered = comm.send_update(id, update);
+        if (!config.secure_agg) {
+          const bool delivered = comm.send_update(id, update);
+          clients[id - 1]->on_uplink_result(delivered);
+          return;
+        }
+        // Secure mode: hold the update, distribute Shamir shares first.
+        // The share uplink rides the same reliability plane (retransmit,
+        // deadline) as any update; losing it drops this client from U2.
+        sec_clients[i] = std::make_unique<dp::SecureAggClient>(
+            id, participants, round_seed, secagg_threshold);
+        pending_updates[i] = std::move(update);
+        comm::Message shares;
+        shares.kind = comm::MessageKind::kSecAggShares;
+        shares.sender = id;
+        shares.round = round;
+        shares.primal =
+            dp::pack_bytes_as_floats(sec_clients[i]->share_packet());
+        comm.send_update(id, shares);
+      });
+    }
+
+    std::optional<dp::SecureAggServer> sec_server;
+    if (config.secure_agg) {
+      // Share gather decides U2 (share-distribution survivors); the server
+      // then releases the masked-upload phase for exactly that set. A
+      // trained client outside U2 is told its uplink failed — its masks
+      // could never be removed, so its update must not enter the sum.
+      sec_server.emplace(participants, round_seed, secagg_threshold);
+      for (const comm::Message& m :
+           comm.gather_secagg_shares(round, participants.size())) {
+        sec_server->deposit_share_packet(
+            m.sender, dp::unpack_bytes_from_floats(m.primal));
+      }
+      const std::vector<std::uint32_t> u2 = sec_server->share_survivors();
+      std::vector<char> in_u2(num_clients, 0);
+      for (std::uint32_t id : u2) in_u2[id - 1] = 1;
+      const bool recoverable = u2.size() >= secagg_threshold;
+      obs::ScopedSpan phase_span("fl.masked_upload_phase", "fl");
+      phase_span.set_arg("u2", u2.size());
+      pool.parallel_for(participants.size(), [&](std::size_t i) {
+        const std::uint32_t id = participants[i];
+        if (!trained[id - 1]) return;
+        if (!recoverable || !in_u2[id - 1]) {
+          clients[id - 1]->on_uplink_result(false);
+          return;
+        }
+        const comm::Message& update = *pending_updates[i];
+        const double weight =
+            config.weighted_aggregation
+                ? static_cast<double>(update.sample_count)
+                : 1.0;
+        comm::Message masked;
+        masked.kind = comm::MessageKind::kLocalUpdate;
+        masked.sender = id;
+        masked.round = round;
+        masked.sample_count = update.sample_count;
+        masked.loss = update.loss;
+        masked.primal = dp::pack_words_as_floats(sec_clients[i]->mask(
+            update.primal, u2, dp::kDefaultScale, weight));
+        const bool delivered = comm.send_update(id, masked);
         clients[id - 1]->on_uplink_result(delivered);
       });
     }
@@ -300,17 +388,82 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
     // batch keeps the decoded wire payloads alive so the server can absorb
     // them in place; only when a server declines (adaptive ρ, malformed
     // round) are owning Messages materialized for the classic update().
+    // Secure mode gathers MASKED uploads: the expected count is |U2| (only
+    // U2 members send), and the gather still runs when the round already
+    // degraded so the round keeps its comm record and timeline.
+    const std::size_t expected_uploads =
+        config.secure_agg
+            ? std::max<std::size_t>(sec_server->share_survivors().size(), 1)
+            : participants.size();
     const comm::GatherBatch batch = [&] {
       APPFL_SPAN("fl.gather_phase", "fl");
-      return comm.gather_batch(round, participants.size());
+      return comm.gather_batch(round, expected_uploads);
     }();
-    {
+    if (!config.secure_agg) {
       APPFL_SPAN("fl.aggregate", "fl");
       const bool absorbed =
           fused_aggregation && server.absorb(batch, w, round);
       if (!absorbed) {
         const std::vector<comm::Message> locals = batch.take_messages();
         server.update(locals, w, round);
+      }
+    } else {
+      APPFL_SPAN("fl.secagg_unmask", "fl");
+      // U3 = upload survivors. Sum their masked words, reconstruct the
+      // self-masks of U3 and the pairwise keys of U2 \ U3 from the shares,
+      // and recover the exact fixed-point survivor sum.
+      std::vector<std::uint32_t> u3;
+      std::vector<std::vector<std::uint64_t>> uploads;
+      double total_weight = 0.0;
+      std::uint64_t total_samples = 0;
+      double loss_acc = 0.0;
+      for (const auto& u : batch.updates()) {
+        APPFL_CHECK(u.primal.enc == comm::WireEncoding::kF32 &&
+                    u.primal.count % 2 == 0);
+        u3.push_back(u.sender);
+        std::vector<std::uint64_t> words(u.primal.count / 2);
+        std::memcpy(words.data(), u.primal.data, u.primal.count * 4);
+        uploads.push_back(std::move(words));
+        total_weight += config.weighted_aggregation
+                            ? static_cast<double>(u.sample_count)
+                            : 1.0;
+        total_samples += u.sample_count;
+        loss_acc += u.loss * static_cast<double>(u.sample_count);
+      }
+      const dp::SecureAggServer::Recovery recovery =
+          sec_server->unmask(u3, uploads);
+      if (recovery.ok) {
+        round_reconstructions = recovery.pair_keys_reconstructed;
+        // One synthesized update carrying the recovered survivor mean:
+        // FedAvg/FedProx's weighted mean of a single message is that
+        // message, so the server classes need no secure-agg awareness.
+        comm::Message synth;
+        synth.kind = comm::MessageKind::kLocalUpdate;
+        synth.sender = u3.front();
+        synth.round = round;
+        synth.sample_count = total_samples;
+        synth.loss = total_samples > 0
+                         ? loss_acc / static_cast<double>(total_samples)
+                         : 0.0;
+        synth.primal = dp::dequantize_sum(recovery.sum,
+                                          dp::kDefaultScale * total_weight);
+        std::vector<comm::Message> locals;
+        locals.push_back(std::move(synth));
+        server.update(locals, w, round);
+      } else {
+        // Below threshold: skip the model update, count the round, keep
+        // running — graceful degradation, never a partial unmask.
+        round_degraded = true;
+      }
+      if (obs::metrics_on()) {
+        static obs::Counter& reconstructions =
+            obs::MetricsRegistry::global().counter(
+                "secure_agg.reconstructions");
+        static obs::Counter& degraded =
+            obs::MetricsRegistry::global().counter(
+                "secure_agg.rounds_degraded");
+        reconstructions.add(round_reconstructions);
+        if (round_degraded) degraded.add(1);
       }
     }
     const comm::TrafficStats after = comm.stats();
@@ -333,6 +486,10 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
     metrics.crc_failures = after.crc_failures - before.crc_failures;
     metrics.discards = after.discards - before.discards;
     metrics.timeouts = after.gather_timeouts - before.gather_timeouts;
+    metrics.secagg_reconstructions = round_reconstructions;
+    metrics.secagg_degraded = round_degraded;
+    result.secagg_reconstructions += round_reconstructions;
+    if (round_degraded) ++result.secagg_rounds_degraded;
     double loss_acc = 0.0;
     std::uint64_t samples = 0;
     for (const auto& u : batch.updates()) {

@@ -40,6 +40,12 @@ struct RoundMetrics {
   std::uint64_t crc_failures = 0;
   std::uint64_t discards = 0;
   std::uint64_t timeouts = 0;
+  // Secure-aggregation outcomes (zero when RunConfig::secure_agg is off).
+  /// Dropped clients (U2 \ U3) whose pairwise masks were reconstructed.
+  std::uint64_t secagg_reconstructions = 0;
+  /// True when fewer than t uploads survived: the round was skipped
+  /// (model unchanged) instead of unmasked.
+  bool secagg_degraded = false;
 };
 
 struct RunResult {
@@ -59,6 +65,10 @@ struct RunResult {
   std::uint32_t resumed_from_round = 0;
   /// Round checkpoints written by this process.
   std::size_t checkpoints_written = 0;
+
+  /// Secure-aggregation run totals (sums of the per-round fields).
+  std::uint64_t secagg_reconstructions = 0;
+  std::uint64_t secagg_rounds_degraded = 0;
 
   /// Cumulative simulated communication time after each round (Fig 4a).
   std::vector<double> cumulative_comm_seconds() const;

@@ -1,0 +1,143 @@
+#include "dp/shamir.hpp"
+
+#include "rng/rng.hpp"
+#include "util/check.hpp"
+
+namespace appfl::dp::shamir {
+
+namespace {
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(
+      static_cast<unsigned __int128>(a) * b % m);
+}
+
+std::uint64_t powmod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
+  std::uint64_t acc = 1;
+  base %= m;
+  while (exp != 0) {
+    if (exp & 1) acc = mulmod(acc, base, m);
+    base = mulmod(base, base, m);
+    exp >>= 1;
+  }
+  return acc;
+}
+
+/// Evaluates the degree-(t-1) polynomial with coefficients `coef` at x
+/// (Horner, over GF(kPrime)).
+std::uint64_t poly_eval(std::span<const std::uint64_t> coef, std::uint64_t x) {
+  std::uint64_t acc = 0;
+  for (std::size_t k = coef.size(); k-- > 0;) {
+    acc = field_add(field_mul(acc, x), coef[k]);
+  }
+  return acc;
+}
+
+}  // namespace
+
+std::uint64_t field_add(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t s = a + b;  // a, b < 2^61 so no wraparound
+  return s >= kPrime ? s - kPrime : s;
+}
+
+std::uint64_t field_sub(std::uint64_t a, std::uint64_t b) {
+  return a >= b ? a - b : a + kPrime - b;
+}
+
+std::uint64_t field_mul(std::uint64_t a, std::uint64_t b) {
+  return mulmod(a, b, kPrime);
+}
+
+std::uint64_t field_pow(std::uint64_t base, std::uint64_t exp) {
+  return powmod(base, exp, kPrime);
+}
+
+std::uint64_t field_inv(std::uint64_t a) {
+  APPFL_CHECK_MSG(a % kPrime != 0, "0 has no multiplicative inverse");
+  return field_pow(a, kPrime - 2);
+}
+
+std::uint64_t commit_mul(std::uint64_t a, std::uint64_t b) {
+  return mulmod(a, b, kCommitModulus);
+}
+
+std::uint64_t commit_pow(std::uint64_t base, std::uint64_t exp) {
+  return powmod(base, exp, kCommitModulus);
+}
+
+SharedSecret share_secret(std::uint64_t secret, std::size_t n, std::size_t t,
+                          rng::Rng& rng) {
+  APPFL_CHECK_MSG(t >= 2, "threshold must be at least 2, got " << t);
+  APPFL_CHECK_MSG(t <= n, "threshold " << t << " exceeds share count " << n);
+  APPFL_CHECK_MSG(n < kPrime, "too many shares for the field");
+
+  // Two half polynomials: constant term = the secret half, higher
+  // coefficients uniform over GF(p).
+  std::vector<std::uint64_t> coef_lo(t), coef_hi(t);
+  coef_lo[0] = secret & 0xFFFFFFFFULL;
+  coef_hi[0] = secret >> 32;
+  for (std::size_t k = 1; k < t; ++k) {
+    coef_lo[k] = rng.uniform_below(kPrime);
+    coef_hi[k] = rng.uniform_below(kPrime);
+  }
+
+  SharedSecret out;
+  out.shares.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto x = static_cast<std::uint32_t>(j + 1);
+    out.shares[j].x = x;
+    out.shares[j].y_lo = poly_eval(coef_lo, x);
+    out.shares[j].y_hi = poly_eval(coef_hi, x);
+  }
+  out.commit_lo.resize(t);
+  out.commit_hi.resize(t);
+  for (std::size_t k = 0; k < t; ++k) {
+    out.commit_lo[k] = commit_pow(kCommitGen, coef_lo[k]);
+    out.commit_hi[k] = commit_pow(kCommitGen, coef_hi[k]);
+  }
+  return out;
+}
+
+bool verify_share(const Share& share,
+                  std::span<const std::uint64_t> commit_lo,
+                  std::span<const std::uint64_t> commit_hi) {
+  if (share.x == 0 || commit_lo.empty() ||
+      commit_lo.size() != commit_hi.size()) {
+    return false;
+  }
+  // prod_k C_k^(x^k); the exponent x^k is reduced mod p = subgroup order.
+  std::uint64_t rhs_lo = 1, rhs_hi = 1, xp = 1;
+  for (std::size_t k = 0; k < commit_lo.size(); ++k) {
+    rhs_lo = commit_mul(rhs_lo, commit_pow(commit_lo[k], xp));
+    rhs_hi = commit_mul(rhs_hi, commit_pow(commit_hi[k], xp));
+    xp = field_mul(xp, share.x);
+  }
+  return commit_pow(kCommitGen, share.y_lo) == rhs_lo &&
+         commit_pow(kCommitGen, share.y_hi) == rhs_hi;
+}
+
+std::uint64_t reconstruct(std::span<const Share> shares, std::size_t t) {
+  APPFL_CHECK_MSG(t >= 2, "threshold must be at least 2, got " << t);
+  APPFL_CHECK_MSG(shares.size() >= t,
+                  "need " << t << " shares to reconstruct, got "
+                          << shares.size());
+  std::uint64_t lo = 0, hi = 0;
+  for (std::size_t j = 0; j < t; ++j) {
+    APPFL_CHECK_MSG(shares[j].x != 0, "share evaluation point must not be 0");
+    // Lagrange basis at x = 0: prod_{m != j} x_m / (x_m - x_j).
+    std::uint64_t num = 1, den = 1;
+    for (std::size_t m = 0; m < t; ++m) {
+      if (m == j) continue;
+      APPFL_CHECK_MSG(shares[m].x != shares[j].x,
+                      "duplicate share point " << shares[j].x);
+      num = field_mul(num, shares[m].x);
+      den = field_mul(den, field_sub(shares[m].x, shares[j].x));
+    }
+    const std::uint64_t basis = field_mul(num, field_inv(den));
+    lo = field_add(lo, field_mul(shares[j].y_lo, basis));
+    hi = field_add(hi, field_mul(shares[j].y_hi, basis));
+  }
+  return (hi << 32) | lo;
+}
+
+}  // namespace appfl::dp::shamir

@@ -1,0 +1,79 @@
+// Shamir t-of-n secret sharing over a 61-bit prime field, with Feldman-style
+// share verification.
+//
+// A 64-bit secret (a PRG seed or a pairwise-masking key) is split into two
+// 32-bit halves; each half becomes the constant term of a random degree-(t-1)
+// polynomial over GF(p). Share j is the polynomial evaluated at x = j, so any
+// t shares reconstruct the secret by Lagrange interpolation at 0 and any t-1
+// reveal nothing. The field prime p is a Sophie Germain prime: P = 2p + 1 is
+// also prime, so the quadratic residues of Z_P* form a subgroup of order
+// exactly p. Feldman commitments C_k = g^{a_k} (mod P) live in that subgroup,
+// which makes exponent arithmetic mod p consistent with share arithmetic mod
+// p — a holder of share (x, y) checks g^y == prod_k C_k^(x^k) without
+// learning the coefficients.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace appfl::rng {
+class Rng;
+}
+
+namespace appfl::dp::shamir {
+
+/// Share field: largest 61-bit Sophie Germain prime (2^61 - 5283).
+inline constexpr std::uint64_t kPrime = 2305843009213688669ULL;
+/// Commitment group modulus: the safe prime P = 2 * kPrime + 1.
+inline constexpr std::uint64_t kCommitModulus = 4611686018427377339ULL;
+/// Generator of the order-kPrime subgroup of Z_P* (the quadratic residues).
+inline constexpr std::uint64_t kCommitGen = 4ULL;
+
+// --- GF(kPrime) field arithmetic ------------------------------------------
+std::uint64_t field_add(std::uint64_t a, std::uint64_t b);
+std::uint64_t field_sub(std::uint64_t a, std::uint64_t b);
+std::uint64_t field_mul(std::uint64_t a, std::uint64_t b);
+std::uint64_t field_pow(std::uint64_t base, std::uint64_t exp);
+/// Multiplicative inverse via Fermat: a^(p-2). Requires a != 0.
+std::uint64_t field_inv(std::uint64_t a);
+
+// --- Commitment group (mod kCommitModulus) --------------------------------
+std::uint64_t commit_mul(std::uint64_t a, std::uint64_t b);
+/// base^exp mod kCommitModulus. Exponents are field elements (mod kPrime),
+/// consistent with the subgroup order.
+std::uint64_t commit_pow(std::uint64_t base, std::uint64_t exp);
+
+/// One share of a 64-bit secret: the evaluation point and the two half
+/// polynomials evaluated there.
+struct Share {
+  std::uint32_t x = 0;       ///< evaluation point, 1-based, never 0
+  std::uint64_t y_lo = 0;    ///< share of the secret's low 32 bits
+  std::uint64_t y_hi = 0;    ///< share of the secret's high 32 bits
+};
+
+/// share_secret output: n shares plus the Feldman commitments (t per half)
+/// that let any holder verify its share against the dealer's polynomials.
+struct SharedSecret {
+  std::vector<Share> shares;
+  std::vector<std::uint64_t> commit_lo;  ///< C_k = g^{a_k} for the low half
+  std::vector<std::uint64_t> commit_hi;  ///< C_k = g^{a_k} for the high half
+};
+
+/// Splits `secret` into n shares with reconstruction threshold t
+/// (2 <= t <= n, n < kPrime). Polynomial coefficients are drawn from `rng`,
+/// so sharing is deterministic per seeded stream.
+SharedSecret share_secret(std::uint64_t secret, std::size_t n, std::size_t t,
+                          rng::Rng& rng);
+
+/// Checks one share against the dealer's commitments:
+/// g^y == prod_k C_k^(x^k) for both halves.
+bool verify_share(const Share& share,
+                  std::span<const std::uint64_t> commit_lo,
+                  std::span<const std::uint64_t> commit_hi);
+
+/// Reconstructs the secret from at least t shares with distinct evaluation
+/// points (the first t are used) by Lagrange interpolation at x = 0.
+std::uint64_t reconstruct(std::span<const Share> shares, std::size_t t);
+
+}  // namespace appfl::dp::shamir

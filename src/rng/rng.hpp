@@ -30,6 +30,9 @@ namespace stream {
 /// so the drop/delay/corrupt schedule is a pure function of the seed and
 /// each link's send order — independent of thread interleaving.
 constexpr std::uint64_t kCommFault = 0xFA;
+/// Secure aggregation: per-round mask/key/share streams. Tuples are
+/// {kSecureAgg, sub-stream, ...} — see dp/secure_agg.cpp for sub-streams.
+constexpr std::uint64_t kSecureAgg = 0x5A;
 }  // namespace stream
 
 /// xoshiro256** engine. Satisfies UniformRandomBitGenerator.

@@ -1,0 +1,147 @@
+#include "dp/shamir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "rng/rng.hpp"
+
+namespace sh = appfl::dp::shamir;
+
+TEST(ShamirField, AddSubWrapAround) {
+  EXPECT_EQ(sh::field_add(sh::kPrime - 1, 1), 0U);
+  EXPECT_EQ(sh::field_add(sh::kPrime - 1, 2), 1U);
+  EXPECT_EQ(sh::field_sub(0, 1), sh::kPrime - 1);
+  EXPECT_EQ(sh::field_sub(5, 5), 0U);
+}
+
+TEST(ShamirField, MulMatchesRepeatedAdd) {
+  const std::uint64_t a = sh::kPrime - 3;
+  std::uint64_t acc = 0;
+  for (int i = 0; i < 7; ++i) acc = sh::field_add(acc, a);
+  EXPECT_EQ(sh::field_mul(a, 7), acc);
+}
+
+TEST(ShamirField, InverseRoundTrips) {
+  appfl::rng::Rng rng(42);
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t a = rng.uniform_below(sh::kPrime - 1) + 1;
+    EXPECT_EQ(sh::field_mul(a, sh::field_inv(a)), 1U);
+  }
+  EXPECT_EQ(sh::field_mul(sh::kPrime - 1, sh::field_inv(sh::kPrime - 1)), 1U);
+  EXPECT_THROW(sh::field_inv(0), std::runtime_error);
+}
+
+TEST(ShamirField, FermatHolds) {
+  appfl::rng::Rng rng(7);
+  for (int i = 0; i < 5; ++i) {
+    const std::uint64_t a = rng.uniform_below(sh::kPrime - 1) + 1;
+    EXPECT_EQ(sh::field_pow(a, sh::kPrime - 1), 1U);
+  }
+}
+
+TEST(ShamirCommit, GeneratorHasSubgroupOrder) {
+  EXPECT_NE(sh::kCommitGen, 1U);
+  EXPECT_EQ(sh::commit_pow(sh::kCommitGen, sh::kPrime), 1U);
+  // The safe-prime relation the exponent arithmetic relies on.
+  EXPECT_EQ(sh::kCommitModulus, 2 * sh::kPrime + 1);
+}
+
+TEST(ShamirShare, ReconstructsExactlyFromAnyWindow) {
+  appfl::rng::Rng rng(2026);
+  const std::uint64_t secrets[] = {0ULL, 1ULL, 0xDEADBEEFCAFEF00DULL,
+                                   ~0ULL, 1ULL << 63};
+  for (const std::uint64_t secret : secrets) {
+    const auto ss = sh::share_secret(secret, 5, 3, rng);
+    ASSERT_EQ(ss.shares.size(), 5U);
+    // first three, middle three, last three
+    EXPECT_EQ(sh::reconstruct({ss.shares.data(), 3}, 3), secret);
+    EXPECT_EQ(sh::reconstruct({ss.shares.data() + 1, 3}, 3), secret);
+    EXPECT_EQ(sh::reconstruct({ss.shares.data() + 2, 3}, 3), secret);
+  }
+}
+
+TEST(ShamirShare, AllThresholdSubsetsAgree) {
+  appfl::rng::Rng rng(9);
+  const std::uint64_t secret = 0x0123456789ABCDEFULL;
+  const auto ss = sh::share_secret(secret, 5, 3, rng);
+  for (std::size_t a = 0; a < 5; ++a) {
+    for (std::size_t b = a + 1; b < 5; ++b) {
+      for (std::size_t c = b + 1; c < 5; ++c) {
+        const std::vector<sh::Share> subset = {ss.shares[a], ss.shares[b],
+                                               ss.shares[c]};
+        EXPECT_EQ(sh::reconstruct(subset, 3), secret);
+      }
+    }
+  }
+}
+
+TEST(ShamirShare, BelowThresholdIsRejected) {
+  appfl::rng::Rng rng(1);
+  const auto ss = sh::share_secret(77, 4, 3, rng);
+  EXPECT_THROW(sh::reconstruct({ss.shares.data(), 2}, 3), std::runtime_error);
+}
+
+TEST(ShamirShare, DuplicatePointsRejected) {
+  appfl::rng::Rng rng(1);
+  const auto ss = sh::share_secret(77, 4, 2, rng);
+  const std::vector<sh::Share> dup = {ss.shares[0], ss.shares[0]};
+  EXPECT_THROW(sh::reconstruct(dup, 2), std::runtime_error);
+}
+
+TEST(ShamirShare, DeterministicPerSeed) {
+  appfl::rng::Rng a(5), b(5), c(6);
+  const auto sa = sh::share_secret(99, 4, 2, a);
+  const auto sb = sh::share_secret(99, 4, 2, b);
+  const auto sc = sh::share_secret(99, 4, 2, c);
+  ASSERT_EQ(sa.shares.size(), sb.shares.size());
+  for (std::size_t i = 0; i < sa.shares.size(); ++i) {
+    EXPECT_EQ(sa.shares[i].y_lo, sb.shares[i].y_lo);
+    EXPECT_EQ(sa.shares[i].y_hi, sb.shares[i].y_hi);
+  }
+  bool differs = false;
+  for (std::size_t i = 0; i < sa.shares.size(); ++i) {
+    differs = differs || sa.shares[i].y_lo != sc.shares[i].y_lo;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ShamirVerify, HonestSharesPass) {
+  appfl::rng::Rng rng(11);
+  const auto ss = sh::share_secret(0xFEEDFACE12345678ULL, 6, 4, rng);
+  for (const auto& share : ss.shares) {
+    EXPECT_TRUE(sh::verify_share(share, ss.commit_lo, ss.commit_hi));
+  }
+}
+
+TEST(ShamirVerify, TamperedShareFails) {
+  appfl::rng::Rng rng(11);
+  const auto ss = sh::share_secret(31337, 5, 3, rng);
+  sh::Share bad_y = ss.shares[2];
+  bad_y.y_lo = sh::field_add(bad_y.y_lo, 1);
+  EXPECT_FALSE(sh::verify_share(bad_y, ss.commit_lo, ss.commit_hi));
+
+  sh::Share bad_x = ss.shares[2];
+  bad_x.x = 4;  // claims another holder's point
+  EXPECT_FALSE(sh::verify_share(bad_x, ss.commit_lo, ss.commit_hi));
+
+  sh::Share zero_x = ss.shares[2];
+  zero_x.x = 0;
+  EXPECT_FALSE(sh::verify_share(zero_x, ss.commit_lo, ss.commit_hi));
+}
+
+TEST(ShamirVerify, WrongCommitmentsFail) {
+  appfl::rng::Rng rng(13);
+  const auto ss1 = sh::share_secret(1, 4, 3, rng);
+  const auto ss2 = sh::share_secret(2, 4, 3, rng);
+  EXPECT_FALSE(
+      sh::verify_share(ss1.shares[0], ss2.commit_lo, ss2.commit_hi));
+}
+
+TEST(ShamirShare, ThresholdBoundsEnforced) {
+  appfl::rng::Rng rng(3);
+  EXPECT_THROW(sh::share_secret(1, 4, 1, rng), std::runtime_error);
+  EXPECT_THROW(sh::share_secret(1, 3, 4, rng), std::runtime_error);
+}
