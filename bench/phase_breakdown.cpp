@@ -16,6 +16,11 @@
 //      comm.broadcast + comm.gather spans) and the per-client uplink
 //      transfer distribution (comm.uplink.transfer spans) — Fig 4's
 //      per-round comm-time distribution from instrumentation.
+// (cp) The causal critical path: obs::critical_paths rebuilds each round's
+//      span DAG (parent links + message edges) and names what bounded it —
+//      "round 3 bounded by fl.client_update client 7" — plus the slowest
+//      simulated uplink, with the fraction of round wall time the chain
+//      attributes.
 //
 // --smoke shrinks the sweep for CI. Knobs: APPFL_PHASE_ROUNDS,
 // APPFL_PHASE_PER_CLIENT.
@@ -28,6 +33,7 @@
 #include "bench_common.hpp"
 #include "core/runner.hpp"
 #include "data/synth.hpp"
+#include "obs/critpath.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/table.hpp"
@@ -186,7 +192,36 @@ int main(int argc, char** argv) {
     std::cout
         << "\nExpected shape (paper Fig 4b): per-client gRPC uplink transfers\n"
            "spread with the jitter model; per-round comm time sits above the\n"
-           "slowest transfer (broadcast + gather of the straggler).\n";
+           "slowest transfer (broadcast + gather of the straggler).\n\n";
+
+    // -- Critical path: what bounded each round ----------------------------
+    const std::vector<appfl::obs::RoundCritPath> paths =
+        appfl::obs::critical_paths(spans);
+    appfl::util::TextTable tc(
+        {"round", "wall_s", "attributed_pct", "bounded_by"});
+    appfl::util::CsvWriter cc(
+        {"round", "wall_s", "attributed_pct", "bounded_by"});
+    double worst_frac = 1.0;
+    for (const auto& p : paths) {
+      worst_frac = std::min(worst_frac, p.attributed_frac);
+      tc.add_row({std::to_string(p.round), fmt(p.wall_s, 4),
+                  fmt(100.0 * p.attributed_frac, 1), p.bounded_by});
+      cc.add_row({std::to_string(p.round), fmt(p.wall_s, 6),
+                  fmt(100.0 * p.attributed_frac, 2), p.bounded_by});
+    }
+    appfl::bench::emit(tc, cc, "phase_breakdown_critpath.csv");
+    std::cout << "\nBlocking chains (deepest step per level):\n";
+    for (const auto& p : paths) {
+      std::cout << "  round " << p.round << " bounded by " << p.bounded_by
+                << "; chain:";
+      for (const auto& step : p.chain) {
+        std::cout << " " << step.name;
+        if (step.has_client) std::cout << "[client " << step.client << "]";
+      }
+      std::cout << "\n";
+    }
+    std::cout << "\nWorst per-round attribution: " << fmt(100.0 * worst_frac, 1)
+              << "% of round wall time on the blocking chain (target >= 95%).\n";
   }
   return 0;
 }

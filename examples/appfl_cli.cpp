@@ -71,6 +71,12 @@ void print_help() {
       "  --obs-level L        off | metrics | trace — observability plane\n"
       "  --trace-out PATH     Chrome trace JSON (requires --obs-level trace)\n"
       "  --metrics-out PATH   per-round JSONL stream (requires metrics/trace)\n"
+      "  --critpath-out PATH  per-round critical-path JSONL (+ .csv sibling;\n"
+      "                       requires --obs-level trace)\n"
+      "  --health-out PATH    per-client health ledger CSV (requires\n"
+      "                       metrics/trace)\n"
+      "  --flight-dir DIR     flight-recorder dump directory (requires\n"
+      "                       metrics/trace)\n"
       "  --report             print per-class recall of the final model\n"
       "  --quiet              suppress the per-round table\n"
       "\n"
@@ -299,6 +305,23 @@ int main(int argc, char** argv) {
     }
     if (!cfg.metrics_out.empty() && cfg.obs_level == "off") {
       std::cerr << "--metrics-out requires --obs-level metrics or trace\n"
+                   "(use --help)\n";
+      return 2;
+    }
+    cfg.critpath_out = args.get_string("critpath-out", "");
+    cfg.health_out = args.get_string("health-out", "");
+    cfg.flight_dir = args.get_string("flight-dir", "");
+    if (!cfg.critpath_out.empty() && cfg.obs_level != "trace") {
+      std::cerr << "--critpath-out requires --obs-level trace\n(use --help)\n";
+      return 2;
+    }
+    if (!cfg.health_out.empty() && cfg.obs_level == "off") {
+      std::cerr << "--health-out requires --obs-level metrics or trace\n"
+                   "(use --help)\n";
+      return 2;
+    }
+    if (!cfg.flight_dir.empty() && cfg.obs_level == "off") {
+      std::cerr << "--flight-dir requires --obs-level metrics or trace\n"
                    "(use --help)\n";
       return 2;
     }

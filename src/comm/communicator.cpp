@@ -9,6 +9,7 @@
 
 #include "comm/compression.hpp"
 #include "comm/envelope.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -93,6 +94,7 @@ Communicator::Communicator(Protocol protocol, std::size_t num_clients,
   APPFL_CHECK_MSG(codec_.int8_range >= 0.0,
                   "int8 clip range must be non-negative");
   ef_residual_.resize(num_clients_);
+  uplink_health_.resize(num_clients_);
   APPFL_CHECK_MSG(reliability_.gather_timeout_s > 0.0,
                   "gather deadline must be positive");
   APPFL_CHECK_MSG(reliability_.ack_timeout_s > 0.0 &&
@@ -313,6 +315,9 @@ bool Communicator::send_update(std::uint32_t client, const Message& m) {
                   "bad client id " << client);
   APPFL_CHECK_MSG(m.sender == client, "sender field must match client id");
   Message outgoing = m;
+  // Trace context rides the wire only when this span is live (obs=trace):
+  // obs-off encodings stay byte-identical.
+  if (outgoing.trace_span == 0) outgoing.trace_span = span.id();
   // What this update costs with the codec off — the exact encoded size of
   // the uncompressed message (no need to build those bytes), envelope
   // included. Accounted per send attempt so bytes_up_precodec / bytes_up is
@@ -352,7 +357,10 @@ bool Communicator::send_update(std::uint32_t client, const Message& m) {
       stats_.bytes_up += bytes.size();
       stats_.bytes_up_precodec += precodec_bytes;
       ++stats_.messages_up;
-      if (attempt > 0) ++stats_.retries;
+      if (attempt > 0) {
+        ++stats_.retries;
+        ++uplink_health_[client - 1].retransmits;
+      }
     }
     if (obs::metrics_on()) {
       instruments().bytes_up.add(bytes.size());
@@ -361,6 +369,10 @@ bool Communicator::send_update(std::uint32_t client, const Message& m) {
       if (attempt > 0) instruments().retries.inc();
     }
     const auto outcome = network_.send(client, 0, bytes, now + backoff);
+    if (outcome.delivered && outcome.corrupted) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++uplink_health_[client - 1].corrupt;
+    }
     // A corrupted delivery reaches the server but is CRC-discarded there,
     // so the receiver never acks it — to the sender it is a drop.
     if (outcome.delivered && !outcome.corrupted) {
@@ -444,6 +456,8 @@ GatherBatch Communicator::gather_batch(std::uint32_t round,
   upload_bytes.reserve(expected);
   std::vector<std::uint32_t> upload_senders;
   upload_senders.reserve(expected);
+  std::vector<std::uint64_t> upload_spans;  // sender-side trace context
+  upload_spans.reserve(expected);
 
   // Validates one datagram: duplicates, stale rounds, unknown senders, and
   // damaged payloads are discarded and counted — never fatal. Validation
@@ -473,6 +487,7 @@ GatherBatch Communicator::gather_batch(std::uint32_t round,
       u.sample_count = v->sample_count;
       u.loss = v->loss;
       u.rho = v->rho;
+      u.trace_span = v->trace_span;
       if (v->codec == 0) {
         // Raw floats: read them where they landed.
         u.primal = WirePayload::f32_bytes(v->primal.bytes(), v->primal.size());
@@ -505,6 +520,7 @@ GatherBatch Communicator::gather_batch(std::uint32_t round,
       seen[u.sender] = true;
       upload_bytes.push_back(d.bytes.size());
       upload_senders.push_back(u.sender);
+      upload_spans.push_back(u.trace_span);
       batch.buffers_.push_back(
           std::make_unique<std::vector<std::uint8_t>>(std::move(d.bytes)));
       batch.updates_.push_back(u);
@@ -528,6 +544,17 @@ GatherBatch Communicator::gather_batch(std::uint32_t round,
     while (out.size() < expected) {
       std::optional<Datagram> d = network_.try_recv(0);
       if (!d) {
+        if (discarded > 0) {
+          // Unfillable gather: a flight-recorder trigger — dump the black
+          // box before the error unwinds (or takes the process down).
+          obs::flight_record(
+              "gather.unfillable",
+              "{\"round\":" + std::to_string(round) +
+                  ",\"discarded\":" + std::to_string(discarded) +
+                  ",\"received\":" + std::to_string(out.size()) +
+                  ",\"expected\":" + std::to_string(expected) + "}");
+          obs::FlightRecorder::global().dump("unfillable-gather");
+        }
         APPFL_CHECK_MSG(discarded == 0,
                         "gather(round " << round << ") would block forever: "
                             << discarded << " message(s) were discarded "
@@ -614,6 +641,11 @@ GatherBatch Communicator::gather_batch(std::uint32_t round,
         r.sim_dur_s = rec.client_transfer_s[i];
         r.arg_name = "sender";
         r.arg = upload_senders[i];
+        // Message edge: the transfer record is a child of the client-side
+        // uplink.send span when its context rode the wire, else of the
+        // gather span it was observed in.
+        r.span_id = obs::next_span_id();
+        r.parent_id = upload_spans[i] != 0 ? upload_spans[i] : span.id();
         tracer.emit(r);
       }
     }
@@ -674,6 +706,15 @@ std::vector<Message> Communicator::gather_secagg_shares(std::uint32_t round,
     while (out.size() < expected) {
       std::optional<Datagram> d = network_.try_recv(0);
       if (!d) {
+        if (discarded > 0) {
+          obs::flight_record(
+              "gather.unfillable",
+              "{\"round\":" + std::to_string(round) +
+                  ",\"discarded\":" + std::to_string(discarded) +
+                  ",\"received\":" + std::to_string(out.size()) +
+                  ",\"expected\":" + std::to_string(expected) + "}");
+          obs::FlightRecorder::global().dump("unfillable-gather");
+        }
         APPFL_CHECK_MSG(discarded == 0,
                         "share gather(round " << round
                             << ") would block forever: " << discarded
@@ -754,6 +795,7 @@ std::vector<Message> GatherBatch::take_messages() const {
     m.sample_count = u.sample_count;
     m.loss = u.loss;
     m.rho = u.rho;
+    m.trace_span = u.trace_span;
     m.primal.resize(u.primal.count);
     if (u.primal.enc == WireEncoding::kF32) {
       if (u.primal.count > 0) {
@@ -776,6 +818,11 @@ std::vector<Message> GatherBatch::take_messages() const {
     out.push_back(std::move(m));
   }
   return out;
+}
+
+std::vector<Communicator::UplinkHealth> Communicator::uplink_health() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return uplink_health_;
 }
 
 TrafficStats Communicator::stats() const {

@@ -141,6 +141,9 @@ struct GatherUpdate {
   std::uint64_t sample_count = 0;
   double loss = 0.0;
   double rho = 0.0;
+  /// Sender-side span id that rode in on the message (0 = none): lets
+  /// server-side spans link back to the originating client span.
+  std::uint64_t trace_span = 0;
   WirePayload primal;
   WirePayload dual;
 };
@@ -274,6 +277,16 @@ class Communicator {
   /// Encode-buffer recycling counters (see comm/buffer_pool.hpp).
   BufferPool::Stats pool_stats() const { return pool_.stats(); }
 
+  /// Per-client uplink fault attribution (index = client − 1): retransmit
+  /// attempts beyond the first send and corrupted deliveries, as observed
+  /// by send_update. Feeds the per-client health ledger; all zeros when the
+  /// fault plane is off.
+  struct UplinkHealth {
+    std::uint64_t retransmits = 0;
+    std::uint64_t corrupt = 0;
+  };
+  std::vector<UplinkHealth> uplink_health() const;
+
   /// Resumable snapshot of the comm plane: the simulated clock, the
   /// composed traffic/fault ledger, and the fault injector's per-link
   /// sequence counters. Restoring it on a fresh Communicator (same
@@ -332,6 +345,7 @@ class Communicator {
   GrpcCostModel grpc_model_;
   mutable std::mutex stats_mutex_;  // clients send concurrently
   TrafficStats stats_;
+  std::vector<UplinkHealth> uplink_health_;  // slot per client
   std::vector<RoundCommRecord> round_log_;
   SimClock clock_;
   double pending_broadcast_s_ = 0.0;

@@ -48,7 +48,7 @@ bool Message::operator==(const Message& other) const {
          sample_count == other.sample_count && same_bits(loss, other.loss) &&
          same_bits(rho, other.rho) && same_bits_vec(primal, other.primal) &&
          same_bits_vec(dual, other.dual) && codec == other.codec &&
-         packed == other.packed;
+         packed == other.packed && trace_span == other.trace_span;
 }
 
 namespace {
@@ -135,6 +135,7 @@ void MessageView::detach_into(Message& out) const {
   out.loss = loss;
   out.rho = rho;
   out.codec = codec;
+  out.trace_span = trace_span;
   primal.copy_into(out.primal);
   dual.copy_into(out.dual);
   out.packed.assign(packed.begin(), packed.end());
@@ -142,9 +143,11 @@ void MessageView::detach_into(Message& out) const {
 
 std::size_t raw_encoded_size(const Message& m) {
   // kind(1) + sender(4) + receiver(4) + round(4) + samples(8) + loss(8)
-  // + rho(8) + 2 × (len(8) + floats) + codec(1) + packed(len(8) + bytes).
+  // + rho(8) + 2 × (len(8) + floats) + codec(1) + packed(len(8) + bytes)
+  // + optional trace-context trailer (8, only when trace_span != 0).
   return 1 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 4 * m.primal.size() + 8 +
-         4 * m.dual.size() + 1 + 8 + m.packed.size();
+         4 * m.dual.size() + 1 + 8 + m.packed.size() +
+         (m.trace_span != 0 ? 8 : 0);
 }
 
 std::vector<std::uint8_t> encode_raw(const Message& m) {
@@ -171,6 +174,9 @@ void encode_raw_append(const Message& m, std::vector<std::uint8_t>& out) {
   out.push_back(m.codec);
   append_u64(out, m.packed.size());
   out.insert(out.end(), m.packed.begin(), m.packed.end());
+  // Optional trailer: old decoders never saw one (they require exact
+  // consumption), new decoders read it iff bytes remain.
+  if (m.trace_span != 0) append_u64(out, m.trace_span);
 }
 
 Message decode_raw(std::span<const std::uint8_t> bytes) {
@@ -201,6 +207,7 @@ MessageView decode_raw_view(std::span<const std::uint8_t> bytes) {
                   "truncated raw packed payload");
   m.packed = bytes.subspan(off, packed_len);
   off += packed_len;
+  if (off < bytes.size()) m.trace_span = read_u64(bytes, off);
   APPFL_CHECK_MSG(off == bytes.size(), "trailing bytes in raw message");
   return m;
 }
@@ -218,6 +225,7 @@ constexpr std::uint32_t kFDual = 8;
 constexpr std::uint32_t kFRho = 9;
 constexpr std::uint32_t kFCodec = 10;
 constexpr std::uint32_t kFPacked = 11;
+constexpr std::uint32_t kFTraceSpan = 12;
 }  // namespace
 
 std::vector<std::uint8_t> encode_proto(const Message& m) {
@@ -244,6 +252,7 @@ void encode_proto_append(const Message& m, std::vector<std::uint8_t>& out) {
     w.add_varint(kFCodec, m.codec);
     w.add_bytes(kFPacked, m.packed);
   }
+  if (m.trace_span != 0) w.add_varint(kFTraceSpan, m.trace_span);
   out = w.take();
 }
 
@@ -289,6 +298,7 @@ MessageView decode_proto_view(std::span<const std::uint8_t> bytes) {
       case kFPacked:
         m.packed = f.bytes;
         break;
+      case kFTraceSpan: m.trace_span = f.varint; break;
       default:
         break;  // unknown fields are skipped, like protobuf
     }
@@ -322,6 +332,7 @@ std::size_t proto_encoded_size(const Message& m) {
     n += 1 + varint_size(m.codec);
     n += 1 + varint_size(m.packed.size()) + m.packed.size();
   }
+  if (m.trace_span != 0) n += 1 + varint_size(m.trace_span);
   return n;
 }
 

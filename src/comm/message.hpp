@@ -44,6 +44,12 @@ struct Message {
   // see this field populated.
   std::uint8_t codec = 0;
   std::vector<std::uint8_t> packed;
+  // Trace context (observability plane): the sender's current span id, so
+  // receiver-side spans can link back to the originating client span across
+  // threads — in-proc today, socket-ready tomorrow. 0 = no context; the
+  // field is only put on the wire when nonzero (which requires obs=trace),
+  // so obs-off encodings are byte-identical to pre-trace-context builds.
+  std::uint64_t trace_span = 0;
 
   /// Bitwise equality: float fields (loss, rho, primal, dual) compare by
   /// their bit patterns, not IEEE semantics, so a faithfully round-tripped
@@ -137,6 +143,7 @@ struct MessageView {
   double loss = 0.0;
   double rho = 0.0;
   std::uint8_t codec = 0;
+  std::uint64_t trace_span = 0;
   FloatView primal;
   FloatView dual;
   std::span<const std::uint8_t> packed{};

@@ -12,6 +12,7 @@
 #include "core/iiadmm.hpp"
 #include "core/obs_session.hpp"
 #include "core/runner.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -166,14 +167,21 @@ AsyncRunResult run_async(const AsyncConfig& config,
       queue;
   std::size_t version = 0;
   std::size_t dispatch_counter = 0;
+  const bool track_health = obs_session.metrics_enabled();
   auto dispatch = [&](std::size_t p, double now) {
     obs::ScopedSpan span("async.dispatch", "async");
     span.set_arg("client", p + 1);
     const comm::Message update = clients[p]->update(
         w, static_cast<std::uint32_t>(++dispatch_counter));
     in_flight[p] = strategy->in_flight_payload(update.primal, w);
-    queue.push({now + duration_of(p), static_cast<std::uint32_t>(p + 1),
-                version});
+    const double dur = duration_of(p);
+    // The dispatch's simulated duration (compute + both links) is the async
+    // scheme's client latency — what the straggler score should rank by.
+    if (track_health) {
+      obs_session.health().observe_latency(static_cast<std::uint32_t>(p + 1),
+                                           dur);
+    }
+    queue.push({now + dur, static_cast<std::uint32_t>(p + 1), version});
   };
 
   AsyncRunResult result;
@@ -246,6 +254,11 @@ AsyncRunResult run_async(const AsyncConfig& config,
       // redone work is never staler than the original would have been).
       ++result.dropped_updates;
       record_async_drop_metric();
+      if (track_health) {
+        obs_session.health().add_dropped_frames(next.client, 1);
+      }
+      obs::flight_record("async.drop",
+                         "{\"client\":" + std::to_string(next.client) + "}");
       dispatch(p, next.finish_time);
       continue;
     }
@@ -420,13 +433,18 @@ AsyncIIAdmmResult run_async_iiadmm(const AsyncConfig& config,
       queue;
   std::size_t version = 0;
   std::size_t dispatch_counter = 0;
+  const bool track_health = obs_session.metrics_enabled();
   auto dispatch = [&](std::size_t p, double now) {
     w_sent[p] = w;
     const comm::Message update = clients[p]->update(
         w_sent[p], static_cast<std::uint32_t>(++dispatch_counter));
     in_flight_z[p] = update.primal;
-    queue.push({now + duration_of(p), static_cast<std::uint32_t>(p + 1),
-                version});
+    const double dur = duration_of(p);
+    if (track_health) {
+      obs_session.health().observe_latency(static_cast<std::uint32_t>(p + 1),
+                                           dur);
+    }
+    queue.push({now + dur, static_cast<std::uint32_t>(p + 1), version});
   };
 
   AsyncIIAdmmResult result;

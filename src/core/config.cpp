@@ -169,6 +169,12 @@ void RunConfig::validate() const {
                   "trace_out requires obs_level=trace");
   APPFL_CHECK_MSG(metrics_out.empty() || lv >= obs::Level::kMetrics,
                   "metrics_out requires obs_level=metrics or trace");
+  APPFL_CHECK_MSG(critpath_out.empty() || lv >= obs::Level::kTrace,
+                  "critpath_out requires obs_level=trace");
+  APPFL_CHECK_MSG(health_out.empty() || lv >= obs::Level::kMetrics,
+                  "health_out requires obs_level=metrics or trace");
+  APPFL_CHECK_MSG(flight_dir.empty() || lv >= obs::Level::kMetrics,
+                  "flight_dir requires obs_level=metrics or trace");
 }
 
 CheckpointOptions checkpoint_options_from_env(const RunConfig& config) {
@@ -240,6 +246,9 @@ obs::ObsOptions obs_options_from_env(const RunConfig& config) {
   if (const auto lv = obs::parse_level(config.obs_level)) opts.level = *lv;
   opts.trace_out = config.trace_out;
   opts.metrics_out = config.metrics_out;
+  opts.health_out = config.health_out;
+  opts.critpath_out = config.critpath_out;
+  opts.flight_dir = config.flight_dir;
   obs::apply_env_overrides(opts);
   return opts;
 }

@@ -207,6 +207,17 @@ struct RunConfig {
   std::string obs_level = "off";
   std::string trace_out;
   std::string metrics_out;
+  /// Causal-analysis outputs (same level rules, same APPFL_OBS_* override
+  /// convention): health_out writes the per-client health ledger CSV at end
+  /// of run (requires at least "metrics"); critpath_out writes the
+  /// critical-path analyzer's per-round JSONL plus a `.csv` sibling
+  /// (requires "trace" — the analyzer consumes span records); flight_dir
+  /// names a directory the flight recorder dumps into on secure-agg
+  /// degraded rounds, unfillable gathers, and fatal-signal/terminate hooks
+  /// (requires at least "metrics").
+  std::string health_out;
+  std::string critpath_out;
+  std::string flight_dir;
 
   /// Per-round DP sensitivity Δ̄ for this config (algorithm-dependent).
   double sensitivity() const;

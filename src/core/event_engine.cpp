@@ -25,6 +25,7 @@
 #include "core/sampling.hpp"
 #include "dp/secure_agg.hpp"
 #include "hw/device.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rng/rng.hpp"
@@ -137,6 +138,7 @@ PopulationRunResult run_population(const RunConfig& config,
   util::ThreadPool pool;
   rng::Rng sampler(rng::derive_seed(config.seed, {kSamplerStream}));
   ObsSession obs_session(config);
+  const bool track_health = obs_session.metrics_enabled();
   const comm::MpiCostModel mpi;
   const comm::GrpcCostModel grpc;
   const hw::DeviceProfile device = hw::v100();
@@ -177,6 +179,7 @@ PopulationRunResult run_population(const RunConfig& config,
   std::uint32_t start_round = 1;
   if (!ckpt.resume_from.empty()) {
     APPFL_SPAN("ckpt.restore", "ckpt");
+    obs::flight_record("ckpt.restore");
     std::optional<CheckpointStore> separate;
     CheckpointStore& resume_store =
         store && ckpt.resume_from == ckpt.dir ? *store
@@ -242,6 +245,8 @@ PopulationRunResult run_population(const RunConfig& config,
   for (std::uint32_t round = start_round; round <= config.rounds; ++round) {
     obs::ScopedSpan round_span("fl.round", "fl");
     round_span.set_arg("round", round);
+    obs::flight_record("round.start",
+                       "{\"round\":" + std::to_string(round) + "}");
     const double sim_round_start = clock.now();
     const comm::TrafficStats before = current_stats();
 
@@ -322,6 +327,7 @@ PopulationRunResult run_population(const RunConfig& config,
     bool masked_phase_done = !secure;  // plain mode: no share phase to wait on
     bool root_reduced = false;
     bool round_degraded = false;
+    SecaggDegradeReason degrade_reason = SecaggDegradeReason::kNone;
     std::uint64_t round_reconstructions = 0;
 
     // Group readiness can only be decided once every training executed and
@@ -400,7 +406,9 @@ PopulationRunResult run_population(const RunConfig& config,
               : std::max(share_latest, bcast_done + config.gather_timeout_s);
       round_end = std::max(round_end, u2_time);
       if (u2.size() < secagg_threshold) {
+        // Too few share packets survived: nobody uploads this round.
         round_degraded = true;
+        degrade_reason = SecaggDegradeReason::kShareWaveTimeout;
         maybe_schedule_groups();
         return;
       }
@@ -409,6 +417,15 @@ PopulationRunResult run_population(const RunConfig& config,
         const auto it =
             std::lower_bound(participants.begin(), participants.end(), id);
         slot_in_u2[static_cast<std::size_t>(it - participants.begin())] = 1;
+      }
+      if (track_health) {
+        // Trained slots outside U2: their share packet was lost, and their
+        // update is discarded with it.
+        for (std::size_t slot = 0; slot < k; ++slot) {
+          if (sec_clients[slot] && !slot_in_u2[slot]) {
+            obs_session.health().add_share_discards(participants[slot], 1);
+          }
+        }
       }
       pool.parallel_for(k, [&](std::size_t slot) {
         if (!slot_in_u2[slot] || !sec_clients[slot]) return;
@@ -443,6 +460,9 @@ PopulationRunResult run_population(const RunConfig& config,
                      t_up);
         so.delivered = outcome.delivered;
         so.deliver_at = outcome.deliver_at;
+        if (track_health && !outcome.delivered) {
+          obs_session.health().add_dropped_frames(masked.sender, 1);
+        }
       });
       for (std::size_t slot = 0; slot < k; ++slot) {
         if (!slot_in_u2[slot] || !sec_clients[slot]) continue;
@@ -476,10 +496,13 @@ PopulationRunResult run_population(const RunConfig& config,
         case EventKind::kArrival: {
           obs::ScopedSpan phase("fl.local_update_phase", "fl");
           phase.set_arg("participants", wave.size());
+          // Pool workers have empty span stacks; hand the phase id across.
+          const std::uint64_t phase_id = phase.id();
           pool.parallel_for(wave.size(), [&](std::size_t wi) {
             const std::uint32_t slot = wave[wi].arg;
             const std::uint32_t id = participants[slot];
             obs::ScopedSpan client_span("fl.client_update", "fl");
+            client_span.set_parent(phase_id);
             client_span.set_arg("client", id);
             // The transient client: dataset and model replica exist only
             // for this participation.
@@ -487,10 +510,16 @@ PopulationRunResult run_population(const RunConfig& config,
                 id, config, *prototype, population.materialize(id));
             comm::Message update = client->handle_global(global);
             update.receiver = 0;
+            // Trace context rides the uplink frame (nonzero only at
+            // obs=trace, so obs-off bytes are unchanged).
+            update.trace_span = client_span.id();
             const double train_s = device.seconds_for(
                 flops_per_sample_step *
                 static_cast<double>(client->num_samples()) *
                 static_cast<double>(config.local_steps));
+            // The engine's client latency is its simulated training cost —
+            // the quantity the straggler score should rank slots by.
+            if (track_health) obs_session.health().observe_latency(id, train_s);
             const double t_send = wave[wi].t + train_s;
             if (secure) {
               // Hold the update; ship the Shamir share packet to the root
@@ -523,6 +552,9 @@ PopulationRunResult run_population(const RunConfig& config,
                   t_up);
               so.delivered = outcome.delivered;
               so.deliver_at = outcome.deliver_at;
+              if (track_health && !(outcome.delivered && !outcome.corrupted)) {
+                obs_session.health().add_dropped_frames(id, 1);
+              }
               client->on_uplink_result(outcome.delivered &&
                                        !outcome.corrupted);
               return;
@@ -545,6 +577,9 @@ PopulationRunResult run_population(const RunConfig& config,
                          std::move(bytes), t_up);
             so.delivered = outcome.delivered;
             so.deliver_at = outcome.deliver_at;
+            if (track_health && !(outcome.delivered && !outcome.corrupted)) {
+              obs_session.health().add_dropped_frames(id, 1);
+            }
             client->on_uplink_result(outcome.delivered && !outcome.corrupted);
           });
           // Fold on the orchestration thread, in wave (event) order.
@@ -704,6 +739,7 @@ PopulationRunResult run_population(const RunConfig& config,
                                      dp::kDefaultScale * total_weight);
             } else {
               round_degraded = true;  // |U3| < t: model unchanged
+              degrade_reason = SecaggDegradeReason::kBelowThreshold;
             }
           } else if (!views.empty()) {
             std::vector<StreamTerm> terms;
@@ -747,7 +783,10 @@ PopulationRunResult run_population(const RunConfig& config,
     }
     // Secure mode with every masked upload lost: the root reduce never
     // fired, so the below-threshold outcome is decided here.
-    if (secure && !root_reduced) round_degraded = true;
+    if (secure && !root_reduced && !round_degraded) {
+      round_degraded = true;
+      degrade_reason = SecaggDegradeReason::kRootUnreachable;
+    }
     if (secure && obs::metrics_on()) {
       static obs::Counter& reconstructions =
           obs::MetricsRegistry::global().counter("secure_agg.reconstructions");
@@ -755,6 +794,27 @@ PopulationRunResult run_population(const RunConfig& config,
           obs::MetricsRegistry::global().counter("secure_agg.rounds_degraded");
       reconstructions.add(round_reconstructions);
       if (round_degraded) degraded.add(1);
+    }
+    if (round_degraded) {
+      obs::flight_record("secagg.degraded",
+                         "{\"round\":" + std::to_string(round) +
+                             ",\"reason\":\"" + to_string(degrade_reason) +
+                             "\"}");
+      obs::FlightRecorder::global().dump("secagg-degraded-" +
+                                         to_string(degrade_reason));
+    }
+    if (track_health) {
+      for (std::size_t slot = 0; slot < k; ++slot) {
+        const std::uint32_t id = participants[slot];
+        // A slot whose update never reached the root went missing this
+        // round, whatever the hop that lost it.
+        if (update_frames[slot].empty()) obs_session.health().note_dropout(id);
+        const auto it = participation.find(id);
+        if (it != participation.end()) {
+          obs_session.health().set_dp_epsilon(
+              id, static_cast<double>(it->second) * round_epsilon);
+        }
+      }
     }
     clock.sync_to(round_end);
     const comm::TrafficStats after = current_stats();
@@ -773,6 +833,7 @@ PopulationRunResult run_population(const RunConfig& config,
     metrics.discards = after.discards - before.discards;
     metrics.secagg_reconstructions = round_reconstructions;
     metrics.secagg_degraded = round_degraded;
+    metrics.secagg_degrade_reason = degrade_reason;
     out.run.secagg_reconstructions += round_reconstructions;
     if (round_degraded) ++out.run.secagg_rounds_degraded;
     if (config.validate_every_round || round == config.rounds) {
@@ -789,12 +850,18 @@ PopulationRunResult run_population(const RunConfig& config,
     rec.gather_s = metrics.gather_s;
     out.run.comm_rounds.push_back(std::move(rec));
     obs_session.write_round(metrics);
+    obs::flight_record("round.done",
+                       "{\"round\":" + std::to_string(round) +
+                           ",\"responders\":" + std::to_string(responders) +
+                           "}");
 
     const bool halt_here =
         config.halt_after_round > 0 && round == config.halt_after_round;
     if (store &&
         (round % ckpt.every == 0 || round == config.rounds || halt_here)) {
       APPFL_SPAN("ckpt.save", "ckpt");
+      obs::flight_record("ckpt.save",
+                         "{\"round\":" + std::to_string(round) + "}");
       RoundCheckpoint rc;
       rc.algorithm = to_string(config.algorithm);
       rc.seed = config.seed;

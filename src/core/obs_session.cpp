@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/critpath.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -16,7 +18,10 @@ ObsSession::ObsSession(const RunConfig& config)
     // references cached by hot paths (gemm, communicator) stay valid.
     obs::MetricsRegistry::global().reset();
     obs::Tracer::global().clear();
+    obs::FlightRecorder::global().clear();
   }
+  obs::FlightRecorder::global().set_dump_dir(opts_.flight_dir);
+  if (!opts_.flight_dir.empty()) obs::FlightRecorder::install_crash_hooks();
   if (!opts_.metrics_out.empty()) writer_.emplace(opts_.metrics_out);
 }
 
@@ -36,8 +41,20 @@ void ObsSession::write_round(const RoundMetrics& m) {
      << ",\"retries\":" << m.retries
      << ",\"crc_failures\":" << m.crc_failures
      << ",\"discards\":" << m.discards << ",\"timeouts\":" << m.timeouts
-     << "}";
+     << ",\"secagg_reconstructions\":" << m.secagg_reconstructions
+     << ",\"secagg_degraded\":" << (m.secagg_degraded ? "true" : "false")
+     << ",\"secagg_degrade_reason\":";
+  if (m.secagg_degrade_reason == SecaggDegradeReason::kNone) {
+    os << "null";
+  } else {
+    os << "\"" << to_string(m.secagg_degrade_reason) << "\"";
+  }
+  os << "}";
   writer_->line(os.str());
+  const std::vector<obs::ClientHealth> clients = health_.snapshot();
+  if (!clients.empty()) {
+    writer_->line(obs::HealthLedger::round_json(m.round, clients));
+  }
 }
 
 void ObsSession::write_line(const std::string& json) {
@@ -75,16 +92,52 @@ void ObsSession::finish(const RunResult& result) {
 }
 
 void ObsSession::finish() {
+  // Tracer self-telemetry (satellite): silent ring overwrites become
+  // visible in the end-of-run metrics snapshot, not only via dropped().
+  if (opts_.level >= obs::Level::kMetrics) {
+    obs::Tracer& tracer = obs::Tracer::global();
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    reg.counter("obs.spans_emitted").add(tracer.emitted());
+    reg.counter("obs.spans_dropped").add(tracer.dropped());
+    reg.gauge("obs.trace_threads")
+        .set(static_cast<double>(tracer.ring_count()));
+  }
   if (writer_ && writer_->ok()) {
+    const std::vector<obs::ClientHealth> clients = health_.snapshot();
+    if (!clients.empty()) {
+      std::string line = obs::HealthLedger::round_json(0, clients);
+      // Re-tag the final snapshot so consumers can tell it from a round line.
+      line.replace(line.find("\"health\""), 8, "\"health_summary\"");
+      writer_->line(line);
+    }
     writer_->line(obs::metrics_snapshot_json(
         obs::MetricsRegistry::global().snapshot()));
     writer_->flush();
+  }
+  if (!opts_.health_out.empty()) {
+    std::string error;
+    if (!health_.write_csv(opts_.health_out, &error)) {
+      std::fprintf(stderr, "warning: health CSV export failed: %s\n",
+                   error.c_str());
+    }
   }
   if (!opts_.trace_out.empty()) {
     std::string error;
     if (!obs::write_chrome_trace(obs::Tracer::global(), opts_.trace_out,
                                  &error)) {
       std::fprintf(stderr, "warning: trace export failed: %s\n",
+                   error.c_str());
+    }
+  }
+  if (!opts_.critpath_out.empty()) {
+    const std::vector<obs::RoundCritPath> paths =
+        obs::critical_paths(obs::Tracer::global().collect());
+    std::string error;
+    if (!obs::write_critpath_jsonl(paths, opts_.critpath_out, &error) ||
+        !obs::write_critpath_csv(paths,
+                                 obs::critpath_csv_path(opts_.critpath_out),
+                                 &error)) {
+      std::fprintf(stderr, "warning: critical-path export failed: %s\n",
                    error.c_str());
     }
   }

@@ -21,6 +21,7 @@
 #include "core/config.hpp"
 #include "core/runner.hpp"
 #include "obs/export.hpp"
+#include "obs/health.hpp"
 #include "obs/obs.hpp"
 
 namespace appfl::core {
@@ -40,8 +41,14 @@ class ObsSession {
   /// True when a JSONL stream is open — callers can skip building lines.
   bool streaming() const { return writer_.has_value() && writer_->ok(); }
 
-  /// One JSONL line for a completed round (no-op without a metrics stream).
-  /// test_accuracy's −1 "skipped" sentinel serializes as null.
+  /// The run's per-client health ledger. Runners feed it (gated on
+  /// metrics_enabled()); the session snapshots it per round into the JSONL
+  /// stream and at finish into the summary + the --health-out CSV.
+  obs::HealthLedger& health() { return health_; }
+
+  /// One JSONL line for a completed round (no-op without a metrics stream),
+  /// followed by the round's health-ledger snapshot line when the ledger
+  /// has observations. test_accuracy's −1 sentinel serializes as null.
   void write_round(const RoundMetrics& metrics);
 
   /// Arbitrary pre-rendered JSONL line (the async runner's event stream).
@@ -51,14 +58,16 @@ class ObsSession {
   /// that survive resume), registry-snapshot line, trace-file export.
   void finish(const RunResult& result);
 
-  /// End of run without a sync-runner summary (async runners): registry
-  /// snapshot line + trace export only.
+  /// End of run without a sync-runner summary (async runners): health
+  /// summary + CSV, tracer self-telemetry, registry snapshot line, trace
+  /// export, critical-path artifacts.
   void finish();
 
  private:
   obs::ObsOptions opts_;
   obs::Level previous_ = obs::Level::kOff;
   std::optional<obs::JsonlWriter> writer_;
+  obs::HealthLedger health_;
 };
 
 }  // namespace appfl::core

@@ -1,13 +1,16 @@
 #include "core/runner.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <optional>
+#include <string>
 
 #include "core/checkpoint.hpp"
 #include "dp/secure_agg.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "core/fedavg.hpp"
 #include "core/sampling.hpp"
@@ -24,6 +27,16 @@
 #include "util/logging.hpp"
 
 namespace appfl::core {
+
+std::string to_string(SecaggDegradeReason r) {
+  switch (r) {
+    case SecaggDegradeReason::kNone: return "none";
+    case SecaggDegradeReason::kBelowThreshold: return "below-threshold";
+    case SecaggDegradeReason::kShareWaveTimeout: return "share-wave-timeout";
+    case SecaggDegradeReason::kRootUnreachable: return "root-unreachable";
+  }
+  return "?";
+}
 
 std::vector<double> RunResult::cumulative_comm_seconds() const {
   std::vector<double> out;
@@ -203,9 +216,14 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
   // (basic composition); ε = ∞ rounds are accounted as zero leakage.
   const double round_epsilon = std::isfinite(config.epsilon) ? config.epsilon : 0.0;
 
+  // Per-client uplink fault attribution (retransmits, corrupt frames): the
+  // communicator counts cumulatively, the ledger wants per-round deltas.
+  std::vector<comm::Communicator::UplinkHealth> prev_uplink;
+
   std::uint32_t start_round = 1;
   if (!ckpt.resume_from.empty()) {
     APPFL_SPAN("ckpt.restore", "ckpt");
+    obs::flight_record("ckpt.restore");
     // Resuming through the save store (same directory) keeps the A/B
     // alternation correct: the next save overwrites the slot we did NOT
     // load from.
@@ -251,6 +269,8 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
   for (std::uint32_t round = start_round; round <= config.rounds; ++round) {
     obs::ScopedSpan round_span("fl.round", "fl");
     round_span.set_arg("round", round);
+    obs::flight_record("round.start",
+                       "{\"round\":" + std::to_string(round) + "}");
     const double sim_round_start = comm.clock().now();
     // (0) Client sampling: all clients at fraction 1, otherwise ⌈f·P⌉
     // distinct ids drawn from the seed-derived stream.
@@ -285,6 +305,9 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
     std::vector<char> trained(num_clients, 0);
     std::uint64_t round_reconstructions = 0;
     bool round_degraded = false;
+    SecaggDegradeReason degrade_reason = SecaggDegradeReason::kNone;
+    bool shares_below_threshold = false;
+    const bool track_health = obs_session.metrics_enabled();
     std::size_t secagg_threshold = 0;
     std::uint64_t round_seed = 0;
     std::vector<std::optional<comm::Message>> pending_updates;
@@ -311,17 +334,35 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
       // breakdown (bench/phase_breakdown).
       obs::ScopedSpan phase_span("fl.local_update_phase", "fl");
       phase_span.set_arg("participants", participants.size());
+      // Pool workers have their own (empty) span stacks, so the lexical
+      // parent link does not cross the dispatch; hand the phase's id in.
+      const std::uint64_t phase_id = phase_span.id();
       pool.parallel_for(participants.size(), [&](std::size_t i) {
         const std::uint32_t id = participants[i];
         obs::ScopedSpan client_span("fl.client_update", "fl");
+        client_span.set_parent(phase_id);
         client_span.set_arg("client", id);
         const std::optional<comm::Message> incoming =
             comm.try_recv_global(id, round);
-        if (!incoming) return;
+        if (!incoming) {
+          // Downlink loss: the client never saw this round.
+          if (track_health) obs_session.health().note_dropout(id);
+          return;
+        }
         trained[id - 1] = 1;
+        const auto train_start = std::chrono::steady_clock::now();
         comm::Message update = clients[id - 1]->handle_global(*incoming);
+        if (track_health) {
+          obs_session.health().observe_latency(
+              id, std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - train_start)
+                      .count());
+        }
         if (!config.secure_agg) {
           const bool delivered = comm.send_update(id, update);
+          if (track_health && !delivered) {
+            obs_session.health().add_dropped_frames(id, 1);
+          }
           clients[id - 1]->on_uplink_result(delivered);
           return;
         }
@@ -357,12 +398,22 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
       std::vector<char> in_u2(num_clients, 0);
       for (std::uint32_t id : u2) in_u2[id - 1] = 1;
       const bool recoverable = u2.size() >= secagg_threshold;
+      shares_below_threshold = !recoverable;
       obs::ScopedSpan phase_span("fl.masked_upload_phase", "fl");
       phase_span.set_arg("u2", u2.size());
+      const std::uint64_t phase_id = phase_span.id();
       pool.parallel_for(participants.size(), [&](std::size_t i) {
         const std::uint32_t id = participants[i];
         if (!trained[id - 1]) return;
+        obs::ScopedSpan client_span("fl.masked_upload", "fl");
+        client_span.set_parent(phase_id);
+        client_span.set_arg("client", id);
         if (!recoverable || !in_u2[id - 1]) {
+          // This client's share packet never reached the server: its masks
+          // could not be removed, so its update is discarded with it.
+          if (track_health && !in_u2[id - 1]) {
+            obs_session.health().add_share_discards(id, 1);
+          }
           clients[id - 1]->on_uplink_result(false);
           return;
         }
@@ -380,6 +431,9 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
         masked.primal = dp::pack_words_as_floats(sec_clients[i]->mask(
             update.primal, u2, dp::kDefaultScale, weight));
         const bool delivered = comm.send_update(id, masked);
+        if (track_health && !delivered) {
+          obs_session.health().add_dropped_frames(id, 1);
+        }
         clients[id - 1]->on_uplink_result(delivered);
       });
     }
@@ -452,8 +506,13 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
         server.update(locals, w, round);
       } else {
         // Below threshold: skip the model update, count the round, keep
-        // running — graceful degradation, never a partial unmask.
+        // running — graceful degradation, never a partial unmask. The
+        // reason distinguishes WHERE the cohort thinned: the share wave
+        // (U2 < t, nobody even uploaded) or the masked uploads (U3 < t).
         round_degraded = true;
+        degrade_reason = shares_below_threshold
+                             ? SecaggDegradeReason::kShareWaveTimeout
+                             : SecaggDegradeReason::kBelowThreshold;
       }
       if (obs::metrics_on()) {
         static obs::Counter& reconstructions =
@@ -466,6 +525,16 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
         if (round_degraded) degraded.add(1);
       }
     }
+    if (round_degraded) {
+      // Degraded rounds are a flight-recorder trigger: dump the black box
+      // now, while the events leading here are still in the ring.
+      obs::flight_record("secagg.degraded",
+                         "{\"round\":" + std::to_string(round) +
+                             ",\"reason\":\"" + to_string(degrade_reason) +
+                             "\"}");
+      obs::FlightRecorder::global().dump("secagg-degraded-" +
+                                         to_string(degrade_reason));
+    }
     const comm::TrafficStats after = comm.stats();
     round_span.set_sim(sim_round_start,
                       comm.clock().now() - sim_round_start);
@@ -473,6 +542,31 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
     // this round's ε whether or not the network delivered it.
     for (std::size_t p = 0; p < num_clients; ++p) {
       if (trained[p]) accountant.spend(p, round_epsilon);
+    }
+    if (track_health) {
+      for (std::size_t p = 0; p < num_clients; ++p) {
+        if (trained[p]) {
+          obs_session.health().set_dp_epsilon(
+              static_cast<std::uint32_t>(p + 1), accountant.spent(p));
+        }
+      }
+      // Fold this round's communicator-attributed faults into the ledger.
+      std::vector<comm::Communicator::UplinkHealth> uh = comm.uplink_health();
+      for (std::size_t p = 0; p < uh.size(); ++p) {
+        const comm::Communicator::UplinkHealth base =
+            p < prev_uplink.size() ? prev_uplink[p]
+                                   : comm::Communicator::UplinkHealth{};
+        const std::uint32_t id = static_cast<std::uint32_t>(p + 1);
+        if (uh[p].retransmits > base.retransmits) {
+          obs_session.health().add_retransmits(
+              id, uh[p].retransmits - base.retransmits);
+        }
+        if (uh[p].corrupt > base.corrupt) {
+          obs_session.health().add_corrupt_frames(id,
+                                                  uh[p].corrupt - base.corrupt);
+        }
+      }
+      prev_uplink = std::move(uh);
     }
 
     // (4) Metrics.
@@ -488,6 +582,7 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
     metrics.timeouts = after.gather_timeouts - before.gather_timeouts;
     metrics.secagg_reconstructions = round_reconstructions;
     metrics.secagg_degraded = round_degraded;
+    metrics.secagg_degrade_reason = degrade_reason;
     result.secagg_reconstructions += round_reconstructions;
     if (round_degraded) ++result.secagg_rounds_degraded;
     double loss_acc = 0.0;
@@ -522,6 +617,10 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
     }
     result.rounds.push_back(metrics);
     obs_session.write_round(metrics);
+    obs::flight_record("round.done",
+                       "{\"round\":" + std::to_string(round) +
+                           ",\"responders\":" +
+                           std::to_string(metrics.responders) + "}");
 
     // (5) Round checkpoint: captured after the server absorbed the round,
     // so a restart replays nothing and skips nothing.
@@ -530,6 +629,8 @@ RunResult run_federated(const RunConfig& config, BaseServer& server,
     if (store &&
         (round % ckpt.every == 0 || round == config.rounds || halt_here)) {
       APPFL_SPAN("ckpt.save", "ckpt");
+      obs::flight_record("ckpt.save",
+                         "{\"round\":" + std::to_string(round) + "}");
       RoundCheckpoint rc;
       rc.algorithm = to_string(config.algorithm);
       rc.seed = config.seed;

@@ -23,6 +23,18 @@
 
 namespace appfl::core {
 
+/// Why a secure-aggregation round degraded to a counted skip. Attached to
+/// RoundMetrics (and the per-round JSONL line) so a post-mortem names the
+/// failure instead of just counting it.
+enum class SecaggDegradeReason : std::uint8_t {
+  kNone = 0,             // round did not degrade
+  kBelowThreshold,       // |U3| < t: too few survivor uploads to unmask
+  kShareWaveTimeout,     // share packets lost/late: U2 fell below t
+  kRootUnreachable,      // tree root never produced a reduced sum
+};
+
+std::string to_string(SecaggDegradeReason r);
+
 /// One row of the learning curve.
 struct RoundMetrics {
   std::uint32_t round = 0;
@@ -46,6 +58,8 @@ struct RoundMetrics {
   /// True when fewer than t uploads survived: the round was skipped
   /// (model unchanged) instead of unmasked.
   bool secagg_degraded = false;
+  /// Why (kNone unless secagg_degraded).
+  SecaggDegradeReason secagg_degrade_reason = SecaggDegradeReason::kNone;
 };
 
 struct RunResult {

@@ -1,0 +1,264 @@
+#include "obs/critpath.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "obs/export.hpp"
+
+namespace appfl::obs {
+
+namespace {
+
+double end_of(const SpanRecord& r) { return r.wall_start_s + r.wall_dur_s; }
+
+bool is_client_arg(const SpanRecord& r) {
+  return r.arg_name != nullptr && (std::strcmp(r.arg_name, "client") == 0 ||
+                                   std::strcmp(r.arg_name, "sender") == 0);
+}
+
+CritPathStep make_step(const SpanRecord& r, int depth) {
+  CritPathStep s;
+  s.name = r.name;
+  s.cat = r.cat;
+  s.depth = depth;
+  s.has_client = is_client_arg(r);
+  s.client = s.has_client ? r.arg : 0;
+  s.wall_s = r.wall_dur_s;
+  s.sim_s = r.sim_dur_s;
+  return s;
+}
+
+std::string step_label(const CritPathStep& s, bool sim_bound = false) {
+  std::ostringstream os;
+  os << s.name;
+  if (s.has_client) os << " client=" << s.client;
+  if (sim_bound) os << " (sim)";
+  return os.str();
+}
+
+using ChildIndex = std::unordered_map<std::uint64_t, std::vector<std::size_t>>;
+
+/// Walks from span `i` to the descendant that ended last at every level —
+/// the blocker — appending one step per visited span. `visited` guards
+/// against malformed parent links forming a cycle.
+void descend(const std::vector<SpanRecord>& recs, const ChildIndex& kids,
+             std::size_t i, int depth, std::vector<CritPathStep>& out,
+             std::unordered_set<std::uint64_t>& visited) {
+  const SpanRecord& r = recs[i];
+  if (r.span_id == 0 || !visited.insert(r.span_id).second) return;
+  out.push_back(make_step(r, depth));
+  const auto it = kids.find(r.span_id);
+  if (it == kids.end()) return;
+  std::size_t blocker = SIZE_MAX;
+  double latest = -1.0;
+  for (const std::size_t c : it->second) {
+    if (end_of(recs[c]) > latest) {
+      latest = end_of(recs[c]);
+      blocker = c;
+    }
+  }
+  if (blocker != SIZE_MAX) descend(recs, kids, blocker, depth + 1, out, visited);
+}
+
+/// Union length of the children's wall intervals clipped to the round's.
+double covered_seconds(const std::vector<SpanRecord>& recs,
+                       const std::vector<std::size_t>& kids_sorted,
+                       double lo, double hi) {
+  double covered = 0.0;
+  double cursor = lo;
+  for (const std::size_t c : kids_sorted) {
+    const double s = std::max(recs[c].wall_start_s, cursor);
+    const double e = std::min(end_of(recs[c]), hi);
+    if (e > s) {
+      covered += e - s;
+      cursor = e;
+    }
+  }
+  return covered;
+}
+
+}  // namespace
+
+std::vector<RoundCritPath> critical_paths(
+    const std::vector<SpanRecord>& records) {
+  ChildIndex kids;
+  std::vector<std::size_t> rounds;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const SpanRecord& r = records[i];
+    if (r.span_id != 0 && r.parent_id != 0) kids[r.parent_id].push_back(i);
+    if (std::strcmp(r.name, "fl.round") == 0) rounds.push_back(i);
+  }
+
+  std::vector<RoundCritPath> out;
+  out.reserve(rounds.size());
+  for (const std::size_t ri : rounds) {
+    const SpanRecord& R = records[ri];
+    RoundCritPath rp;
+    rp.round = static_cast<std::uint32_t>(
+        (R.arg_name != nullptr && std::strcmp(R.arg_name, "round") == 0)
+            ? R.arg
+            : 0);
+    rp.wall_s = R.wall_dur_s;
+    if (R.span_id == 0) {
+      out.push_back(std::move(rp));  // pre-upgrade trace: no DAG to rebuild
+      continue;
+    }
+
+    // Direct children in start order — the round's sequential phases.
+    std::vector<std::size_t> phases;
+    if (const auto it = kids.find(R.span_id); it != kids.end()) {
+      phases = it->second;
+    }
+    std::sort(phases.begin(), phases.end(),
+              [&](std::size_t a, std::size_t b) {
+                return records[a].wall_start_s < records[b].wall_start_s;
+              });
+    rp.attributed_s =
+        covered_seconds(records, phases, R.wall_start_s, end_of(R));
+    rp.attributed_frac = rp.wall_s > 0.0 ? rp.attributed_s / rp.wall_s : 0.0;
+
+    // Per phase, the chain of blockers underneath it; track which phase
+    // (and which terminal blocker) bounded the round's wall time.
+    std::unordered_set<std::uint64_t> visited;
+    visited.insert(R.span_id);
+    double max_phase_wall = -1.0;
+    std::size_t bound_begin = 0, bound_end = 0;  // chain range of max phase
+    for (const std::size_t p : phases) {
+      const std::size_t begin = rp.chain.size();
+      descend(records, kids, p, 0, rp.chain, visited);
+      if (records[p].wall_dur_s > max_phase_wall) {
+        max_phase_wall = records[p].wall_dur_s;
+        bound_begin = begin;
+        bound_end = rp.chain.size();
+      }
+    }
+
+    // Message-edge extra: the slowest simulated uplink transfer this round.
+    // Transfer records are zero-wall (they live on the sim timeline), so the
+    // wall descent never reaches them; surface the max-sim one explicitly —
+    // it is the "link N" answer when the gather wait bounded the round.
+    std::size_t slow_link = SIZE_MAX;
+    {
+      // BFS over the round's transitive descendants.
+      std::vector<std::uint64_t> frontier{R.span_id};
+      std::unordered_set<std::uint64_t> seen{R.span_id};
+      double max_sim = -1.0;
+      while (!frontier.empty()) {
+        const std::uint64_t id = frontier.back();
+        frontier.pop_back();
+        const auto it = kids.find(id);
+        if (it == kids.end()) continue;
+        for (const std::size_t c : it->second) {
+          if (!seen.insert(records[c].span_id).second) continue;
+          frontier.push_back(records[c].span_id);
+          if (std::strcmp(records[c].name, "comm.uplink.transfer") == 0 &&
+              records[c].sim_dur_s > max_sim) {
+            max_sim = records[c].sim_dur_s;
+            slow_link = c;
+          }
+        }
+      }
+    }
+    if (slow_link != SIZE_MAX) {
+      rp.chain.push_back(make_step(records[slow_link], 1));
+    }
+
+    if (bound_end > bound_begin) {
+      const CritPathStep& terminal = rp.chain[bound_end - 1];
+      // When the gather wait is what bounded the round, the terminal wall
+      // blocker is the gather span itself — name the slowest link instead.
+      if (slow_link != SIZE_MAX &&
+          (terminal.name == "comm.gather" || terminal.name == "fl.gather_phase")) {
+        rp.bounded_by = step_label(rp.chain.back(), /*sim_bound=*/true);
+      } else {
+        rp.bounded_by = step_label(terminal);
+      }
+    }
+    out.push_back(std::move(rp));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RoundCritPath& a, const RoundCritPath& b) {
+              return a.round < b.round;
+            });
+  return out;
+}
+
+bool write_critpath_jsonl(const std::vector<RoundCritPath>& paths,
+                          const std::string& path, std::string* error) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  for (const RoundCritPath& rp : paths) {
+    out << "{\"type\":\"critpath\",\"round\":" << rp.round
+        << ",\"wall_s\":" << json_number(rp.wall_s)
+        << ",\"attributed_s\":" << json_number(rp.attributed_s)
+        << ",\"attributed_frac\":" << json_number(rp.attributed_frac)
+        << ",\"bounded_by\":\"" << json_escape(rp.bounded_by)
+        << "\",\"chain\":[";
+    bool first = true;
+    for (const CritPathStep& s : rp.chain) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"name\":\"" << json_escape(s.name) << "\",\"cat\":\""
+          << json_escape(s.cat) << "\",\"depth\":" << s.depth << ",\"client\":";
+      if (s.has_client) {
+        out << s.client;
+      } else {
+        out << "null";
+      }
+      out << ",\"wall_s\":" << json_number(s.wall_s)
+          << ",\"sim_s\":" << json_optional(s.sim_s) << "}";
+    }
+    out << "]}\n";
+  }
+  out.flush();
+  if (!out.good()) {
+    if (error != nullptr) *error = "write to '" + path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+bool write_critpath_csv(const std::vector<RoundCritPath>& paths,
+                        const std::string& path, std::string* error) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  out << "round,depth,name,cat,client,wall_s,sim_s,round_wall_s,"
+         "attributed_frac,bounded_by\n";
+  for (const RoundCritPath& rp : paths) {
+    for (const CritPathStep& s : rp.chain) {
+      out << rp.round << "," << s.depth << "," << s.name << "," << s.cat << ",";
+      if (s.has_client) out << s.client;
+      out << "," << json_number(s.wall_s) << ","
+          << (s.sim_s >= 0.0 ? json_number(s.sim_s) : "") << ","
+          << json_number(rp.wall_s) << "," << json_number(rp.attributed_frac)
+          << ",\"" << rp.bounded_by << "\"\n";
+    }
+  }
+  out.flush();
+  if (!out.good()) {
+    if (error != nullptr) *error = "write to '" + path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+std::string critpath_csv_path(const std::string& jsonl_path) {
+  const std::size_t slash = jsonl_path.find_last_of('/');
+  const std::size_t dot = jsonl_path.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return jsonl_path + ".csv";
+  }
+  return jsonl_path.substr(0, dot) + ".csv";
+}
+
+}  // namespace appfl::obs

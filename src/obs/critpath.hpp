@@ -1,0 +1,70 @@
+// Critical-path analyzer — turns the tracer's flat span records back into
+// the per-round causal DAG and extracts each round's *blocking chain*: the
+// sequence of spans that actually bounded the round's wall time, down to
+// the client (or link) that ended last in every parallel phase.
+//
+// The DAG comes from two edge kinds the trace-context upgrade records:
+//   • parent links — ScopedSpan's thread-local stack (lexical nesting) plus
+//     explicit set_parent calls that stitch pool-thread spans back under
+//     their phase span;
+//   • message edges — receiver-side records (comm.uplink.transfer) whose
+//     parent is the sender-side span id that rode in on the wire.
+//
+// Output is consumed three ways: a JSONL stream (one object per round), a
+// CSV for spreadsheet/plot tooling, and in-process by bench/phase_breakdown
+// which reports "round bounded by client 7 train" instead of aggregate
+// shares.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace appfl::obs {
+
+/// One step of a round's blocking chain, depth-first: a phase span followed
+/// by the descendants that bounded it.
+struct CritPathStep {
+  std::string name;
+  std::string cat;
+  int depth = 0;           // 0 = direct child of the round span
+  bool has_client = false; // true when the span carried a client/sender arg
+  std::uint64_t client = 0;
+  double wall_s = 0.0;     // the span's wall duration
+  double sim_s = -1.0;     // simulated duration; < 0 ⇒ not on the sim timeline
+};
+
+/// The blocking chain of one round plus how much of the round's wall time
+/// the chain's top-level steps cover (the attribution the acceptance gate
+/// checks: ≥ 95% on a healthy traced run).
+struct RoundCritPath {
+  std::uint32_t round = 0;
+  double wall_s = 0.0;        // fl.round span wall duration
+  double attributed_s = 0.0;  // union of top-level step intervals in-round
+  double attributed_frac = 0.0;
+  /// Human-readable bound, e.g. "fl.client_update client=7" or
+  /// "comm.uplink.transfer client=3 (sim)".
+  std::string bounded_by;
+  std::vector<CritPathStep> chain;
+};
+
+/// Rebuilds the per-round DAG from `records` (a Tracer::collect() result)
+/// and returns one RoundCritPath per fl.round span, ordered by round.
+/// Records without span ids (pre-upgrade traces) yield empty chains.
+std::vector<RoundCritPath> critical_paths(
+    const std::vector<SpanRecord>& records);
+
+/// Writers. Both return false (with a message in *error if given) when the
+/// file cannot be written.
+bool write_critpath_jsonl(const std::vector<RoundCritPath>& paths,
+                          const std::string& path, std::string* error = nullptr);
+bool write_critpath_csv(const std::vector<RoundCritPath>& paths,
+                        const std::string& path, std::string* error = nullptr);
+
+/// The CSV sibling of a critpath JSONL path: extension swapped for ".csv"
+/// (appended when there is no extension).
+std::string critpath_csv_path(const std::string& jsonl_path);
+
+}  // namespace appfl::obs

@@ -1,7 +1,9 @@
 #include "obs/export.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 
 namespace appfl::obs {
@@ -60,15 +62,27 @@ bool write_chrome_trace(const Tracer& tracer, const std::string& path,
         << ",\"dur\":" << json_number(r.wall_dur_s * 1e6);
     const bool has_sim = r.sim_start_s >= 0.0;
     const bool has_arg = r.arg_name != nullptr;
-    if (has_sim || has_arg) {
+    const bool has_ctx = r.span_id != 0;
+    if (has_sim || has_arg || has_ctx) {
       out << ",\"args\":{";
+      bool inner_first = true;
+      const auto sep = [&] {
+        if (!inner_first) out << ",";
+        inner_first = false;
+      };
       if (has_sim) {
+        sep();
         out << "\"sim_ts_s\":" << json_number(r.sim_start_s)
             << ",\"sim_dur_s\":" << json_number(r.sim_dur_s);
       }
       if (has_arg) {
-        if (has_sim) out << ",";
+        sep();
         out << "\"" << json_escape(r.arg_name) << "\":" << r.arg;
+      }
+      if (has_ctx) {
+        sep();
+        out << "\"span_id\":" << r.span_id;
+        if (r.parent_id != 0) out << ",\"parent_id\":" << r.parent_id;
       }
       out << "}";
     }
@@ -114,13 +128,16 @@ std::string metrics_snapshot_json(const MetricsSnapshot& snap) {
   return os.str();
 }
 
-JsonlWriter::JsonlWriter(const std::string& path)
-    : out_(path, std::ios::trunc) {
+JsonlWriter::JsonlWriter(const std::string& path) {
+  errno = 0;
+  out_.open(path, std::ios::trunc);
   if (!out_.is_open()) {
+    const int err = errno;
     std::fprintf(stderr,
-                 "warning: cannot open metrics stream '%s'; metrics JSONL "
-                 "disabled for this run\n",
-                 path.c_str());
+                 "warning: cannot open JSONL stream '%s' (%s); this stream "
+                 "is disabled for the run\n",
+                 path.c_str(),
+                 err != 0 ? std::strerror(err) : "unknown error");
   }
 }
 

@@ -1,0 +1,170 @@
+#include "obs/health.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "obs/export.hpp"
+
+namespace appfl::obs {
+
+HealthLedger::Slot& HealthLedger::slot(std::uint32_t client) {
+  const auto it = std::lower_bound(
+      slots_.begin(), slots_.end(), client,
+      [](const Slot& s, std::uint32_t c) { return s.client < c; });
+  if (it != slots_.end() && it->client == client) return *it;
+  Slot s;
+  s.client = client;
+  return *slots_.insert(it, s);
+}
+
+void HealthLedger::observe_latency(std::uint32_t client, double latency_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& s = slot(client);
+  s.last = latency_s;
+  if (s.updates == 0) {
+    s.ewma = latency_s;
+    s.var = 0.0;
+  } else {
+    // Exponentially-weighted mean/variance (West 1979 incremental form):
+    // the diff is taken against the *old* mean so variance stays unbiased
+    // under the same decay as the mean.
+    const double diff = latency_s - s.ewma;
+    s.ewma += alpha_ * diff;
+    s.var = (1.0 - alpha_) * (s.var + alpha_ * diff * diff);
+  }
+  ++s.updates;
+}
+
+void HealthLedger::add_retransmits(std::uint32_t client, std::uint64_t n) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  slot(client).retransmits += n;
+}
+
+void HealthLedger::add_corrupt_frames(std::uint32_t client, std::uint64_t n) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  slot(client).corrupt += n;
+}
+
+void HealthLedger::add_dropped_frames(std::uint32_t client, std::uint64_t n) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  slot(client).dropped += n;
+}
+
+void HealthLedger::add_share_discards(std::uint32_t client, std::uint64_t n) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  slot(client).share_discards += n;
+}
+
+void HealthLedger::note_dropout(std::uint32_t client) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++slot(client).dropouts;
+}
+
+void HealthLedger::set_dp_epsilon(std::uint32_t client, double epsilon) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  slot(client).dp_epsilon = epsilon;
+}
+
+std::vector<ClientHealth> HealthLedger::snapshot() const {
+  std::vector<Slot> slots;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slots = slots_;
+  }
+  // Cohort median of the smoothed latencies (clients with observations).
+  std::vector<double> ewmas;
+  ewmas.reserve(slots.size());
+  for (const Slot& s : slots) {
+    if (s.updates > 0) ewmas.push_back(s.ewma);
+  }
+  double median = 0.0;
+  if (!ewmas.empty()) {
+    const std::size_t mid = ewmas.size() / 2;
+    std::nth_element(ewmas.begin(), ewmas.begin() + mid, ewmas.end());
+    median = ewmas[mid];
+  }
+  std::vector<ClientHealth> out;
+  out.reserve(slots.size());
+  for (const Slot& s : slots) {
+    ClientHealth h;
+    h.client = s.client;
+    h.updates = s.updates;
+    h.latency_ewma_s = s.ewma;
+    h.latency_var_s2 = s.var;
+    h.last_latency_s = s.last;
+    h.straggler_score =
+        (s.updates > 0 && median > 0.0) ? s.ewma / median : 0.0;
+    h.retransmits = s.retransmits;
+    h.corrupt_frames = s.corrupt;
+    h.dropped_frames = s.dropped;
+    h.share_discards = s.share_discards;
+    h.dropouts = s.dropouts;
+    h.dp_epsilon = s.dp_epsilon;
+    out.push_back(h);
+  }
+  return out;
+}
+
+std::string HealthLedger::round_json(std::uint32_t round,
+                                     const std::vector<ClientHealth>& clients) {
+  std::ostringstream os;
+  os << "{\"type\":\"health\",\"round\":" << round << ",\"clients\":[";
+  bool first = true;
+  for (const ClientHealth& h : clients) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"client\":" << h.client << ",\"updates\":" << h.updates
+       << ",\"latency_ewma_s\":" << json_number(h.latency_ewma_s)
+       << ",\"latency_var_s2\":" << json_number(h.latency_var_s2)
+       << ",\"last_latency_s\":" << json_number(h.last_latency_s)
+       << ",\"straggler_score\":" << json_number(h.straggler_score)
+       << ",\"retransmits\":" << h.retransmits
+       << ",\"corrupt_frames\":" << h.corrupt_frames
+       << ",\"dropped_frames\":" << h.dropped_frames
+       << ",\"share_discards\":" << h.share_discards
+       << ",\"dropouts\":" << h.dropouts
+       << ",\"dp_epsilon\":" << json_number(h.dp_epsilon) << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool HealthLedger::write_csv(const std::string& path,
+                             std::string* error) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  out << "client,updates,latency_ewma_s,latency_var_s2,last_latency_s,"
+         "straggler_score,retransmits,corrupt_frames,dropped_frames,"
+         "share_discards,dropouts,dp_epsilon\n";
+  for (const ClientHealth& h : snapshot()) {
+    out << h.client << "," << h.updates << ","
+        << json_number(h.latency_ewma_s) << ","
+        << json_number(h.latency_var_s2) << ","
+        << json_number(h.last_latency_s) << ","
+        << json_number(h.straggler_score) << "," << h.retransmits << ","
+        << h.corrupt_frames << "," << h.dropped_frames << ","
+        << h.share_discards << "," << h.dropouts << ","
+        << json_number(h.dp_epsilon) << "\n";
+  }
+  out.flush();
+  if (!out.good()) {
+    if (error != nullptr) *error = "write to '" + path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+void HealthLedger::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  slots_.clear();
+}
+
+}  // namespace appfl::obs

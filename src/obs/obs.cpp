@@ -47,20 +47,36 @@ void apply_env_overrides(ObsOptions& opts) {
   if (const char* value = std::getenv("APPFL_OBS_METRICS_OUT")) {
     if (*value != '\0') opts.metrics_out = value;
   }
-  if (!opts.trace_out.empty() && opts.level < Level::kTrace) {
+  if (const char* value = std::getenv("APPFL_OBS_HEALTH_OUT")) {
+    if (*value != '\0') opts.health_out = value;
+  }
+  if (const char* value = std::getenv("APPFL_OBS_CRITPATH_OUT")) {
+    if (*value != '\0') opts.critpath_out = value;
+  }
+  if (const char* value = std::getenv("APPFL_OBS_FLIGHT_DIR")) {
+    if (*value != '\0') opts.flight_dir = value;
+  }
+  const auto require_trace = [&](std::string& path, const char* what) {
+    if (path.empty() || opts.level >= Level::kTrace) return;
     std::fprintf(stderr,
-                 "warning: trace output '%s' requires obs level 'trace' "
+                 "warning: %s output '%s' requires obs level 'trace' "
                  "(level is '%s') — ignoring it\n",
-                 opts.trace_out.c_str(), to_string(opts.level).c_str());
-    opts.trace_out.clear();
-  }
-  if (!opts.metrics_out.empty() && opts.level < Level::kMetrics) {
+                 what, path.c_str(), to_string(opts.level).c_str());
+    path.clear();
+  };
+  const auto require_metrics = [&](std::string& path, const char* what) {
+    if (path.empty() || opts.level >= Level::kMetrics) return;
     std::fprintf(stderr,
-                 "warning: metrics output '%s' requires obs level 'metrics' "
+                 "warning: %s output '%s' requires obs level 'metrics' "
                  "or 'trace' (level is 'off') — ignoring it\n",
-                 opts.metrics_out.c_str());
-    opts.metrics_out.clear();
-  }
+                 what, path.c_str());
+    path.clear();
+  };
+  require_trace(opts.trace_out, "trace");
+  require_trace(opts.critpath_out, "critical-path");
+  require_metrics(opts.metrics_out, "metrics");
+  require_metrics(opts.health_out, "health ledger");
+  require_metrics(opts.flight_dir, "flight recorder");
 }
 
 }  // namespace appfl::obs

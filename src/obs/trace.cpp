@@ -33,6 +33,24 @@ static std::uint64_t next_tracer_id() {
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
+// Per-thread stack of live ScopedSpan ids; the top is the thread's current
+// trace context. Kept outside the Tracer: span ids are process-wide so
+// parent links stay valid across tracer instances (tests use local ones).
+static thread_local std::vector<std::uint64_t> t_span_stack;
+
+std::uint64_t next_span_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t current_span_id() {
+  return t_span_stack.empty() ? 0 : t_span_stack.back();
+}
+
+void ScopedSpan::push_current(std::uint64_t id) { t_span_stack.push_back(id); }
+
+void ScopedSpan::pop_current() { t_span_stack.pop_back(); }
+
 Tracer::Tracer(std::size_t ring_capacity)
     : ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity),
       tracer_id_(next_tracer_id()),
@@ -121,6 +139,11 @@ std::uint64_t Tracer::emitted() const {
     total += ring->total;
   }
   return total;
+}
+
+std::size_t Tracer::ring_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rings_.size();
 }
 
 void Tracer::clear() {

@@ -39,8 +39,18 @@ struct SpanRecord {
   double sim_dur_s = -1.0;
   const char* arg_name = nullptr;  // optional numeric argument (e.g. "client")
   std::uint64_t arg = 0;
-  std::uint32_t tid = 0;  // tracer-assigned thread index
+  std::uint64_t span_id = 0;    // process-unique; 0 ⇒ no trace context
+  std::uint64_t parent_id = 0;  // enclosing span (or cross-thread link); 0 ⇒ root
+  std::uint32_t tid = 0;        // tracer-assigned thread index
 };
+
+/// Process-wide span-id allocator. Ids start at 1; 0 means "no span".
+std::uint64_t next_span_id();
+
+/// The innermost live ScopedSpan on this thread (0 when none). This is the
+/// trace context a message sender stamps onto the wire so receiver-side
+/// spans can link back to it.
+std::uint64_t current_span_id();
 
 class Tracer {
  public:
@@ -80,6 +90,9 @@ class Tracer {
 
   std::size_t ring_capacity() const { return ring_capacity_; }
 
+  /// Number of per-thread rings registered (threads that ever emitted).
+  std::size_t ring_count() const;
+
   /// The process-wide tracer the APPFL_SPAN hooks write to.
   static Tracer& global();
 
@@ -100,17 +113,27 @@ class Tracer {
 /// RAII span: snapshots the wall clock at construction and emits one record
 /// at destruction. Construction is a no-op (active_=false) unless tracing
 /// was on when the scope opened.
+///
+/// Trace context: an active span draws a process-unique id, records the
+/// thread's current innermost span as its parent, and becomes the thread's
+/// current span until destruction (a thread-local stack). set_parent()
+/// re-points the parent across threads — e.g. a server-side gather span
+/// adopting the client span id that rode in on the message.
 class ScopedSpan {
  public:
   ScopedSpan(const char* name, const char* cat) : active_(trace_on()) {
     if (!active_) return;
     rec_.name = name;
     rec_.cat = cat;
+    rec_.span_id = next_span_id();
+    rec_.parent_id = current_span_id();
+    push_current(rec_.span_id);
     rec_.wall_start_s = Tracer::global().now();
   }
   ~ScopedSpan() {
     if (!active_) return;
     rec_.wall_dur_s = Tracer::global().now() - rec_.wall_start_s;
+    pop_current();
     Tracer::global().emit(rec_);
   }
 
@@ -127,9 +150,19 @@ class ScopedSpan {
     rec_.arg_name = name;
     rec_.arg = value;
   }
+  /// Overrides the lexical parent with a remote one (a span id that arrived
+  /// on a message). 0 is ignored so callers can pass unconditionally.
+  void set_parent(std::uint64_t span_id) {
+    if (active_ && span_id != 0) rec_.parent_id = span_id;
+  }
+  /// This span's id (0 when inactive) — what a sender stamps on a message.
+  std::uint64_t id() const { return active_ ? rec_.span_id : 0; }
   bool active() const { return active_; }
 
  private:
+  static void push_current(std::uint64_t id);
+  static void pop_current();
+
   bool active_;
   SpanRecord rec_;
 };
